@@ -1,0 +1,39 @@
+"""Benchmark-suite helpers.
+
+Every benchmark regenerates one of the paper's artifacts (a figure table
+or a concurrency claim), asserts the reproduction checks, and saves the
+rendered output under ``benchmarks/results/`` so the numbers behind
+EXPERIMENTS.md can be re-created with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture
+def save_artifact():
+    """Write a named artifact to benchmarks/results/ and echo it."""
+
+    def _save(name: str, text: str) -> None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        path = RESULTS_DIR / f"{name}.txt"
+        path.write_text(text + "\n")
+        print(f"\n=== {name} ===\n{text}\n")
+
+    return _save
+
+
+def metrics_table(results, fields=("committed", "conflicts", "throughput", "mean_latency", "abort_rate")):
+    """Render a {protocol: Metrics} mapping as an aligned text table."""
+    from repro.analysis import render_grid
+
+    rows = []
+    for name, metrics in results.items():
+        row = metrics.as_row()
+        rows.append([name] + [str(row[f]) for f in fields])
+    return render_grid(list(fields), rows, corner="protocol")

@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Consistent analytics with multiversion read-only transactions.
+
+An inventory service keeps per-warehouse stock counters and a catalogue
+directory.  Operational transactions move stock around; an analyst runs
+long scans that must see a *consistent* snapshot — totals must balance —
+without stalling operations.  This is the Section 7.1 generalisation of
+hybrid atomicity: read-only transactions take their serialization
+timestamp at start and read versions, so they neither block nor get
+blocked.
+
+Run:  python examples/analytics.py
+"""
+
+import random
+
+from repro import LockConflict, TransactionManager, WouldBlock
+from repro.adts import make_counter_adt, make_directory_adt
+
+WAREHOUSES = ["east", "west", "north"]
+INITIAL_STOCK = 100
+
+
+def move_stock(manager, source, target, amount):
+    """Move stock between warehouses; refuse if the source runs dry."""
+
+    def body(ctx):
+        if ctx.invoke(source, "Dec", amount) == "Floor":
+            return False
+        ctx.invoke(target, "Inc", amount)
+        return True
+
+    return manager.run_transaction(body)
+
+
+def analyst_scan(manager):
+    """One consistent scan: per-warehouse stock plus the catalogue entry."""
+    reader = manager.begin_readonly()
+    stock = {w: manager.invoke(reader, w, "Read") for w in WAREHOUSES}
+    sku = manager.invoke(reader, "catalogue", "Lookup", "sku-1")
+    manager.commit(reader)
+    return stock, sku
+
+
+def main() -> None:
+    rng = random.Random(7)
+    manager = TransactionManager()
+    for warehouse in WAREHOUSES:
+        manager.create_object(warehouse, make_counter_adt())
+    manager.create_object("catalogue", make_directory_adt())
+
+    def seed(ctx):
+        for warehouse in WAREHOUSES:
+            ctx.invoke(warehouse, "Inc", INITIAL_STOCK)
+        ctx.invoke("catalogue", "Bind", "sku-1", "widget")
+
+    manager.run_transaction(seed)
+
+    total_expected = INITIAL_STOCK * len(WAREHOUSES)
+    moves = refusals = 0
+    for round_index in range(10):
+        # Operational traffic ...
+        for _ in range(8):
+            source, target = rng.sample(WAREHOUSES, 2)
+            try:
+                if move_stock(manager, source, target, rng.randint(1, 40)):
+                    moves += 1
+                else:
+                    refusals += 1
+            except (LockConflict, WouldBlock):
+                pass
+        # ... and a consistent scan between batches.
+        stock, sku = analyst_scan(manager)
+        total = sum(stock.values())
+        marker = "OK " if total == total_expected else "BAD"
+        print(
+            f"[scan {round_index}] {marker} total={total:4d} "
+            + " ".join(f"{w}={stock[w]:3d}" for w in WAREHOUSES)
+            + f"  sku-1={sku}"
+        )
+        assert total == total_expected, "scan saw a torn state!"
+
+    print(f"\nmoves={moves} dry-source refusals={refusals}")
+    print("every scan balanced — snapshots are consistent by construction")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,110 @@
+"""repro — Hybrid Concurrency Control for Abstract Data Types.
+
+A complete reproduction of Herlihy & Weihl's 1988 hybrid concurrency
+control paper: the formal event/history model, dependency relations and
+their mechanical derivation from serial specifications, the LOCK state
+machine with horizon-based compaction, commit-timestamp generation, a
+transaction runtime with atomic commitment, baseline protocols
+(commutativity locking, read/write 2PL), an ADT library, and a
+discrete-event simulation harness for the concurrency comparisons.
+
+Quick start::
+
+    from repro import TransactionManager
+    from repro.adts import make_account_adt
+
+    manager = TransactionManager()
+    manager.create_object("checking", make_account_adt())
+
+    def deposit(ctx):
+        ctx.invoke("checking", "Credit", 100)
+
+    manager.run_transaction(deposit)
+
+See ``examples/`` for runnable scenarios and ``benchmarks/`` for the
+reproduction of every figure in the paper.
+"""
+
+from .core import (
+    CompactingLockMachine,
+    EnumeratedRelation,
+    History,
+    HistoryBuilder,
+    IllegalOperation,
+    Invocation,
+    LockConflict,
+    LockMachine,
+    MonotoneTimestampGenerator,
+    Operation,
+    PredicateRelation,
+    ProtocolError,
+    Relation,
+    ReproError,
+    SerialSpec,
+    SkewedTimestampGenerator,
+    TransactionAborted,
+    WouldBlock,
+    check_dependency_relation,
+    commute,
+    failure_to_commute,
+    invalidated_by,
+    is_atomic,
+    is_dependency_relation,
+    is_hybrid_atomic,
+    is_online_hybrid_atomic,
+    is_serializable,
+    op,
+    symmetric_closure,
+)
+from .protocols import ALL_PROTOCOLS, COMMUTATIVITY, HYBRID, SERIAL, TWO_PHASE_RW
+from .runtime import TransactionContext, TransactionManager
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # model
+    "Operation",
+    "Invocation",
+    "op",
+    "History",
+    "HistoryBuilder",
+    "SerialSpec",
+    # relations / derivation
+    "Relation",
+    "PredicateRelation",
+    "EnumeratedRelation",
+    "symmetric_closure",
+    "invalidated_by",
+    "failure_to_commute",
+    "commute",
+    "is_dependency_relation",
+    "check_dependency_relation",
+    # machines
+    "LockMachine",
+    "CompactingLockMachine",
+    # atomicity
+    "is_atomic",
+    "is_hybrid_atomic",
+    "is_online_hybrid_atomic",
+    "is_serializable",
+    # timestamps
+    "MonotoneTimestampGenerator",
+    "SkewedTimestampGenerator",
+    # runtime
+    "TransactionManager",
+    "TransactionContext",
+    # protocols
+    "HYBRID",
+    "COMMUTATIVITY",
+    "TWO_PHASE_RW",
+    "SERIAL",
+    "ALL_PROTOCOLS",
+    # errors
+    "ReproError",
+    "ProtocolError",
+    "LockConflict",
+    "WouldBlock",
+    "IllegalOperation",
+    "TransactionAborted",
+]

@@ -1,0 +1,167 @@
+"""Auditing an ADT bundle against the paper's requirements.
+
+Anyone adding a new type to :mod:`repro.adts` hand-writes three relations
+(dependency, conflict, failure-to-commute).  :func:`audit_adt` re-derives
+everything from the serial specification and checks the bundle end to
+end:
+
+1. the conflict relation is symmetric (a protocol precondition);
+2. the declared dependency relation matches derived invalidated-by over
+   the universe (or is independently a dependency relation, for
+   alternatives like the queue's Figure 4-3);
+3. the declared dependency and conflict relations satisfy Definition 3;
+4. the declared failure-to-commute table matches the derived one and is
+   itself a dependency relation (Theorem 28);
+5. optionally, the dependency relation is minimal.
+
+The CLI's ``audit`` command runs this for every registered type; the test
+suite runs it too, so a mis-transcribed table cannot land silently.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence
+
+from ..adts.base import ADT
+from ..core.commutativity import failure_to_commute
+from ..core.conflict import is_symmetric
+from ..core.dependency import (
+    is_dependency_relation,
+    is_minimal_dependency_relation,
+)
+from ..core.invalidated_by import invalidated_by
+from ..core.operations import Operation
+
+__all__ = ["AuditFinding", "AuditReport", "audit_adt"]
+
+
+@dataclass(frozen=True)
+class AuditFinding:
+    """One audit check: name, outcome, and an optional detail message."""
+
+    check: str
+    passed: bool
+    detail: str = ""
+
+    def __str__(self) -> str:
+        status = "PASS" if self.passed else "FAIL"
+        suffix = f" — {self.detail}" if self.detail else ""
+        return f"[{status}] {self.check}{suffix}"
+
+
+@dataclass
+class AuditReport:
+    """All findings for one type."""
+
+    adt_name: str
+    findings: List[AuditFinding] = field(default_factory=list)
+
+    @property
+    def passed(self) -> bool:
+        """True when every check passed."""
+        return all(finding.passed for finding in self.findings)
+
+    def render(self) -> str:
+        lines = [f"audit: {self.adt_name}"]
+        lines.extend(f"  {finding}" for finding in self.findings)
+        lines.append(f"  => {'ALL CHECKS PASS' if self.passed else 'FAILURES PRESENT'}")
+        return "\n".join(lines)
+
+
+def _diff_detail(derived, declared, universe) -> str:
+    extra = derived.pair_set - declared.pair_set
+    missing = declared.pair_set - derived.pair_set
+    parts = []
+    if extra:
+        q, p = sorted(extra, key=str)[0]
+        parts.append(f"derived has extra e.g. ({q}, {p})")
+    if missing:
+        q, p = sorted(missing, key=str)[0]
+        parts.append(f"declared has extra e.g. ({q}, {p})")
+    return "; ".join(parts)
+
+
+def audit_adt(
+    adt: ADT,
+    universe: Sequence[Operation],
+    max_h1: int = 3,
+    max_h2: int = 2,
+    mc_depth: int = 3,
+    check_minimal: bool = False,
+) -> AuditReport:
+    """Run the full audit for one ADT bundle over a finite universe."""
+    report = AuditReport(adt.name)
+    spec = adt.spec
+    ops = list(universe)
+
+    report.findings.append(
+        AuditFinding(
+            "conflict relation is symmetric",
+            is_symmetric(adt.conflict, ops),
+        )
+    )
+
+    derived_dep = invalidated_by(spec, ops, max_h1=max_h1, max_h2=max_h2)
+    declared_dep = adt.dependency.restrict(ops)
+    matches = derived_dep.pair_set == declared_dep.pair_set
+    report.findings.append(
+        AuditFinding(
+            "declared dependency matches derived invalidated-by",
+            matches,
+            "" if matches else _diff_detail(derived_dep, declared_dep, ops),
+        )
+    )
+
+    report.findings.append(
+        AuditFinding(
+            "declared dependency satisfies Definition 3",
+            is_dependency_relation(declared_dep, spec, ops),
+        )
+    )
+    report.findings.append(
+        AuditFinding(
+            "conflict relation satisfies Definition 3",
+            is_dependency_relation(adt.conflict, spec, ops),
+        )
+    )
+
+    for label, alternative in sorted(adt.alternative_dependencies.items()):
+        report.findings.append(
+            AuditFinding(
+                f"alternative dependency {label!r} satisfies Definition 3",
+                is_dependency_relation(alternative, spec, ops),
+            )
+        )
+
+    derived_mc = failure_to_commute(spec, ops, max_h=mc_depth)
+    declared_mc = adt.commutativity_conflict.restrict(ops)
+    mc_matches = derived_mc.pair_set == declared_mc.pair_set
+    report.findings.append(
+        AuditFinding(
+            "declared failure-to-commute matches derived",
+            mc_matches,
+            "" if mc_matches else _diff_detail(derived_mc, declared_mc, ops),
+        )
+    )
+    report.findings.append(
+        AuditFinding(
+            "failure-to-commute satisfies Definition 3 (Theorem 28)",
+            is_dependency_relation(derived_mc, spec, ops),
+        )
+    )
+    report.findings.append(
+        AuditFinding(
+            "failure-to-commute is symmetric",
+            is_symmetric(adt.commutativity_conflict, ops),
+        )
+    )
+
+    if check_minimal:
+        report.findings.append(
+            AuditFinding(
+                "declared dependency is minimal",
+                is_minimal_dependency_relation(declared_dep, spec, ops),
+            )
+        )
+    return report

@@ -1,0 +1,77 @@
+"""Comparing relations: concurrency orderings between protocols.
+
+Section 7.1's comparisons are set-inclusion statements about conflict
+relations over an operation universe: fewer conflicting pairs = more
+admissible interleavings.  :func:`compare_relations` classifies a pair of
+relations as equal / subset / superset / incomparable, and
+:func:`concurrency_score` summarises a relation as the fraction of
+operation pairs left concurrent — the statistic printed by the
+table-reproduction benchmarks alongside each figure.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import FrozenSet, Sequence, Tuple
+
+from ..core.conflict import Relation
+from ..core.operations import Operation
+
+__all__ = ["Ordering", "compare_relations", "concurrency_score", "ComparisonReport"]
+
+
+class Ordering(enum.Enum):
+    """How two relations compare as sets of pairs over a universe."""
+
+    EQUAL = "equal"
+    SUBSET = "strictly less restrictive"
+    SUPERSET = "strictly more restrictive"
+    INCOMPARABLE = "incomparable"
+
+
+@dataclass(frozen=True)
+class ComparisonReport:
+    """Outcome of comparing relation ``left`` against ``right``."""
+
+    ordering: Ordering
+    only_left: FrozenSet[Tuple[Operation, Operation]]
+    only_right: FrozenSet[Tuple[Operation, Operation]]
+
+    def __str__(self) -> str:
+        return self.ordering.value
+
+
+def compare_relations(
+    left: Relation, right: Relation, universe: Sequence[Operation]
+) -> ComparisonReport:
+    """Classify ``left`` vs ``right`` over a finite universe.
+
+    ``SUBSET`` means ``left``'s pairs are strictly contained in
+    ``right``'s — i.e. ``left`` permits strictly more concurrency.
+    """
+    left_pairs = left.pairs(universe)
+    right_pairs = right.pairs(universe)
+    only_left = frozenset(left_pairs - right_pairs)
+    only_right = frozenset(right_pairs - left_pairs)
+    if not only_left and not only_right:
+        ordering = Ordering.EQUAL
+    elif not only_left:
+        ordering = Ordering.SUBSET
+    elif not only_right:
+        ordering = Ordering.SUPERSET
+    else:
+        ordering = Ordering.INCOMPARABLE
+    return ComparisonReport(ordering, only_left, only_right)
+
+
+def concurrency_score(relation: Relation, universe: Sequence[Operation]) -> float:
+    """Fraction of ordered operation pairs the relation leaves concurrent.
+
+    1.0 means nothing ever conflicts; 0.0 means serial execution.
+    """
+    total = len(universe) ** 2
+    if total == 0:
+        return 1.0
+    conflicting = len(relation.pairs(universe))
+    return 1.0 - conflicting / total

@@ -1,0 +1,97 @@
+"""High-level derivation helpers tying ADTs to the core machinery.
+
+These wrappers power the figure-reproduction benchmarks: derive a table
+from the serial specification, verify it against the paper's predicate
+table, check dependency-relation-hood and minimality, and package the
+whole thing as a report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from ..adts.base import ADT
+from ..core.commutativity import failure_to_commute
+from ..core.conflict import EnumeratedRelation, Relation
+from ..core.dependency import (
+    check_dependency_relation,
+    is_dependency_relation,
+    is_minimal_dependency_relation,
+)
+from ..core.invalidated_by import invalidated_by
+from ..core.operations import Operation
+from .tables import render_schema_relation
+
+__all__ = ["FigureReport", "derive_figure", "derive_commutativity_figure"]
+
+
+@dataclass
+class FigureReport:
+    """Everything the table benchmarks assert and print about one figure."""
+
+    title: str
+    derived: EnumeratedRelation
+    expected: EnumeratedRelation
+    matches_paper: bool
+    is_dependency: bool
+    is_minimal: Optional[bool]
+    universe: Sequence[Operation]
+
+    def render(self) -> str:
+        """Paper-style schema table plus the verification verdicts."""
+        lines = [self.title, ""]
+        lines.append(render_schema_relation(self.derived, list(self.universe)))
+        lines.append("")
+        lines.append(f"matches paper table : {self.matches_paper}")
+        lines.append(f"dependency relation : {self.is_dependency}")
+        if self.is_minimal is not None:
+            lines.append(f"minimal             : {self.is_minimal}")
+        return "\n".join(lines)
+
+
+def derive_figure(
+    adt: ADT,
+    universe: Sequence[Operation],
+    title: str,
+    max_h1: int = 3,
+    max_h2: int = 2,
+    check_minimal: bool = False,
+) -> FigureReport:
+    """Derive invalidated-by for the ADT and compare with its paper table."""
+    derived = invalidated_by(adt.spec, universe, max_h1=max_h1, max_h2=max_h2)
+    expected = adt.dependency.restrict(universe)
+    report = FigureReport(
+        title=title,
+        derived=derived,
+        expected=expected,
+        matches_paper=derived.pair_set == expected.pair_set,
+        is_dependency=is_dependency_relation(derived, adt.spec, list(universe)),
+        is_minimal=(
+            is_minimal_dependency_relation(derived, adt.spec, list(universe))
+            if check_minimal
+            else None
+        ),
+        universe=universe,
+    )
+    return report
+
+
+def derive_commutativity_figure(
+    adt: ADT,
+    universe: Sequence[Operation],
+    title: str,
+    max_h: int = 3,
+) -> FigureReport:
+    """Derive failure-to-commute and compare with the ADT's paper table."""
+    derived = failure_to_commute(adt.spec, universe, max_h=max_h)
+    expected = adt.commutativity_conflict.restrict(universe)
+    return FigureReport(
+        title=title,
+        derived=derived,
+        expected=expected,
+        matches_paper=derived.pair_set == expected.pair_set,
+        is_dependency=is_dependency_relation(derived, adt.spec, list(universe)),
+        is_minimal=None,
+        universe=universe,
+    )

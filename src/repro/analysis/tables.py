@@ -1,0 +1,114 @@
+"""Rendering relations as the paper's figure-style tables.
+
+The paper presents dependency and conflict relations as square tables with
+an entry giving the condition under which the *row* operation depends on
+the *column* operation (Figures 4-1 .. 4-5, 7-1).  Given a finite
+operation universe, :func:`render_relation` reproduces that presentation,
+and :func:`render_schema_relation` collapses a parameterised universe to
+operation *schemas* (name + result class), summarising each cell as
+``true`` / blank / the set of related argument pairs — which is how the
+benchmark output mirrors the published figures.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Sequence
+
+from ..core.conflict import Relation
+from ..core.operations import Operation
+
+__all__ = ["render_relation", "render_schema_relation", "render_grid", "schema_of"]
+
+
+def render_grid(
+    headers: Sequence[str], rows: Sequence[Sequence[str]], corner: str = ""
+) -> str:
+    """Plain-text grid with padded columns (first column = row labels)."""
+    table: List[List[str]] = [[corner, *headers]]
+    for row in rows:
+        table.append([str(cell) for cell in row])
+    widths = [max(len(r[i]) for r in table) for i in range(len(table[0]))]
+    lines = []
+    for index, row in enumerate(table):
+        line = "  ".join(cell.ljust(width) for cell, width in zip(row, widths))
+        lines.append(line.rstrip())
+        if index == 0:
+            lines.append("-" * len(line.rstrip()))
+    return "\n".join(lines)
+
+
+def render_relation(relation: Relation, universe: Sequence[Operation]) -> str:
+    """Fully enumerated table: one row/column per concrete operation.
+
+    A cell shows ``X`` when the row operation depends on (or conflicts
+    with) the column operation.
+    """
+    headers = [str(p) for p in universe]
+    rows = []
+    for q in universe:
+        rows.append(
+            [str(q)] + ["X" if relation.related(q, p) else "" for p in universe]
+        )
+    return render_grid(headers, rows, corner=relation.name)
+
+
+def schema_of(operation: Operation) -> str:
+    """The operation's schema: name plus result *kind*.
+
+    Results that vary with arguments/state (values read, items dequeued)
+    collapse to the generic marker ``v``; symbolic results ("Ok",
+    "Overdraft", booleans) are kept, matching the granularity of the
+    paper's tables (e.g. ``Debit,Ok`` vs ``Debit,Overdraft``).
+    """
+    result = operation.result
+    if isinstance(result, str):
+        label = result
+    elif result is True or result is False:
+        label = str(result)
+    elif isinstance(result, tuple) and result and isinstance(result[0], str):
+        label = result[0]  # e.g. ("Found", v) -> "Found"
+    else:
+        label = "v"
+    return f"{operation.name},{label}"
+
+
+def render_schema_relation(
+    relation: Relation,
+    universe: Sequence[Operation],
+    schema: Callable[[Operation], str] = schema_of,
+) -> str:
+    """Collapse a parameterised universe to operation schemas.
+
+    Each cell summarises the relation between two schemas over the
+    universe: blank when no instance pair is related, ``true`` when every
+    instance pair is related, and the fraction ``k/n`` otherwise (the
+    value-dependent conditions like ``v != v'``).
+    """
+    schemas: List[str] = []
+    members: Dict[str, List[Operation]] = {}
+    for operation in universe:
+        key = schema(operation)
+        if key not in members:
+            schemas.append(key)
+            members[key] = []
+        members[key].append(operation)
+
+    rows = []
+    for row_schema in schemas:
+        cells = [row_schema]
+        for col_schema in schemas:
+            related = 0
+            total = 0
+            for q in members[row_schema]:
+                for p in members[col_schema]:
+                    total += 1
+                    if relation.related(q, p):
+                        related += 1
+            if related == 0:
+                cells.append("")
+            elif related == total:
+                cells.append("true")
+            else:
+                cells.append(f"{related}/{total}")
+        rows.append(cells)
+    return render_grid(schemas, rows, corner=relation.name)

@@ -1,0 +1,71 @@
+"""Rendering histories as per-transaction timelines.
+
+A debugging/teaching aid: lays a history out as swimlanes, one column per
+transaction, one row per event, so interleavings (and the timestamp order
+versus arrival order) can be read at a glance::
+
+    step | obj | P            | Q            | R
+    -----+-----+--------------+--------------+-------------
+       1 | X   | Enq(1)?      |              |
+       2 | X   | -> 'Ok'      |              |
+       ...
+       7 | X   | commit @2    |              |
+       8 | X   |              | commit @1    |
+
+Used by the examples and handy when an atomicity checker says "no" and
+you want to see why.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from ..core.events import AbortEvent, CommitEvent, InvocationEvent, ResponseEvent
+from ..core.history import History
+
+__all__ = ["render_timeline"]
+
+
+def _cell(event) -> str:
+    if isinstance(event, InvocationEvent):
+        return f"{event.invocation}?"
+    if isinstance(event, ResponseEvent):
+        return f"-> {event.result!r}"
+    if isinstance(event, CommitEvent):
+        return f"commit @{event.timestamp}"
+    if isinstance(event, AbortEvent):
+        return "abort"
+    return str(event)  # pragma: no cover - defensive
+
+
+def render_timeline(
+    history: History, transactions: Optional[Sequence[str]] = None
+) -> str:
+    """Render ``history`` as a swimlane table.
+
+    ``transactions`` fixes the column order (default: order of first
+    appearance).  Events of transactions not listed are dropped.
+    """
+    if transactions is None:
+        transactions = history.transactions()
+    columns = list(transactions)
+    wanted = set(columns)
+
+    rows: List[List[str]] = []
+    for step, event in enumerate(history, start=1):
+        if event.transaction not in wanted:
+            continue
+        cells = [""] * len(columns)
+        cells[columns.index(event.transaction)] = _cell(event)
+        rows.append([str(step), event.obj, *cells])
+
+    headers = ["step", "obj", *columns]
+    table = [headers] + rows
+    widths = [max(len(row[i]) for row in table) for i in range(len(headers))]
+    lines = []
+    for index, row in enumerate(table):
+        line = " | ".join(cell.ljust(width) for cell, width in zip(row, widths))
+        lines.append(line.rstrip())
+        if index == 0:
+            lines.append("-+-".join("-" * width for width in widths))
+    return "\n".join(lines)

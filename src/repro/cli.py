@@ -1,0 +1,283 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+
+``list``
+    Show registered ADTs and protocols.
+``derive <adt>``
+    Derive the invalidated-by and failure-to-commute tables for a type
+    from its serial specification and print them in the paper's style.
+``simulate <workload>``
+    Run a simulated workload under one or more protocols and print the
+    metrics table.
+
+Examples::
+
+    python -m repro list
+    python -m repro derive Account
+    python -m repro derive FIFOQueue --values 1 2 3
+    python -m repro simulate queue --protocol hybrid commutativity
+    python -m repro simulate account --duration 500 --seed 3
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from .adts import get_adt, registry
+from .analysis import (
+    audit_adt,
+    compare_relations,
+    concurrency_score,
+    derive_commutativity_figure,
+    derive_figure,
+    generate_report,
+)
+from .protocols import ALL_PROTOCOLS, OPTIMISTIC, get_protocol
+from .sim import (
+    AccountWorkload,
+    DirectoryWorkload,
+    FileWorkload,
+    QueueWorkload,
+    SemiQueueWorkload,
+    SetWorkload,
+    StackWorkload,
+    run_experiment,
+)
+
+__all__ = ["main"]
+
+#: Universe builders per type: positional args fed to ``adt.universe``.
+_DEFAULT_DOMAINS = {
+    "File": ((0, 1),),
+    "FIFOQueue": ((1, 2),),
+    "BoundedQueue": ((1, 2),),
+    "Stack": ((1, 2),),
+    "SemiQueue": ((1, 2),),
+    "Account": ((2, 3), (50,)),
+    "Counter": ((1, 2), (0, 1, 2)),
+    "Set": ((1, 2),),
+    "Directory": (("a",), (1, 2)),
+}
+
+#: Derivation depths per type: the extension types have larger universes,
+#: where depth 2 already separates right from wrong tables and keeps the
+#: audit fast; the paper types use depth 3 (Account's Fig 7-1 needs it).
+_AUDIT_DEPTHS = {
+    "Counter": (2, 2, 2),
+    "Set": (2, 2, 2),
+    "Directory": (2, 2, 2),
+}
+
+_WORKLOADS = {
+    "queue": lambda: QueueWorkload(),
+    "semiqueue": lambda: SemiQueueWorkload(),
+    "account": lambda: AccountWorkload(),
+    "file": lambda: FileWorkload(),
+    "set": lambda: SetWorkload(),
+    "directory": lambda: DirectoryWorkload(),
+    "stack": lambda: StackWorkload(),
+}
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    print("abstract data types:")
+    for name in registry():
+        print(f"  {name}")
+    print("\nprotocols:")
+    for protocol in ALL_PROTOCOLS + [OPTIMISTIC]:
+        print(f"  {protocol.name:14s} {protocol.description}")
+    print("\nworkloads:")
+    for name in sorted(_WORKLOADS):
+        print(f"  {name}")
+    return 0
+
+
+def _universe_for(adt, values: Optional[List[str]]):
+    if values:
+        parsed = [int(v) if v.lstrip("-").isdigit() else v for v in values]
+        return adt.universe(tuple(parsed))
+    domains = _DEFAULT_DOMAINS.get(adt.name, ((1, 2),))
+    return adt.universe(*domains)
+
+
+def _cmd_derive(args: argparse.Namespace) -> int:
+    try:
+        adt = get_adt(args.adt)
+    except KeyError as exc:
+        print(exc.args[0], file=sys.stderr)
+        return 2
+    universe = _universe_for(adt, args.values)
+    report = derive_figure(
+        adt, universe, f"{adt.name}: invalidated-by (dependency relation)",
+        max_h1=args.depth, max_h2=max(1, args.depth - 1),
+    )
+    print(report.render())
+    mc = derive_commutativity_figure(
+        adt, universe, f"{adt.name}: failure to commute", max_h=args.depth
+    )
+    print()
+    print(mc.render())
+    comparison = compare_relations(adt.conflict, mc.derived, universe)
+    print()
+    print(f"hybrid vs commutativity conflicts : {comparison}")
+    print(
+        "concurrency scores                : "
+        f"hybrid {concurrency_score(adt.conflict, universe):.3f}, "
+        f"commutativity {concurrency_score(adt.commutativity_conflict, universe):.3f}"
+    )
+    return 0
+
+
+def _cmd_audit(args: argparse.Namespace) -> int:
+    names = args.adt or registry()
+    all_passed = True
+    for name in names:
+        try:
+            adt = get_adt(name)
+        except KeyError as exc:
+            print(exc.args[0], file=sys.stderr)
+            return 2
+        universe = _universe_for(adt, None)
+        max_h1, max_h2, mc_depth = _AUDIT_DEPTHS.get(adt.name, (3, 2, 3))
+        report = audit_adt(
+            adt,
+            universe,
+            max_h1=max_h1,
+            max_h2=max_h2,
+            mc_depth=mc_depth,
+            check_minimal=args.minimal,
+        )
+        print(report.render())
+        print()
+        all_passed = all_passed and report.passed
+    return 0 if all_passed else 1
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    import pathlib
+
+    results = pathlib.Path(args.results) if args.results else None
+    text = generate_report(results_dir=results)
+    if args.output:
+        pathlib.Path(args.output).write_text(text + "\n")
+        print(f"report written to {args.output}")
+    else:
+        print(text)
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    factory = _WORKLOADS.get(args.workload)
+    if factory is None:
+        print(
+            f"unknown workload {args.workload!r}; "
+            f"available: {', '.join(sorted(_WORKLOADS))}",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        protocols = [get_protocol(name) for name in args.protocol]
+    except KeyError as exc:
+        print(exc.args[0], file=sys.stderr)
+        return 2
+
+    fields = [
+        "committed",
+        "aborted",
+        "conflicts",
+        "throughput",
+        "mean_latency",
+        "abort_rate",
+        "validation_failures",
+    ]
+    header = f"{'protocol':14s}" + "".join(f"{f:>20s}" for f in fields)
+    print(header)
+    print("-" * len(header))
+    for protocol in protocols:
+        metrics = run_experiment(
+            factory(), protocol, duration=args.duration, seed=args.seed
+        )
+        row = metrics.as_row()
+        print(
+            f"{protocol.name:14s}"
+            + "".join(f"{row[f]:>20}" for f in fields)
+        )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI's argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Hybrid concurrency control for abstract data types "
+        "(Herlihy & Weihl, 1988).",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    commands.add_parser("list", help="list ADTs, protocols and workloads")
+
+    derive = commands.add_parser(
+        "derive", help="derive dependency/commutativity tables for a type"
+    )
+    derive.add_argument("adt", help="type name, e.g. Account")
+    derive.add_argument(
+        "--values", nargs="+", help="value domain for the operation universe"
+    )
+    derive.add_argument(
+        "--depth", type=int, default=3, help="bounded-search depth (default 3)"
+    )
+
+    audit = commands.add_parser(
+        "audit",
+        help="re-derive and verify every declared table (all types by default)",
+    )
+    audit.add_argument("adt", nargs="*", help="type names (default: all)")
+    audit.add_argument(
+        "--minimal", action="store_true", help="also check minimality (slower)"
+    )
+
+    report = commands.add_parser(
+        "report", help="generate the full reproduction report (markdown)"
+    )
+    report.add_argument("--output", help="write to a file instead of stdout")
+    report.add_argument(
+        "--results",
+        help="benchmarks/results directory to splice in (optional)",
+    )
+
+    simulate = commands.add_parser(
+        "simulate", help="run a simulated workload under protocols"
+    )
+    simulate.add_argument(
+        "workload", help="a workload name from `python -m repro list`"
+    )
+    simulate.add_argument(
+        "--protocol",
+        nargs="+",
+        default=[p.name for p in ALL_PROTOCOLS],
+        help="protocols to compare (default: all locking protocols)",
+    )
+    simulate.add_argument("--duration", type=float, default=300.0)
+    simulate.add_argument("--seed", type=int, default=0)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    handler = {
+        "list": _cmd_list,
+        "derive": _cmd_derive,
+        "audit": _cmd_audit,
+        "report": _cmd_report,
+        "simulate": _cmd_simulate,
+    }[args.command]
+    return handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

@@ -1,0 +1,177 @@
+"""Atomicity, hybrid atomicity, online hybrid atomicity (paper, Section 3).
+
+These are the correctness notions the locking protocol is proved to
+satisfy:
+
+* a failure-free history is *serializable in order T* when the equivalent
+  serial history ``Serial(H, T)`` is acceptable at every object — i.e. each
+  object's projected operation sequence is in its serial specification;
+* ``H`` is *atomic* when ``permanent(H) = H | committed(H)`` is serializable
+  in some total order;
+* ``H`` is *hybrid atomic* when ``permanent(H)`` is serializable in the
+  commit-timestamp order ``TS(H)``;
+* ``H`` is *online hybrid atomic at X* when for every commit set ``C`` and
+  every total order ``T`` consistent with ``Known(H|X)``, ``H|C`` is
+  serializable in order ``T`` — the stronger, prefix-friendly property the
+  LOCK machine guarantees (Theorem 16).
+
+All checkers brute-force over permutations / commit sets where needed, so
+they are meant for verification of small histories in tests and property
+checks, not as production validators.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterator, Mapping, Sequence, Set, Tuple
+
+from .history import History
+from .specs import SerialSpec
+
+__all__ = [
+    "is_acceptable",
+    "is_serializable_in_order",
+    "is_serializable",
+    "is_atomic",
+    "is_hybrid_atomic",
+    "is_online_hybrid_atomic",
+    "is_online_hybrid_atomic_at",
+    "timestamps_respect_precedes",
+]
+
+#: Maps object names to their serial specifications.
+SpecMap = Mapping[str, SerialSpec]
+
+#: Guard against factorial blow-up in the brute-force enumerations.
+_MAX_BRUTE_FORCE = 8
+
+
+def is_acceptable(history: History, specs: SpecMap) -> bool:
+    """Is a serial failure-free history acceptable at every object?
+
+    Acceptable at ``X`` means ``OpSeq(H|X)`` belongs to ``X``'s serial
+    specification (Section 3.2).
+    """
+    if not history.is_serial():
+        raise ValueError("acceptability is defined for serial histories")
+    if not history.is_failure_free():
+        raise ValueError("acceptability is defined for failure-free histories")
+    for obj in history.objects():
+        spec = specs.get(obj)
+        if spec is None:
+            raise KeyError(f"no serial specification supplied for object {obj!r}")
+        if not spec.is_legal(history.restrict_objects(obj).op_seq()):
+            return False
+    return True
+
+
+def is_serializable_in_order(
+    history: History, order: Sequence[str], specs: SpecMap
+) -> bool:
+    """Is the failure-free history serializable in the given total order?"""
+    if not history.is_failure_free():
+        raise ValueError("serializability is defined for failure-free histories")
+    return is_acceptable(history.serial(order), specs)
+
+
+def is_serializable(history: History, specs: SpecMap) -> bool:
+    """Does *some* total order witness serializability of the history?"""
+    transactions = history.transactions()
+    if len(transactions) > _MAX_BRUTE_FORCE:
+        raise ValueError(
+            f"brute-force serializability limited to {_MAX_BRUTE_FORCE} transactions"
+        )
+    return any(
+        is_serializable_in_order(history, order, specs)
+        for order in itertools.permutations(transactions)
+    )
+
+
+def is_atomic(history: History, specs: SpecMap) -> bool:
+    """Is ``permanent(H)`` serializable (Section 3.2)?"""
+    return is_serializable(history.permanent(), specs)
+
+
+def is_hybrid_atomic(history: History, specs: SpecMap) -> bool:
+    """Is ``permanent(H)`` serializable in commit-timestamp order?
+
+    ``TS(H)`` totally orders the committed transactions because commit
+    timestamps are unique (well-formedness).
+    """
+    permanent = history.permanent()
+    order = history.committed_in_timestamp_order()
+    return is_serializable_in_order(permanent, order, specs)
+
+
+def _commit_sets(history: History) -> Iterator[Set[str]]:
+    """All commit sets for H: supersets of committed(H) avoiding aborted(H).
+
+    Only transactions with events in ``H`` matter — adding event-free
+    transactions to ``C`` never changes ``H|C``.
+    """
+    committed = history.committed()
+    aborted = history.aborted()
+    optional = [t for t in history.transactions() if t not in committed | aborted]
+    for r in range(len(optional) + 1):
+        for extra in itertools.combinations(optional, r):
+            yield committed | set(extra)
+
+
+def _orders_consistent_with(
+    transactions: Sequence[str], constraints: Set[Tuple[str, str]]
+) -> Iterator[Tuple[str, ...]]:
+    """All total orders on ``transactions`` consistent with ``constraints``."""
+    if len(transactions) > _MAX_BRUTE_FORCE:
+        raise ValueError(
+            f"brute-force order enumeration limited to {_MAX_BRUTE_FORCE} transactions"
+        )
+    relevant = {
+        (a, b)
+        for (a, b) in constraints
+        if a in transactions and b in transactions
+    }
+    for perm in itertools.permutations(transactions):
+        position = {t: i for i, t in enumerate(perm)}
+        if all(position[a] < position[b] for (a, b) in relevant):
+            yield perm
+
+
+def is_online_hybrid_atomic_at(history: History, obj: str, spec: SerialSpec) -> bool:
+    """Online hybrid atomicity at one object (Section 3.4).
+
+    For every commit set ``C`` for ``H|X`` and every total order ``T`` on
+    ``C`` consistent with ``Known(H|X)``, ``(H|X)|C`` must be serializable
+    in order ``T``.
+    """
+    local = history.restrict_objects(obj)
+    known = local.known()
+    for commit_set in _commit_sets(local):
+        restricted = local.restrict_transactions(commit_set)
+        members = [t for t in restricted.transactions()]
+        for order in _orders_consistent_with(members, known):
+            if not is_serializable_in_order(restricted, order, {obj: spec}):
+                return False
+    return True
+
+
+def is_online_hybrid_atomic(history: History, specs: SpecMap) -> bool:
+    """Online hybrid atomicity at every object appearing in the history."""
+    return all(
+        is_online_hybrid_atomic_at(history, obj, specs[obj])
+        for obj in history.objects()
+    )
+
+
+def timestamps_respect_precedes(history: History) -> bool:
+    """Check the timestamp-generation constraint of Section 3.3.
+
+    Requires ``precedes(H|X) ⊆ TS(H)`` restricted to committed transactions
+    for every object ``X``: if Q ran at X after seeing P committed there, Q's
+    timestamp must exceed P's.
+    """
+    stamps = history.timestamps()
+    for obj in history.objects():
+        for (p, q) in history.restrict_objects(obj).precedes():
+            if p in stamps and q in stamps and not stamps[p] < stamps[q]:
+                return False
+    return True

@@ -1,0 +1,114 @@
+"""Commutativity and failure-to-commute (paper, Section 7.1).
+
+Definition 25: two operation sequences are *equivalent* when no future
+computation can distinguish them.  Definition 26: operations ``p`` and ``q``
+*commute* when for every operation sequence ``h`` with ``h * p`` and
+``h * q`` both legal, ``h * p * q`` and ``h * q * p`` are legal and
+equivalent.  This is Weihl's notion, covering partial and non-deterministic
+operations.
+
+Theorem 28 shows "failure to commute" is a dependency relation — hence the
+hybrid protocol instantiated with a commutativity-derived conflict table is
+exactly the classic commutativity-based locking baseline, and the hybrid
+protocol with a *minimal* dependency relation permits at least as much (and
+often strictly more) concurrency.
+
+Checks here are bounded-exhaustive over a finite universe, like the rest of
+:mod:`repro.core`.  Sequence equivalence uses reachable-state-set equality,
+which is exact for the canonical-state specifications in :mod:`repro.adts`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Set, Tuple
+
+from .conflict import EnumeratedRelation
+from .operations import Operation, OperationSequence
+from .specs import SerialSpec, enumerate_legal_with_states
+
+__all__ = [
+    "commute",
+    "failure_to_commute",
+    "CommuteCounterexample",
+    "find_commute_counterexample",
+]
+
+
+@dataclass(frozen=True)
+class CommuteCounterexample:
+    """Witness that ``p`` and ``q`` fail to commute after some ``h``."""
+
+    p: Operation
+    q: Operation
+    h: OperationSequence
+    reason: str
+
+    def __str__(self) -> str:
+        rendered = " * ".join(str(x) for x in self.h) or "<empty>"
+        return f"{self.p} and {self.q} fail to commute after h = {rendered}: {self.reason}"
+
+
+def find_commute_counterexample(
+    spec: SerialSpec,
+    p: Operation,
+    q: Operation,
+    universe: Sequence[Operation],
+    max_h: int = 3,
+) -> Optional[CommuteCounterexample]:
+    """Bounded search for a Definition 26 violation.
+
+    Explores every legal ``h`` over ``universe`` up to ``max_h`` operations.
+    For each ``h`` where both ``h * p`` and ``h * q`` are legal, requires
+    ``h * p * q`` and ``h * q * p`` to be legal and to reach identical
+    state-sets (equivalence, exact for canonical-state specs).
+    """
+    for h, states in enumerate_legal_with_states(spec, universe, max_h):
+        after_p = spec.step(states, p)
+        after_q = spec.step(states, q)
+        if not after_p or not after_q:
+            continue
+        after_pq = spec.step(after_p, q)
+        after_qp = spec.step(after_q, p)
+        if not after_pq:
+            return CommuteCounterexample(p, q, h, "h*p*q is illegal")
+        if not after_qp:
+            return CommuteCounterexample(p, q, h, "h*q*p is illegal")
+        if after_pq != after_qp:
+            return CommuteCounterexample(
+                p, q, h, "h*p*q and h*q*p are not equivalent"
+            )
+    return None
+
+
+def commute(
+    spec: SerialSpec,
+    p: Operation,
+    q: Operation,
+    universe: Sequence[Operation],
+    max_h: int = 3,
+) -> bool:
+    """Bounded Definition 26 test: do ``p`` and ``q`` commute?"""
+    return find_commute_counterexample(spec, p, q, universe, max_h) is None
+
+
+def failure_to_commute(
+    spec: SerialSpec,
+    universe: Sequence[Operation],
+    max_h: int = 3,
+) -> EnumeratedRelation:
+    """Derive the (symmetric) failure-to-commute relation over a universe.
+
+    This is the conflict table a commutativity-based protocol (Weihl,
+    Korth, Bernstein et al.) must use; Figure 7-1 is this relation for the
+    Account type.  Commutation is symmetric in ``p`` and ``q``, so each
+    unordered pair is tested once.
+    """
+    pairs: Set[Tuple[Operation, Operation]] = set()
+    ordered = list(universe)
+    for i, p in enumerate(ordered):
+        for q in ordered[i:]:
+            if not commute(spec, p, q, universe, max_h):
+                pairs.add((p, q))
+                pairs.add((q, p))
+    return EnumeratedRelation(pairs, name=f"failure-to-commute({spec.name})")

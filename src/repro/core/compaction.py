@@ -1,0 +1,263 @@
+"""Compaction of intentions lists (paper, Section 6).
+
+The plain LOCK machine retains every committed transaction's intentions
+list forever, so its state grows without bound.  Section 6 introduces the
+bookkeeping that lets an object *forget* sufficiently old committed
+transactions, replacing their intentions with a single *version*:
+
+* ``clock`` — the latest observed commit timestamp (initially -∞);
+* ``bound(Q)`` — a lower bound on the commit timestamp an active
+  transaction ``Q`` could still choose; raised to the current clock value
+  whenever ``Q`` invokes an operation or receives a response (valid because
+  the timestamp-generation constraint forces ``precedes ⊆ TS``);
+* ``horizon`` — the smaller of the smallest bound of an active transaction
+  and the largest committed timestamp (Definition 20); -∞ when neither
+  exists;
+* ``common`` — the intentions of committed transactions with timestamps at
+  or below the horizon, in timestamp order (Definition 22); Lemma 23 /
+  Theorem 24 show it grows monotonically, so it may be collapsed into a
+  version.
+
+:class:`CompactingLockMachine` implements all of this on top of
+:class:`~repro.core.lock_machine.LockMachine`: the common prefix is kept
+only as the state-set it denotes (the "version"), and the intentions lists,
+commit timestamps, and bounds of forgotten transactions are discarded, as
+in the paper's Avalon/C++ Account implementation (``forget()``).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+from .conflict import Relation
+from .lock_machine import LockMachine
+from .operations import Operation, OperationSequence
+from .specs import SerialSpec, StateSet
+
+__all__ = ["CompactingLockMachine", "NEG_INFINITY"]
+
+
+class _NegInfinity:
+    """A value smaller than every timestamp (the paper's -∞ clock init)."""
+
+    __slots__ = ()
+
+    def __lt__(self, other: Any) -> bool:
+        return not isinstance(other, _NegInfinity)
+
+    def __le__(self, other: Any) -> bool:
+        return True
+
+    def __gt__(self, other: Any) -> bool:
+        return False
+
+    def __ge__(self, other: Any) -> bool:
+        return isinstance(other, _NegInfinity)
+
+    def __eq__(self, other: Any) -> bool:
+        return isinstance(other, _NegInfinity)
+
+    def __hash__(self) -> int:
+        return hash("_NegInfinity")
+
+    def __repr__(self) -> str:
+        return "-inf"
+
+
+#: Singleton -∞ timestamp used to initialise the clock and bounds.
+NEG_INFINITY = _NegInfinity()
+
+
+class CompactingLockMachine(LockMachine):
+    """LOCK machine with Section 6 horizon-based forgetting.
+
+    Behaviourally identical to :class:`LockMachine` — the auxiliary
+    components "have no effect on L(LOCK); they serve only for
+    bookkeeping" — but the retained state stays proportional to the live
+    data plus the intentions of unforgotten transactions.  The equivalence
+    is exercised by differential tests in
+    ``tests/core/test_compaction.py``.
+    """
+
+    def __init__(self, spec: SerialSpec, conflict: Relation, obj: str = "X"):
+        super().__init__(spec, conflict, obj)
+        #: ``s.clock``: latest observed commit timestamp.
+        self.clock: Any = NEG_INFINITY
+        #: ``s.bound``: per-transaction commit-timestamp lower bounds.
+        self._bounds: Dict[str, Any] = {}
+        #: The version: state-set denoted by the forgotten common prefix.
+        self._version: StateSet = spec.initial_states()
+        #: Number of operations folded into the version (for metrics).
+        self._forgotten_operations = 0
+        #: Transactions forgotten so far (for metrics/tests).
+        self._forgotten_transactions: List[str] = []
+        #: Read-only pins: snapshot timestamps that must stay addressable
+        #: (horizon is held at or below every pin), keyed by reader token.
+        self._pins: Dict[str, Any] = {}
+
+    # ------------------------------------------------------------------
+    # Observers
+    # ------------------------------------------------------------------
+
+    def bound(self, transaction: str) -> Optional[Any]:
+        """``s.bound(Q)``, or None when undefined."""
+        return self._bounds.get(transaction)
+
+    @property
+    def version_states(self) -> StateSet:
+        """The compacted version: state-set of the common prefix."""
+        return self._version
+
+    @property
+    def forgotten_operations(self) -> int:
+        """How many operations have been folded into the version."""
+        return self._forgotten_operations
+
+    @property
+    def forgotten_transactions(self) -> Tuple[str, ...]:
+        """Transactions whose intentions were folded into the version."""
+        return tuple(self._forgotten_transactions)
+
+    def retained_intentions(self) -> int:
+        """Total operations still held in intentions lists (a size metric;
+        the uncompacted machine's figure grows without bound)."""
+        return sum(len(ops) for ops in self._intentions.values())
+
+    def horizon(self) -> Any:
+        """Definition 20's horizon time.
+
+        The smaller of the smallest bound of an *active* transaction and
+        the largest commit timestamp of an unforgotten committed
+        transaction; -∞ when there are no active or committed transactions.
+        """
+        candidates: List[Any] = []
+        active_bounds = [
+            b
+            for t, b in self._bounds.items()
+            if t not in self._committed and t not in self._aborted
+        ]
+        if active_bounds:
+            candidates.append(min(active_bounds))
+        candidates.extend(self._pins.values())
+        if self._committed:
+            candidates.append(max(self._committed.values()))
+        if not candidates:
+            return NEG_INFINITY
+        return min(candidates)
+
+    # ------------------------------------------------------------------
+    # Views on top of the version
+    # ------------------------------------------------------------------
+
+    def committed_state(self) -> OperationSequence:
+        """Retained committed intentions (timestamp order), *excluding* the
+        operations already folded into the version."""
+        return super().committed_state()
+
+    def view_states(self, transaction: str) -> StateSet:
+        """View as a state-set: version, then retained committed intentions
+        in timestamp order, then the transaction's own intentions."""
+        return self.spec.run_from(self._version, self.view(transaction))
+
+    # ------------------------------------------------------------------
+    # Multiversion read-only support (Section 7.1's generalisation)
+    # ------------------------------------------------------------------
+
+    def pin(self, token: str, timestamp: Any) -> None:
+        """Hold the horizon at or below ``timestamp``.
+
+        A read-only transaction with a start-assigned timestamp pins every
+        object it might read so the committed intentions it must observe
+        (those with commit timestamps at or below its own) stay separable
+        from later ones.  Pinning below the current horizon is rejected —
+        that snapshot is already folded away.
+        """
+        if timestamp < self.horizon():
+            raise ValueError(
+                f"cannot pin {timestamp}: horizon already at {self.horizon()}"
+            )
+        self._pins[token] = timestamp
+
+    def unpin(self, token: str) -> None:
+        """Release a read-only pin and let the horizon advance."""
+        self._pins.pop(token, None)
+        self.forget()
+
+    def read_view_states(self, timestamp: Any) -> StateSet:
+        """The committed state as of ``timestamp``: the version plus every
+        retained committed intentions list with commit timestamp at or
+        below ``timestamp``, in timestamp order.  Sees no active
+        transaction's intentions and takes no locks."""
+        visible = [
+            t
+            for t in self.committed_order()
+            if self._committed[t] <= timestamp
+        ]
+        states = self._version
+        for transaction in visible:
+            states = self.spec.run_from(
+                states, self._intentions.get(transaction, ())
+            )
+        return states
+
+    # ------------------------------------------------------------------
+    # Section 6 postconditions
+    # ------------------------------------------------------------------
+
+    def _on_event_observed(self, transaction: str) -> None:
+        # <i,X,Q> / <r,X,Q>: s.bound = s'.bound[Q -> s.clock]
+        if transaction not in self._committed and transaction not in self._aborted:
+            self._bounds[transaction] = self.clock
+
+    def _on_commit_observed(self, transaction: str, timestamp: Any) -> None:
+        # <commit(t),X,Q>: s.clock = max(s'.clock, t); s.bound[Q -> t]
+        if self.clock < timestamp:
+            self.clock = timestamp
+        self._bounds[transaction] = timestamp
+        self.forget()
+
+    def _on_abort_observed(self, transaction: str) -> None:
+        # <abort,X,Q>: the bound and intentions are discarded (appendix).
+        self._bounds.pop(transaction, None)
+        self._intentions.pop(transaction, None)
+        self.forget()
+
+    # ------------------------------------------------------------------
+    # Forgetting
+    # ------------------------------------------------------------------
+
+    def forget(self) -> List[str]:
+        """Fold every sufficiently old committed transaction into the
+        version (the appendix's ``forget()``).
+
+        A committed transaction ``Q`` may be forgotten once
+        ``s.committed(Q) <= s.horizon`` — no active transaction can still
+        commit with an earlier timestamp (Lemma 19), so ``Q``'s intentions
+        are a prefix of every future view.  Intentions are applied in
+        commit-timestamp order; the intentions list, timestamp, and bound
+        of each forgotten transaction are discarded.  Returns the list of
+        transactions forgotten by this call.
+        """
+        forgotten: List[str] = []
+        while True:
+            horizon = self.horizon()
+            ready = sorted(
+                (t for t in self._committed if self._committed[t] <= horizon),
+                key=lambda t: self._committed[t],
+            )
+            if not ready:
+                break
+            for transaction in ready:
+                intentions = self._intentions.pop(transaction, ())
+                self._version = self.spec.run_from(self._version, intentions)
+                if not self._version:
+                    raise AssertionError(
+                        "compaction applied an illegal committed intentions list;"
+                        " this indicates a protocol bug"
+                    )
+                self._forgotten_operations += len(intentions)
+                del self._committed[transaction]
+                self._bounds.pop(transaction, None)
+                forgotten.append(transaction)
+                self._forgotten_transactions.append(transaction)
+        return forgotten

@@ -1,0 +1,226 @@
+"""Binary relations on operations: dependency tables and lock conflicts.
+
+The paper's lock conflict relations are binary relations on operations whose
+membership may depend on operation names, arguments *and results* (e.g. a
+``Deq`` returning ``v`` depends on an ``Enq`` of ``v' != v``).  This module
+provides a small algebra of such relations:
+
+* :class:`PredicateRelation` — membership given by a Python predicate;
+  this is how the paper's parametric tables (Figures 4-1 .. 4-5, 7-1) are
+  transcribed;
+* :class:`EnumeratedRelation` — an explicit finite set of pairs; this is
+  what the bounded derivations in :mod:`repro.core.invalidated_by` and
+  :mod:`repro.core.commutativity` produce;
+* combinators: union, difference, symmetric closure, restriction to a
+  finite universe, and comparison helpers.
+
+Conventions: ``relation.related(q, p)`` reads "``q`` depends on ``p``"
+(row ``q``, column ``p`` in the paper's figures).  Lock *conflict* relations
+must be symmetric (Section 5); they are typically obtained as the symmetric
+closure of a dependency relation.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, FrozenSet, Iterable, Sequence, Set, Tuple
+
+from .operations import Operation
+
+__all__ = [
+    "Relation",
+    "PredicateRelation",
+    "EnumeratedRelation",
+    "symmetric_closure",
+    "union",
+    "difference",
+    "restrict",
+    "is_symmetric",
+    "EMPTY_RELATION",
+    "TOTAL_RELATION",
+]
+
+Pair = Tuple[Operation, Operation]
+
+
+class Relation:
+    """A binary relation on operations.
+
+    Subclasses implement :meth:`related`.  The operators ``|`` (union),
+    ``-`` (difference) and the helpers below build derived relations.
+    """
+
+    #: Optional human-readable name, used by the table renderers.
+    name: str = "relation"
+
+    def related(self, q: Operation, p: Operation) -> bool:
+        """True iff ``(q, p)`` is in the relation ("q depends on p")."""
+        raise NotImplementedError
+
+    def __contains__(self, pair: Pair) -> bool:
+        q, p = pair
+        return self.related(q, p)
+
+    def __or__(self, other: "Relation") -> "Relation":
+        return union(self, other)
+
+    def __sub__(self, other: "Relation") -> "Relation":
+        return difference(self, other)
+
+    def pairs(self, universe: Sequence[Operation]) -> FrozenSet[Pair]:
+        """All related pairs drawn from a finite operation universe."""
+        return frozenset(
+            (q, p) for q in universe for p in universe if self.related(q, p)
+        )
+
+    def restrict(self, universe: Sequence[Operation]) -> "EnumeratedRelation":
+        """The relation restricted to a finite universe, enumerated."""
+        return EnumeratedRelation(self.pairs(universe), name=self.name)
+
+
+class PredicateRelation(Relation):
+    """Relation whose membership is computed by a predicate.
+
+    The predicate receives ``(q, p)`` and returns a bool.  Example, the
+    File dependency relation of Figure 4-1 ("Read depends on Write when the
+    values differ")::
+
+        PredicateRelation(
+            lambda q, p: q.name == "Read" and p.name == "Write"
+                         and q.result != p.args[0],
+            name="file-dependency",
+        )
+    """
+
+    def __init__(self, predicate: Callable[[Operation, Operation], bool], name: str = "relation"):
+        self._predicate = predicate
+        self.name = name
+
+    def related(self, q: Operation, p: Operation) -> bool:
+        return bool(self._predicate(q, p))
+
+
+class EnumeratedRelation(Relation):
+    """Relation given by an explicit, finite set of pairs."""
+
+    def __init__(self, pairs: Iterable[Pair] = (), name: str = "relation"):
+        self._pairs: FrozenSet[Pair] = frozenset(pairs)
+        self.name = name
+
+    def related(self, q: Operation, p: Operation) -> bool:
+        return (q, p) in self._pairs
+
+    @property
+    def pair_set(self) -> FrozenSet[Pair]:
+        """The underlying set of pairs."""
+        return self._pairs
+
+    def __len__(self) -> int:
+        return len(self._pairs)
+
+    def __iter__(self):
+        return iter(self._pairs)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, EnumeratedRelation):
+            return self._pairs == other._pairs
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(self._pairs)
+
+    def without(self, pair: Pair) -> "EnumeratedRelation":
+        """A copy with one pair removed (used by minimality search)."""
+        return EnumeratedRelation(self._pairs - {pair}, name=self.name)
+
+    def __repr__(self) -> str:
+        body = ", ".join(f"({q}, {p})" for q, p in sorted(self._pairs, key=str))
+        return f"EnumeratedRelation({{{body}}})"
+
+
+class _Union(Relation):
+    def __init__(self, parts: Sequence[Relation], name: str):
+        self._parts = tuple(parts)
+        self.name = name
+
+    def related(self, q: Operation, p: Operation) -> bool:
+        return any(part.related(q, p) for part in self._parts)
+
+
+class _Difference(Relation):
+    def __init__(self, left: Relation, right: Relation, name: str):
+        self._left = left
+        self._right = right
+        self.name = name
+
+    def related(self, q: Operation, p: Operation) -> bool:
+        return self._left.related(q, p) and not self._right.related(q, p)
+
+
+class _Symmetric(Relation):
+    def __init__(self, base: Relation, name: str):
+        self._base = base
+        self.name = name
+
+    def related(self, q: Operation, p: Operation) -> bool:
+        return self._base.related(q, p) or self._base.related(p, q)
+
+
+def union(*relations: Relation, name: str = "union") -> Relation:
+    """The union of several relations."""
+    enumerated = [r for r in relations if isinstance(r, EnumeratedRelation)]
+    if len(enumerated) == len(relations):
+        pairs: Set[Pair] = set()
+        for r in enumerated:
+            pairs |= r.pair_set
+        return EnumeratedRelation(pairs, name=name)
+    return _Union(relations, name)
+
+
+def difference(left: Relation, right: Relation, name: str = "difference") -> Relation:
+    """Pairs in ``left`` but not in ``right``."""
+    if isinstance(left, EnumeratedRelation) and isinstance(right, EnumeratedRelation):
+        return EnumeratedRelation(left.pair_set - right.pair_set, name=name)
+    return _Difference(left, right, name)
+
+
+def symmetric_closure(relation: Relation, name: str = "") -> Relation:
+    """The smallest symmetric relation containing ``relation``.
+
+    Lock conflict relations are "typically constructed by taking the
+    symmetric closure of a dependency relation" (Section 4.3).
+    """
+    label = name or f"sym({relation.name})"
+    if isinstance(relation, EnumeratedRelation):
+        pairs = set(relation.pair_set)
+        pairs |= {(p, q) for q, p in relation.pair_set}
+        return EnumeratedRelation(pairs, name=label)
+    return _Symmetric(relation, label)
+
+
+def restrict(relation: Relation, universe: Sequence[Operation]) -> EnumeratedRelation:
+    """Enumerate ``relation`` over a finite universe (module-level alias)."""
+    return relation.restrict(universe)
+
+
+def is_symmetric(relation: Relation, universe: Sequence[Operation]) -> bool:
+    """Check symmetry of ``relation`` over a finite universe."""
+    return all(
+        relation.related(p, q) == relation.related(q, p)
+        for q in universe
+        for p in universe
+    )
+
+
+#: The empty relation — no pairs related (every operation freely concurrent).
+EMPTY_RELATION = EnumeratedRelation((), name="empty")
+
+
+class _Total(Relation):
+    name = "total"
+
+    def related(self, q: Operation, p: Operation) -> bool:
+        return True
+
+
+#: The total relation — everything conflicts (serial execution).
+TOTAL_RELATION = _Total()

@@ -1,0 +1,305 @@
+"""Dependency relations (paper, Section 4.2).
+
+Definition 3: a binary relation ``R`` on operations is a *dependency
+relation* for a serial specification when, for all operation sequences
+``h``, ``k`` and all operations ``p``::
+
+    h * k legal  and  h * p legal  and  (q, p) not in R for every q in k
+        ==>  h * p * k legal.
+
+This module implements:
+
+* :func:`check_dependency_relation` / :func:`is_dependency_relation` — a
+  bounded exhaustive verifier for Definition 3 over a finite operation
+  universe (Definition 3 quantifies over infinitely many sequences; the
+  verifier explores every legal ``h`` and ``k`` up to configurable length
+  bounds, which suffices to *refute* a candidate and gives strong evidence
+  for acceptance — the ADT modules additionally carry proofs-by-derivation
+  via ``invalidated_by``);
+* :func:`is_r_closed` and :func:`is_view` — Definitions 5 and 6;
+* :func:`find_minimal_dependency_relations` — search for minimal dependency
+  sub-relations of a given relation (dependency relations are upward
+  closed, so minimality reduces to single-pair removals);
+* :func:`check_lemma4` — the reordering property of Lemma 4, used in tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, List, Optional, Sequence, Set
+
+from .conflict import EnumeratedRelation, Relation
+from .operations import Operation, OperationSequence
+from .specs import SerialSpec, StateSet, enumerate_legal_with_states
+
+__all__ = [
+    "DependencyViolation",
+    "check_dependency_relation",
+    "is_dependency_relation",
+    "is_r_closed",
+    "is_view",
+    "find_minimal_dependency_relations",
+    "check_lemma4",
+]
+
+
+@dataclass(frozen=True)
+class DependencyViolation:
+    """A concrete counterexample to Definition 3.
+
+    ``h * k`` and ``h * p`` are legal, no operation of ``k`` is related to
+    ``p`` by the candidate relation, yet ``h * p * k`` is illegal.
+    """
+
+    h: OperationSequence
+    p: Operation
+    k: OperationSequence
+
+    def __str__(self) -> str:
+        render = lambda seq: " * ".join(str(q) for q in seq) or "<empty>"
+        return (
+            f"h = {render(self.h)}; p = {self.p}; k = {render(self.k)}: "
+            "h*k and h*p legal, k independent of p, but h*p*k illegal"
+        )
+
+
+def check_dependency_relation(
+    relation: Relation,
+    spec: SerialSpec,
+    universe: Sequence[Operation],
+    max_h: int = 3,
+    max_k: int = 3,
+) -> Optional[DependencyViolation]:
+    """Bounded exhaustive check of Definition 3.
+
+    Explores every legal ``h`` over ``universe`` with ``len(h) <= max_h``;
+    for each ``p`` in the universe with ``h * p`` legal, extends ``k`` one
+    operation at a time (each new operation must keep ``h * k`` legal and be
+    unrelated to ``p``), tracking in lock-step the state-sets of ``h * k``
+    and ``h * p * k``.  The moment ``h * p * k`` dies while ``h * k``
+    survives, a violation is returned.  Returns ``None`` when no violation
+    exists within the bounds.
+    """
+    for h, h_states in enumerate_legal_with_states(spec, universe, max_h):
+        for p in universe:
+            after_p = spec.step(h_states, p)
+            if not after_p:
+                continue
+            violation = _grow_k(
+                relation, spec, universe, h, p, h_states, after_p, (), max_k
+            )
+            if violation is not None:
+                return violation
+    return None
+
+
+def _grow_k(
+    relation: Relation,
+    spec: SerialSpec,
+    universe: Sequence[Operation],
+    h: OperationSequence,
+    p: Operation,
+    without_p: StateSet,
+    with_p: StateSet,
+    k: OperationSequence,
+    budget: int,
+) -> Optional[DependencyViolation]:
+    """Depth-first extension of ``k``; see :func:`check_dependency_relation`.
+
+    ``without_p`` tracks states after ``h * k``; ``with_p`` after
+    ``h * p * k``.  Both branches start legal; ``without_p`` stays legal by
+    construction, so the branch dies only through ``with_p``.
+    """
+    if budget == 0:
+        return None
+    for q in universe:
+        if relation.related(q, p):
+            continue
+        nxt_without = spec.step(without_p, q)
+        if not nxt_without:
+            continue  # h * k * q not legal: Definition 3 places no demand
+        nxt_with = spec.step(with_p, q) if with_p else with_p
+        new_k = k + (q,)
+        if not nxt_with:
+            return DependencyViolation(h, p, new_k)
+        violation = _grow_k(
+            relation, spec, universe, h, p, nxt_without, nxt_with, new_k, budget - 1
+        )
+        if violation is not None:
+            return violation
+    return None
+
+
+def is_dependency_relation(
+    relation: Relation,
+    spec: SerialSpec,
+    universe: Sequence[Operation],
+    max_h: int = 3,
+    max_k: int = 3,
+) -> bool:
+    """True when no Definition 3 violation exists within the bounds."""
+    return (
+        check_dependency_relation(relation, spec, universe, max_h, max_k) is None
+    )
+
+
+# ----------------------------------------------------------------------
+# R-closed subsequences and views (Definitions 5-6)
+# ----------------------------------------------------------------------
+
+
+def _subsequence_indices(
+    g: Sequence[Operation], h: Sequence[Operation]
+) -> Optional[List[int]]:
+    """Indices embedding ``g`` into ``h`` (greedy), or None if not a subsequence."""
+    indices: List[int] = []
+    start = 0
+    for operation in g:
+        for i in range(start, len(h)):
+            if h[i] == operation:
+                indices.append(i)
+                start = i + 1
+                break
+        else:
+            return None
+    return indices
+
+
+def is_r_closed(
+    g: Sequence[Operation], h: Sequence[Operation], relation: Relation
+) -> bool:
+    """Definition 5: ``g`` is an R-closed subsequence of ``h``.
+
+    Whenever ``g`` contains an operation ``q`` of ``h``, it also contains
+    every earlier operation ``p`` of ``h`` with ``(q, p)`` in R.
+    """
+    embedding = _subsequence_indices(g, h)
+    if embedding is None:
+        return False
+    chosen = set(embedding)
+    for pos, q_index in enumerate(embedding):
+        q = h[q_index]
+        for earlier in range(q_index):
+            if earlier in chosen:
+                continue
+            if relation.related(q, h[earlier]):
+                return False
+    return True
+
+
+def is_view(
+    g: Sequence[Operation],
+    h: Sequence[Operation],
+    q: Operation,
+    relation: Relation,
+) -> bool:
+    """Definition 6: ``g`` is an R-view of ``h`` for operation ``q``.
+
+    ``g`` must be R-closed in ``h`` and include every ``p`` in ``h`` with
+    ``(q, p)`` in R.
+    """
+    if not is_r_closed(g, h, relation):
+        return False
+    needed = [p for p in h if relation.related(q, p)]
+    remaining = list(g)
+    for p in needed:
+        if p in remaining:
+            remaining.remove(p)
+        else:
+            return False
+    return True
+
+
+# ----------------------------------------------------------------------
+# Minimality
+# ----------------------------------------------------------------------
+
+
+def find_minimal_dependency_relations(
+    relation: EnumeratedRelation,
+    spec: SerialSpec,
+    universe: Sequence[Operation],
+    max_h: int = 3,
+    max_k: int = 3,
+) -> List[EnumeratedRelation]:
+    """All minimal dependency relations contained in ``relation``.
+
+    Dependency relations are upward closed (adding pairs only weakens the
+    premise of Definition 3), so the set of dependency sub-relations of
+    ``relation`` forms an upward-closed family and its minimal elements can
+    be found by a standard shrink-and-branch search.  The paper observes
+    that an object may have several distinct minimal dependency relations
+    (the FIFO queue has two, Figures 4-2 and 4-3).
+
+    The input must itself be a (bounded-verified) dependency relation.
+    Complexity is exponential in the relation size; intended for the small
+    enumerated universes used in the benchmarks.
+    """
+    if not is_dependency_relation(relation, spec, universe, max_h, max_k):
+        raise ValueError("input relation is not a dependency relation")
+
+    minimal: Set[FrozenSet] = set()
+    results: List[EnumeratedRelation] = []
+    stack: List[EnumeratedRelation] = [relation]
+    seen: Set[FrozenSet] = set()
+
+    while stack:
+        candidate = stack.pop()
+        if candidate.pair_set in seen:
+            continue
+        seen.add(candidate.pair_set)
+        shrinkable = []
+        for pair in sorted(candidate.pair_set, key=str):
+            smaller = candidate.without(pair)
+            if is_dependency_relation(smaller, spec, universe, max_h, max_k):
+                shrinkable.append(smaller)
+        if shrinkable:
+            stack.extend(shrinkable)
+        elif candidate.pair_set not in minimal:
+            minimal.add(candidate.pair_set)
+            results.append(candidate)
+    return results
+
+
+def is_minimal_dependency_relation(
+    relation: EnumeratedRelation,
+    spec: SerialSpec,
+    universe: Sequence[Operation],
+    max_h: int = 3,
+    max_k: int = 3,
+) -> bool:
+    """True when ``relation`` is a dependency relation and removing any
+    single pair breaks Definition 3 (sufficient by upward closure)."""
+    if not is_dependency_relation(relation, spec, universe, max_h, max_k):
+        return False
+    return all(
+        not is_dependency_relation(
+            relation.without(pair), spec, universe, max_h, max_k
+        )
+        for pair in relation.pair_set
+    )
+
+
+# ----------------------------------------------------------------------
+# Lemma 4 (used by property tests)
+# ----------------------------------------------------------------------
+
+
+def check_lemma4(
+    relation: Relation,
+    spec: SerialSpec,
+    h: OperationSequence,
+    k1: OperationSequence,
+    k2: OperationSequence,
+) -> bool:
+    """Check the conclusion of Lemma 4 for concrete sequences.
+
+    If ``h * k1`` and ``h * k2`` are legal and no operation in ``k1``
+    depends on an operation in ``k2``, then ``h * k2 * k1`` must be legal.
+    Returns True when the lemma's guarantee holds (or its premises fail).
+    """
+    if not spec.is_legal(h + k1) or not spec.is_legal(h + k2):
+        return True
+    if any(relation.related(q1, q2) for q1 in k1 for q2 in k2):
+        return True
+    return spec.is_legal(h + k2 + k1)

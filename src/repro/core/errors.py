@@ -1,0 +1,53 @@
+"""Exception hierarchy shared across the library."""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ProtocolError",
+    "LockConflict",
+    "WouldBlock",
+    "IllegalOperation",
+    "TransactionAborted",
+]
+
+
+class ReproError(Exception):
+    """Base class for every library-specific error."""
+
+
+class ProtocolError(ReproError):
+    """A precondition of the locking protocol was violated by the caller
+    (e.g. responding to a transaction with no pending invocation)."""
+
+
+class LockConflict(ReproError):
+    """Another active transaction holds a conflicting lock.
+
+    The paper's protocol *refuses* the lock request; the invocation's
+    tentative result is discarded and the invocation is retried later
+    (possibly returning a different result).
+    """
+
+    def __init__(self, message: str = "", holder: str = "", operation=None):
+        super().__init__(message or "lock refused: conflicting lock held")
+        #: Transaction currently holding the conflicting lock, if known.
+        self.holder = holder
+        #: Conflicting operation already executed, if known.
+        self.operation = operation
+
+
+class WouldBlock(ReproError):
+    """A partial operation has no legal outcome in the current view.
+
+    Models the paper's blocking partial operations (``Deq`` on an empty
+    queue); a live system would wait and retry.
+    """
+
+
+class IllegalOperation(ReproError):
+    """The requested result is not legal in the transaction's view."""
+
+
+class TransactionAborted(ReproError):
+    """The transaction was aborted and cannot take further steps."""

@@ -1,0 +1,88 @@
+"""Events at the transaction/object interface (paper, Section 2).
+
+Four kinds of events occur at the interface between transactions and
+objects:
+
+* invocation events ``<inv, X, P>``,
+* response events ``<res, X, P>``,
+* commit events ``<commit(t), X, P>`` carrying a commit timestamp, and
+* abort events ``<abort, X, P>``.
+
+Commit and abort events are collectively *completion* events.  Every event
+involves exactly one object ``X`` and one transaction ``P``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Union
+
+from .operations import Invocation
+
+__all__ = [
+    "InvocationEvent",
+    "ResponseEvent",
+    "CommitEvent",
+    "AbortEvent",
+    "Event",
+    "is_completion",
+]
+
+
+@dataclass(frozen=True)
+class InvocationEvent:
+    """``<inv, X, P>``: transaction ``P`` invokes an operation of ``X``."""
+
+    transaction: str
+    obj: str
+    invocation: Invocation
+
+    def __str__(self) -> str:
+        return f"<{self.invocation}, {self.obj}, {self.transaction}>"
+
+
+@dataclass(frozen=True)
+class ResponseEvent:
+    """``<res, X, P>``: object ``X`` responds to ``P``'s pending invocation."""
+
+    transaction: str
+    obj: str
+    result: Any
+
+    def __str__(self) -> str:
+        return f"<{self.result!r}, {self.obj}, {self.transaction}>"
+
+
+@dataclass(frozen=True)
+class CommitEvent:
+    """``<commit(t), X, P>``: ``X`` learns ``P`` committed with timestamp t.
+
+    Timestamps are drawn from a countable totally ordered set; any Python
+    values supporting total ordering (ints, floats, tuples) may be used.
+    """
+
+    transaction: str
+    obj: str
+    timestamp: Any
+
+    def __str__(self) -> str:
+        return f"<commit({self.timestamp}), {self.obj}, {self.transaction}>"
+
+
+@dataclass(frozen=True)
+class AbortEvent:
+    """``<abort, X, P>``: object ``X`` learns that ``P`` aborted."""
+
+    transaction: str
+    obj: str
+
+    def __str__(self) -> str:
+        return f"<abort, {self.obj}, {self.transaction}>"
+
+
+Event = Union[InvocationEvent, ResponseEvent, CommitEvent, AbortEvent]
+
+
+def is_completion(event: Event) -> bool:
+    """True for commit and abort events (the paper's completion events)."""
+    return isinstance(event, (CommitEvent, AbortEvent))

@@ -1,0 +1,135 @@
+"""The invalidated-by relation (paper, Definitions 8-9, Theorem 10).
+
+Definition 8: operation ``p`` *invalidates* operation ``q`` when there exist
+operation sequences ``h1`` and ``h2`` such that ``h1 * p * h2`` and
+``h1 * h2 * q`` are legal but ``h1 * p * h2 * q`` is not.
+
+Definition 9: *invalidated-by* contains all pairs ``(q, p)`` such that ``p``
+invalidates ``q``.  Theorem 10 shows invalidated-by is always a dependency
+relation; it is the paper's systematic recipe for deriving lock-conflict
+constraints directly from a data type's serial specification, and it yields
+exactly the tables of Figures 4-1, 4-2, 4-4 and 4-5.
+
+The derivation here is a bounded exhaustive search over a finite operation
+universe: every legal ``h1`` up to ``max_h1`` operations, and every ``h2``
+up to ``max_h2`` operations grown in lock-step along the two branches
+(with and without ``p``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Set, Tuple
+
+from .conflict import EnumeratedRelation
+from .operations import Operation, OperationSequence
+from .specs import SerialSpec, StateSet, enumerate_legal_with_states
+
+__all__ = ["invalidates", "invalidated_by", "InvalidationWitness", "find_invalidation_witness"]
+
+
+@dataclass(frozen=True)
+class InvalidationWitness:
+    """A Definition 8 witness that ``p`` invalidates ``q``."""
+
+    p: Operation
+    q: Operation
+    h1: OperationSequence
+    h2: OperationSequence
+
+    def __str__(self) -> str:
+        render = lambda seq: " * ".join(str(x) for x in seq) or "<empty>"
+        return (
+            f"{self.p} invalidates {self.q}: with h1 = {render(self.h1)}, "
+            f"h2 = {render(self.h2)}, h1*p*h2 and h1*h2*q are legal but "
+            "h1*p*h2*q is not"
+        )
+
+
+def find_invalidation_witness(
+    spec: SerialSpec,
+    p: Operation,
+    q: Operation,
+    universe: Sequence[Operation],
+    max_h1: int = 3,
+    max_h2: int = 2,
+) -> Optional[InvalidationWitness]:
+    """Search for an ``(h1, h2)`` witness that ``p`` invalidates ``q``.
+
+    For each legal ``h1`` with ``h1 * p`` legal, grows ``h2`` while both
+    ``h1 * h2`` and ``h1 * p * h2`` remain legal (both are required: legality
+    of ``h1 * h2 * q`` forces its prefix ``h1 * h2`` legal too), then tests
+    whether ``q`` is legal on the p-free branch but illegal on the p-branch.
+    """
+
+    def grow(
+        h1: OperationSequence,
+        h2: OperationSequence,
+        without_p: StateSet,
+        with_p: StateSet,
+        budget: int,
+    ) -> Optional[InvalidationWitness]:
+        q_without = spec.step(without_p, q)
+        if q_without:  # h1 * h2 * q legal
+            q_with = spec.step(with_p, q)
+            if not q_with:  # h1 * p * h2 * q illegal
+                return InvalidationWitness(p, q, h1, h2)
+        if budget == 0:
+            return None
+        for nxt in universe:
+            n_without = spec.step(without_p, nxt)
+            if not n_without:
+                continue
+            n_with = spec.step(with_p, nxt)
+            if not n_with:
+                continue
+            witness = grow(h1, h2 + (nxt,), n_without, n_with, budget - 1)
+            if witness is not None:
+                return witness
+        return None
+
+    for h1, states in enumerate_legal_with_states(spec, universe, max_h1):
+        after_p = spec.step(states, p)
+        if not after_p:
+            continue
+        witness = grow(h1, (), states, after_p, max_h2)
+        if witness is not None:
+            return witness
+    return None
+
+
+def invalidates(
+    spec: SerialSpec,
+    p: Operation,
+    q: Operation,
+    universe: Sequence[Operation],
+    max_h1: int = 3,
+    max_h2: int = 2,
+) -> bool:
+    """Bounded Definition 8 test: does ``p`` invalidate ``q``?"""
+    return (
+        find_invalidation_witness(spec, p, q, universe, max_h1, max_h2) is not None
+    )
+
+
+def invalidated_by(
+    spec: SerialSpec,
+    universe: Sequence[Operation],
+    max_h1: int = 3,
+    max_h2: int = 2,
+) -> EnumeratedRelation:
+    """Derive the invalidated-by relation over a finite operation universe.
+
+    Returns the enumerated relation containing every ``(q, p)`` such that a
+    bounded witness shows ``p`` invalidates ``q``.  By Theorem 10 the full
+    (unbounded) relation is a dependency relation; the bounded approximation
+    may miss long-witness pairs, so callers verifying a paper table should
+    also run :func:`repro.core.dependency.is_dependency_relation` on the
+    result — the benchmark suite does both.
+    """
+    pairs: Set[Tuple[Operation, Operation]] = set()
+    for p in universe:
+        for q in universe:
+            if invalidates(spec, p, q, universe, max_h1, max_h2):
+                pairs.add((q, p))
+    return EnumeratedRelation(pairs, name=f"invalidated-by({spec.name})")

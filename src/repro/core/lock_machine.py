@@ -1,0 +1,320 @@
+"""The LOCK state machine (paper, Section 5.1).
+
+This is a faithful, executable transcription of the automaton the paper
+uses to define the hybrid locking protocol for a single object ``X``.  A
+state has four components:
+
+* ``pending`` — partial map from transactions to pending invocations;
+* ``intentions`` — total map from transactions to operation sequences (the
+  operations to apply if the transaction commits; locks are implicit in the
+  intentions lists);
+* ``committed`` — partial map from transactions to commit timestamps;
+* ``aborted`` — the set of aborted transactions.
+
+Invocation, commit, and abort events are inputs with precondition ``True``.
+A response event ``<r, X, Q>`` may occur only when (Section 5.1):
+
+1. ``Q`` has a pending invocation,
+2. ``Q`` has not completed,
+3. the operation (invocation paired with ``r``) is legal in ``Q``'s *view*
+   — the committed intentions in timestamp order followed by ``Q``'s own
+   intentions, and
+4. the operation conflicts with no operation in any other active
+   transaction's intentions list.
+
+Theorem 11/16: when ``Conflict`` is a symmetric dependency relation every
+accepted history is (online) hybrid atomic.  Theorem 17: when it is not a
+dependency relation some accepted history is not online hybrid atomic.  The
+machine itself accepts any symmetric relation — the test-suite exercises
+both directions.
+
+The machine also records the accepted event sequence so its language
+``L(LOCK)`` can be checked against the Section 3 definitions.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence, Set
+
+from .conflict import Relation
+from .errors import IllegalOperation, LockConflict, ProtocolError, WouldBlock
+from .events import AbortEvent, CommitEvent, Event, InvocationEvent, ResponseEvent
+from .history import History
+from .operations import Invocation, Operation, OperationSequence
+from .specs import SerialSpec
+
+__all__ = ["LockMachine"]
+
+
+class LockMachine:
+    """Executable LOCK automaton for one object.
+
+    Parameters
+    ----------
+    spec:
+        The object's serial specification.
+    conflict:
+        A symmetric relation on operations used to test lock conflicts.
+        Correct (hybrid atomic) behaviour requires it to be a symmetric
+        dependency relation for ``spec``; the machine does not enforce
+        this, mirroring Theorem 17's necessity direction.
+    obj:
+        The object's name as it appears in events.
+    """
+
+    def __init__(self, spec: SerialSpec, conflict: Relation, obj: str = "X"):
+        self.spec = spec
+        self.conflict = conflict
+        self.obj = obj
+        # State components (Section 5.1).
+        self._pending: Dict[str, Invocation] = {}
+        self._intentions: Dict[str, OperationSequence] = {}
+        self._committed: Dict[str, Any] = {}
+        self._aborted: Set[str] = set()
+        # Accepted events, for verification.
+        self._accepted: List[Event] = []
+
+    # ------------------------------------------------------------------
+    # State observers
+    # ------------------------------------------------------------------
+
+    def pending(self, transaction: str) -> Optional[Invocation]:
+        """The transaction's pending invocation, if any."""
+        return self._pending.get(transaction)
+
+    def intentions(self, transaction: str) -> OperationSequence:
+        """``s.intentions(Q)``: operations executed by the transaction."""
+        return self._intentions.get(transaction, ())
+
+    def commit_timestamp(self, transaction: str) -> Optional[Any]:
+        """``s.committed(Q)``: the commit timestamp, or None if active."""
+        return self._committed.get(transaction)
+
+    @property
+    def committed_transactions(self) -> Dict[str, Any]:
+        """Map of committed transactions to their timestamps."""
+        return dict(self._committed)
+
+    @property
+    def aborted_transactions(self) -> Set[str]:
+        """``s.aborted``."""
+        return set(self._aborted)
+
+    def completed(self) -> Set[str]:
+        """``s.completed = s.aborted ∪ dom(s.committed)``."""
+        return self._aborted | set(self._committed)
+
+    def is_active(self, transaction: str) -> bool:
+        """True when the transaction has neither committed nor aborted."""
+        return transaction not in self.completed()
+
+    def active_transactions(self) -> List[str]:
+        """Transactions with recorded steps that have not completed."""
+        seen = set(self._intentions) | set(self._pending)
+        return sorted(t for t in seen if self.is_active(t))
+
+    def history(self) -> History:
+        """The accepted event sequence as a :class:`History`."""
+        return History(self._accepted, validate=False)
+
+    # ------------------------------------------------------------------
+    # Views (Section 5.1)
+    # ------------------------------------------------------------------
+
+    def committed_order(self) -> List[str]:
+        """Committed transactions in commit-timestamp order."""
+        return sorted(self._committed, key=lambda t: self._committed[t])
+
+    def committed_state(self) -> OperationSequence:
+        """Committed intentions concatenated in timestamp order."""
+        sequence: List[Operation] = []
+        for transaction in self.committed_order():
+            sequence.extend(self._intentions.get(transaction, ()))
+        return tuple(sequence)
+
+    def view(self, transaction: str) -> OperationSequence:
+        """``View(Q, s)``: committed state followed by Q's intentions."""
+        return self.committed_state() + self.intentions(transaction)
+
+    def view_states(self, transaction: str):
+        """State-set reached by the transaction's view.
+
+        The base machine replays the full view through the specification;
+        the compacting machine (Section 6) overrides this to start from a
+        pre-computed version of the common prefix.
+        """
+        return self.spec.run(self.view(transaction))
+
+    # ------------------------------------------------------------------
+    # Transitions
+    # ------------------------------------------------------------------
+
+    def invoke(self, transaction: str, invocation: Invocation) -> None:
+        """Accept ``<i, X, Q>``; precondition True (input event).
+
+        Well-formedness of the overall history is the caller's duty in the
+        formal model; we check the cheap cases to fail fast on misuse.
+        """
+        if transaction in self._pending:
+            raise ProtocolError(
+                f"{transaction} already has a pending invocation (well-formedness)"
+            )
+        if transaction in self._committed:
+            raise ProtocolError(
+                f"{transaction} cannot invoke after committing (well-formedness)"
+            )
+        self._pending[transaction] = invocation
+        self._accepted.append(InvocationEvent(transaction, self.obj, invocation))
+        self._on_event_observed(transaction)
+
+    def can_respond(self, transaction: str, result: Any) -> bool:
+        """Evaluate the response event's precondition without acting."""
+        try:
+            self._check_response(transaction, result)
+        except (ProtocolError, IllegalOperation, LockConflict):
+            return False
+        return True
+
+    def respond(self, transaction: str, result: Any) -> Operation:
+        """Accept ``<r, X, Q>`` after checking the four preconditions.
+
+        Raises :class:`ProtocolError`, :class:`IllegalOperation` or
+        :class:`LockConflict` when the corresponding precondition fails.
+        On success the pending invocation is consumed and the operation is
+        appended to the transaction's intentions list.
+        """
+        operation = self._check_response(transaction, result)
+        del self._pending[transaction]
+        self._intentions[transaction] = self.intentions(transaction) + (operation,)
+        self._accepted.append(ResponseEvent(transaction, self.obj, result))
+        self._on_event_observed(transaction)
+        return operation
+
+    def commit(self, transaction: str, timestamp: Any) -> None:
+        """Accept ``<commit(t), X, Q>``; precondition True (input event)."""
+        if transaction in self._aborted:
+            raise ProtocolError(f"{transaction} already aborted (well-formedness)")
+        if transaction in self._pending:
+            raise ProtocolError(
+                f"{transaction} has a pending invocation (well-formedness)"
+            )
+        previous = self._committed.get(transaction)
+        if previous is not None and previous != timestamp:
+            raise ProtocolError(
+                f"{transaction} previously committed with timestamp {previous}"
+            )
+        for other, stamp in self._committed.items():
+            if other != transaction and stamp == timestamp:
+                raise ProtocolError(
+                    f"timestamp {timestamp} already used by {other} (well-formedness)"
+                )
+        self._committed[transaction] = timestamp
+        self._accepted.append(CommitEvent(transaction, self.obj, timestamp))
+        self._on_commit_observed(transaction, timestamp)
+
+    def abort(self, transaction: str) -> None:
+        """Accept ``<abort, X, Q>``; precondition True (input event)."""
+        if transaction in self._committed:
+            raise ProtocolError(f"{transaction} already committed (well-formedness)")
+        self._aborted.add(transaction)
+        self._accepted.append(AbortEvent(transaction, self.obj))
+        self._on_abort_observed(transaction)
+
+    # ------------------------------------------------------------------
+    # Convenience driver
+    # ------------------------------------------------------------------
+
+    def execute(self, transaction: str, invocation: Invocation) -> Any:
+        """Invoke and respond in one step, choosing a legal result.
+
+        Implements the operational reading of Section 4.1: construct the
+        view, choose a result consistent with it, check locks, and either
+        append the operation (returning the result) or refuse.  Raises
+
+        * :class:`WouldBlock` when the specification offers no outcome in
+          the current view (a partial operation that must wait),
+        * :class:`LockConflict` when every legal result is blocked by a
+          conflicting lock (the invocation should be retried later),
+        * :class:`ProtocolError` on well-formedness misuse.
+
+        On :class:`WouldBlock`/:class:`LockConflict` no event is recorded —
+        the attempt leaves the machine unchanged so the caller can retry
+        later, matching the informal "the result is discarded, and the
+        invocation is later retried".  (In the formal model the invocation
+        would stay pending; ``OpSeq`` discards pending invocations, so the
+        accepted histories are atomicity-equivalent.)
+
+        When several results are legal and only some are lock-blocked, the
+        first non-conflicting result is chosen — a scheduler that "retries
+        immediately", permitted because a retried invocation "may return a
+        different result".
+        """
+        if transaction in self._pending:
+            raise ProtocolError(
+                f"{transaction} already has a pending invocation (well-formedness)"
+            )
+        if transaction in self.completed():
+            raise ProtocolError(f"{transaction} has already completed")
+        states = self.view_states(transaction)
+        results = self.spec.results_for(states, invocation)
+        if not results:
+            raise WouldBlock(f"{invocation} has no legal outcome in the view")
+        conflict: Optional[LockConflict] = None
+        for result in results:
+            try:
+                self._check_conflicts(transaction, Operation(invocation, result))
+            except LockConflict as exc:
+                conflict = exc
+                continue
+            self.invoke(transaction, invocation)
+            self.respond(transaction, result)
+            return result
+        assert conflict is not None
+        raise conflict
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _check_response(self, transaction: str, result: Any) -> Operation:
+        invocation = self._pending.get(transaction)
+        if invocation is None:
+            raise ProtocolError(f"{transaction} has no pending invocation")
+        if transaction in self.completed():
+            raise ProtocolError(f"{transaction} has already completed")
+        operation = Operation(invocation, result)
+        states = self.view_states(transaction)
+        if not self.spec.step(states, operation):
+            raise IllegalOperation(
+                f"{operation} is not legal after the view of {transaction}"
+            )
+        self._check_conflicts(transaction, operation)
+        return operation
+
+    def _check_conflicts(self, transaction: str, operation: Operation) -> None:
+        """Fourth precondition: no conflicting lock held by another active
+        transaction (completed transactions hold no locks)."""
+        completed = self.completed()
+        for other, ops in self._intentions.items():
+            if other == transaction or other in completed:
+                continue
+            for held in ops:
+                if self.conflict.related(held, operation) or self.conflict.related(
+                    operation, held
+                ):
+                    raise LockConflict(
+                        f"{operation} conflicts with {held} held by {other}",
+                        holder=other,
+                        operation=held,
+                    )
+
+    # Hooks for the compacting subclass (Section 6 bookkeeping).
+
+    def _on_event_observed(self, transaction: str) -> None:
+        """Called after accepting an invocation or response event."""
+
+    def _on_commit_observed(self, transaction: str, timestamp: Any) -> None:
+        """Called after accepting a commit event."""
+
+    def _on_abort_observed(self, transaction: str) -> None:
+        """Called after accepting an abort event."""

@@ -1,0 +1,90 @@
+"""Operations and invocations (paper, Section 2 and 3.1).
+
+The paper models the interface between transactions and objects in terms of
+*invocations* (an operation name plus argument values) and *operations*
+(an invocation paired with the response it received).  An operation such as::
+
+    X: [Enq(3), Ok]
+
+is represented here as ``Operation(Invocation("Enq", (3,)), "Ok")``.
+
+Operations are immutable and hashable so they can be used as members of
+operation sequences, lock tables, and dependency relations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Tuple
+
+__all__ = ["Invocation", "Operation", "OperationSequence", "op"]
+
+
+@dataclass(frozen=True, order=True)
+class Invocation:
+    """An operation name together with its argument values.
+
+    Corresponds to the ``inv`` field of the paper's invocation events: it
+    "includes both the name of the operation and its arguments".
+    """
+
+    name: str
+    args: Tuple[Any, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.name, str) or not self.name:
+            raise ValueError("invocation name must be a non-empty string")
+        if not isinstance(self.args, tuple):
+            # Accept any iterable of arguments for convenience but store a
+            # tuple so the invocation stays hashable.
+            object.__setattr__(self, "args", tuple(self.args))
+
+    def __str__(self) -> str:
+        rendered = ", ".join(repr(a) for a in self.args)
+        return f"{self.name}({rendered})"
+
+    def with_result(self, result: Any) -> "Operation":
+        """Pair this invocation with a response, yielding an operation."""
+        return Operation(self, result)
+
+
+@dataclass(frozen=True, order=True)
+class Operation:
+    """An invocation paired with its matching response.
+
+    This is the paper's notion of an operation (Section 3.1): "a pair
+    consisting of an invocation and a matching response".  A single
+    ``Operation`` value represents one *execution* of an operation in the
+    informal sense.
+    """
+
+    invocation: Invocation
+    result: Any = "Ok"
+
+    @property
+    def name(self) -> str:
+        """The operation name, e.g. ``"Enq"``."""
+        return self.invocation.name
+
+    @property
+    def args(self) -> Tuple[Any, ...]:
+        """The argument values of the invocation."""
+        return self.invocation.args
+
+    def __str__(self) -> str:
+        return f"[{self.invocation}, {self.result!r}]"
+
+
+#: An operation sequence in the sense of Section 3.1: a (finite) sequence of
+#: operations.  Sequences are represented as tuples so they are hashable and
+#: can be memoised during bounded exhaustive searches.
+OperationSequence = Tuple[Operation, ...]
+
+
+def op(name: str, *args: Any, result: Any = "Ok") -> Operation:
+    """Convenience constructor: ``op("Enq", 3)`` == ``[Enq(3), Ok]``.
+
+    Keyword argument ``result`` supplies the response value; it defaults to
+    the conventional ``"Ok"`` acknowledgement used throughout the paper.
+    """
+    return Operation(Invocation(name, args), result)

@@ -1,0 +1,159 @@
+"""Commit-timestamp generation (paper, Sections 1, 3.3, 6).
+
+Transactions are serialized in the order of the timestamps they generate at
+commit.  The generation method must satisfy one constraint (Section 3.3):
+the timestamp order on committed transactions must be consistent with the
+``precedes`` order at each object — if ``Q`` completes an operation at ``X``
+after ``P`` commits at ``X``, then ``Q``'s eventual timestamp must exceed
+``P``'s.  "This constraint is satisfied by timestamp generation algorithms
+based on logical clocks [Lamport], and by algorithms that piggyback
+timestamp information on the messages of a commit protocol."
+
+Two generators are provided:
+
+* :class:`MonotoneTimestampGenerator` — a Lamport-style logical clock that
+  issues strictly increasing timestamps, so timestamp order equals commit
+  order.  Simple and always valid.
+* :class:`SkewedTimestampGenerator` — deliberately issues timestamps *out
+  of commit order* whenever the constraint allows it (a transaction may
+  commit with a timestamp smaller than that of a concurrently-committed
+  transaction it never observed).  This exercises the interesting hybrid
+  behaviour — e.g. concurrent ``Enq``s dequeued in timestamp order rather
+  than commit order — and the timestamp-order merging of Sections 4-6.
+
+Both track, per transaction, the *lower bound* it has accumulated: the
+largest commit timestamp it may have observed (the ``bound_tab`` of the
+appendix).  Timestamps are integers; the skewed generator leaves gaps so it
+can place a later commit between two earlier ones.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Dict, Set
+
+__all__ = [
+    "TimestampGenerator",
+    "MonotoneTimestampGenerator",
+    "SkewedTimestampGenerator",
+    "LogicalClock",
+]
+
+
+class LogicalClock:
+    """A Lamport logical clock over integers.
+
+    ``tick()`` advances and returns a fresh value; ``observe(t)`` merges in
+    a timestamp received from elsewhere (the clock never runs behind any
+    value it has seen).
+    """
+
+    def __init__(self, start: int = 0):
+        self._now = start
+
+    @property
+    def now(self) -> int:
+        """The current clock value."""
+        return self._now
+
+    def tick(self) -> int:
+        """Advance the clock by one and return the new value."""
+        self._now += 1
+        return self._now
+
+    def observe(self, timestamp: int) -> None:
+        """Merge an externally observed timestamp (Lamport receive rule)."""
+        if timestamp > self._now:
+            self._now = timestamp
+
+
+class TimestampGenerator:
+    """Interface for commit-timestamp generation.
+
+    The transaction manager reports, via :meth:`observe`, the largest commit
+    timestamp a transaction may have seen each time one of its operations
+    returns a result; :meth:`commit_timestamp` then produces a timestamp
+    strictly greater than that bound, which is exactly the Section 3.3
+    constraint.
+    """
+
+    def observe(self, transaction: str, committed_timestamp: Any) -> None:
+        """Record that ``transaction`` may have observed this commit
+        timestamp (it completed an operation at an object where a
+        transaction with this timestamp had committed)."""
+        raise NotImplementedError
+
+    def commit_timestamp(self, transaction: str) -> Any:
+        """Issue a unique timestamp > everything the transaction observed."""
+        raise NotImplementedError
+
+    def forget(self, transaction: str) -> None:
+        """Drop per-transaction bookkeeping after commit or abort."""
+        raise NotImplementedError
+
+
+class MonotoneTimestampGenerator(TimestampGenerator):
+    """Strictly increasing timestamps: timestamp order == commit order.
+
+    Trivially satisfies ``precedes ⊆ TS`` because every new timestamp
+    exceeds every previously issued one.
+    """
+
+    def __init__(self):
+        self._clock = LogicalClock()
+
+    def observe(self, transaction: str, committed_timestamp: Any) -> None:
+        self._clock.observe(int(committed_timestamp))
+
+    def commit_timestamp(self, transaction: str) -> int:
+        return self._clock.tick()
+
+    def forget(self, transaction: str) -> None:  # no per-transaction state
+        return None
+
+
+class SkewedTimestampGenerator(TimestampGenerator):
+    """Issues valid but deliberately out-of-commit-order timestamps.
+
+    Per transaction it tracks the largest commit timestamp observed (its
+    lower bound).  On commit it draws a timestamp uniformly from
+    ``(bound, high]`` where ``high`` rides ``gap`` positions above the
+    largest timestamp issued so far — so a transaction with a small bound
+    can commit *below* concurrently committed transactions, which is
+    permitted precisely when it never observed them.
+
+    Used by the property tests to confirm the protocol merges intentions in
+    timestamp order, not commit order, and by the compaction tests to delay
+    the horizon.
+    """
+
+    def __init__(self, seed: int = 0, gap: int = 16):
+        if gap < 1:
+            raise ValueError("gap must be at least 1")
+        self._rng = random.Random(seed)
+        self._gap = gap
+        self._bounds: Dict[str, int] = {}
+        self._used: Set[int] = set()
+        self._max_issued = 0
+
+    def observe(self, transaction: str, committed_timestamp: Any) -> None:
+        current = self._bounds.get(transaction, 0)
+        if committed_timestamp > current:
+            self._bounds[transaction] = int(committed_timestamp)
+
+    def commit_timestamp(self, transaction: str) -> int:
+        low = self._bounds.get(transaction, 0)
+        high = max(low + 1, self._max_issued + self._gap)
+        candidates = [t for t in range(low + 1, high + 1) if t not in self._used]
+        # There is always a free slot because only finitely many are used.
+        while not candidates:
+            high += self._gap
+            candidates = [t for t in range(low + 1, high + 1) if t not in self._used]
+        choice = self._rng.choice(candidates)
+        self._used.add(choice)
+        if choice > self._max_issued:
+            self._max_issued = choice
+        return choice
+
+    def forget(self, transaction: str) -> None:
+        self._bounds.pop(transaction, None)

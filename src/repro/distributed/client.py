@@ -1,0 +1,193 @@
+"""Distributed clients: each is its own two-phase-commit coordinator.
+
+A client runs scripted transactions whose steps name (site, object,
+operation, args).  Every interaction is two simulated messages (request +
+reply).  At the end of a script the client runs 2PC over the participant
+sites: PREPARE fan-out, vote collection, then a commit timestamp
+
+    (max(piggybacked site clocks) + 1, transaction-name)
+
+— strictly above every timestamp committed at any site the transaction
+read, satisfying the §3.3 constraint by construction, and globally unique
+by the transaction-name tiebreak.  COMMIT/ABORT fan-out completes the
+protocol.  Lock refusals retry with backoff; a NO vote (site crash) or
+retry exhaustion aborts and restarts with a fresh script.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Callable, Dict, List, Set, Tuple
+
+from ..core.operations import Invocation
+from ..sim.des import Simulator
+from ..sim.metrics import Metrics
+from .network import Network
+from .site import Site
+
+__all__ = ["DistributedClient", "DistributedStep"]
+
+#: One step: (site name, object name, operation name, args tuple).
+DistributedStep = Tuple[str, str, str, Tuple[Any, ...]]
+
+
+class DistributedClient:
+    """A scripted client/coordinator over the simulated network."""
+
+    def __init__(
+        self,
+        index: int,
+        simulator: Simulator,
+        network: Network,
+        sites: Dict[str, Site],
+        script_fn: Callable[[int, random.Random], List[DistributedStep]],
+        metrics: Metrics,
+        rng: random.Random,
+        think_time: float = 0.5,
+        backoff: float = 1.0,
+        max_step_retries: int = 10,
+    ):
+        self.index = index
+        self.simulator = simulator
+        self.network = network
+        self.sites = sites
+        self.script_fn = script_fn
+        self.metrics = metrics
+        self.rng = rng
+        self.think_time = think_time
+        self.backoff = backoff
+        self.max_step_retries = max_step_retries
+        self._serial = 0
+        self.transaction = ""
+        self.script: List[DistributedStep] = []
+        self.position = 0
+        self.retries = 0
+        self.participants: Set[str] = set()
+        self.started_at = 0.0
+
+    # ------------------------------------------------------------------
+
+    def start(self) -> None:
+        """Kick off the first transaction after a stagger."""
+        self.simulator.schedule(
+            self.rng.expovariate(1.0 / self.think_time), self._begin
+        )
+
+    def _begin(self) -> None:
+        self._serial += 1
+        self.transaction = f"C{self.index}.{self._serial}"
+        self.script = self.script_fn(self.index, self.rng)
+        self.position = 0
+        self.retries = 0
+        self.participants = set()
+        self.started_at = self.simulator.now
+        self._send_step()
+
+    # -- operation phase --------------------------------------------------
+
+    def _send_step(self) -> None:
+        if self.position >= len(self.script):
+            self._send_prepares()
+            return
+        site_name, obj, operation, args = self.script[self.position]
+        site = self.sites[site_name]
+        transaction = self.transaction
+        invocation = Invocation(operation, args)
+
+        def at_site() -> None:
+            reply = site.handle_invoke(transaction, obj, invocation)
+            self.network.send(
+                "invoke-reply", lambda: self._on_invoke_reply(transaction, site_name, reply)
+            )
+
+        self.network.send("invoke", at_site)
+
+    def _on_invoke_reply(self, transaction: str, site_name: str, reply: Tuple) -> None:
+        if transaction != self.transaction:
+            return  # stale reply for an earlier incarnation
+        kind = reply[0]
+        if kind == "ok":
+            self.participants.add(site_name)
+            self.metrics.operations += 1
+            self.position += 1
+            self.retries = 0
+            self._send_step()
+            return
+        if kind == "conflict":
+            self.metrics.conflicts += 1
+        elif kind == "block":
+            self.metrics.blocks += 1
+        else:  # site lost us (crash tombstone): restart
+            self._abort_and_restart()
+            return
+        self.retries += 1
+        if self.retries > self.max_step_retries:
+            self._abort_and_restart()
+            return
+        self.simulator.schedule(
+            self.rng.expovariate(1.0 / self.backoff), self._send_step
+        )
+
+    # -- two-phase commit --------------------------------------------------
+
+    def _send_prepares(self) -> None:
+        if not self.participants:
+            # Nothing touched (degenerate script): count and move on.
+            self.metrics.committed += 1
+            self._schedule_next()
+            return
+        transaction = self.transaction
+        votes: Dict[str, Tuple] = {}
+        expected = set(self.participants)
+
+        def make_prepare(site_name: str) -> None:
+            site = self.sites[site_name]
+
+            def at_site() -> None:
+                reply = site.handle_prepare(transaction)
+                self.network.send(
+                    "vote", lambda: on_vote(site_name, reply)
+                )
+
+            self.network.send("prepare", at_site)
+
+        def on_vote(site_name: str, reply: Tuple) -> None:
+            if transaction != self.transaction:
+                return
+            votes[site_name] = reply
+            if set(votes) != expected:
+                return
+            if all(vote[0] == "yes" for vote in votes.values()):
+                number = max(vote[1] for vote in votes.values()) + 1
+                self._decide_commit((number, transaction))
+            else:
+                self._abort_and_restart()
+
+        for site_name in sorted(expected):
+            make_prepare(site_name)
+
+    def _decide_commit(self, timestamp: Tuple) -> None:
+        transaction = self.transaction
+        for site_name in sorted(self.participants):
+            site = self.sites[site_name]
+            self.network.send(
+                "commit", lambda s=site: s.handle_commit(transaction, timestamp)
+            )
+        self.metrics.committed += 1
+        self.metrics.total_latency += self.simulator.now - self.started_at
+        self._schedule_next()
+
+    def _abort_and_restart(self) -> None:
+        transaction = self.transaction
+        for site_name in sorted(self.participants):
+            site = self.sites[site_name]
+            self.network.send(
+                "abort", lambda s=site: s.handle_abort(transaction)
+            )
+        self.metrics.aborted += 1
+        self._schedule_next()
+
+    def _schedule_next(self) -> None:
+        self.simulator.schedule(
+            self.rng.expovariate(1.0 / self.think_time), self._begin
+        )

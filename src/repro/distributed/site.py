@@ -1,0 +1,175 @@
+"""Sites: object homes with local clocks and two-phase-commit handlers.
+
+Each site owns some hybrid atomic objects (compacting LOCK machines) and
+a Lamport logical clock.  The clock advances past every commit timestamp
+the site observes, so a site's clock is always an upper bound on the
+timestamps of transactions committed there — the value the coordinator
+needs for the §3.3 constraint.
+
+Message handlers (invoked via the simulated network):
+
+* ``handle_invoke`` — execute an operation under the hybrid protocol and
+  reply ``("ok", result)``, ``("conflict",)`` or ``("block",)``;
+* ``handle_prepare`` — 2PC vote: ``("yes", clock)`` (the clock rides the
+  vote — "algorithms that piggyback timestamp information on the
+  messages of a commit protocol"), or ``("no",)`` when the transaction
+  was lost to a crash;
+* ``handle_commit`` / ``handle_abort`` — deliver the completion to every
+  local object the transaction touched.
+
+``crash`` fail-stops the site's volatile state: active transactions are
+aborted locally and remembered as tombstones so a later PREPARE is
+answered ``no`` — the coordinator then aborts globally, which is how 2PC
+turns a participant crash into a clean transaction abort.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+from ..adts.base import ADT
+from ..core.compaction import CompactingLockMachine
+from ..core.errors import LockConflict, WouldBlock
+from ..core.events import AbortEvent, CommitEvent, InvocationEvent, ResponseEvent
+from ..core.operations import Invocation
+from ..core.timestamps import LogicalClock
+from ..protocols.base import HYBRID, ProtocolSpec
+
+__all__ = ["Site"]
+
+
+class Site:
+    """One site: named objects plus the local clock and 2PC handlers."""
+
+    def __init__(self, name: str, recorder: Optional[List[Any]] = None):
+        self.name = name
+        self.clock = LogicalClock()
+        self._machines: Dict[str, CompactingLockMachine] = {}
+        self._adts: Dict[str, ADT] = {}
+        #: object -> transactions with intentions there (for completion fan-out).
+        self._touched: Dict[str, Set[str]] = {}
+        #: Transactions lost to a crash: PREPARE must vote no.
+        self._tombstones: Set[str] = set()
+        #: Transactions whose PREPARE was accepted: their intentions are
+        #: on the stable log and survive crashes (2PC's prepared state).
+        self._prepared: Set[str] = set()
+        self._recorder = recorder
+        self.alive = True
+
+    # ------------------------------------------------------------------
+
+    def create_object(
+        self, name: str, adt: ADT, protocol: ProtocolSpec = HYBRID
+    ) -> None:
+        """Home a new object at this site."""
+        if name in self._machines:
+            raise ValueError(f"object {name!r} already exists at {self.name}")
+        self._machines[name] = CompactingLockMachine(
+            adt.spec, protocol.conflict_for(adt), obj=name
+        )
+        self._adts[name] = adt
+        self._touched[name] = set()
+
+    def objects(self) -> List[str]:
+        """Names of objects homed here."""
+        return sorted(self._machines)
+
+    def machine(self, obj: str) -> CompactingLockMachine:
+        """The LOCK machine for a local object."""
+        return self._machines[obj]
+
+    def adt(self, obj: str) -> ADT:
+        """The ADT bundle for a local object."""
+        return self._adts[obj]
+
+    def snapshot(self, obj: str) -> Any:
+        """Committed-state snapshot of one local object."""
+        machine = self._machines[obj]
+        states = machine.spec.run_from(
+            machine.version_states, machine.committed_state()
+        )
+        return sorted(states, key=repr)[0]
+
+    def _record(self, event: Any) -> None:
+        if self._recorder is not None:
+            self._recorder.append(event)
+
+    # ------------------------------------------------------------------
+    # Message handlers
+    # ------------------------------------------------------------------
+
+    def handle_invoke(
+        self, transaction: str, obj: str, invocation: Invocation
+    ) -> Tuple:
+        """Execute one operation; returns the reply tuple."""
+        if not self.alive:
+            return ("down",)
+        if transaction in self._tombstones:
+            return ("no-such-transaction",)
+        machine = self._machines[obj]
+        try:
+            result = machine.execute(transaction, invocation)
+        except LockConflict:
+            return ("conflict",)
+        except WouldBlock:
+            return ("block",)
+        self._touched[obj].add(transaction)
+        self._record(InvocationEvent(transaction, obj, invocation))
+        self._record(ResponseEvent(transaction, obj, result))
+        # The reply carries the site clock: everything committed here has
+        # a timestamp at or below it, so the coordinator can maintain the
+        # precedes-order bound incrementally too.
+        return ("ok", result, self.clock.now)
+
+    def handle_prepare(self, transaction: str) -> Tuple:
+        """2PC phase one: vote, piggybacking the local clock."""
+        if not self.alive:
+            return ("down",)
+        if transaction in self._tombstones:
+            return ("no",)
+        self._prepared.add(transaction)  # force-write to the stable log
+        return ("yes", self.clock.now)
+
+    def handle_commit(self, transaction: str, timestamp: Any) -> None:
+        """2PC phase two: deliver ``commit(timestamp)`` locally."""
+        if not self.alive:
+            return
+        for obj, holders in self._touched.items():
+            if transaction in holders:
+                self._machines[obj].commit(transaction, timestamp)
+                self._record(CommitEvent(transaction, obj, timestamp))
+                holders.discard(transaction)
+        self.clock.observe(timestamp[0])
+
+    def handle_abort(self, transaction: str) -> None:
+        """Deliver an abort to every local object the transaction touched."""
+        if not self.alive:
+            return
+        for obj, holders in self._touched.items():
+            if transaction in holders:
+                self._machines[obj].abort(transaction)
+                self._record(AbortEvent(transaction, obj))
+                holders.discard(transaction)
+
+    # ------------------------------------------------------------------
+    # Failure injection
+    # ------------------------------------------------------------------
+
+    def crash(self) -> List[str]:
+        """Fail-stop: abort every *unprepared* local transaction (their
+        volatile intentions are lost); committed state and prepared
+        transactions (on the stable log) survive.  Returns the victims.
+        The site comes back up immediately but remembers the victims as
+        tombstones so their PREPAREs are voted down."""
+        victims: Set[str] = set()
+        for obj, holders in self._touched.items():
+            for transaction in sorted(holders):
+                if transaction in self._prepared:
+                    continue  # stable: awaiting the coordinator's verdict
+                self._machines[obj].abort(transaction)
+                self._record(AbortEvent(transaction, obj))
+                victims.add(transaction)
+            for transaction in victims:
+                holders.discard(transaction)
+        self._tombstones |= victims
+        return sorted(victims)

@@ -1,0 +1,23 @@
+"""Concurrency-control protocols: hybrid plus the paper's baselines."""
+
+from .base import (
+    ALL_PROTOCOLS,
+    COMMUTATIVITY,
+    HYBRID,
+    OPTIMISTIC,
+    SERIAL,
+    TWO_PHASE_RW,
+    ProtocolSpec,
+    get_protocol,
+)
+
+__all__ = [
+    "ProtocolSpec",
+    "HYBRID",
+    "COMMUTATIVITY",
+    "TWO_PHASE_RW",
+    "SERIAL",
+    "OPTIMISTIC",
+    "ALL_PROTOCOLS",
+    "get_protocol",
+]

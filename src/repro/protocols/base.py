@@ -1,0 +1,129 @@
+"""Concurrency-control protocol descriptors.
+
+All the protocols compared in the paper share the LOCK machine's shape —
+view construction, predicate locks, intentions, commit-time merging — and
+differ only in *which conflict relation* governs lock refusal.  This is the
+paper's "upward compatibility" observation (Section 1): any conflict
+relation that contains a symmetric dependency relation still yields hybrid
+atomic behaviour, because dependency relations are upward closed.  A
+protocol here is therefore a named rule mapping an ADT to its conflict
+relation.
+
+The three protocols of the paper's comparison:
+
+* :data:`HYBRID` — the paper's contribution: the symmetric closure of a
+  minimal dependency relation (Sections 4-5).
+* :data:`COMMUTATIVITY` — classic type-specific locking (Weihl, Korth,
+  Bernstein et al., Section 7.1): failure-to-commute conflicts.  Strictly
+  more restrictive than hybrid on types like Account, equal on types like
+  SemiQueue.
+* :data:`TWO_PHASE_RW` — untyped strict two-phase locking (Eswaran et
+  al.): every operation is a read or a write; only read/read pairs are
+  compatible.
+* :data:`SERIAL` — the degenerate protocol where everything conflicts;
+  a lower-bound yardstick for the benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List
+
+from ..adts.base import ADT
+from ..core.conflict import TOTAL_RELATION, Relation
+
+__all__ = [
+    "ProtocolSpec",
+    "HYBRID",
+    "COMMUTATIVITY",
+    "TWO_PHASE_RW",
+    "SERIAL",
+    "ALL_PROTOCOLS",
+    "get_protocol",
+]
+
+
+@dataclass(frozen=True)
+class ProtocolSpec:
+    """A named concurrency-control discipline.
+
+    ``conflict_for(adt)`` returns the lock-conflict relation the discipline
+    uses for the given type.  For correctness (hybrid atomicity) the
+    returned relation must contain a symmetric dependency relation for the
+    type's serial specification — true for all four built-ins.
+    """
+
+    name: str
+    description: str
+    conflict_for: Callable[[ADT], Relation]
+    #: Execution engine: "locking" runs on the LOCK machine; "optimistic"
+    #: runs on the validation-based runtime (conflict_for then supplies
+    #: the dependency relation used for fast-path validation).
+    engine: str = "locking"
+
+    def __str__(self) -> str:
+        return self.name
+
+
+HYBRID = ProtocolSpec(
+    name="hybrid",
+    description=(
+        "The paper's protocol: lock conflicts are the symmetric closure of "
+        "a minimal dependency relation derived from the type specification."
+    ),
+    conflict_for=lambda adt: adt.conflict,
+)
+
+COMMUTATIVITY = ProtocolSpec(
+    name="commutativity",
+    description=(
+        "Commutativity-based type-specific locking: operations that fail "
+        "to commute conflict (Weihl's dynamic atomic scheme)."
+    ),
+    conflict_for=lambda adt: adt.commutativity_conflict,
+)
+
+TWO_PHASE_RW = ProtocolSpec(
+    name="rw-2pl",
+    description=(
+        "Untyped strict two-phase locking: read locks are shared, "
+        "everything else is exclusive."
+    ),
+    conflict_for=lambda adt: adt.rw_conflict(),
+)
+
+SERIAL = ProtocolSpec(
+    name="serial",
+    description="Every pair of operations conflicts (serial execution).",
+    conflict_for=lambda adt: TOTAL_RELATION,
+)
+
+OPTIMISTIC = ProtocolSpec(
+    name="optimistic",
+    description=(
+        "Type-specific optimistic concurrency control: execute without "
+        "locks, certify at commit with the dependency relation (fast "
+        "path) or replay (slow path)."
+    ),
+    conflict_for=lambda adt: adt.dependency,
+    engine="optimistic",
+)
+
+#: The locking protocols compared by the benchmark suite, most to least
+#: permissive.  OPTIMISTIC is kept separate: it is an engine comparison,
+#: not a conflict-table comparison.
+ALL_PROTOCOLS: List[ProtocolSpec] = [HYBRID, COMMUTATIVITY, TWO_PHASE_RW, SERIAL]
+
+_BY_NAME: Dict[str, ProtocolSpec] = {
+    p.name: p for p in ALL_PROTOCOLS + [OPTIMISTIC]
+}
+
+
+def get_protocol(name: str) -> ProtocolSpec:
+    """Look up a built-in protocol by name."""
+    try:
+        return _BY_NAME[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown protocol {name!r}; available: {', '.join(sorted(_BY_NAME))}"
+        ) from None

@@ -1,0 +1,19 @@
+"""Quorum-consensus replication for abstract data types (paper §7.2, [8])."""
+
+from .quorum import QuorumAssignment, QuorumSpec, QuorumViolation
+from .replicated import (
+    Replica,
+    ReplicatedObject,
+    ReplicatedTransactionManager,
+    Unavailable,
+)
+
+__all__ = [
+    "QuorumSpec",
+    "QuorumAssignment",
+    "QuorumViolation",
+    "Replica",
+    "ReplicatedObject",
+    "ReplicatedTransactionManager",
+    "Unavailable",
+]

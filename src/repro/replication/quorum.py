@@ -1,0 +1,201 @@
+"""Quorum assignments constrained by dependency relations (paper §7.2, [8]).
+
+Herlihy's quorum-consensus replication for abstract data types assigns
+each operation an *initial quorum* (replicas consulted to build the view)
+and a *final quorum* (replicas that must record the effect).  The paper's
+Discussion notes that the correctness constraint is exactly a dependency
+condition; in this library's terms:
+
+    For every invocation schema I and every possible result making an
+    operation q of schema I, and for every operation schema p with
+    (q, p) in the dependency relation:
+
+        initial_quorum(I) + final_quorum(p) > n
+
+so any initial quorum of ``I`` intersects any final quorum of ``p`` —
+the view assembled for ``q`` then contains *every* committed operation
+``q`` depends on, i.e. it is a dependency-closed view, and Lemma 7
+guarantees the chosen result stays legal in the global timestamp order.
+
+Operations that depend on nothing (Credit, Post, Enq, Push, Insert...)
+may take an **empty initial quorum**: their results are legal in any
+view, so they need not read at all — the typed generalisation of blind
+writes, and the source of the availability gains over read/write
+quorums.
+
+Quorums here are *size-based* (any k live replicas), so intersection is
+by counting; assignments are validated mechanically against the
+enumerated dependency relation over an operation universe.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Mapping, Sequence
+
+from ..core.conflict import Relation
+from ..core.operations import Invocation, Operation
+
+__all__ = ["QuorumSpec", "QuorumAssignment", "QuorumViolation"]
+
+
+@dataclass(frozen=True)
+class QuorumSpec:
+    """Initial/final quorum sizes for one invocation schema."""
+
+    initial: int
+    final: int
+
+    def __post_init__(self):
+        if self.initial < 0 or self.final < 1:
+            raise ValueError(
+                "initial quorum must be >= 0 and final quorum >= 1"
+            )
+
+
+@dataclass(frozen=True)
+class QuorumViolation:
+    """A dependency pair whose quorums cannot be guaranteed to intersect."""
+
+    dependent_schema: str
+    depended_schema: str
+    initial: int
+    final: int
+    replicas: int
+
+    def __str__(self) -> str:
+        return (
+            f"{self.dependent_schema} depends on {self.depended_schema} but "
+            f"initial({self.initial}) + final({self.final}) <= "
+            f"n({self.replicas})"
+        )
+
+
+class QuorumAssignment:
+    """Per-invocation-schema quorum sizes over ``replicas`` copies.
+
+    ``quorums`` maps invocation names (``"Credit"``, ``"Debit"``, ...) to
+    :class:`QuorumSpec`.  Use :meth:`validate` to check an assignment
+    against a type's dependency relation, and :meth:`majority` /
+    :meth:`read_write` for the classical baselines.
+    """
+
+    def __init__(self, replicas: int, quorums: Mapping[str, QuorumSpec]):
+        if replicas < 1:
+            raise ValueError("need at least one replica")
+        self.replicas = replicas
+        self._quorums: Dict[str, QuorumSpec] = dict(quorums)
+        for name, spec in self._quorums.items():
+            if spec.initial > replicas or spec.final > replicas:
+                raise ValueError(
+                    f"{name}: quorum sizes cannot exceed replica count"
+                )
+
+    def spec_for(self, invocation: Invocation) -> QuorumSpec:
+        """The quorum sizes for an invocation (by operation name)."""
+        try:
+            return self._quorums[invocation.name]
+        except KeyError:
+            raise KeyError(
+                f"no quorum assignment for operation {invocation.name!r}"
+            ) from None
+
+    def names(self) -> List[str]:
+        """All assigned invocation names."""
+        return sorted(self._quorums)
+
+    # ------------------------------------------------------------------
+    # Validation against a dependency relation
+    # ------------------------------------------------------------------
+
+    def validate(
+        self, dependency: Relation, universe: Sequence[Operation]
+    ) -> List[QuorumViolation]:
+        """Check the intersection constraint over a finite universe.
+
+        For every pair of operations ``(q, p)`` in the dependency
+        relation, the initial quorum of ``q``'s invocation must overlap
+        the final quorum of ``p``'s invocation:
+        ``initial(q) + final(p) > n``.  Returns all violations (empty
+        means valid).
+        """
+        violations: List[QuorumViolation] = []
+        seen: set = set()
+        for q in universe:
+            for p in universe:
+                if not dependency.related(q, p):
+                    continue
+                key = (q.name, p.name)
+                if key in seen:
+                    continue
+                seen.add(key)
+                iq = self.spec_for(q.invocation).initial
+                fp = self.spec_for(p.invocation).final
+                if iq + fp <= self.replicas:
+                    violations.append(
+                        QuorumViolation(q.name, p.name, iq, fp, self.replicas)
+                    )
+        return violations
+
+    def is_valid(self, dependency: Relation, universe: Sequence[Operation]) -> bool:
+        """True when :meth:`validate` reports no violations."""
+        return not self.validate(dependency, universe)
+
+    # ------------------------------------------------------------------
+    # Availability
+    # ------------------------------------------------------------------
+
+    def available_operations(self, live: int) -> List[str]:
+        """Invocation names executable with ``live`` replicas up.
+
+        An operation needs ``max(initial, final)`` live replicas (the
+        view read and the effect write both have to reach their quorums).
+        """
+        return [
+            name
+            for name, spec in sorted(self._quorums.items())
+            if live >= spec.initial and live >= spec.final
+        ]
+
+    def tolerated_failures(self, name: str) -> int:
+        """How many replica failures the operation survives."""
+        spec = self._quorums[name]
+        return self.replicas - max(spec.initial, spec.final)
+
+    # ------------------------------------------------------------------
+    # Classical baselines
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def majority(cls, replicas: int, names: Sequence[str]) -> "QuorumAssignment":
+        """Majority initial and final quorums for every operation."""
+        majority = replicas // 2 + 1
+        return cls(
+            replicas,
+            {name: QuorumSpec(majority, majority) for name in names},
+        )
+
+    @classmethod
+    def read_write(
+        cls,
+        replicas: int,
+        is_read_name: Callable[[str], bool],
+        names: Sequence[str],
+        read_quorum: int = 0,
+    ) -> "QuorumAssignment":
+        """Gifford-style read/write quorums ignoring type semantics.
+
+        Reads use ``(r, r)``-ish quorums with ``r`` defaulting to a
+        majority; writes use ``w = n - r + 1`` so ``r + w > n``; every
+        non-read is a write and every write must also *read* (to learn
+        the current version), so its initial quorum is ``r`` too.
+        """
+        r = read_quorum or (replicas // 2 + 1)
+        w = replicas - r + 1
+        quorums = {}
+        for name in names:
+            if is_read_name(name):
+                quorums[name] = QuorumSpec(r, 1)
+            else:
+                quorums[name] = QuorumSpec(r, w)
+        return cls(replicas, quorums)

@@ -1,0 +1,433 @@
+"""Replicated hybrid atomic objects (paper §7.2, [8]).
+
+A :class:`ReplicatedObject` keeps its committed state as *event logs* on
+``n`` replicas: each log entry is one committed transaction's intentions
+list with its commit timestamp.  Executing an operation:
+
+1. reads the logs of an **initial quorum** of live replicas (sized per
+   invocation schema) and merges them by timestamp — by the assignment's
+   intersection constraint the merged log contains every committed
+   operation the new operation could depend on, so it is a
+   dependency-closed view and Lemma 7 makes results chosen from it valid
+   in the global timestamp order;
+2. checks lock conflicts exactly as the single-copy protocol does (the
+   lock table is kept logically centralised — replica-local lock tables
+   acquired alongside quorums behave identically under our fail-stop
+   model and single coordinator);
+3. at commit, appends the transaction's ``(timestamp, intentions)`` entry
+   to a **final quorum** of live replicas; the *propagation rule* of [8]
+   also writes back the merged view, so dependency closure survives
+   transitively.
+
+Replicas fail and recover (fail-stop with stable logs).  An operation or
+commit that cannot reach its quorum among live replicas raises
+:class:`Unavailable` — availability, not safety, is what failures cost,
+and the benchmark shows type-specific quorums keep more operations
+available than read/write quorums under the same failures.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..adts.base import ADT
+from ..core.conflict import Relation
+from ..core.errors import (
+    LockConflict,
+    ProtocolError,
+    ReproError,
+    TransactionAborted,
+    WouldBlock,
+)
+from ..core.events import AbortEvent, CommitEvent, InvocationEvent, ResponseEvent
+from ..core.history import History
+from ..core.operations import Invocation, Operation, OperationSequence
+from ..core.timestamps import MonotoneTimestampGenerator, TimestampGenerator
+from ..runtime.transaction import Status, Transaction
+from .quorum import QuorumAssignment
+
+__all__ = ["Unavailable", "Replica", "ReplicatedObject", "ReplicatedTransactionManager"]
+
+#: A committed log entry: (commit timestamp, transaction name, intentions).
+LogEntry = Tuple[Any, str, OperationSequence]
+
+
+class Unavailable(ReproError):
+    """Too few live replicas to meet the operation's quorum."""
+
+    def __init__(self, message: str, needed: int = 0, live: int = 0):
+        super().__init__(message)
+        self.needed = needed
+        self.live = live
+
+
+class Replica:
+    """One copy: a stable log of committed entries plus an up/down flag."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self.alive = True
+        #: Committed entries keyed by transaction name (idempotent merge).
+        self._log: Dict[str, LogEntry] = {}
+
+    def fail(self) -> None:
+        """Fail-stop: the replica stops answering; its log persists."""
+        self.alive = False
+
+    def recover(self) -> None:
+        """Rejoin with the (possibly stale) stable log."""
+        self.alive = True
+
+    def merge(self, entries: Dict[str, LogEntry]) -> None:
+        """Union incoming entries into the log (write-back propagation)."""
+        self._log.update(entries)
+
+    def entries(self) -> Dict[str, LogEntry]:
+        """A copy of the log."""
+        return dict(self._log)
+
+    def __repr__(self) -> str:
+        state = "up" if self.alive else "DOWN"
+        return f"Replica({self.name}, {state}, {len(self._log)} entries)"
+
+
+class ReplicatedObject:
+    """A hybrid atomic object stored as quorum-replicated logs."""
+
+    def __init__(
+        self,
+        name: str,
+        adt: ADT,
+        assignment: QuorumAssignment,
+        conflict: Optional[Relation] = None,
+    ):
+        self.name = name
+        self.adt = adt
+        self.spec = adt.spec
+        self.assignment = assignment
+        self.conflict = conflict if conflict is not None else adt.conflict
+        self.replicas = [
+            Replica(f"{name}/r{i}") for i in range(assignment.replicas)
+        ]
+        #: Active transactions' intentions (volatile, coordinator-side).
+        self._intentions: Dict[str, List[Operation]] = {}
+        #: Per-transaction merged view of committed entries (snapshot of
+        #: what its quorum reads have shown so far).
+        self._views: Dict[str, Dict[str, LogEntry]] = {}
+        #: Rotating offset so successive quorums spread across replicas
+        #: (any k-of-n choice preserves counted intersection).
+        self._rotation = 0
+
+    # ------------------------------------------------------------------
+    # Replica management
+    # ------------------------------------------------------------------
+
+    def live_replicas(self) -> List[Replica]:
+        """Replicas currently answering."""
+        return [replica for replica in self.replicas if replica.alive]
+
+    def fail_replicas(self, count: int) -> None:
+        """Fail the first ``count`` live replicas."""
+        for replica in self.live_replicas()[:count]:
+            replica.fail()
+
+    def recover_all(self) -> None:
+        """Bring every replica back up."""
+        for replica in self.replicas:
+            replica.recover()
+
+    # ------------------------------------------------------------------
+    # Quorum reads/writes
+    # ------------------------------------------------------------------
+
+    def _choose(self, size: int, kind: str) -> List[Replica]:
+        live = self.live_replicas()
+        if len(live) < size:
+            raise Unavailable(
+                f"{self.name}: {kind} quorum needs {size} replicas,"
+                f" only {len(live)} live",
+                needed=size,
+                live=len(live),
+            )
+        start = self._rotation % max(1, len(live))
+        self._rotation += 1
+        return [live[(start + i) % len(live)] for i in range(size)]
+
+    def _read_quorum(self, size: int) -> Dict[str, LogEntry]:
+        merged: Dict[str, LogEntry] = {}
+        for replica in self._choose(size, "initial"):
+            merged.update(replica.entries())
+        return merged
+
+    def _write_quorum(self, size: int, entries: Dict[str, LogEntry]) -> None:
+        for replica in self._choose(size, "final"):
+            replica.merge(entries)
+
+    @staticmethod
+    def _ordered(entries: Dict[str, LogEntry]) -> OperationSequence:
+        sequence: List[Operation] = []
+        for timestamp, _txn, ops in sorted(entries.values(), key=lambda e: e[0]):
+            sequence.extend(ops)
+        return tuple(sequence)
+
+    # ------------------------------------------------------------------
+    # Protocol steps (driven by the manager)
+    # ------------------------------------------------------------------
+
+    def execute(self, transaction: str, invocation: Invocation) -> Any:
+        """One locked operation: quorum read, choose result, check locks."""
+        spec_sizes = self.assignment.spec_for(invocation)
+        fresh = self._read_quorum(spec_sizes.initial)
+        view_entries = self._views.setdefault(transaction, {})
+        view_entries.update(fresh)
+        mine = self._intentions.setdefault(transaction, [])
+        view = self._ordered(view_entries) + tuple(mine)
+        states = self.spec.run(view)
+        results = self.spec.results_for(states, invocation)
+        if not results:
+            raise WouldBlock(f"{invocation} has no legal outcome in the view")
+        conflict: Optional[LockConflict] = None
+        for result in results:
+            operation = Operation(invocation, result)
+            try:
+                self._check_conflicts(transaction, operation)
+            except LockConflict as exc:
+                conflict = exc
+                continue
+            mine.append(operation)
+            return result
+        assert conflict is not None
+        raise conflict
+
+    def _check_conflicts(self, transaction: str, operation: Operation) -> None:
+        for other, ops in self._intentions.items():
+            if other == transaction:
+                continue
+            for held in ops:
+                if self.conflict.related(held, operation) or self.conflict.related(
+                    operation, held
+                ):
+                    raise LockConflict(
+                        f"{operation} conflicts with {held} held by {other}",
+                        holder=other,
+                        operation=held,
+                    )
+
+    def required_final_quorum(self, transaction: str) -> int:
+        """The largest final quorum among the transaction's operations."""
+        ops = self._intentions.get(transaction, [])
+        if not ops:
+            return 0
+        return max(
+            self.assignment.spec_for(op.invocation).final for op in ops
+        )
+
+    def can_commit(self, transaction: str) -> bool:
+        """Would the commit write reach its final quorum right now?"""
+        return len(self.live_replicas()) >= self.required_final_quorum(
+            transaction
+        )
+
+    def apply_commit(self, transaction: str, timestamp: Any) -> None:
+        """Write the committed entry (plus the merged view — the
+        propagation rule) to the final quorum and release locks."""
+        ops = tuple(self._intentions.pop(transaction, []))
+        view_entries = self._views.pop(transaction, {})
+        size = (
+            max(self.assignment.spec_for(op.invocation).final for op in ops)
+            if ops
+            else 1
+        )
+        entries = dict(view_entries)
+        entries[transaction] = (timestamp, transaction, ops)
+        self._write_quorum(size, entries)
+
+    def discard(self, transaction: str) -> None:
+        """Abort: drop volatile intentions and the cached view."""
+        self._intentions.pop(transaction, None)
+        self._views.pop(transaction, None)
+
+    def max_committed_timestamp(self, transaction: str) -> Optional[Any]:
+        """Largest commit timestamp visible in the transaction's view."""
+        entries = self._views.get(transaction)
+        if not entries:
+            return None
+        return max(entry[0] for entry in entries.values())
+
+    def snapshot(self) -> Any:
+        """Committed-state snapshot from a full read of live replicas."""
+        merged: Dict[str, LogEntry] = {}
+        for replica in self.live_replicas():
+            merged.update(replica.entries())
+        states = self.spec.run(self._ordered(merged))
+        return sorted(states, key=repr)[0]
+
+
+class ReplicatedTransactionManager:
+    """Transactions over quorum-replicated objects.
+
+    Same surface as the other managers.  Commit is atomic across objects:
+    every touched object's final-quorum availability is checked *before*
+    any write (the prepare phase of the assumed commitment protocol);
+    if any object is short of replicas the commit raises
+    :class:`Unavailable` and the transaction stays active so the caller
+    can retry after recovery or abort.
+    """
+
+    def __init__(
+        self,
+        generator: Optional[TimestampGenerator] = None,
+        record_history: bool = False,
+    ):
+        self._generator = generator or MonotoneTimestampGenerator()
+        self._objects: Dict[str, ReplicatedObject] = {}
+        self._transactions: Dict[str, Transaction] = {}
+        self._names = itertools.count(1)
+        self._record = record_history
+        self._events: List[Any] = []
+
+    def create_object(
+        self,
+        name: str,
+        adt: ADT,
+        assignment: QuorumAssignment,
+        conflict: Optional[Relation] = None,
+        validate: bool = True,
+        universe: Optional[Sequence[Operation]] = None,
+    ) -> ReplicatedObject:
+        """Create a replicated object; validates the assignment by default
+        against the ADT's dependency relation over its default universe."""
+        if name in self._objects:
+            raise ValueError(f"object {name!r} already exists")
+        if validate:
+            ops = list(universe) if universe is not None else adt.universe()
+            violations = assignment.validate(adt.dependency, ops)
+            if violations:
+                raise ValueError(
+                    "quorum assignment violates the dependency constraint: "
+                    + "; ".join(str(v) for v in violations)
+                )
+        managed = ReplicatedObject(name, adt, assignment, conflict)
+        self._objects[name] = managed
+        return managed
+
+    def object(self, name: str) -> ReplicatedObject:
+        """Look up an object by name."""
+        return self._objects[name]
+
+    @property
+    def objects(self) -> Dict[str, ReplicatedObject]:
+        """All objects by name."""
+        return dict(self._objects)
+
+    # -- lifecycle --------------------------------------------------------
+
+    def begin(self, name: Optional[str] = None) -> Transaction:
+        """Start a new transaction."""
+        if name is None:
+            name = f"T{next(self._names)}"
+        if name in self._transactions:
+            raise ValueError(f"transaction {name!r} already exists")
+        transaction = Transaction(name)
+        self._transactions[name] = transaction
+        return transaction
+
+    def invoke(
+        self, transaction: Transaction, obj: str, operation: str, *args: Any
+    ) -> Any:
+        """Execute one operation through the object's quorums."""
+        self._require_active(transaction)
+        invocation = Invocation(operation, args)
+        managed = self._objects[obj]
+        result = managed.execute(transaction.name, invocation)
+        transaction.touched.add(obj)
+        transaction.operations += 1
+        observed = managed.max_committed_timestamp(transaction.name)
+        if observed is not None:
+            self._generator.observe(transaction.name, observed)
+        if self._record:
+            self._events.append(InvocationEvent(transaction.name, obj, invocation))
+            self._events.append(ResponseEvent(transaction.name, obj, result))
+        return result
+
+    def commit(self, transaction: Transaction) -> Any:
+        """Two-phase commit: check quorums everywhere, then write."""
+        self._require_active(transaction)
+        for obj in sorted(transaction.touched):  # prepare
+            managed = self._objects[obj]
+            if not managed.can_commit(transaction.name):
+                raise Unavailable(
+                    f"cannot commit {transaction.name}: {obj} lacks its"
+                    " final quorum",
+                    needed=managed.required_final_quorum(transaction.name),
+                    live=len(managed.live_replicas()),
+                )
+        timestamp = self._generator.commit_timestamp(transaction.name)
+        for obj in sorted(transaction.touched):  # commit
+            self._objects[obj].apply_commit(transaction.name, timestamp)
+            if self._record:
+                self._events.append(CommitEvent(transaction.name, obj, timestamp))
+        transaction.status = Status.COMMITTED
+        transaction.timestamp = timestamp
+        self._generator.forget(transaction.name)
+        return timestamp
+
+    def abort(self, transaction: Transaction) -> None:
+        """Abort: drop volatile state everywhere (always available)."""
+        self._require_active(transaction)
+        for obj in sorted(transaction.touched):
+            self._objects[obj].discard(transaction.name)
+            if self._record:
+                self._events.append(AbortEvent(transaction.name, obj))
+        transaction.status = Status.ABORTED
+        self._generator.forget(transaction.name)
+
+    def _require_active(self, transaction: Transaction) -> None:
+        if self._transactions.get(transaction.name) is not transaction:
+            raise ProtocolError(f"unknown transaction {transaction.name!r}")
+        if not transaction.is_active:
+            raise TransactionAborted(
+                f"{transaction.name} is {transaction.status.value}"
+            )
+
+    # -- convenience ------------------------------------------------------
+
+    def run_transaction(
+        self, body, max_attempts: int = 25, name: Optional[str] = None
+    ) -> Any:
+        """Run with retry on lock conflicts / blocked partial operations."""
+        from ..runtime.manager import TransactionContext
+
+        error: Optional[Exception] = None
+        for attempt in range(max_attempts):
+            suffix = f"#{attempt}" if attempt else ""
+            transaction = self.begin(None if name is None else name + suffix)
+            context = TransactionContext(self, transaction)
+            try:
+                value = body(context)
+                self.commit(transaction)
+                return value
+            except (LockConflict, WouldBlock) as exc:
+                if transaction.is_active:
+                    self.abort(transaction)
+                error = exc
+                continue
+            except BaseException:
+                if transaction.is_active:
+                    self.abort(transaction)
+                raise
+        assert error is not None
+        raise error
+
+    # -- verification -----------------------------------------------------
+
+    def history(self) -> History:
+        """The recorded global history (requires ``record_history=True``)."""
+        if not self._record:
+            raise ProtocolError("manager was created with record_history=False")
+        return History(self._events, validate=False)
+
+    def specs(self) -> Dict[str, Any]:
+        """Object-name → serial-spec map for the atomicity checkers."""
+        return {name: managed.spec for name, managed in self._objects.items()}

@@ -1,0 +1,20 @@
+"""Runtime layer: transaction manager over hybrid atomic objects."""
+
+from .manager import ManagedObject, TransactionContext, TransactionManager
+from .optimistic import (
+    OptimisticObject,
+    OptimisticTransactionManager,
+    ValidationFailed,
+)
+from .transaction import Status, Transaction
+
+__all__ = [
+    "TransactionManager",
+    "TransactionContext",
+    "ManagedObject",
+    "Transaction",
+    "Status",
+    "OptimisticTransactionManager",
+    "OptimisticObject",
+    "ValidationFailed",
+]

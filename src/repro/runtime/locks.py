@@ -1,0 +1,157 @@
+"""Mode-based lock tables — the appendix's ``lock_tab``, in Python.
+
+The formal LOCK machine checks conflicts by scanning active intentions
+with a predicate relation, which is exact but O(held operations).  The
+Avalon/C++ appendix shows what production code does instead: classify
+operations into a small set of *lock modes* and keep a mode-by-mode
+conflict matrix::
+
+    locks.define(CREDIT_LOCK, OVERDRAFT_LOCK);
+    locks.define(POST_LOCK,   OVERDRAFT_LOCK);
+    locks.define(DEBIT_LOCK,  DEBIT_LOCK);
+
+:class:`LockTable` reproduces that API (``define`` / ``conflict`` /
+``grant`` / ``release``) with O(modes) conflict checks, and
+:func:`mode_table_from_relation` compiles a mode matrix from any conflict
+relation given a mode classifier — with a soundness check that the
+classification does not *lose* conflicts (two operations mapped to
+non-conflicting modes must never be related).  Classifications may be
+conservative (mode-level conflicts can exceed operation-level ones); the
+Account classification below is exact, reproducing the appendix table
+bit for bit, as the tests verify against the predicate relation.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Callable, Dict, FrozenSet, List, Sequence, Set
+
+from ..core.conflict import Relation
+from ..core.operations import Operation
+
+__all__ = [
+    "LockTable",
+    "ModeClassificationError",
+    "mode_table_from_relation",
+    "account_lock_mode",
+    "ACCOUNT_LOCK_MODES",
+]
+
+
+class ModeClassificationError(ValueError):
+    """The mode classifier merges operations whose conflicts differ."""
+
+
+class LockTable:
+    """Per-object lock bookkeeping with a symmetric mode-conflict matrix.
+
+    The appendix API:
+
+    * :meth:`define` — mark two modes as conflicting (symmetric);
+    * :meth:`conflict` — may ``who`` take a lock in ``mode`` now?
+      (True in the appendix meant "ok to grant"; here we return True when
+      a *conflict exists*, the more conventional reading — the appendix's
+      ``when`` guard becomes ``not table.conflict(mode, who)``);
+    * :meth:`grant` — record the lock (idempotent per transaction+mode);
+    * :meth:`release` — drop all locks of a transaction.
+    """
+
+    def __init__(self):
+        self._conflicts: Set[FrozenSet[str]] = set()
+        #: mode -> multiset of holders.
+        self._held: Dict[str, Counter] = {}
+
+    def define(self, mode_a: str, mode_b: str) -> None:
+        """Register a (symmetric) conflict between two modes."""
+        self._conflicts.add(frozenset((mode_a, mode_b)))
+
+    def modes_conflict(self, mode_a: str, mode_b: str) -> bool:
+        """Do the two modes conflict?"""
+        return frozenset((mode_a, mode_b)) in self._conflicts
+
+    def conflict(self, mode: str, who: str) -> bool:
+        """Does another transaction hold a lock conflicting with ``mode``?"""
+        for held_mode, holders in self._held.items():
+            if not self.modes_conflict(mode, held_mode):
+                continue
+            for holder, count in holders.items():
+                if holder != who and count > 0:
+                    return True
+        return False
+
+    def grant(self, mode: str, who: str) -> None:
+        """Record that ``who`` holds a ``mode`` lock (counted)."""
+        self._held.setdefault(mode, Counter())[who] += 1
+
+    def release(self, who: str) -> None:
+        """Drop every lock held by ``who``."""
+        for holders in self._held.values():
+            holders.pop(who, None)
+
+    def holders(self, mode: str) -> List[str]:
+        """Transactions currently holding ``mode`` locks."""
+        return sorted(
+            holder
+            for holder, count in self._held.get(mode, Counter()).items()
+            if count > 0
+        )
+
+
+def mode_table_from_relation(
+    relation: Relation,
+    universe: Sequence[Operation],
+    classify: Callable[[Operation], str],
+    strict: bool = True,
+) -> LockTable:
+    """Compile a :class:`LockTable` from a conflict relation.
+
+    Two modes conflict when *any* pair of their member operations is
+    related.  With ``strict=True`` (default) the classifier must be
+    *exact* over the universe: if any member pair of two modes conflicts,
+    all pairs must — otherwise the mode table would refuse locks the
+    relation permits, and :class:`ModeClassificationError` pinpoints the
+    offending modes.  Pass ``strict=False`` to accept a conservative
+    classification deliberately.
+    """
+    members: Dict[str, List[Operation]] = {}
+    for operation in universe:
+        members.setdefault(classify(operation), []).append(operation)
+
+    table = LockTable()
+    for mode_a, ops_a in members.items():
+        for mode_b, ops_b in members.items():
+            related = [
+                (p, q)
+                for p in ops_a
+                for q in ops_b
+                if p is not q and (relation.related(p, q) or relation.related(q, p))
+            ]
+            if not related:
+                continue
+            if strict:
+                total = sum(
+                    1 for p in ops_a for q in ops_b if p is not q
+                )
+                if len(related) != total:
+                    raise ModeClassificationError(
+                        f"modes {mode_a!r} and {mode_b!r} mix conflicting and"
+                        f" non-conflicting operation pairs; refine the"
+                        f" classifier or pass strict=False"
+                    )
+            table.define(mode_a, mode_b)
+    return table
+
+
+#: The appendix's Account lock modes.
+ACCOUNT_LOCK_MODES = ("CREDIT_LOCK", "POST_LOCK", "DEBIT_LOCK", "OVERDRAFT_LOCK")
+
+
+def account_lock_mode(operation: Operation) -> str:
+    """The appendix's classification: Debit splits by its *result*."""
+    if operation.name == "Credit":
+        return "CREDIT_LOCK"
+    if operation.name == "Post":
+        return "POST_LOCK"
+    if operation.name == "Debit":
+        return "DEBIT_LOCK" if operation.result == "Ok" else "OVERDRAFT_LOCK"
+    raise ValueError(f"not an Account operation: {operation}")

@@ -1,0 +1,403 @@
+"""The transaction manager: objects, timestamps, atomic commitment.
+
+This module plays the role the Avalon runtime plays for the appendix's
+Account implementation: it creates hybrid atomic objects, hands out
+transaction identities, collects which objects each transaction touches,
+obtains commit timestamps satisfying the Section 3.3 constraint, and
+delivers completion events to every touched object (atomic commitment —
+the paper assumes a standard commit protocol [7, 15, 19]; here the manager
+*is* the coordinator and delivery is atomic by construction).
+
+Each managed object is a :class:`~repro.core.compaction.CompactingLockMachine`
+(or the plain machine, on request) running the hybrid protocol — or any
+baseline protocol from :mod:`repro.protocols`, since those merely use a
+larger conflict relation on the same machine.
+
+The manager can also record the *global* history of accepted events so a
+test can feed it to the Section 3 checkers.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Callable, Dict, List, Optional
+
+from ..adts.base import ADT
+from ..core.compaction import NEG_INFINITY, CompactingLockMachine
+from ..core.conflict import Relation
+from ..core.errors import LockConflict, ProtocolError, TransactionAborted, WouldBlock
+from ..core.events import AbortEvent, CommitEvent, InvocationEvent, ResponseEvent
+from ..core.history import History
+from ..core.lock_machine import LockMachine
+from ..core.operations import Invocation, Operation
+from ..core.timestamps import MonotoneTimestampGenerator, TimestampGenerator
+from ..protocols.base import HYBRID, ProtocolSpec
+from .transaction import Status, Transaction
+
+__all__ = ["ManagedObject", "TransactionManager"]
+
+
+class ManagedObject:
+    """A named hybrid atomic object owned by a :class:`TransactionManager`."""
+
+    def __init__(
+        self,
+        name: str,
+        adt: ADT,
+        conflict: Relation,
+        compacting: bool = True,
+    ):
+        self.name = name
+        self.adt = adt
+        machine_cls = CompactingLockMachine if compacting else LockMachine
+        self.machine = machine_cls(adt.spec, conflict, obj=name)
+
+    def max_committed_timestamp(self) -> Any:
+        """The largest commit timestamp this object has observed.
+
+        This is the value a transaction "may have seen" after completing an
+        operation here — the input to the timestamp generator's bound.
+        """
+        machine = self.machine
+        if isinstance(machine, CompactingLockMachine):
+            return machine.clock
+        committed = machine.committed_transactions
+        return max(committed.values()) if committed else NEG_INFINITY
+
+    def snapshot(self) -> Any:
+        """A committed-state snapshot (one abstract state), for inspection.
+
+        Picks the representative state deterministically when the
+        specification's non-determinism leaves several.
+        """
+        machine = self.machine
+        if isinstance(machine, CompactingLockMachine):
+            states = machine.spec.run_from(
+                machine.version_states, machine.committed_state()
+            )
+        else:
+            states = machine.spec.run(machine.committed_state())
+        return sorted(states, key=repr)[0]
+
+
+class TransactionManager:
+    """Coordinates transactions across a set of hybrid atomic objects.
+
+    Parameters
+    ----------
+    generator:
+        Commit-timestamp generator; defaults to a monotone logical clock.
+    record_history:
+        When True, every accepted event is appended to a global log
+        retrievable via :meth:`history` — used by the verification tests.
+        Leave off for long simulations.
+    compacting:
+        Build objects on the Section 6 compacting machine (default) or the
+        plain machine.
+    """
+
+    def __init__(
+        self,
+        generator: Optional[TimestampGenerator] = None,
+        record_history: bool = False,
+        compacting: bool = True,
+    ):
+        self._generator = generator or MonotoneTimestampGenerator()
+        self._objects: Dict[str, ManagedObject] = {}
+        self._transactions: Dict[str, Transaction] = {}
+        self._names = itertools.count(1)
+        self._record = record_history
+        self._events: List[Any] = []
+        self._compacting = compacting
+
+    # ------------------------------------------------------------------
+    # Setup
+    # ------------------------------------------------------------------
+
+    def create_object(
+        self,
+        name: str,
+        adt: ADT,
+        protocol: ProtocolSpec = HYBRID,
+        conflict: Optional[Relation] = None,
+    ) -> ManagedObject:
+        """Create and register a managed object.
+
+        ``conflict`` overrides the protocol's conflict relation when given
+        (e.g. to run a hand-tuned table).
+        """
+        if name in self._objects:
+            raise ValueError(f"object {name!r} already exists")
+        relation = conflict if conflict is not None else protocol.conflict_for(adt)
+        managed = ManagedObject(name, adt, relation, compacting=self._compacting)
+        self._objects[name] = managed
+        return managed
+
+    def object(self, name: str) -> ManagedObject:
+        """Look up a managed object by name."""
+        return self._objects[name]
+
+    @property
+    def objects(self) -> Dict[str, ManagedObject]:
+        """All managed objects by name."""
+        return dict(self._objects)
+
+    # ------------------------------------------------------------------
+    # Transaction lifecycle
+    # ------------------------------------------------------------------
+
+    def begin(self, name: Optional[str] = None) -> Transaction:
+        """Start a new transaction."""
+        if name is None:
+            name = f"T{next(self._names)}"
+        if name in self._transactions:
+            raise ValueError(f"transaction {name!r} already exists")
+        transaction = Transaction(name)
+        self._transactions[name] = transaction
+        return transaction
+
+    def begin_readonly(self, name: Optional[str] = None) -> Transaction:
+        """Start a multiversion *read-only* transaction (Section 7.1).
+
+        Its serialization timestamp is chosen now, at start; reads observe
+        the committed state as of that timestamp, take no locks, never
+        block updaters, and never abort.  Requires a monotone timestamp
+        generator (future updaters must commit above the start timestamp
+        for the snapshot to be complete).
+        """
+        if not isinstance(self._generator, MonotoneTimestampGenerator):
+            raise ProtocolError(
+                "read-only transactions require a monotone timestamp"
+                " generator: a skewed generator could commit an updater"
+                " below the reader's start timestamp"
+            )
+        transaction = self.begin(name)
+        transaction.read_only = True
+        transaction.timestamp = self._generator.commit_timestamp(transaction.name)
+        # Pin the snapshot everywhere now — the read set is not known in
+        # advance, and an object must not fold commits above the reader's
+        # timestamp into its version while the reader lives.
+        for managed in self._objects.values():
+            machine = managed.machine
+            if isinstance(machine, CompactingLockMachine):
+                machine.pin(transaction.name, transaction.timestamp)
+        return transaction
+
+    def invoke(
+        self, transaction: Transaction, obj: str, operation: str, *args: Any
+    ) -> Any:
+        """Execute one operation; returns its result.
+
+        Raises :class:`LockConflict` when another active transaction holds
+        a conflicting lock (retry later), :class:`WouldBlock` when a
+        partial operation has no legal outcome yet, and
+        :class:`TransactionAborted` when the transaction is not active.
+        """
+        self._require_active(transaction)
+        managed = self._objects[obj]
+        invocation = Invocation(operation, args)
+        if transaction.read_only:
+            result = self._read_only_invoke(transaction, managed, invocation)
+            transaction.touched.add(obj)
+            transaction.operations += 1
+            if self._record:
+                self._events.append(
+                    InvocationEvent(transaction.name, obj, invocation)
+                )
+                self._events.append(ResponseEvent(transaction.name, obj, result))
+            return result
+        result = managed.machine.execute(transaction.name, invocation)
+        transaction.touched.add(obj)
+        transaction.operations += 1
+        # Section 3.3 / Section 6: after a response at X the transaction's
+        # eventual commit timestamp must exceed every timestamp committed
+        # at X — feed the object's clock into the generator's bound.
+        observed = managed.max_committed_timestamp()
+        if observed is not NEG_INFINITY:
+            self._generator.observe(transaction.name, observed)
+        if self._record:
+            self._events.append(
+                InvocationEvent(transaction.name, obj, invocation)
+            )
+            self._events.append(ResponseEvent(transaction.name, obj, result))
+        return result
+
+    def _read_only_invoke(
+        self, transaction: Transaction, managed: ManagedObject, invocation: Invocation
+    ) -> Any:
+        """Serve a read at the transaction's start timestamp, lock-free."""
+        machine = managed.machine
+        if not isinstance(machine, CompactingLockMachine):
+            raise ProtocolError(
+                "read-only transactions require compacting objects"
+                " (multiversion reads use the horizon machinery)"
+            )
+        if transaction.name not in machine._pins:
+            # The object was created after the reader began; its snapshot
+            # at the reader's timestamp may already be unaddressable.
+            raise ProtocolError(
+                f"object {managed.name!r} was created after read-only"
+                f" transaction {transaction.name} began"
+            )
+        states = machine.read_view_states(transaction.timestamp)
+        results = machine.spec.results_for(states, invocation)
+        if not results:
+            raise WouldBlock(
+                f"{invocation} has no legal outcome in the snapshot"
+            )
+        result = results[0]
+        operation = Operation(invocation, result)
+        if not managed.adt.is_read(operation):
+            raise ProtocolError(
+                f"{operation} is not a read operation; read-only"
+                " transactions may only observe"
+            )
+        return result
+
+    def commit(self, transaction: Transaction) -> Any:
+        """Commit: choose a timestamp and deliver it to all touched objects.
+
+        Returns the commit timestamp.  Delivery is atomic: either every
+        touched object learns ``commit(t)`` or none does (the manager is a
+        single-site coordinator, so the paper's assumed commitment protocol
+        degenerates to a loop).
+
+        Read-only transactions just release their pins; their timestamp
+        was fixed at start.
+        """
+        self._require_active(transaction)
+        if transaction.read_only:
+            return self._finish_readonly(transaction, commit=True)
+        timestamp = self._generator.commit_timestamp(transaction.name)
+        for obj in sorted(transaction.touched):
+            self._objects[obj].machine.commit(transaction.name, timestamp)
+            if self._record:
+                self._events.append(CommitEvent(transaction.name, obj, timestamp))
+        transaction.status = Status.COMMITTED
+        transaction.timestamp = timestamp
+        self._generator.forget(transaction.name)
+        return timestamp
+
+    def abort(self, transaction: Transaction) -> None:
+        """Abort: deliver abort events to all touched objects."""
+        self._require_active(transaction)
+        if transaction.read_only:
+            self._finish_readonly(transaction, commit=False)
+            return
+        for obj in sorted(transaction.touched):
+            self._objects[obj].machine.abort(transaction.name)
+            if self._record:
+                self._events.append(AbortEvent(transaction.name, obj))
+        transaction.status = Status.ABORTED
+        self._generator.forget(transaction.name)
+
+    def _finish_readonly(self, transaction: Transaction, commit: bool) -> Any:
+        """Release pins and record the outcome of a read-only transaction."""
+        for name, managed in self._objects.items():
+            machine = managed.machine
+            if isinstance(machine, CompactingLockMachine):
+                machine.unpin(transaction.name)
+        for obj in sorted(transaction.touched):
+            if self._record:
+                if commit:
+                    self._events.append(
+                        CommitEvent(transaction.name, obj, transaction.timestamp)
+                    )
+                else:
+                    self._events.append(AbortEvent(transaction.name, obj))
+        transaction.status = Status.COMMITTED if commit else Status.ABORTED
+        self._generator.forget(transaction.name)
+        return transaction.timestamp
+
+    def _require_active(self, transaction: Transaction) -> None:
+        if self._transactions.get(transaction.name) is not transaction:
+            raise ProtocolError(f"unknown transaction {transaction.name!r}")
+        if not transaction.is_active:
+            raise TransactionAborted(
+                f"{transaction.name} is {transaction.status.value}"
+            )
+
+    def crash(self) -> List[str]:
+        """Simulate a site crash; returns the aborted transaction names.
+
+        The paper's recovery story is intentions-based: uncommitted
+        intentions are volatile, the committed state (here the compacted
+        version plus committed intentions, standing in for stable
+        storage) survives.  A crash therefore aborts every active
+        transaction — exactly the abort events the formal model already
+        handles — and leaves committed effects untouched.  Read-only
+        transactions lose their pins like everyone else.
+        """
+        victims = [
+            transaction
+            for transaction in self._transactions.values()
+            if transaction.is_active
+        ]
+        for transaction in victims:
+            self.abort(transaction)
+        return [transaction.name for transaction in victims]
+
+    # ------------------------------------------------------------------
+    # Convenience: run a transaction body with retry
+    # ------------------------------------------------------------------
+
+    def run_transaction(
+        self,
+        body: Callable[["TransactionContext"], Any],
+        max_attempts: int = 25,
+        name: Optional[str] = None,
+    ) -> Any:
+        """Run ``body`` as a transaction, retrying on lock conflicts.
+
+        ``body`` receives a :class:`TransactionContext` and may call
+        ``ctx.invoke(obj, op, *args)``.  On :class:`LockConflict` or
+        :class:`WouldBlock` the whole transaction is aborted and restarted
+        (simple and livelock-free under a fair scheduler); after
+        ``max_attempts`` failures the last error propagates.
+        """
+        error: Optional[Exception] = None
+        for attempt in range(max_attempts):
+            suffix = f"#{attempt}" if attempt else ""
+            transaction = self.begin(None if name is None else name + suffix)
+            context = TransactionContext(self, transaction)
+            try:
+                value = body(context)
+            except (LockConflict, WouldBlock) as exc:
+                self.abort(transaction)
+                error = exc
+                continue
+            except BaseException:
+                if transaction.is_active:
+                    self.abort(transaction)
+                raise
+            self.commit(transaction)
+            return value
+        assert error is not None
+        raise error
+
+    # ------------------------------------------------------------------
+    # Verification support
+    # ------------------------------------------------------------------
+
+    def history(self) -> History:
+        """The recorded global history (requires ``record_history=True``)."""
+        if not self._record:
+            raise ProtocolError("manager was created with record_history=False")
+        return History(self._events, validate=False)
+
+    def specs(self) -> Dict[str, Any]:
+        """Object-name → serial-spec map, as the atomicity checkers want."""
+        return {name: managed.adt.spec for name, managed in self._objects.items()}
+
+
+class TransactionContext:
+    """What a :meth:`TransactionManager.run_transaction` body sees."""
+
+    def __init__(self, manager: TransactionManager, transaction: Transaction):
+        self._manager = manager
+        #: The underlying transaction record (exposed for tests/metrics).
+        self.transaction = transaction
+
+    def invoke(self, obj: str, operation: str, *args: Any) -> Any:
+        """Execute one operation within this transaction."""
+        return self._manager.invoke(self.transaction, obj, operation, *args)

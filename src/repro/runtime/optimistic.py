@@ -1,0 +1,297 @@
+"""Type-specific *optimistic* concurrency control (library extension).
+
+The paper's Discussion (Section 7.2) notes that dependency relations
+"form the basis for validation in type-specific optimistic concurrency
+control mechanisms" (Herlihy's 1990 TODS paper, [9]).  This module builds
+that mechanism on the same substrate as the locking runtime:
+
+* transactions execute **without locks**, reading a view made of the
+  committed state plus their own intentions;
+* at commit, each touched object *validates* the transaction against the
+  operations committed since it started:
+
+  - **fast path** (dependency check): if no operation of the transaction
+    depends on any newly committed operation, its old view is still a
+    dependency-closed view of the new committed state and Lemma 7
+    guarantees legality — commit without replay;
+  - **slow path** (replay): otherwise re-run the transaction's intentions
+    after the current committed state; if every operation is still legal
+    with the same results, the interleaving is serializable anyway;
+
+* validation failure aborts the transaction (:class:`ValidationFailed`),
+  the optimistic analogue of a lock refusal.
+
+Commit timestamps are issued monotonically at commit, so the
+serialization order is the commit order and validation against
+"committed since start" is exactly what hybrid atomicity needs.  The
+verification tests check recorded histories with the Section 3 machinery,
+and the crossover benchmark compares optimistic and locking engines under
+rising contention.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Dict, List, Optional
+
+from ..adts.base import ADT
+from ..core.conflict import Relation
+from ..core.errors import ProtocolError, ReproError, TransactionAborted, WouldBlock
+from ..core.events import AbortEvent, CommitEvent, InvocationEvent, ResponseEvent
+from ..core.history import History
+from ..core.operations import Invocation, Operation, OperationSequence
+from ..core.timestamps import LogicalClock
+from .transaction import Status, Transaction
+
+__all__ = ["ValidationFailed", "OptimisticObject", "OptimisticTransactionManager"]
+
+
+class ValidationFailed(ReproError):
+    """Commit-time validation found a dependency on a later-committed
+    operation that replay could not reconcile; the transaction aborts."""
+
+    def __init__(self, message: str = "", obj: str = ""):
+        super().__init__(message or "optimistic validation failed")
+        #: Object at which validation failed.
+        self.obj = obj
+
+
+class OptimisticObject:
+    """One object under optimistic control.
+
+    Keeps the committed operation sequence (compacted into a state-set
+    version plus a tail so validation windows stay addressable), each
+    active transaction's intentions, and the committed-sequence index at
+    which each transaction started.
+    """
+
+    def __init__(self, name: str, adt: ADT, dependency: Optional[Relation] = None):
+        self.name = name
+        self.adt = adt
+        self.spec = adt.spec
+        #: Directional dependency relation used for fast-path validation.
+        self.dependency = dependency if dependency is not None else adt.dependency
+        self._committed: List[Operation] = []
+        self._intentions: Dict[str, List[Operation]] = {}
+        self._start_index: Dict[str, int] = {}
+        #: Fast/slow path counters (exposed for the benchmarks).
+        self.fast_validations = 0
+        self.replay_validations = 0
+        self.failed_validations = 0
+
+    # ------------------------------------------------------------------
+
+    def committed_sequence(self) -> OperationSequence:
+        """The committed operations, in commit (= timestamp) order."""
+        return tuple(self._committed)
+
+    def intentions(self, transaction: str) -> OperationSequence:
+        """Operations executed so far by the transaction at this object."""
+        return tuple(self._intentions.get(transaction, ()))
+
+    def invoke(self, transaction: str, invocation: Invocation) -> Any:
+        """Execute without locking: choose a result legal in the view.
+
+        Raises :class:`WouldBlock` when the view enables no outcome.
+        """
+        if transaction not in self._start_index:
+            self._start_index[transaction] = len(self._committed)
+        mine = self._intentions.setdefault(transaction, [])
+        view = self._committed[: self._start_index[transaction]] + mine
+        states = self.spec.run(view)
+        results = self.spec.results_for(states, invocation)
+        if not results:
+            raise WouldBlock(f"{invocation} has no legal outcome in the view")
+        result = results[0]
+        mine.append(Operation(invocation, result))
+        return result
+
+    def validate(self, transaction: str) -> bool:
+        """Commit-time certification against newly committed operations."""
+        mine = self._intentions.get(transaction, [])
+        start = self._start_index.get(transaction, len(self._committed))
+        new_ops = self._committed[start:]
+        if not new_ops or not mine:
+            self.fast_validations += 1
+            return True
+        # Fast path: nothing of mine depends on anything new (Lemma 7).
+        if not any(
+            self.dependency.related(q, p) for q in mine for p in new_ops
+        ):
+            self.fast_validations += 1
+            return True
+        # Slow path: replay after the full committed sequence.
+        self.replay_validations += 1
+        if self.spec.run(tuple(self._committed) + tuple(mine)):
+            return True
+        self.failed_validations += 1
+        return False
+
+    def apply_commit(self, transaction: str) -> None:
+        """Fold a validated transaction's intentions into the committed
+        sequence (commit order = timestamp order)."""
+        self._committed.extend(self._intentions.pop(transaction, []))
+        self._start_index.pop(transaction, None)
+
+    def discard(self, transaction: str) -> None:
+        """Drop an aborted transaction's footprint."""
+        self._intentions.pop(transaction, None)
+        self._start_index.pop(transaction, None)
+
+    def snapshot(self) -> Any:
+        """A committed-state snapshot (deterministic representative)."""
+        states = self.spec.run(tuple(self._committed))
+        return sorted(states, key=repr)[0]
+
+
+class OptimisticTransactionManager:
+    """Drop-in alternative to :class:`~repro.runtime.TransactionManager`
+    running the optimistic engine.
+
+    Same surface: ``create_object`` / ``begin`` / ``invoke`` / ``commit``
+    / ``abort`` / ``run_transaction`` / ``history`` / ``specs``.  Commit
+    raises :class:`ValidationFailed` (after aborting the transaction) when
+    certification fails at any touched object — the atomic-commitment
+    analogue of a coordinator voting "no".
+    """
+
+    def __init__(self, record_history: bool = False):
+        self._objects: Dict[str, OptimisticObject] = {}
+        self._transactions: Dict[str, Transaction] = {}
+        self._names = itertools.count(1)
+        self._clock = LogicalClock()
+        self._record = record_history
+        self._events: List[Any] = []
+
+    # -- setup ----------------------------------------------------------
+
+    def create_object(
+        self, name: str, adt: ADT, dependency: Optional[Relation] = None, **_ignored
+    ) -> OptimisticObject:
+        """Create an optimistic object (``dependency`` overrides the
+        fast-path relation; extra kwargs accepted for interface parity)."""
+        if name in self._objects:
+            raise ValueError(f"object {name!r} already exists")
+        managed = OptimisticObject(name, adt, dependency)
+        self._objects[name] = managed
+        return managed
+
+    def object(self, name: str) -> OptimisticObject:
+        """Look up an object by name."""
+        return self._objects[name]
+
+    @property
+    def objects(self) -> Dict[str, OptimisticObject]:
+        """All objects by name."""
+        return dict(self._objects)
+
+    # -- transaction lifecycle -------------------------------------------
+
+    def begin(self, name: Optional[str] = None) -> Transaction:
+        """Start a new transaction."""
+        if name is None:
+            name = f"T{next(self._names)}"
+        if name in self._transactions:
+            raise ValueError(f"transaction {name!r} already exists")
+        transaction = Transaction(name)
+        self._transactions[name] = transaction
+        return transaction
+
+    def invoke(
+        self, transaction: Transaction, obj: str, operation: str, *args: Any
+    ) -> Any:
+        """Execute one operation without locking."""
+        self._require_active(transaction)
+        invocation = Invocation(operation, args)
+        result = self._objects[obj].invoke(transaction.name, invocation)
+        transaction.touched.add(obj)
+        transaction.operations += 1
+        if self._record:
+            self._events.append(InvocationEvent(transaction.name, obj, invocation))
+            self._events.append(ResponseEvent(transaction.name, obj, result))
+        return result
+
+    def commit(self, transaction: Transaction) -> Any:
+        """Validate at every touched object, then commit atomically.
+
+        On validation failure the transaction is aborted everywhere and
+        :class:`ValidationFailed` is raised.
+        """
+        self._require_active(transaction)
+        for obj in sorted(transaction.touched):
+            if not self._objects[obj].validate(transaction.name):
+                self._abort_internal(transaction)
+                raise ValidationFailed(
+                    f"{transaction.name} invalidated by a concurrent commit"
+                    f" at {obj}",
+                    obj=obj,
+                )
+        timestamp = self._clock.tick()
+        for obj in sorted(transaction.touched):
+            self._objects[obj].apply_commit(transaction.name)
+            if self._record:
+                self._events.append(CommitEvent(transaction.name, obj, timestamp))
+        transaction.status = Status.COMMITTED
+        transaction.timestamp = timestamp
+        return timestamp
+
+    def abort(self, transaction: Transaction) -> None:
+        """Abort: discard the transaction's footprint everywhere."""
+        self._require_active(transaction)
+        self._abort_internal(transaction)
+
+    def _abort_internal(self, transaction: Transaction) -> None:
+        for obj in sorted(transaction.touched):
+            self._objects[obj].discard(transaction.name)
+            if self._record:
+                self._events.append(AbortEvent(transaction.name, obj))
+        transaction.status = Status.ABORTED
+
+    def _require_active(self, transaction: Transaction) -> None:
+        if self._transactions.get(transaction.name) is not transaction:
+            raise ProtocolError(f"unknown transaction {transaction.name!r}")
+        if not transaction.is_active:
+            raise TransactionAborted(
+                f"{transaction.name} is {transaction.status.value}"
+            )
+
+    # -- convenience ------------------------------------------------------
+
+    def run_transaction(
+        self, body, max_attempts: int = 25, name: Optional[str] = None
+    ) -> Any:
+        """Run ``body`` with restart-on-validation-failure semantics."""
+        from .manager import TransactionContext
+
+        error: Optional[Exception] = None
+        for attempt in range(max_attempts):
+            suffix = f"#{attempt}" if attempt else ""
+            transaction = self.begin(None if name is None else name + suffix)
+            context = TransactionContext(self, transaction)
+            try:
+                value = body(context)
+                self.commit(transaction)
+                return value
+            except (ValidationFailed, WouldBlock) as exc:
+                if transaction.is_active:
+                    self.abort(transaction)
+                error = exc
+                continue
+            except BaseException:
+                if transaction.is_active:
+                    self.abort(transaction)
+                raise
+        assert error is not None
+        raise error
+
+    # -- verification -----------------------------------------------------
+
+    def history(self) -> History:
+        """The recorded global history (requires ``record_history=True``)."""
+        if not self._record:
+            raise ProtocolError("manager was created with record_history=False")
+        return History(self._events, validate=False)
+
+    def specs(self) -> Dict[str, Any]:
+        """Object-name → serial-spec map for the atomicity checkers."""
+        return {name: managed.spec for name, managed in self._objects.items()}

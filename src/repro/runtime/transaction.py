@@ -1,0 +1,64 @@
+"""Transaction handles (the appendix's ``trans_id`` analogue).
+
+A :class:`Transaction` is the manager-side record for one transaction:
+identity, status, the set of objects it has touched (needed for atomic
+commitment), and the commit timestamp once chosen.  User code never
+constructs these directly; use :meth:`repro.runtime.TransactionManager.begin`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Optional, Set
+
+__all__ = ["Status", "Transaction"]
+
+
+class Status(enum.Enum):
+    """Lifecycle of a transaction."""
+
+    ACTIVE = "active"
+    COMMITTED = "committed"
+    ABORTED = "aborted"
+
+
+@dataclass
+class Transaction:
+    """Manager-side transaction record.
+
+    Attributes
+    ----------
+    name:
+        Unique transaction identifier (appears in events and histories).
+    status:
+        Current lifecycle state.
+    touched:
+        Names of objects at which the transaction executed operations;
+        these are exactly the objects that must learn of its completion.
+    timestamp:
+        The commit timestamp — set at commit for update transactions, at
+        *start* for read-only transactions (Section 7.1's hybrid of
+        dynamic and static atomicity).
+    operations:
+        Count of operations executed (for metrics).
+    read_only:
+        True for multiversion read-only transactions: they read the
+        committed state as of their start timestamp, take no locks, and
+        never block or abort updaters.
+    """
+
+    name: str
+    status: Status = Status.ACTIVE
+    touched: Set[str] = field(default_factory=set)
+    timestamp: Optional[Any] = None
+    operations: int = 0
+    read_only: bool = False
+
+    @property
+    def is_active(self) -> bool:
+        """True while the transaction may still execute operations."""
+        return self.status is Status.ACTIVE
+
+    def __str__(self) -> str:
+        return self.name

@@ -1,0 +1,252 @@
+"""Simulated experiments: clients driving the runtime under a protocol.
+
+:func:`run_experiment` builds a :class:`~repro.runtime.TransactionManager`
+whose objects use the given protocol's conflict relations, spawns one
+simulated client per workload slot, and runs the discrete-event loop for a
+fixed simulated duration.  Clients repeatedly:
+
+1. draw a transaction script from the workload,
+2. execute its steps, each costing ``op_time``; a refused lock costs a
+   ``backoff`` delay and a retry of the same step; a would-block partial
+   operation likewise waits and retries,
+3. after too many consecutive refusals of one step, abort and restart the
+   transaction with a fresh script (counting an abort),
+4. commit (costing ``commit_time``) and start over after ``think_time``.
+
+The knobs are identical across protocols within a comparison, so measured
+differences come only from which interleavings each conflict relation
+admits — the paper's quantity of interest.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from ..core.errors import LockConflict, WouldBlock
+from ..core.compaction import CompactingLockMachine
+from ..protocols.base import HYBRID, ProtocolSpec
+from ..runtime.manager import TransactionManager
+from ..runtime.optimistic import OptimisticTransactionManager, ValidationFailed
+from ..runtime.transaction import Transaction
+from .des import Simulator
+from .metrics import Metrics
+from .waiting import DeadlockDetected, WaitRegistry
+from .workload import Step, Workload
+
+__all__ = ["ClientParams", "run_experiment", "compare_protocols"]
+
+
+@dataclass(frozen=True)
+class ClientParams:
+    """Timing and scheduling knobs shared by every client in a run.
+
+    ``wait_policy`` selects how a refused lock is handled: ``"retry"``
+    polls again after ``backoff`` (deadlock-free); ``"block"`` sleeps
+    until the holding transaction completes, with waits-for deadlock
+    detection aborting the requester on a cycle.
+    """
+
+    op_time: float = 1.0
+    commit_time: float = 1.0
+    think_time: float = 0.5
+    backoff: float = 1.0
+    max_step_retries: int = 12
+    wait_policy: str = "retry"
+
+    def __post_init__(self):
+        if self.wait_policy not in ("retry", "block"):
+            raise ValueError("wait_policy must be 'retry' or 'block'")
+
+    def jittered(self, rng: random.Random, base: float) -> float:
+        """Exponentially distributed delay with the given mean."""
+        return rng.expovariate(1.0 / base) if base > 0 else 0.0
+
+
+class _Client:
+    """One simulated client: a little state machine over the event loop."""
+
+    def __init__(
+        self,
+        index: int,
+        simulator: Simulator,
+        manager: TransactionManager,
+        workload: Workload,
+        params: ClientParams,
+        metrics: Metrics,
+        rng: random.Random,
+        registry: Optional["WaitRegistry"] = None,
+    ):
+        self.index = index
+        self.simulator = simulator
+        self.manager = manager
+        self.workload = workload
+        self.params = params
+        self.metrics = metrics
+        self.rng = rng
+        self.registry = registry
+        self.transaction: Optional[Transaction] = None
+        self.script: List[Step] = []
+        self.position = 0
+        self.retries = 0
+        self.started_at = 0.0
+
+    # Each method schedules the next; the loop starts with start().
+
+    def start(self) -> None:
+        """Begin the first transaction after a think-time stagger."""
+        self.simulator.schedule(
+            self.params.jittered(self.rng, self.params.think_time), self._begin
+        )
+
+    def _begin(self) -> None:
+        self.transaction = self.manager.begin()
+        self.script = self.workload.script(self.index, self.rng)
+        self.position = 0
+        self.retries = 0
+        self.started_at = self.simulator.now
+        self._schedule_step(self.params.jittered(self.rng, self.params.op_time))
+
+    def _schedule_step(self, delay: float) -> None:
+        self.simulator.schedule(delay, self._step)
+
+    def _step(self) -> None:
+        if self.position >= len(self.script):
+            self._commit()
+            return
+        obj, operation, args = self.script[self.position]
+        try:
+            self.manager.invoke(self.transaction, obj, operation, *args)
+        except LockConflict as conflict:
+            self.metrics.conflicts += 1
+            if self.registry is not None and conflict.holder:
+                self._block_on(conflict.holder)
+            else:
+                self._handle_retry()
+            return
+        except WouldBlock:
+            self.metrics.blocks += 1
+            self._handle_retry()
+            return
+        self.metrics.operations += 1
+        self.position += 1
+        self.retries = 0
+        self._schedule_step(self.params.jittered(self.rng, self.params.op_time))
+
+    def _block_on(self, holder: str) -> None:
+        """Block policy: sleep until the holder completes (deadlock-safe)."""
+        try:
+            self.registry.wait(
+                self.transaction.name,
+                holder,
+                wake=lambda: self._schedule_step(0.0),
+            )
+        except DeadlockDetected:
+            self.metrics.deadlocks += 1
+            self._abort_and_restart()
+
+    def _abort_and_restart(self) -> None:
+        self.manager.abort(self.transaction)
+        if self.registry is not None:
+            self.registry.release(self.transaction.name)
+        self.metrics.aborted += 1
+        self.simulator.schedule(
+            self.params.jittered(self.rng, self.params.think_time), self._begin
+        )
+
+    def _handle_retry(self) -> None:
+        self.retries += 1
+        if self.retries > self.params.max_step_retries:
+            self._abort_and_restart()
+            return
+        self._schedule_step(self.params.jittered(self.rng, self.params.backoff))
+
+    def _commit(self) -> None:
+        try:
+            self.manager.commit(self.transaction)
+        except ValidationFailed:
+            # Optimistic engine only: certification failed; the manager
+            # already aborted the transaction — restart with a new script.
+            self.metrics.validation_failures += 1
+            self.metrics.aborted += 1
+            self.simulator.schedule(
+                self.params.jittered(self.rng, self.params.think_time),
+                self._begin,
+            )
+            return
+        if self.registry is not None:
+            self.registry.release(self.transaction.name)
+        self.metrics.committed += 1
+        self.metrics.total_latency += self.simulator.now - self.started_at
+        self.simulator.schedule(
+            self.params.jittered(self.rng, self.params.think_time)
+            + self.params.jittered(self.rng, self.params.commit_time),
+            self._begin,
+        )
+
+
+def run_experiment(
+    workload: Workload,
+    protocol: ProtocolSpec = HYBRID,
+    duration: float = 500.0,
+    seed: int = 0,
+    params: Optional[ClientParams] = None,
+) -> Metrics:
+    """Run one workload under one protocol; return the metrics.
+
+    Deterministic for fixed ``(workload, protocol, duration, seed,
+    params)``.
+    """
+    params = params or ClientParams()
+    simulator = Simulator()
+    if protocol.engine == "optimistic":
+        manager = OptimisticTransactionManager()
+        for name, adt in workload.objects():
+            manager.create_object(name, adt, dependency=protocol.conflict_for(adt))
+    else:
+        manager = TransactionManager()
+        for name, adt in workload.objects():
+            manager.create_object(name, adt, protocol=protocol)
+    metrics = Metrics()
+    registry = WaitRegistry() if params.wait_policy == "block" else None
+    for index in range(workload.client_count()):
+        client = _Client(
+            index,
+            simulator,
+            manager,
+            workload,
+            params,
+            metrics,
+            random.Random(f"{seed}/{index}"),
+            registry=registry,
+        )
+        client.start()
+    simulator.run_until(duration)
+    metrics.duration = duration
+    metrics.retained_intentions = sum(
+        managed.machine.retained_intentions()
+        for managed in manager.objects.values()
+        if isinstance(getattr(managed, "machine", None), CompactingLockMachine)
+    )
+    return metrics
+
+
+def compare_protocols(
+    workload_factory,
+    protocols: Sequence[ProtocolSpec],
+    duration: float = 500.0,
+    seed: int = 0,
+    params: Optional[ClientParams] = None,
+) -> Dict[str, Metrics]:
+    """Run the same workload under several protocols.
+
+    ``workload_factory`` is called once per protocol so stateful workloads
+    (unique item counters) start fresh each time.
+    """
+    return {
+        protocol.name: run_experiment(
+            workload_factory(), protocol, duration=duration, seed=seed, params=params
+        )
+        for protocol in protocols
+    }

@@ -1,0 +1,107 @@
+"""Blocked-transaction bookkeeping: waits-for graph, deadlock detection.
+
+The locking protocol itself only says a refused lock request "is later
+retried"; *how* the requester waits is a scheduling policy.  The
+simulator supports two:
+
+* ``retry`` — poll again after a backoff (the default; livelock-free
+  under fair scheduling, no deadlock possible because nobody holds a
+  wait);
+* ``block`` — sleep until the lock-holding transaction completes, the
+  classic DBMS discipline.  Blocking introduces deadlock, so this module
+  maintains the waits-for graph and refuses (with
+  :class:`DeadlockDetected`) any wait that would close a cycle — the
+  standard detect-and-abort-the-requester scheme.
+
+The registry is engine-agnostic: it maps transaction names to wakeup
+callbacks and edges, and the simulation clients drive it.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from ..core.errors import ReproError
+
+__all__ = ["DeadlockDetected", "WaitRegistry"]
+
+
+class DeadlockDetected(ReproError):
+    """Blocking on this holder would create a waits-for cycle."""
+
+    def __init__(self, waiter: str, holder: str, cycle: List[str]):
+        super().__init__(
+            f"{waiter} waiting for {holder} closes the cycle "
+            + " -> ".join(cycle + [cycle[0]])
+        )
+        self.waiter = waiter
+        self.holder = holder
+        self.cycle = cycle
+
+
+class WaitRegistry:
+    """Waits-for edges between transactions, with wakeup callbacks.
+
+    A transaction has at most one outstanding wait (transactions are
+    single-threaded); a holder may have many waiters.  ``release`` must be
+    called when a transaction completes so its waiters resume.
+    """
+
+    def __init__(self):
+        #: waiter -> holder (at most one outgoing edge per waiter).
+        self._waiting_for: Dict[str, str] = {}
+        #: holder -> list of (waiter, callback).
+        self._waiters: Dict[str, List[tuple]] = {}
+
+    def waiting_for(self, waiter: str) -> Optional[str]:
+        """The transaction ``waiter`` is blocked on, if any."""
+        return self._waiting_for.get(waiter)
+
+    def waiter_count(self) -> int:
+        """How many transactions are currently blocked."""
+        return len(self._waiting_for)
+
+    def _would_deadlock(self, waiter: str, holder: str) -> Optional[List[str]]:
+        """Walk holder's wait chain; a path back to ``waiter`` is a cycle."""
+        path = [waiter]
+        current: Optional[str] = holder
+        while current is not None:
+            path.append(current)
+            if current == waiter:
+                return path[:-1]
+            current = self._waiting_for.get(current)
+        return None
+
+    def wait(self, waiter: str, holder: str, wake: Callable[[], None]) -> None:
+        """Block ``waiter`` on ``holder``; ``wake`` runs at release.
+
+        Raises :class:`DeadlockDetected` — without recording the edge —
+        when the wait would close a cycle; the caller should abort and
+        restart the waiter (deadlock resolution by victimising the
+        requester).
+        """
+        if waiter == holder:
+            raise ValueError("a transaction cannot wait for itself")
+        if waiter in self._waiting_for:
+            raise ValueError(f"{waiter} is already waiting")
+        cycle = self._would_deadlock(waiter, holder)
+        if cycle is not None:
+            raise DeadlockDetected(waiter, holder, cycle)
+        self._waiting_for[waiter] = holder
+        self._waiters.setdefault(holder, []).append((waiter, wake))
+
+    def release(self, completed: str) -> int:
+        """Wake everyone blocked on ``completed``; returns the count."""
+        entries = self._waiters.pop(completed, [])
+        for waiter, wake in entries:
+            self._waiting_for.pop(waiter, None)
+            wake()
+        return len(entries)
+
+    def cancel(self, waiter: str) -> None:
+        """Withdraw a wait (e.g. the waiter was aborted externally)."""
+        holder = self._waiting_for.pop(waiter, None)
+        if holder is None:
+            return
+        entries = self._waiters.get(holder, [])
+        self._waiters[holder] = [e for e in entries if e[0] != waiter]

@@ -1,0 +1,54 @@
+"""ADT registry and descriptor tests."""
+
+import pytest
+
+from repro.adts import ADT, get_adt, registry, rw_conflict_relation
+from repro.adts import deq, enq, read, write
+
+
+class TestRegistry:
+    def test_all_types_registered(self):
+        assert set(registry()) >= {
+            "Account",
+            "Counter",
+            "Directory",
+            "File",
+            "FIFOQueue",
+            "SemiQueue",
+            "Set",
+        }
+
+    def test_get_adt(self):
+        adt = get_adt("File")
+        assert isinstance(adt, ADT)
+        assert adt.name == "File"
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            get_adt("Blob")
+
+    def test_factories_return_fresh_instances(self):
+        assert get_adt("FIFOQueue") is not get_adt("FIFOQueue")
+
+
+class TestRwConflicts:
+    def test_read_read_compatible(self):
+        rel = rw_conflict_relation(lambda op: op.name == "Read")
+        assert not rel.related(read(0), read(1))
+
+    def test_everything_else_conflicts(self):
+        rel = rw_conflict_relation(lambda op: op.name == "Read")
+        assert rel.related(read(0), write(1))
+        assert rel.related(write(0), write(1))
+
+    def test_adt_rw_conflict(self):
+        adt = get_adt("File")
+        rel = adt.rw_conflict()
+        assert not rel.related(read(0), read(0))
+        assert rel.related(write(0), read(0))
+
+    def test_queue_has_no_reads(self):
+        adt = get_adt("FIFOQueue")
+        rel = adt.rw_conflict()
+        assert rel.related(enq(1), enq(2))
+        assert rel.related(deq(1), enq(1))

@@ -1,0 +1,113 @@
+"""BoundedQueue: partial Enq destroys concurrent enqueues; invalidated-by
+is not the tightest dependency relation."""
+
+import pytest
+
+from repro.adts import QUEUE_DEPENDENCY_FIG42
+from repro.adts.bounded_queue import (
+    BOUNDED_QUEUE_COMMUTATIVITY_CONFLICT,
+    BOUNDED_QUEUE_CONFLICT,
+    BOUNDED_QUEUE_DEPENDENCY,
+    BOUNDED_QUEUE_MC_DEPENDENCY,
+    BoundedQueueSpec,
+    bdeq,
+    benq,
+    bounded_queue_universe,
+    make_bounded_queue_adt,
+)
+from repro.analysis import Ordering, compare_relations
+from repro.core import (
+    Invocation,
+    LockConflict,
+    LockMachine,
+    WouldBlock,
+    failure_to_commute,
+    invalidated_by,
+    is_dependency_relation,
+    is_minimal_dependency_relation,
+    symmetric_closure,
+)
+
+
+UNIVERSE = bounded_queue_universe((1, 2))
+
+
+class TestSpec:
+    def test_capacity_enforced(self):
+        spec = BoundedQueueSpec(2)
+        assert spec.is_legal((benq(1), benq(2)))
+        assert not spec.is_legal((benq(1), benq(2), benq(3)))
+        assert spec.is_legal((benq(1), benq(2), bdeq(1), benq(3)))
+
+    def test_fifo_preserved(self):
+        spec = BoundedQueueSpec(2)
+        assert spec.is_legal((benq(1), benq(2), bdeq(1), bdeq(2)))
+        assert not spec.is_legal((benq(1), benq(2), bdeq(2)))
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            BoundedQueueSpec(0)
+
+
+class TestDerivedTables:
+    def test_invalidated_by_matches_predicate(self):
+        spec = BoundedQueueSpec(2)
+        derived = invalidated_by(spec, UNIVERSE, max_h1=3, max_h2=2)
+        assert derived.pair_set == BOUNDED_QUEUE_DEPENDENCY.restrict(UNIVERSE).pair_set
+
+    def test_enqueues_now_depend_on_enqueues(self):
+        assert BOUNDED_QUEUE_DEPENDENCY.related(benq(1), benq(2))
+        assert BOUNDED_QUEUE_DEPENDENCY.related(benq(1), benq(1))
+        # Unbounded Fig 4-2 has no such pairs.
+        assert not QUEUE_DEPENDENCY_FIG42.related(benq(1), benq(2))
+
+    def test_mc_matches_predicate(self):
+        spec = BoundedQueueSpec(2)
+        derived = failure_to_commute(spec, UNIVERSE, max_h=3)
+        expected = BOUNDED_QUEUE_COMMUTATIVITY_CONFLICT.restrict(UNIVERSE)
+        assert derived.pair_set == expected.pair_set
+
+    def test_both_relations_satisfy_definition3(self):
+        spec = BoundedQueueSpec(2)
+        assert is_dependency_relation(BOUNDED_QUEUE_DEPENDENCY, spec, UNIVERSE)
+        assert is_dependency_relation(BOUNDED_QUEUE_MC_DEPENDENCY, spec, UNIVERSE)
+
+    def test_invalidated_by_not_tightest(self):
+        # The MC-shaped closure is a strict subset of invalidated-by's.
+        report = compare_relations(
+            BOUNDED_QUEUE_CONFLICT,
+            symmetric_closure(BOUNDED_QUEUE_DEPENDENCY),
+            UNIVERSE,
+        )
+        assert report.ordering is Ordering.SUBSET
+
+    def test_mc_relation_minimal(self):
+        spec = BoundedQueueSpec(2)
+        enumerated = BOUNDED_QUEUE_MC_DEPENDENCY.restrict(UNIVERSE)
+        assert is_minimal_dependency_relation(enumerated, spec, UNIVERSE)
+
+
+class TestProtocolBehaviour:
+    def test_enq_blocks_when_full_of_committed_items(self):
+        adt = make_bounded_queue_adt(capacity=2)
+        machine = LockMachine(adt.spec, adt.conflict)
+        machine.execute("Init", Invocation("Enq", (1,)))
+        machine.execute("Init", Invocation("Enq", (2,)))
+        machine.commit("Init", 1)
+        with pytest.raises(WouldBlock):
+            machine.execute("P", Invocation("Enq", (3,)))
+
+    def test_concurrent_enqueues_conflict(self):
+        adt = make_bounded_queue_adt(capacity=4)
+        machine = LockMachine(adt.spec, adt.conflict)
+        machine.execute("P", Invocation("Enq", (1,)))
+        with pytest.raises(LockConflict):
+            machine.execute("Q", Invocation("Enq", (2,)))
+
+    def test_deq_free_of_enq_locks_under_mc_table(self):
+        adt = make_bounded_queue_adt(capacity=4)
+        machine = LockMachine(adt.spec, adt.conflict)
+        machine.execute("Init", Invocation("Enq", (1,)))
+        machine.commit("Init", 1)
+        machine.execute("P", Invocation("Enq", (2,)))
+        assert machine.execute("Q", Invocation("Deq")) == 1

@@ -1,0 +1,83 @@
+"""Counter extension: derived table, concurrent increments."""
+
+import pytest
+
+from repro.adts import (
+    COUNTER_COMMUTATIVITY_CONFLICT,
+    COUNTER_CONFLICT,
+    COUNTER_DEPENDENCY,
+    CounterSpec,
+    dec_floor,
+    dec_ok,
+    inc,
+    read_counter,
+)
+from repro.core import (
+    Invocation,
+    LockConflict,
+    LockMachine,
+    failure_to_commute,
+    invalidated_by,
+    is_dependency_relation,
+    is_symmetric,
+)
+
+
+class TestSpec:
+    def test_inc_dec_read(self):
+        spec = CounterSpec()
+        assert spec.is_legal((inc(2), dec_ok(1), read_counter(1)))
+        assert not spec.is_legal((inc(2), dec_ok(3)))
+
+    def test_floor_refusal(self):
+        spec = CounterSpec()
+        assert spec.is_legal((dec_floor(1),))
+        assert spec.is_legal((inc(1), dec_floor(2), read_counter(1)))
+
+    def test_negative_initial_rejected(self):
+        with pytest.raises(ValueError):
+            CounterSpec(initial=-1)
+
+
+class TestDerivedTable:
+    def test_matches_predicate(self, counter_adt, counter_ops):
+        derived = invalidated_by(counter_adt.spec, counter_ops, max_h1=2, max_h2=2)
+        assert derived.pair_set == COUNTER_DEPENDENCY.restrict(counter_ops).pair_set
+
+    def test_is_dependency_relation(self, counter_adt, counter_ops):
+        assert is_dependency_relation(
+            COUNTER_DEPENDENCY, counter_adt.spec, counter_ops, max_h=2, max_k=2
+        )
+
+    def test_read_value_condition(self):
+        # Read(v) depends on Dec(n),Ok only when v >= n.
+        assert COUNTER_DEPENDENCY.related(read_counter(2), dec_ok(1))
+        assert not COUNTER_DEPENDENCY.related(read_counter(0), dec_ok(1))
+
+    def test_incs_never_depend(self):
+        for p in [inc(1), dec_ok(1), dec_floor(1), read_counter(0)]:
+            assert not COUNTER_DEPENDENCY.related(inc(2), p)
+
+    def test_mc_matches_predicate(self, counter_adt, counter_ops):
+        derived = failure_to_commute(counter_adt.spec, counter_ops, max_h=2)
+        expected = COUNTER_COMMUTATIVITY_CONFLICT.restrict(counter_ops)
+        assert derived.pair_set == expected.pair_set
+
+    def test_symmetric(self, counter_ops):
+        assert is_symmetric(COUNTER_CONFLICT, counter_ops)
+
+
+class TestProtocolBehaviour:
+    def test_concurrent_increments(self, counter_adt):
+        machine = LockMachine(counter_adt.spec, COUNTER_CONFLICT, obj="C")
+        machine.execute("P", Invocation("Inc", (1,)))
+        machine.execute("Q", Invocation("Inc", (2,)))  # no conflict
+        machine.commit("Q", 1)
+        machine.commit("P", 2)
+        assert machine.execute("R", Invocation("Read")) == 3
+
+    def test_read_blocks_on_active_inc(self, counter_adt):
+        machine = LockMachine(counter_adt.spec, COUNTER_CONFLICT, obj="C")
+        machine.execute("P", Invocation("Inc", (1,)))
+        with pytest.raises(LockConflict):
+            machine.execute("Q", Invocation("Read"))

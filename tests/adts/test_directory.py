@@ -1,0 +1,126 @@
+"""Directory extension: derived keyed table, per-key locking behaviour."""
+
+import pytest
+
+from repro.adts import (
+    DIRECTORY_COMMUTATIVITY_CONFLICT,
+    DIRECTORY_CONFLICT,
+    DIRECTORY_DEPENDENCY,
+    DirectorySpec,
+    bind_duplicate,
+    bind_ok,
+    lookup_missing,
+    lookup_ok,
+    rebind_missing,
+    rebind_ok,
+    unbind_missing,
+    unbind_ok,
+)
+from repro.core import (
+    Invocation,
+    LockConflict,
+    LockMachine,
+    failure_to_commute,
+    invalidated_by,
+    is_dependency_relation,
+    is_symmetric,
+)
+
+
+class TestSpec:
+    def test_bind_lookup_unbind(self):
+        spec = DirectorySpec()
+        assert spec.is_legal((bind_ok("a", 1), lookup_ok("a", 1), unbind_ok("a")))
+        assert spec.is_legal((lookup_missing("a"),))
+        assert not spec.is_legal((bind_ok("a", 1), lookup_missing("a")))
+
+    def test_duplicate_and_missing(self):
+        spec = DirectorySpec()
+        assert spec.is_legal((bind_ok("a", 1), bind_duplicate("a", 2)))
+        assert spec.is_legal((rebind_missing("a", 1), unbind_missing("a")))
+        assert not spec.is_legal((bind_duplicate("a", 1),))
+
+    def test_rebind_overwrites(self):
+        spec = DirectorySpec()
+        assert spec.is_legal((bind_ok("a", 1), rebind_ok("a", 2), lookup_ok("a", 2)))
+
+    def test_initial_bindings(self):
+        spec = DirectorySpec(initial={"a": 1})
+        assert spec.is_legal((lookup_ok("a", 1),))
+
+
+class TestDerivedTable:
+    def test_matches_predicate(self, directory_adt, directory_ops):
+        derived = invalidated_by(
+            directory_adt.spec, directory_ops, max_h1=2, max_h2=2
+        )
+        assert (
+            derived.pair_set
+            == DIRECTORY_DEPENDENCY.restrict(directory_ops).pair_set
+        )
+
+    def test_requires_absent_rows_depend_on_bind(self):
+        for q in [bind_ok("a", 1), rebind_missing("a", 1), unbind_missing("a"), lookup_missing("a")]:
+            assert DIRECTORY_DEPENDENCY.related(q, bind_ok("a", 2))
+            assert not DIRECTORY_DEPENDENCY.related(q, rebind_ok("a", 2))
+            assert not DIRECTORY_DEPENDENCY.related(q, unbind_ok("a"))
+
+    def test_requires_bound_rows_depend_on_unbind(self):
+        for q in [bind_duplicate("a", 1), rebind_ok("a", 1), unbind_ok("a")]:
+            assert DIRECTORY_DEPENDENCY.related(q, unbind_ok("a"))
+            assert not DIRECTORY_DEPENDENCY.related(q, bind_ok("a", 2))
+
+    def test_lookup_found_depends_on_value_changes(self):
+        assert DIRECTORY_DEPENDENCY.related(lookup_ok("a", 1), unbind_ok("a"))
+        assert DIRECTORY_DEPENDENCY.related(lookup_ok("a", 1), rebind_ok("a", 2))
+        assert not DIRECTORY_DEPENDENCY.related(lookup_ok("a", 1), rebind_ok("a", 1))
+        assert not DIRECTORY_DEPENDENCY.related(lookup_ok("a", 1), bind_ok("a", 2))
+
+    def test_keys_isolated(self):
+        assert not DIRECTORY_DEPENDENCY.related(bind_ok("a", 1), bind_ok("b", 1))
+
+    def test_is_dependency_relation(self, directory_adt, directory_ops):
+        assert is_dependency_relation(
+            DIRECTORY_DEPENDENCY,
+            directory_adt.spec,
+            directory_ops,
+            max_h=2,
+            max_k=2,
+        )
+
+    def test_mc_matches_predicate(self, directory_adt, directory_ops):
+        derived = failure_to_commute(directory_adt.spec, directory_ops, max_h=2)
+        expected = DIRECTORY_COMMUTATIVITY_CONFLICT.restrict(directory_ops)
+        assert derived.pair_set == expected.pair_set
+
+    def test_commutativity_adds_rebind_pairs(self):
+        assert DIRECTORY_COMMUTATIVITY_CONFLICT.related(
+            rebind_ok("a", 1), rebind_ok("a", 2)
+        )
+        assert not DIRECTORY_CONFLICT.related(rebind_ok("a", 1), rebind_ok("a", 2))
+
+    def test_symmetric(self, directory_ops):
+        assert is_symmetric(DIRECTORY_CONFLICT, directory_ops)
+
+
+class TestProtocolBehaviour:
+    def test_per_key_concurrency(self, directory_adt):
+        machine = LockMachine(directory_adt.spec, DIRECTORY_CONFLICT, obj="D")
+        machine.execute("P", Invocation("Bind", ("a", 1)))
+        machine.execute("Q", Invocation("Bind", ("b", 2)))  # different key
+
+    def test_same_key_binds_conflict(self, directory_adt):
+        machine = LockMachine(directory_adt.spec, DIRECTORY_CONFLICT, obj="D")
+        machine.execute("P", Invocation("Bind", ("a", 1)))
+        with pytest.raises(LockConflict):
+            machine.execute("Q", Invocation("Bind", ("a", 2)))
+
+    def test_concurrent_rebinds_merge_by_timestamp(self, directory_adt):
+        machine = LockMachine(directory_adt.spec, DIRECTORY_CONFLICT, obj="D")
+        machine.execute("Init", Invocation("Bind", ("a", 0)))
+        machine.commit("Init", 1)
+        machine.execute("P", Invocation("Rebind", ("a", 1)))
+        machine.execute("Q", Invocation("Rebind", ("a", 2)))
+        machine.commit("Q", 2)
+        machine.commit("P", 3)  # P is later: value 1 wins
+        assert machine.execute("R", Invocation("Lookup", ("a",))) == ("Found", 1)

@@ -1,0 +1,74 @@
+"""File type: Figure 4-1 reproduction and behaviour."""
+
+from repro.adts import (
+    FILE_COMMUTATIVITY_CONFLICT,
+    FILE_CONFLICT,
+    FILE_DEPENDENCY,
+    FileSpec,
+    make_file_adt,
+    read,
+    write,
+)
+from repro.core import (
+    LockMachine,
+    Invocation,
+    invalidated_by,
+    failure_to_commute,
+    is_dependency_relation,
+    is_minimal_dependency_relation,
+    is_symmetric,
+)
+
+
+class TestFigure41:
+    def test_derived_equals_paper(self, file_adt, file_ops):
+        derived = invalidated_by(file_adt.spec, file_ops)
+        assert derived.pair_set == FILE_DEPENDENCY.restrict(file_ops).pair_set
+
+    def test_read_depends_on_different_write(self):
+        assert FILE_DEPENDENCY.related(read(0), write(1))
+        assert not FILE_DEPENDENCY.related(read(1), write(1))
+
+    def test_writes_independent(self):
+        assert not FILE_DEPENDENCY.related(write(0), write(1))
+        assert not FILE_DEPENDENCY.related(write(1), write(1))
+
+    def test_is_dependency_relation(self, file_adt, file_ops):
+        assert is_dependency_relation(FILE_DEPENDENCY, file_adt.spec, file_ops)
+
+    def test_is_minimal(self, file_adt, file_ops):
+        enumerated = FILE_DEPENDENCY.restrict(file_ops)
+        assert is_minimal_dependency_relation(enumerated, file_adt.spec, file_ops)
+
+    def test_conflict_symmetric(self, file_ops):
+        assert is_symmetric(FILE_CONFLICT, file_ops)
+
+
+class TestCommutativityBaseline:
+    def test_derived_matches_predicate(self, file_adt, file_ops):
+        derived = failure_to_commute(file_adt.spec, file_ops)
+        expected = FILE_COMMUTATIVITY_CONFLICT.restrict(file_ops)
+        assert derived.pair_set == expected.pair_set
+
+    def test_write_write_conflict_only_under_commutativity(self, file_ops):
+        # The concurrency gap: hybrid allows concurrent blind writes.
+        assert FILE_COMMUTATIVITY_CONFLICT.related(write(0), write(1))
+        assert not FILE_CONFLICT.related(write(0), write(1))
+
+
+class TestThomasWriteRule:
+    def test_concurrent_writes_merge_by_timestamp(self):
+        spec = FileSpec(initial=0)
+        machine = LockMachine(spec, FILE_CONFLICT, obj="F")
+        machine.execute("P", Invocation("Write", (1,)))
+        machine.execute("Q", Invocation("Write", (2,)))
+        # P commits later in real time but with the higher timestamp.
+        machine.commit("Q", 1)
+        machine.commit("P", 2)
+        # Later readers see the write with the later *timestamp* (P's).
+        assert machine.execute("R", Invocation("Read")) == 1
+        # ... which is P's value 1: timestamp 2 > 1, so P's write is last.
+
+    def test_rw_classification(self, file_adt):
+        assert file_adt.is_read(read(0))
+        assert not file_adt.is_read(write(0))

@@ -1,0 +1,88 @@
+"""SemiQueue: Figure 4-4 and the value of non-determinism."""
+
+from repro.adts import (
+    QUEUE_CONFLICT_FIG42,
+    SEMIQUEUE_COMMUTATIVITY_CONFLICT,
+    SEMIQUEUE_CONFLICT,
+    SEMIQUEUE_DEPENDENCY,
+    ins,
+    rem,
+)
+from repro.analysis import concurrency_score
+from repro.core import (
+    Invocation,
+    LockMachine,
+    failure_to_commute,
+    invalidated_by,
+    is_dependency_relation,
+    is_minimal_dependency_relation,
+    is_symmetric,
+)
+
+
+class TestFigure44:
+    def test_derived_equals_paper(self, semiqueue_adt, semiqueue_ops):
+        derived = invalidated_by(semiqueue_adt.spec, semiqueue_ops)
+        assert derived.pair_set == SEMIQUEUE_DEPENDENCY.restrict(semiqueue_ops).pair_set
+
+    def test_entries(self):
+        assert SEMIQUEUE_DEPENDENCY.related(rem(1), rem(1))
+        assert not SEMIQUEUE_DEPENDENCY.related(rem(1), rem(2))
+        assert not SEMIQUEUE_DEPENDENCY.related(rem(1), ins(1))
+        assert not SEMIQUEUE_DEPENDENCY.related(ins(1), ins(2))
+        assert not SEMIQUEUE_DEPENDENCY.related(ins(1), rem(1))
+
+    def test_is_dependency_and_minimal(self, semiqueue_adt, semiqueue_ops):
+        enumerated = SEMIQUEUE_DEPENDENCY.restrict(semiqueue_ops)
+        assert is_dependency_relation(enumerated, semiqueue_adt.spec, semiqueue_ops)
+        assert is_minimal_dependency_relation(
+            enumerated, semiqueue_adt.spec, semiqueue_ops
+        )
+
+    def test_symmetric(self, semiqueue_ops):
+        assert is_symmetric(SEMIQUEUE_CONFLICT, semiqueue_ops)
+
+
+class TestNondeterminismBuysConcurrency:
+    def test_semiqueue_beats_fifo_queue(self, semiqueue_ops, queue_ops):
+        # The paper: "compare the dependency relations for Queue and
+        # SemiQueue".  Fewer conflicting pairs = more concurrency.
+        semi = concurrency_score(SEMIQUEUE_CONFLICT, semiqueue_ops)
+        fifo = concurrency_score(QUEUE_CONFLICT_FIG42, queue_ops)
+        assert semi > fifo
+
+    def test_commutativity_ties_on_semiqueue(self, semiqueue_adt, semiqueue_ops):
+        derived = failure_to_commute(semiqueue_adt.spec, semiqueue_ops)
+        expected = SEMIQUEUE_CONFLICT.restrict(semiqueue_ops)
+        assert derived.pair_set == expected.pair_set
+
+
+class TestProtocolBehaviour:
+    def test_concurrent_inserts_and_removes(self, semiqueue_adt):
+        machine = LockMachine(semiqueue_adt.spec, SEMIQUEUE_CONFLICT, obj="S")
+        machine.execute("A", Invocation("Ins", (1,)))
+        machine.commit("A", 1)
+        machine.execute("B", Invocation("Ins", (2,)))   # concurrent insert
+        machine.execute("C", Invocation("Rem"))         # removes committed 1
+        assert machine.intentions("C") == (rem(1),)
+
+    def test_same_item_removes_conflict(self, semiqueue_adt):
+        from repro.core import LockConflict
+        import pytest
+
+        machine = LockMachine(semiqueue_adt.spec, SEMIQUEUE_CONFLICT, obj="S")
+        machine.execute("A", Invocation("Ins", (1,)))
+        machine.commit("A", 1)
+        machine.execute("B", Invocation("Rem"))
+        # Only item 1 exists; C's Rem would also return 1 -> conflict.
+        with pytest.raises(LockConflict):
+            machine.execute("C", Invocation("Rem"))
+
+    def test_different_item_removes_concurrent(self, semiqueue_adt):
+        machine = LockMachine(semiqueue_adt.spec, SEMIQUEUE_CONFLICT, obj="S")
+        machine.execute("A", Invocation("Ins", (1,)))
+        machine.execute("A", Invocation("Ins", (2,)))
+        machine.commit("A", 1)
+        first = machine.execute("B", Invocation("Rem"))
+        second = machine.execute("C", Invocation("Rem"))
+        assert {first, second} == {1, 2}

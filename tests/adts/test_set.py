@@ -1,0 +1,98 @@
+"""Set extension: derived table, typed Thomas-write-rule behaviour."""
+
+import pytest
+
+from repro.adts import (
+    SET_COMMUTATIVITY_CONFLICT,
+    SET_CONFLICT,
+    SET_DEPENDENCY,
+    SetSpec,
+    insert,
+    member,
+    remove,
+)
+from repro.core import (
+    Invocation,
+    LockConflict,
+    LockMachine,
+    failure_to_commute,
+    invalidated_by,
+    is_dependency_relation,
+    is_symmetric,
+)
+
+
+class TestSpec:
+    def test_idempotent_updates(self):
+        spec = SetSpec()
+        assert spec.is_legal((insert(1), insert(1), member(1, True)))
+        assert spec.is_legal((remove(1), member(1, False)))
+
+    def test_membership_results_forced(self):
+        spec = SetSpec()
+        assert not spec.is_legal((insert(1), member(1, False)))
+        assert not spec.is_legal((member(1, True),))
+
+    def test_initial_contents(self):
+        spec = SetSpec(initial={3})
+        assert spec.is_legal((member(3, True),))
+
+
+class TestDerivedTable:
+    def test_matches_predicate(self, set_adt, set_ops):
+        derived = invalidated_by(set_adt.spec, set_ops, max_h1=2, max_h2=2)
+        assert derived.pair_set == SET_DEPENDENCY.restrict(set_ops).pair_set
+
+    def test_only_observers_depend(self):
+        assert SET_DEPENDENCY.related(member(1, True), remove(1))
+        assert SET_DEPENDENCY.related(member(1, False), insert(1))
+        assert not SET_DEPENDENCY.related(member(1, True), insert(1))
+        assert not SET_DEPENDENCY.related(insert(1), remove(1))
+        assert not SET_DEPENDENCY.related(remove(1), insert(1))
+
+    def test_keys_isolated(self):
+        assert not SET_DEPENDENCY.related(member(1, True), remove(2))
+
+    def test_is_dependency_relation(self, set_adt, set_ops):
+        assert is_dependency_relation(
+            SET_DEPENDENCY, set_adt.spec, set_ops, max_h=2, max_k=2
+        )
+
+    def test_mc_matches_predicate(self, set_adt, set_ops):
+        derived = failure_to_commute(set_adt.spec, set_ops, max_h=2)
+        assert derived.pair_set == SET_COMMUTATIVITY_CONFLICT.restrict(set_ops).pair_set
+
+    def test_commutativity_adds_insert_remove_conflict(self):
+        assert SET_COMMUTATIVITY_CONFLICT.related(insert(1), remove(1))
+        assert not SET_CONFLICT.related(insert(1), remove(1))
+
+    def test_symmetric(self, set_ops):
+        assert is_symmetric(SET_CONFLICT, set_ops)
+
+
+class TestProtocolBehaviour:
+    def test_concurrent_insert_and_remove_same_item(self, set_adt):
+        # Hybrid's typed Thomas write rule: the later timestamp wins.
+        machine = LockMachine(set_adt.spec, SET_CONFLICT, obj="S")
+        machine.execute("P", Invocation("Insert", (1,)))
+        machine.execute("Q", Invocation("Remove", (1,)))
+        machine.commit("P", 1)
+        machine.commit("Q", 2)  # remove is later: 1 is absent
+        assert machine.execute("R", Invocation("Member", (1,))) is False
+
+    def test_opposite_timestamp_order(self, set_adt):
+        machine = LockMachine(set_adt.spec, SET_CONFLICT, obj="S")
+        machine.execute("P", Invocation("Insert", (1,)))
+        machine.execute("Q", Invocation("Remove", (1,)))
+        machine.commit("Q", 1)
+        machine.commit("P", 2)  # insert is later: 1 is present
+        assert machine.execute("R", Invocation("Member", (1,))) is True
+
+    def test_member_conflicts_with_relevant_writer_only(self, set_adt):
+        machine = LockMachine(set_adt.spec, SET_CONFLICT, obj="S")
+        machine.execute("P", Invocation("Insert", (1,)))
+        # Member(2) is untouched by P's lock ...
+        assert machine.execute("Q", Invocation("Member", (2,))) is False
+        # ... but Member(1) would return False and conflicts with Insert(1).
+        with pytest.raises(LockConflict):
+            machine.execute("R", Invocation("Member", (1,)))

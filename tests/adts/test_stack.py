@@ -1,0 +1,107 @@
+"""Stack extension: derived table, concurrent pushes, LIFO semantics."""
+
+import pytest
+
+from repro.adts import (
+    STACK_COMMUTATIVITY_CONFLICT,
+    STACK_CONFLICT,
+    STACK_DEPENDENCY,
+    StackSpec,
+    make_stack_adt,
+    pop,
+    push,
+    stack_universe,
+)
+from repro.core import (
+    Invocation,
+    LockConflict,
+    LockMachine,
+    WouldBlock,
+    failure_to_commute,
+    invalidated_by,
+    is_dependency_relation,
+    is_minimal_dependency_relation,
+    is_symmetric,
+)
+
+
+@pytest.fixture
+def stack_adt():
+    return make_stack_adt()
+
+
+@pytest.fixture
+def stack_ops():
+    return stack_universe((1, 2))
+
+
+class TestSpec:
+    def test_lifo_order(self):
+        spec = StackSpec()
+        assert spec.is_legal((push(1), push(2), pop(2), pop(1)))
+        assert not spec.is_legal((push(1), push(2), pop(1)))
+
+    def test_pop_empty_is_partial(self):
+        spec = StackSpec()
+        assert not spec.is_legal((pop(1),))
+        assert spec.results_for(spec.initial_states(), Invocation("Pop")) == []
+
+    def test_pop_result_forced(self):
+        spec = StackSpec()
+        states = spec.run((push(3), push(7)))
+        assert spec.results_for(states, Invocation("Pop")) == [7]
+
+
+class TestDerivedTable:
+    def test_matches_predicate(self, stack_adt, stack_ops):
+        derived = invalidated_by(stack_adt.spec, stack_ops, max_h1=3, max_h2=2)
+        assert derived.pair_set == STACK_DEPENDENCY.restrict(stack_ops).pair_set
+
+    def test_mirrors_queue_fig42_shape(self):
+        assert STACK_DEPENDENCY.related(pop(1), push(2))
+        assert not STACK_DEPENDENCY.related(pop(1), push(1))
+        assert STACK_DEPENDENCY.related(pop(1), pop(1))
+        assert not STACK_DEPENDENCY.related(pop(1), pop(2))
+        assert not STACK_DEPENDENCY.related(push(1), push(2))
+
+    def test_is_dependency_and_minimal(self, stack_adt, stack_ops):
+        enumerated = STACK_DEPENDENCY.restrict(stack_ops)
+        assert is_dependency_relation(enumerated, stack_adt.spec, stack_ops)
+        assert is_minimal_dependency_relation(enumerated, stack_adt.spec, stack_ops)
+
+    def test_mc_matches_predicate(self, stack_adt, stack_ops):
+        derived = failure_to_commute(stack_adt.spec, stack_ops, max_h=3)
+        expected = STACK_COMMUTATIVITY_CONFLICT.restrict(stack_ops)
+        assert derived.pair_set == expected.pair_set
+
+    def test_commutativity_adds_push_push(self):
+        assert STACK_COMMUTATIVITY_CONFLICT.related(push(1), push(2))
+        assert not STACK_CONFLICT.related(push(1), push(2))
+
+    def test_symmetric(self, stack_ops):
+        assert is_symmetric(STACK_CONFLICT, stack_ops)
+
+
+class TestProtocolBehaviour:
+    def test_concurrent_pushes_ordered_by_timestamp(self, stack_adt):
+        machine = LockMachine(stack_adt.spec, STACK_CONFLICT, obj="S")
+        machine.execute("P", Invocation("Push", (1,)))
+        machine.execute("Q", Invocation("Push", (2,)))  # concurrent push
+        machine.commit("P", 2)
+        machine.commit("Q", 1)
+        # Serialization Q then P: stack is (2, 1) bottom-to-top.
+        assert machine.execute("R", Invocation("Pop")) == 1
+        assert machine.execute("R", Invocation("Pop")) == 2
+
+    def test_pop_conflicts_with_active_push(self, stack_adt):
+        machine = LockMachine(stack_adt.spec, STACK_CONFLICT, obj="S")
+        machine.execute("Init", Invocation("Push", (1,)))
+        machine.commit("Init", 1)
+        machine.execute("P", Invocation("Push", (2,)))
+        with pytest.raises(LockConflict):
+            machine.execute("Q", Invocation("Pop"))
+
+    def test_pop_empty_blocks(self, stack_adt):
+        machine = LockMachine(stack_adt.spec, STACK_CONFLICT, obj="S")
+        with pytest.raises(WouldBlock):
+            machine.execute("P", Invocation("Pop"))

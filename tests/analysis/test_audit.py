@@ -1,0 +1,107 @@
+"""Audit machinery: every registered type passes; broken bundles fail."""
+
+import pytest
+
+from repro.adts import ADT, get_adt, registry
+from repro.adts import deq, enq, make_queue_adt, queue_universe
+from repro.analysis import audit_adt
+from repro.core import EMPTY_RELATION, PredicateRelation
+
+# Smaller derivation depths for the big-universe extension types.
+DEPTHS = {
+    "Counter": (2, 2, 2),
+    "Set": (2, 2, 2),
+    "Directory": (2, 2, 2),
+}
+
+DOMAINS = {
+    "File": ((0, 1),),
+    "BoundedQueue": ((1, 2),),
+    "FIFOQueue": ((1, 2),),
+    "Stack": ((1, 2),),
+    "SemiQueue": ((1, 2),),
+    "Account": ((2, 3), (50,)),
+    "Counter": ((1, 2), (0, 1, 2)),
+    "Set": ((1, 2),),
+    "Directory": (("a",), (1, 2)),
+}
+
+
+@pytest.mark.parametrize("name", sorted(DOMAINS))
+def test_every_registered_type_passes_audit(name):
+    adt = get_adt(name)
+    universe = adt.universe(*DOMAINS[name])
+    max_h1, max_h2, mc_depth = DEPTHS.get(name, (3, 2, 3))
+    report = audit_adt(
+        adt, universe, max_h1=max_h1, max_h2=max_h2, mc_depth=mc_depth
+    )
+    assert report.passed, report.render()
+
+
+def test_registry_covers_all_domains():
+    assert set(registry()) == set(DOMAINS)
+
+
+def test_minimality_check_for_paper_types():
+    adt = get_adt("File")
+    universe = adt.universe((0, 1))
+    report = audit_adt(adt, universe, check_minimal=True)
+    assert report.passed
+    assert any("minimal" in f.check for f in report.findings)
+
+
+class TestBrokenBundlesFail:
+    def _broken(self, **overrides):
+        base = make_queue_adt()
+        fields = dict(
+            name=base.name,
+            spec=base.spec,
+            dependency=base.dependency,
+            conflict=base.conflict,
+            commutativity_conflict=base.commutativity_conflict,
+            is_read=base.is_read,
+            universe=base.universe,
+            alternative_dependencies={},
+        )
+        fields.update(overrides)
+        return ADT(**fields)
+
+    def test_asymmetric_conflict_caught(self):
+        broken = self._broken(conflict=make_queue_adt().dependency)
+        report = audit_adt(broken, queue_universe((1, 2)))
+        assert not report.passed
+        assert any(
+            not f.passed and "symmetric" in f.check for f in report.findings
+        )
+
+    def test_wrong_dependency_caught(self):
+        broken = self._broken(dependency=EMPTY_RELATION)
+        report = audit_adt(broken, queue_universe((1, 2)))
+        failing = [f for f in report.findings if not f.passed]
+        assert any("matches derived" in f.check for f in failing)
+        assert any("Definition 3" in f.check for f in failing)
+
+    def test_wrong_commutativity_caught(self):
+        too_small = PredicateRelation(
+            lambda q, p: q.name == "Deq" and p.name == "Deq"
+        )
+        broken = self._broken(commutativity_conflict=too_small)
+        report = audit_adt(broken, queue_universe((1, 2)))
+        assert any(
+            not f.passed and "failure-to-commute matches" in f.check
+            for f in report.findings
+        )
+
+    def test_diff_detail_names_a_pair(self):
+        broken = self._broken(dependency=EMPTY_RELATION)
+        report = audit_adt(broken, queue_universe((1, 2)))
+        finding = next(
+            f for f in report.findings if "matches derived" in f.check
+        )
+        assert "derived has extra" in finding.detail
+
+    def test_render_mentions_failures(self):
+        broken = self._broken(dependency=EMPTY_RELATION)
+        text = audit_adt(broken, queue_universe((1, 2))).render()
+        assert "FAILURES PRESENT" in text
+        assert "[FAIL]" in text

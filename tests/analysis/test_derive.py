@@ -1,0 +1,38 @@
+"""Figure derivation reports."""
+
+from repro.adts import file_universe, make_file_adt, make_semiqueue_adt, semiqueue_universe
+from repro.analysis import derive_commutativity_figure, derive_figure
+
+
+class TestDeriveFigure:
+    def test_file_report(self):
+        adt = make_file_adt()
+        ops = file_universe((0, 1))
+        report = derive_figure(adt, ops, "Figure 4-1", check_minimal=True)
+        assert report.matches_paper
+        assert report.is_dependency
+        assert report.is_minimal
+
+    def test_render_includes_verdicts(self):
+        adt = make_file_adt()
+        ops = file_universe((0, 1))
+        text = derive_figure(adt, ops, "Figure 4-1").render()
+        assert "Figure 4-1" in text
+        assert "matches paper table : True" in text
+        assert "dependency relation : True" in text
+
+    def test_minimality_omitted_by_default(self):
+        adt = make_file_adt()
+        ops = file_universe((0, 1))
+        report = derive_figure(adt, ops, "Figure 4-1")
+        assert report.is_minimal is None
+        assert "minimal" not in report.render()
+
+
+class TestDeriveCommutativityFigure:
+    def test_semiqueue_mc(self):
+        adt = make_semiqueue_adt()
+        ops = semiqueue_universe((1, 2))
+        report = derive_commutativity_figure(adt, ops, "SemiQueue MC")
+        assert report.matches_paper
+        assert report.is_dependency  # Theorem 28

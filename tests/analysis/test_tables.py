@@ -1,0 +1,110 @@
+"""Table rendering and relation comparison tests."""
+
+from repro.adts import (
+    ACCOUNT_CONFLICT,
+    ACCOUNT_COMMUTATIVITY_CONFLICT,
+    FILE_DEPENDENCY,
+    credit,
+    debit_ok,
+    debit_overdraft,
+    deq,
+    enq,
+    lookup_ok,
+    member,
+    post,
+    read,
+    write,
+)
+from repro.analysis import (
+    Ordering,
+    compare_relations,
+    concurrency_score,
+    render_grid,
+    render_relation,
+    render_schema_relation,
+    schema_of,
+)
+from repro.core import EMPTY_RELATION, TOTAL_RELATION
+
+
+FOPS = [read(0), read(1), write(0), write(1)]
+
+
+class TestSchemaOf:
+    def test_symbolic_results_kept(self):
+        assert schema_of(debit_ok(2)) == "Debit,Ok"
+        assert schema_of(debit_overdraft(2)) == "Debit,Overdraft"
+
+    def test_value_results_collapse(self):
+        assert schema_of(deq(1)) == "Deq,v"
+        assert schema_of(read(7)) == "Read,v"
+
+    def test_boolean_results(self):
+        assert schema_of(member(1, True)) == "Member,True"
+
+    def test_tagged_tuple_results(self):
+        assert schema_of(lookup_ok("a", 1)) == "Lookup,Found"
+
+
+class TestRendering:
+    def test_grid_alignment(self):
+        grid = render_grid(["col"], [["row", "x"]])
+        lines = grid.splitlines()
+        assert len(lines) == 3  # header, rule, one row
+        assert "col" in lines[0]
+        assert "row" in lines[2]
+
+    def test_render_relation_marks_pairs(self):
+        text = render_relation(FILE_DEPENDENCY.restrict(FOPS), FOPS)
+        assert "X" in text
+        assert "[Read(), 0]" in text
+
+    def test_schema_table_conditions(self):
+        ops = [credit(2), post(50), debit_ok(2), debit_overdraft(2), debit_ok(3), debit_overdraft(3), credit(3)]
+        text = render_schema_relation(ACCOUNT_CONFLICT, ops)
+        assert "Debit,Ok" in text
+        assert "true" in text
+
+    def test_empty_cells_for_empty_relation(self):
+        text = render_relation(EMPTY_RELATION, FOPS)
+        assert "X" not in text
+
+
+class TestComparison:
+    def test_equal(self):
+        report = compare_relations(TOTAL_RELATION, TOTAL_RELATION, FOPS)
+        assert report.ordering is Ordering.EQUAL
+
+    def test_subset_and_superset(self):
+        report = compare_relations(EMPTY_RELATION, TOTAL_RELATION, FOPS)
+        assert report.ordering is Ordering.SUBSET
+        report = compare_relations(TOTAL_RELATION, EMPTY_RELATION, FOPS)
+        assert report.ordering is Ordering.SUPERSET
+        assert len(report.only_left) == 16
+
+    def test_account_gap_is_the_post_conflicts(self):
+        ops = [credit(2), post(50), debit_ok(2), debit_overdraft(2)]
+        report = compare_relations(
+            ACCOUNT_CONFLICT, ACCOUNT_COMMUTATIVITY_CONFLICT, ops
+        )
+        assert report.ordering is Ordering.SUBSET
+        assert all(
+            "Post" in (q.name, p.name) for q, p in report.only_right
+        )
+
+    def test_str(self):
+        report = compare_relations(EMPTY_RELATION, TOTAL_RELATION, FOPS)
+        assert "less restrictive" in str(report)
+
+
+class TestConcurrencyScore:
+    def test_bounds(self):
+        assert concurrency_score(EMPTY_RELATION, FOPS) == 1.0
+        assert concurrency_score(TOTAL_RELATION, FOPS) == 0.0
+
+    def test_empty_universe(self):
+        assert concurrency_score(TOTAL_RELATION, []) == 1.0
+
+    def test_intermediate(self):
+        score = concurrency_score(FILE_DEPENDENCY, FOPS)
+        assert 0.0 < score < 1.0

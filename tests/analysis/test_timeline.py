@@ -1,0 +1,51 @@
+"""Timeline rendering tests."""
+
+from repro.analysis import render_timeline
+from repro.core import HistoryBuilder, Invocation
+
+
+def sample_history():
+    return (
+        HistoryBuilder("X")
+        .operation("P", Invocation("Enq", (1,)), "Ok")
+        .operation("Q", Invocation("Enq", (2,)), "Ok")
+        .commit("P", 2)
+        .commit("Q", 1)
+        .operation("R", Invocation("Deq"), 2)
+        .abort("R")
+        .history()
+    )
+
+
+class TestRenderTimeline:
+    def test_columns_per_transaction(self):
+        text = render_timeline(sample_history())
+        header = text.splitlines()[0]
+        for name in ("step", "obj", "P", "Q", "R"):
+            assert name in header
+
+    def test_event_cells(self):
+        text = render_timeline(sample_history())
+        assert "Enq(1)?" in text
+        assert "-> 'Ok'" in text
+        assert "commit @2" in text
+        assert "abort" in text
+
+    def test_one_row_per_event(self):
+        h = sample_history()
+        text = render_timeline(h)
+        # header + rule + one line per event
+        assert len(text.splitlines()) == len(h) + 2
+
+    def test_custom_column_order_and_filter(self):
+        text = render_timeline(sample_history(), transactions=["R", "Q"])
+        header = text.splitlines()[0]
+        assert "P" not in header
+        assert header.index("R") < header.index("Q")
+        assert "Enq(1)?" not in text  # P's events dropped
+
+    def test_empty_history(self):
+        from repro.core import History
+
+        text = render_timeline(History([], validate=False))
+        assert "step" in text

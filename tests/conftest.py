@@ -1,0 +1,96 @@
+"""Shared fixtures: ADT bundles and small operation universes.
+
+The bounded exhaustive checks are exponential in universe size and depth,
+so tests default to two-value domains and shallow bounds — enough to
+refute any wrong table (every counterexample found during development fit
+these bounds) while keeping the suite fast.
+"""
+
+import pytest
+
+from repro.adts import (
+    account_universe,
+    counter_universe,
+    directory_universe,
+    file_universe,
+    make_account_adt,
+    make_counter_adt,
+    make_directory_adt,
+    make_file_adt,
+    make_queue_adt,
+    make_semiqueue_adt,
+    make_set_adt,
+    queue_universe,
+    semiqueue_universe,
+    set_universe,
+)
+
+
+@pytest.fixture
+def file_adt():
+    return make_file_adt()
+
+
+@pytest.fixture
+def file_ops():
+    return file_universe((0, 1))
+
+
+@pytest.fixture
+def queue_adt():
+    return make_queue_adt()
+
+
+@pytest.fixture
+def queue_ops():
+    return queue_universe((1, 2))
+
+
+@pytest.fixture
+def semiqueue_adt():
+    return make_semiqueue_adt()
+
+
+@pytest.fixture
+def semiqueue_ops():
+    return semiqueue_universe((1, 2))
+
+
+@pytest.fixture
+def account_adt():
+    return make_account_adt()
+
+
+@pytest.fixture
+def account_ops():
+    return account_universe((2, 3), (50,))
+
+
+@pytest.fixture
+def counter_adt():
+    return make_counter_adt()
+
+
+@pytest.fixture
+def counter_ops():
+    return counter_universe((1, 2), (0, 1, 2))
+
+
+@pytest.fixture
+def set_adt():
+    return make_set_adt()
+
+
+@pytest.fixture
+def set_ops():
+    return set_universe((1, 2))
+
+
+@pytest.fixture
+def directory_adt():
+    return make_directory_adt()
+
+
+@pytest.fixture
+def directory_ops():
+    return directory_universe(("a",), (1, 2))

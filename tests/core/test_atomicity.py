@@ -1,0 +1,203 @@
+"""Tests for Section 3: atomicity, hybrid atomicity, online hybrid atomicity."""
+
+import pytest
+
+from repro.adts import AccountSpec, FifoQueueSpec, FileSpec
+from repro.core import (
+    HistoryBuilder,
+    Invocation,
+    is_acceptable,
+    is_atomic,
+    is_hybrid_atomic,
+    is_online_hybrid_atomic,
+    is_online_hybrid_atomic_at,
+    is_serializable,
+    is_serializable_in_order,
+    timestamps_respect_precedes,
+)
+
+QSPEC = FifoQueueSpec()
+SPECS = {"X": QSPEC}
+
+
+def paper_history():
+    """The Section 3.2 queue history (committed: P ts2, Q ts1, R ts5)."""
+    return (
+        HistoryBuilder("X")
+        .operation("P", Invocation("Enq", (1,)), "Ok")
+        .operation("Q", Invocation("Enq", (2,)), "Ok")
+        .operation("P", Invocation("Enq", (3,)), "Ok")
+        .commit("P", 2)
+        .commit("Q", 1)
+        .operation("R", Invocation("Deq"), 2)
+        .operation("R", Invocation("Deq"), 1)
+        .commit("R", 5)
+        .history()
+    )
+
+
+class TestAcceptability:
+    def test_acceptable_serial_history(self):
+        h = (
+            HistoryBuilder("X")
+            .operation("P", Invocation("Enq", (1,)), "Ok")
+            .commit("P", 1)
+            .operation("Q", Invocation("Deq"), 1)
+            .commit("Q", 2)
+            .history()
+        )
+        assert is_acceptable(h, SPECS)
+
+    def test_unacceptable_serial_history(self):
+        h = (
+            HistoryBuilder("X")
+            .operation("P", Invocation("Enq", (1,)), "Ok")
+            .commit("P", 1)
+            .operation("Q", Invocation("Deq"), 9)
+            .commit("Q", 2)
+            .history()
+        )
+        assert not is_acceptable(h, SPECS)
+
+    def test_requires_serial(self):
+        with pytest.raises(ValueError):
+            is_acceptable(paper_history(), SPECS)
+
+    def test_requires_spec(self):
+        h = HistoryBuilder("Y").commit("P", 1).history()
+        with pytest.raises(KeyError):
+            is_acceptable(h, SPECS)
+
+
+class TestSerializability:
+    def test_paper_history_serializable_in_qpr(self):
+        assert is_serializable_in_order(paper_history(), ["Q", "P", "R"], SPECS)
+
+    def test_paper_history_not_serializable_in_pqr(self):
+        assert not is_serializable_in_order(paper_history(), ["P", "Q", "R"], SPECS)
+
+    def test_paper_history_serializable(self):
+        assert is_serializable(paper_history(), SPECS)
+
+    def test_unserializable_history(self):
+        # P dequeues 1, but 2 entered first and was never dequeued.
+        h = (
+            HistoryBuilder("X")
+            .operation("P", Invocation("Enq", (2,)), "Ok")
+            .operation("P", Invocation("Enq", (1,)), "Ok")
+            .operation("Q", Invocation("Deq"), 1)
+            .commit("P", 1)
+            .commit("Q", 2)
+            .history()
+        )
+        assert not is_serializable(h, SPECS)
+
+
+class TestAtomicity:
+    def test_paper_history_atomic(self):
+        assert is_atomic(paper_history(), SPECS)
+
+    def test_active_transactions_ignored(self):
+        h = (
+            HistoryBuilder("X")
+            .operation("P", Invocation("Enq", (1,)), "Ok")
+            .operation("Z", Invocation("Deq"), 1)  # active, never commits
+            .commit("P", 1)
+            .history()
+        )
+        assert is_atomic(h, SPECS)
+
+    def test_aborted_transactions_ignored(self):
+        h = (
+            HistoryBuilder("X")
+            .operation("Z", Invocation("Enq", (9,)), "Ok")
+            .abort("Z")
+            .operation("P", Invocation("Enq", (1,)), "Ok")
+            .commit("P", 1)
+            .operation("Q", Invocation("Deq"), 1)
+            .commit("Q", 2)
+            .history()
+        )
+        assert is_atomic(h, SPECS)
+
+
+class TestHybridAtomicity:
+    def test_paper_history_hybrid_atomic(self):
+        assert is_hybrid_atomic(paper_history(), SPECS)
+
+    def test_wrong_timestamps_break_hybrid_atomicity(self):
+        # Same events but P gets the smaller timestamp: serialization P-Q-R
+        # would have to dequeue 1 first, yet R dequeued 2.
+        h = (
+            HistoryBuilder("X")
+            .operation("P", Invocation("Enq", (1,)), "Ok")
+            .operation("Q", Invocation("Enq", (2,)), "Ok")
+            .operation("P", Invocation("Enq", (3,)), "Ok")
+            .commit("P", 1)
+            .commit("Q", 2)
+            .operation("R", Invocation("Deq"), 2)
+            .operation("R", Invocation("Deq"), 1)
+            .commit("R", 5)
+            .history()
+        )
+        assert not is_hybrid_atomic(h, SPECS)
+        # But it is still atomic (some other order works).
+        assert is_atomic(h, SPECS)
+
+
+class TestOnlineHybridAtomicity:
+    def test_every_prefix_of_paper_history(self):
+        for prefix in paper_history().prefixes():
+            assert is_online_hybrid_atomic(prefix, SPECS)
+
+    def test_active_transactions_must_fit_any_order(self):
+        # P and Q are active with non-commuting enqueues already executed —
+        # fine online (either timestamp order can still be chosen).
+        h = (
+            HistoryBuilder("X")
+            .operation("P", Invocation("Enq", (1,)), "Ok")
+            .operation("Q", Invocation("Enq", (2,)), "Ok")
+            .history()
+        )
+        assert is_online_hybrid_atomic_at(h, "X", QSPEC)
+
+    def test_violation_detected(self):
+        # R dequeues an item enqueued by a still-active transaction: if P
+        # later aborts (commit set excluding P), R's dequeue is unfounded.
+        h = (
+            HistoryBuilder("X")
+            .operation("P", Invocation("Enq", (1,)), "Ok")
+            .operation("R", Invocation("Deq"), 1)
+            .history()
+        )
+        assert not is_online_hybrid_atomic_at(h, "X", QSPEC)
+
+    def test_file_online_violation_via_timestamps(self):
+        # Q read the initial value while P concurrently wrote; if P commits
+        # with a smaller timestamp than Q, serialization in TS order fails.
+        spec = FileSpec(initial=0)
+        h = (
+            HistoryBuilder("F")
+            .operation("P", Invocation("Write", (1,)), "Ok")
+            .operation("Q", Invocation("Read"), 0)
+            .history()
+        )
+        # Online hybrid atomicity quantifies over all orders of active
+        # transactions, including P before Q, which is unserializable.
+        assert not is_online_hybrid_atomic_at(h, "F", spec)
+
+
+class TestTimestampConstraint:
+    def test_paper_history_respects_precedes(self):
+        assert timestamps_respect_precedes(paper_history())
+
+    def test_violation(self):
+        h = (
+            HistoryBuilder("X")
+            .operation("P", Invocation("Enq", (1,)), "Ok")
+            .commit("P", 5)
+            .operation("Q", Invocation("Enq", (2,)), "Ok")
+            .commit("Q", 3)  # Q saw P committed but chose a smaller stamp
+            .history()
+        )
+        assert not timestamps_respect_precedes(h)

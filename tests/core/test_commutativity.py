@@ -1,0 +1,118 @@
+"""Tests for Definitions 25-26 (commutativity) and Theorem 28."""
+
+from repro.adts import (
+    FifoQueueSpec,
+    FileSpec,
+    credit,
+    debit_ok,
+    debit_overdraft,
+    deq,
+    enq,
+    post,
+    read,
+    write,
+)
+from repro.core import (
+    commute,
+    failure_to_commute,
+    find_commute_counterexample,
+    is_dependency_relation,
+    is_symmetric,
+)
+
+
+QSPEC = FifoQueueSpec()
+QOPS = [enq(1), enq(2), deq(1), deq(2)]
+FSPEC = FileSpec()
+FOPS = [read(0), read(1), write(0), write(1)]
+
+
+class TestCommute:
+    def test_writes_fail_to_commute(self):
+        cex = find_commute_counterexample(FSPEC, write(0), write(1), FOPS)
+        assert cex is not None
+        assert "not equivalent" in cex.reason
+
+    def test_same_value_writes_commute(self):
+        assert commute(FSPEC, write(1), write(1), FOPS)
+
+    def test_reads_commute(self):
+        assert commute(FSPEC, read(0), read(0), FOPS)
+
+    def test_read_write_same_value_commute(self):
+        assert commute(FSPEC, read(1), write(1), FOPS)
+
+    def test_read_write_different_value_fail(self):
+        assert not commute(FSPEC, read(0), write(1), FOPS)
+
+    def test_enqueues_fail_to_commute(self):
+        assert not commute(QSPEC, enq(1), enq(2), QOPS)
+        assert commute(QSPEC, enq(1), enq(1), QOPS)
+
+    def test_enq_deq_commute(self):
+        # Both legal only when the queue is non-empty with the dequeued
+        # item at the head; then both orders agree.
+        assert commute(QSPEC, enq(2), deq(1), QOPS)
+
+    def test_counterexample_renders(self):
+        cex = find_commute_counterexample(FSPEC, write(0), write(1), FOPS)
+        assert "fail to commute" in str(cex)
+
+
+class TestAccountCommutativity:
+    def test_post_credit_fail(self, account_adt, account_ops):
+        assert not commute(account_adt.spec, post(50), credit(2), account_ops)
+
+    def test_post_debit_fail(self, account_adt, account_ops):
+        assert not commute(account_adt.spec, post(50), debit_ok(2), account_ops)
+
+    def test_credit_debit_ok_commute(self, account_adt, account_ops):
+        assert commute(account_adt.spec, credit(2), debit_ok(2), account_ops)
+
+    def test_credit_overdraft_fail(self, account_adt, account_ops):
+        assert not commute(
+            account_adt.spec, credit(2), debit_overdraft(2), account_ops
+        )
+
+    def test_overdrafts_commute(self, account_adt, account_ops):
+        assert commute(
+            account_adt.spec, debit_overdraft(2), debit_overdraft(3), account_ops
+        )
+
+
+class TestDerivedMC:
+    def test_queue_mc_equals_fig43_closure(self, queue_adt, queue_ops):
+        derived = failure_to_commute(queue_adt.spec, queue_ops)
+        from repro.adts import QUEUE_COMMUTATIVITY_CONFLICT
+
+        expected = QUEUE_COMMUTATIVITY_CONFLICT.restrict(queue_ops)
+        assert derived.pair_set == expected.pair_set
+
+    def test_account_mc_matches_fig71(self, account_adt, account_ops):
+        derived = failure_to_commute(account_adt.spec, account_ops, max_h=3)
+        expected = account_adt.commutativity_conflict.restrict(account_ops)
+        assert derived.pair_set == expected.pair_set
+
+    def test_mc_is_symmetric(self, file_adt, file_ops):
+        derived = failure_to_commute(file_adt.spec, file_ops)
+        assert is_symmetric(derived, file_ops)
+
+
+class TestTheorem28:
+    """Failure-to-commute is a dependency relation."""
+
+    def test_file(self, file_adt, file_ops):
+        mc = failure_to_commute(file_adt.spec, file_ops)
+        assert is_dependency_relation(mc, file_adt.spec, file_ops)
+
+    def test_queue(self, queue_adt, queue_ops):
+        mc = failure_to_commute(queue_adt.spec, queue_ops)
+        assert is_dependency_relation(mc, queue_adt.spec, queue_ops)
+
+    def test_account(self, account_adt, account_ops):
+        mc = failure_to_commute(account_adt.spec, account_ops, max_h=3)
+        assert is_dependency_relation(mc, account_adt.spec, account_ops)
+
+    def test_semiqueue(self, semiqueue_adt, semiqueue_ops):
+        mc = failure_to_commute(semiqueue_adt.spec, semiqueue_ops)
+        assert is_dependency_relation(mc, semiqueue_adt.spec, semiqueue_ops)

@@ -1,0 +1,107 @@
+"""Unit tests for the relation algebra."""
+
+from repro.adts import deq, enq, read, write
+from repro.core import (
+    EMPTY_RELATION,
+    TOTAL_RELATION,
+    EnumeratedRelation,
+    PredicateRelation,
+    difference,
+    is_symmetric,
+    restrict,
+    symmetric_closure,
+    union,
+)
+
+
+UNIVERSE = [enq(1), enq(2), deq(1), deq(2)]
+
+
+class TestPredicateRelation:
+    def test_membership(self):
+        rel = PredicateRelation(lambda q, p: q.name == "Deq" and p.name == "Enq")
+        assert rel.related(deq(1), enq(1))
+        assert not rel.related(enq(1), deq(1))
+        assert (deq(1), enq(2)) in rel
+
+    def test_pairs_and_restrict(self):
+        rel = PredicateRelation(lambda q, p: q.name == "Deq" and p.name == "Enq")
+        enumerated = restrict(rel, UNIVERSE)
+        assert len(enumerated) == 4
+        assert enumerated.related(deq(2), enq(1))
+
+
+class TestEnumeratedRelation:
+    def test_set_semantics(self):
+        rel = EnumeratedRelation({(deq(1), enq(1))})
+        assert rel.related(deq(1), enq(1))
+        assert not rel.related(deq(1), enq(2))
+        assert len(rel) == 1
+
+    def test_without(self):
+        rel = EnumeratedRelation({(deq(1), enq(1)), (deq(2), enq(2))})
+        smaller = rel.without((deq(1), enq(1)))
+        assert len(smaller) == 1
+        assert not smaller.related(deq(1), enq(1))
+
+    def test_equality_and_hash(self):
+        a = EnumeratedRelation({(deq(1), enq(1))})
+        b = EnumeratedRelation({(deq(1), enq(1))})
+        assert a == b
+        assert hash(a) == hash(b)
+
+
+class TestCombinators:
+    def test_union_predicates(self):
+        left = PredicateRelation(lambda q, p: q.name == "Deq" and p.name == "Deq")
+        right = PredicateRelation(lambda q, p: q.name == "Enq" and p.name == "Enq")
+        both = union(left, right)
+        assert both.related(deq(1), deq(2))
+        assert both.related(enq(1), enq(2))
+        assert not both.related(deq(1), enq(1))
+
+    def test_union_enumerated_stays_enumerated(self):
+        a = EnumeratedRelation({(deq(1), enq(1))})
+        b = EnumeratedRelation({(deq(2), enq(2))})
+        merged = union(a, b)
+        assert isinstance(merged, EnumeratedRelation)
+        assert len(merged) == 2
+
+    def test_difference(self):
+        total = restrict(TOTAL_RELATION, UNIVERSE)
+        empty = difference(total, total)
+        assert len(restrict(empty, UNIVERSE)) == 0
+
+    def test_operator_sugar(self):
+        a = EnumeratedRelation({(deq(1), enq(1))})
+        b = EnumeratedRelation({(deq(1), enq(1)), (deq(2), enq(2))})
+        assert restrict(b - a, UNIVERSE).pair_set == {(deq(2), enq(2))}
+        assert len(restrict(a | b, UNIVERSE)) == 2
+
+
+class TestSymmetricClosure:
+    def test_closure_is_symmetric(self):
+        rel = PredicateRelation(lambda q, p: q.name == "Deq" and p.name == "Enq")
+        assert not is_symmetric(rel, UNIVERSE)
+        assert is_symmetric(symmetric_closure(rel), UNIVERSE)
+
+    def test_closure_of_enumerated(self):
+        rel = EnumeratedRelation({(deq(1), enq(1))})
+        closed = symmetric_closure(rel)
+        assert closed.related(enq(1), deq(1))
+        assert closed.related(deq(1), enq(1))
+
+    def test_closure_contains_original(self):
+        rel = PredicateRelation(lambda q, p: q.name == "Deq" and p.name == "Enq")
+        closed = symmetric_closure(rel)
+        assert restrict(rel, UNIVERSE).pair_set <= restrict(closed, UNIVERSE).pair_set
+
+
+class TestConstants:
+    def test_empty(self):
+        assert not EMPTY_RELATION.related(enq(1), enq(1))
+        assert len(restrict(EMPTY_RELATION, UNIVERSE)) == 0
+
+    def test_total(self):
+        assert TOTAL_RELATION.related(enq(1), deq(2))
+        assert len(restrict(TOTAL_RELATION, UNIVERSE)) == 16

@@ -1,0 +1,160 @@
+"""Tests for Definition 3 machinery: the bounded verifier, views, minimality."""
+
+import pytest
+
+from repro.adts import (
+    QUEUE_DEPENDENCY_FIG42,
+    QUEUE_DEPENDENCY_FIG43,
+    deq,
+    enq,
+    read,
+    write,
+)
+from repro.core import (
+    EMPTY_RELATION,
+    TOTAL_RELATION,
+    EnumeratedRelation,
+    check_dependency_relation,
+    check_lemma4,
+    find_minimal_dependency_relations,
+    is_dependency_relation,
+    is_minimal_dependency_relation,
+    is_r_closed,
+    is_view,
+)
+from repro.adts import FifoQueueSpec, FileSpec
+
+
+QSPEC = FifoQueueSpec()
+QOPS = [enq(1), enq(2), deq(1), deq(2)]
+FSPEC = FileSpec()
+FOPS = [read(0), read(1), write(0), write(1)]
+
+
+class TestVerifier:
+    def test_total_relation_is_dependency(self):
+        assert is_dependency_relation(TOTAL_RELATION, QSPEC, QOPS)
+
+    def test_empty_relation_not_dependency_for_queue(self):
+        violation = check_dependency_relation(EMPTY_RELATION, QSPEC, QOPS)
+        assert violation is not None
+        # The counterexample must actually violate Definition 3.
+        h, p, k = violation.h, violation.p, violation.k
+        assert QSPEC.is_legal(h + k)
+        assert QSPEC.is_legal(h + (p,))
+        assert not QSPEC.is_legal(h + (p,) + k)
+
+    def test_empty_relation_is_dependency_for_degenerate_type(self):
+        # A type whose operations never interact: writes-only file with a
+        # single value; nothing can invalidate anything.
+        ops = [write(0)]
+        assert is_dependency_relation(EMPTY_RELATION, FSPEC, ops)
+
+    def test_both_queue_figures_are_dependency_relations(self):
+        assert is_dependency_relation(QUEUE_DEPENDENCY_FIG42, QSPEC, QOPS)
+        assert is_dependency_relation(QUEUE_DEPENDENCY_FIG43, QSPEC, QOPS)
+
+    def test_dropping_a_needed_pair_is_caught(self):
+        fig42 = QUEUE_DEPENDENCY_FIG42.restrict(QOPS)
+        for pair in fig42.pair_set:
+            assert not is_dependency_relation(fig42.without(pair), QSPEC, QOPS)
+
+    def test_violation_renders(self):
+        violation = check_dependency_relation(EMPTY_RELATION, QSPEC, QOPS)
+        assert "illegal" in str(violation)
+
+    def test_upward_closure(self):
+        # Adding pairs to a dependency relation keeps it one.
+        fig42 = QUEUE_DEPENDENCY_FIG42.restrict(QOPS)
+        bigger = EnumeratedRelation(fig42.pair_set | {(enq(1), enq(2))})
+        assert is_dependency_relation(bigger, QSPEC, QOPS)
+
+
+class TestViews:
+    def test_r_closed_full_sequence(self):
+        h = (enq(1), enq(2), deq(1))
+        assert is_r_closed(h, h, QUEUE_DEPENDENCY_FIG42)
+
+    def test_r_closed_subsequence(self):
+        h = (enq(1), enq(2))
+        # Enqueues don't depend on each other under Fig 4-2, so either
+        # alone is closed.
+        assert is_r_closed((enq(1),), h, QUEUE_DEPENDENCY_FIG42)
+        assert is_r_closed((enq(2),), h, QUEUE_DEPENDENCY_FIG42)
+
+    def test_not_r_closed_when_dependency_dropped(self):
+        h = (enq(1), deq(1))
+        # deq(1) depends on deq(1)? No — on enq(2) (different item) no...
+        # Under Fig 4-2 deq(1) depends on enq(v') with v' != 1, so here no
+        # dependency on enq(1); dropping enq(1) keeps deq(1) closed.
+        assert is_r_closed((deq(1),), h, QUEUE_DEPENDENCY_FIG42)
+        # But under Fig 4-3, deq(1) depends on deq(1) only; enq(1) depends
+        # on enq(2).  Dropping enq(1) from (enq(1), enq(2)) breaks closure
+        # for a subsequence containing enq(2).
+        h2 = (enq(1), enq(2))
+        assert not is_r_closed((enq(2),), h2, QUEUE_DEPENDENCY_FIG43)
+
+    def test_non_subsequence_rejected(self):
+        assert not is_r_closed((deq(2),), (enq(1),), QUEUE_DEPENDENCY_FIG42)
+
+    def test_view_includes_needed_operations(self):
+        h = (enq(1), enq(2))
+        # A Fig 4-2 view for deq(1) must include enq(2) (different item).
+        assert is_view((enq(1), enq(2)), h, deq(1), QUEUE_DEPENDENCY_FIG42)
+        assert not is_view((enq(1),), h, deq(1), QUEUE_DEPENDENCY_FIG42)
+
+    def test_lemma7_shape(self):
+        # If g is a view of h for q and g*q legal, then h*q legal: sample it.
+        relation = QUEUE_DEPENDENCY_FIG42
+        h = (enq(1), enq(2))
+        g = (enq(1), enq(2))
+        q = deq(1)
+        assert is_view(g, h, q, relation)
+        assert QSPEC.is_legal(g + (q,))
+        assert QSPEC.is_legal(h + (q,))
+
+
+class TestMinimality:
+    def test_fig42_minimal(self):
+        fig42 = QUEUE_DEPENDENCY_FIG42.restrict(QOPS)
+        assert is_minimal_dependency_relation(fig42, QSPEC, QOPS)
+
+    def test_fig43_minimal(self):
+        fig43 = QUEUE_DEPENDENCY_FIG43.restrict(QOPS)
+        assert is_minimal_dependency_relation(fig43, QSPEC, QOPS)
+
+    def test_non_dependency_not_minimal(self):
+        assert not is_minimal_dependency_relation(
+            EMPTY_RELATION.restrict(QOPS), QSPEC, QOPS
+        )
+
+    def test_find_minimal_requires_dependency_input(self):
+        with pytest.raises(ValueError):
+            find_minimal_dependency_relations(
+                EMPTY_RELATION.restrict(QOPS), QSPEC, QOPS
+            )
+
+    def test_queue_has_both_paper_minima_below_union(self):
+        # Start from the union of the two figures and shrink: both minimal
+        # relations of the paper must be reachable.
+        union_rel = EnumeratedRelation(
+            QUEUE_DEPENDENCY_FIG42.restrict(QOPS).pair_set
+            | QUEUE_DEPENDENCY_FIG43.restrict(QOPS).pair_set
+        )
+        minima = find_minimal_dependency_relations(union_rel, QSPEC, QOPS)
+        pair_sets = {m.pair_set for m in minima}
+        assert QUEUE_DEPENDENCY_FIG42.restrict(QOPS).pair_set in pair_sets
+        assert QUEUE_DEPENDENCY_FIG43.restrict(QOPS).pair_set in pair_sets
+
+
+class TestLemma4:
+    def test_holds_for_dependency_relation(self):
+        relation = QUEUE_DEPENDENCY_FIG42
+        h = (enq(1),)
+        k1 = (enq(2),)
+        k2 = (enq(1),)
+        assert check_lemma4(relation, QSPEC, h, k1, k2)
+
+    def test_vacuous_when_premises_fail(self):
+        relation = QUEUE_DEPENDENCY_FIG42
+        assert check_lemma4(relation, QSPEC, (), (deq(1),), (enq(1),))

@@ -1,0 +1,235 @@
+"""Unit tests for events, histories, well-formedness, and derived orders."""
+
+import pytest
+
+from repro.core import (
+    AbortEvent,
+    CommitEvent,
+    History,
+    HistoryBuilder,
+    Invocation,
+    InvocationEvent,
+    ResponseEvent,
+    WellFormednessError,
+    is_completion,
+)
+
+
+def queue_history():
+    """The Section 3.2 FIFO queue history."""
+    return (
+        HistoryBuilder("X")
+        .operation("P", Invocation("Enq", (1,)), "Ok")
+        .operation("Q", Invocation("Enq", (2,)), "Ok")
+        .operation("P", Invocation("Enq", (3,)), "Ok")
+        .commit("P", 2)
+        .commit("Q", 1)
+        .operation("R", Invocation("Deq"), 2)
+        .operation("R", Invocation("Deq"), 1)
+        .commit("R", 5)
+        .history()
+    )
+
+
+class TestEvents:
+    def test_completion_classification(self):
+        assert is_completion(CommitEvent("P", "X", 1))
+        assert is_completion(AbortEvent("P", "X"))
+        assert not is_completion(InvocationEvent("P", "X", Invocation("Deq")))
+        assert not is_completion(ResponseEvent("P", "X", 1))
+
+    def test_event_rendering(self):
+        assert str(CommitEvent("P", "X", 3)) == "<commit(3), X, P>"
+        assert str(AbortEvent("P", "X")) == "<abort, X, P>"
+
+
+class TestRestriction:
+    def test_restrict_transaction(self):
+        h = queue_history()
+        hp = h.restrict_transactions("P")
+        assert all(e.transaction == "P" for e in hp)
+        assert len(hp) == 5  # 2 ops * 2 events + commit
+
+    def test_restrict_object(self):
+        h = queue_history()
+        assert h.restrict_objects("X") == History(h.events, validate=False)
+        assert len(h.restrict_objects("Y")) == 0
+
+    def test_restrict_multiple_transactions(self):
+        h = queue_history()
+        pq = h.restrict_transactions({"P", "Q"})
+        assert {e.transaction for e in pq} == {"P", "Q"}
+
+
+class TestClassification:
+    def test_committed_aborted_completed(self):
+        h = (
+            HistoryBuilder()
+            .operation("P", Invocation("Enq", (1,)))
+            .commit("P", 1)
+            .operation("Q", Invocation("Enq", (2,)))
+            .abort("Q")
+            .history()
+        )
+        assert h.committed() == {"P"}
+        assert h.aborted() == {"Q"}
+        assert h.completed() == {"P", "Q"}
+        assert not h.is_failure_free()
+
+    def test_permanent_drops_non_committed(self):
+        h = (
+            HistoryBuilder()
+            .operation("P", Invocation("Enq", (1,)))
+            .commit("P", 1)
+            .operation("Q", Invocation("Enq", (2,)))
+            .history()
+        )
+        permanent = h.permanent()
+        assert permanent.transactions() == ["P"]
+
+    def test_timestamps(self):
+        assert queue_history().timestamps() == {"P": 2, "Q": 1, "R": 5}
+
+    def test_committed_in_timestamp_order(self):
+        assert queue_history().committed_in_timestamp_order() == ["Q", "P", "R"]
+
+
+class TestSerialAndOpSeq:
+    def test_is_serial(self):
+        assert not queue_history().is_serial()
+        serial = queue_history().serial(["Q", "P", "R"])
+        assert serial.is_serial()
+
+    def test_serial_preserves_per_transaction_events(self):
+        h = queue_history()
+        s = h.serial(["R", "P", "Q"])
+        assert h.equivalent_to(s)
+
+    def test_serial_requires_all_transactions(self):
+        with pytest.raises(ValueError):
+            queue_history().serial(["P", "Q"])
+
+    def test_op_seq_pairs_invocations(self):
+        h = queue_history().restrict_transactions("R")
+        ops = h.op_seq()
+        assert [(o.name, o.result) for o in ops] == [("Deq", 2), ("Deq", 1)]
+
+    def test_op_seq_drops_pending_invocation(self):
+        h = (
+            HistoryBuilder()
+            .operation("P", Invocation("Enq", (1,)))
+            .invoke("P", Invocation("Enq", (2,)))
+            .history()
+        )
+        assert len(h.op_seq()) == 1
+
+    def test_prefixes(self):
+        h = queue_history()
+        prefixes = list(h.prefixes())
+        assert len(prefixes) == len(h) + 1
+        assert prefixes[0] == History([], validate=False)
+        assert prefixes[-1].events == h.events
+
+
+class TestOrders:
+    def test_precedes_captures_information_flow(self):
+        h = queue_history()
+        precedes = h.precedes()
+        # R's dequeues return after P and Q commit.
+        assert ("P", "R") in precedes
+        assert ("Q", "R") in precedes
+        # P and Q were concurrent.
+        assert ("P", "Q") not in precedes
+        assert ("Q", "P") not in precedes
+
+    def test_ts_order(self):
+        ts = queue_history().ts_order()
+        assert ("Q", "P") in ts
+        assert ("P", "R") in ts
+        assert ("P", "Q") not in ts
+
+    def test_known_union(self):
+        h = queue_history()
+        assert h.known() == h.precedes() | h.ts_order()
+
+
+class TestWellFormedness:
+    def test_alternation_enforced(self):
+        with pytest.raises(WellFormednessError):
+            History(
+                [
+                    InvocationEvent("P", "X", Invocation("Deq")),
+                    InvocationEvent("P", "X", Invocation("Deq")),
+                ]
+            )
+
+    def test_response_without_invocation(self):
+        with pytest.raises(WellFormednessError):
+            History([ResponseEvent("P", "X", 1)])
+
+    def test_response_object_must_match(self):
+        with pytest.raises(WellFormednessError):
+            History(
+                [
+                    InvocationEvent("P", "X", Invocation("Deq")),
+                    ResponseEvent("P", "Y", 1),
+                ]
+            )
+
+    def test_commit_and_abort_exclusive(self):
+        with pytest.raises(WellFormednessError):
+            HistoryBuilder().commit("P", 1).abort("P").history()
+        with pytest.raises(WellFormednessError):
+            HistoryBuilder().abort("P").commit("P", 1).history()
+
+    def test_commit_with_pending_invocation(self):
+        with pytest.raises(WellFormednessError):
+            (
+                HistoryBuilder()
+                .invoke("P", Invocation("Enq", (1,)))
+                .commit("P", 1)
+                .history()
+            )
+
+    def test_no_invocations_after_commit(self):
+        with pytest.raises(WellFormednessError):
+            (
+                HistoryBuilder()
+                .commit("P", 1)
+                .invoke("P", Invocation("Enq", (1,)))
+                .history()
+            )
+
+    def test_commit_timestamps_consistent_per_transaction(self):
+        # Same transaction may commit at several objects with one timestamp.
+        h = (
+            HistoryBuilder()
+            .commit("P", 1, obj="X")
+            .commit("P", 1, obj="Y")
+            .history()
+        )
+        assert h.committed() == {"P"}
+        with pytest.raises(WellFormednessError):
+            (
+                HistoryBuilder()
+                .commit("P", 1, obj="X")
+                .commit("P", 2, obj="Y")
+                .history()
+            )
+
+    def test_commit_timestamps_unique_across_transactions(self):
+        with pytest.raises(WellFormednessError):
+            HistoryBuilder().commit("P", 1).commit("Q", 1).history()
+
+    def test_aborted_transactions_may_continue(self):
+        # The paper deliberately permits orphan behaviour.
+        h = (
+            HistoryBuilder()
+            .abort("P")
+            .operation("P", Invocation("Enq", (1,)))
+            .history()
+        )
+        assert h.aborted() == {"P"}
+
+    def test_paper_history_is_well_formed(self):
+        assert len(queue_history()) == 13

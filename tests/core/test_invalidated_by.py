@@ -1,0 +1,98 @@
+"""Tests for Definitions 8-9 (invalidated-by) and Theorem 10."""
+
+from repro.adts import (
+    FifoQueueSpec,
+    FileSpec,
+    deq,
+    enq,
+    read,
+    write,
+)
+from repro.core import (
+    find_invalidation_witness,
+    invalidated_by,
+    invalidates,
+    is_dependency_relation,
+)
+
+
+QSPEC = FifoQueueSpec()
+QOPS = [enq(1), enq(2), deq(1), deq(2)]
+FSPEC = FileSpec()
+FOPS = [read(0), read(1), write(0), write(1)]
+
+
+class TestWitnesses:
+    def test_write_invalidates_read(self):
+        witness = find_invalidation_witness(FSPEC, write(1), read(0), FOPS)
+        assert witness is not None
+        h1, h2 = witness.h1, witness.h2
+        assert FSPEC.is_legal(h1 + (write(1),) + h2)
+        assert FSPEC.is_legal(h1 + h2 + (read(0),))
+        assert not FSPEC.is_legal(h1 + (write(1),) + h2 + (read(0),))
+
+    def test_write_does_not_invalidate_write(self):
+        assert not invalidates(FSPEC, write(0), write(1), FOPS)
+        assert not invalidates(FSPEC, write(1), write(1), FOPS)
+
+    def test_same_value_write_does_not_invalidate_read(self):
+        assert not invalidates(FSPEC, write(0), read(0), FOPS)
+
+    def test_read_invalidates_nothing(self):
+        for q in FOPS:
+            assert not invalidates(FSPEC, read(0), q, FOPS)
+
+    def test_enq_invalidates_deq_of_other_item(self):
+        assert invalidates(QSPEC, enq(2), deq(1), QOPS)
+        assert not invalidates(QSPEC, enq(1), deq(1), QOPS)
+
+    def test_deq_invalidates_same_item_deq(self):
+        assert invalidates(QSPEC, deq(1), deq(1), QOPS)
+        assert not invalidates(QSPEC, deq(1), deq(2), QOPS)
+
+    def test_witness_renders(self):
+        witness = find_invalidation_witness(FSPEC, write(1), read(0), FOPS)
+        assert "invalidates" in str(witness)
+
+
+class TestDerivedRelations:
+    def test_file_table(self, file_adt, file_ops):
+        derived = invalidated_by(file_adt.spec, file_ops)
+        expected = file_adt.dependency.restrict(file_ops)
+        assert derived.pair_set == expected.pair_set
+
+    def test_queue_table_is_fig42(self, queue_adt, queue_ops):
+        derived = invalidated_by(queue_adt.spec, queue_ops)
+        from repro.adts import QUEUE_DEPENDENCY_FIG42
+
+        assert derived.pair_set == QUEUE_DEPENDENCY_FIG42.restrict(queue_ops).pair_set
+
+    def test_semiqueue_table(self, semiqueue_adt, semiqueue_ops):
+        derived = invalidated_by(semiqueue_adt.spec, semiqueue_ops)
+        expected = semiqueue_adt.dependency.restrict(semiqueue_ops)
+        assert derived.pair_set == expected.pair_set
+
+    def test_account_table(self, account_adt, account_ops):
+        derived = invalidated_by(account_adt.spec, account_ops)
+        expected = account_adt.dependency.restrict(account_ops)
+        assert derived.pair_set == expected.pair_set
+
+
+class TestTheorem10:
+    """Invalidated-by is always a dependency relation."""
+
+    def test_file(self, file_adt, file_ops):
+        derived = invalidated_by(file_adt.spec, file_ops)
+        assert is_dependency_relation(derived, file_adt.spec, file_ops)
+
+    def test_queue(self, queue_adt, queue_ops):
+        derived = invalidated_by(queue_adt.spec, queue_ops)
+        assert is_dependency_relation(derived, queue_adt.spec, queue_ops)
+
+    def test_semiqueue(self, semiqueue_adt, semiqueue_ops):
+        derived = invalidated_by(semiqueue_adt.spec, semiqueue_ops)
+        assert is_dependency_relation(derived, semiqueue_adt.spec, semiqueue_ops)
+
+    def test_account(self, account_adt, account_ops):
+        derived = invalidated_by(account_adt.spec, account_ops)
+        assert is_dependency_relation(derived, account_adt.spec, account_ops)

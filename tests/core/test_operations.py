@@ -1,0 +1,78 @@
+"""Unit tests for operations and invocations."""
+
+import pytest
+
+from repro.core import Invocation, Operation, op
+
+
+class TestInvocation:
+    def test_name_and_args(self):
+        invocation = Invocation("Enq", (3,))
+        assert invocation.name == "Enq"
+        assert invocation.args == (3,)
+
+    def test_default_args_empty(self):
+        assert Invocation("Deq").args == ()
+
+    def test_args_coerced_to_tuple(self):
+        assert Invocation("Enq", [1, 2]).args == (1, 2)
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            Invocation("")
+
+    def test_non_string_name_rejected(self):
+        with pytest.raises(ValueError):
+            Invocation(3)
+
+    def test_str(self):
+        assert str(Invocation("Enq", (3,))) == "Enq(3)"
+        assert str(Invocation("Deq")) == "Deq()"
+
+    def test_hashable_and_equal(self):
+        assert Invocation("Enq", (3,)) == Invocation("Enq", (3,))
+        assert hash(Invocation("Enq", (3,))) == hash(Invocation("Enq", (3,)))
+        assert Invocation("Enq", (3,)) != Invocation("Enq", (4,))
+
+    def test_with_result(self):
+        operation = Invocation("Enq", (3,)).with_result("Ok")
+        assert operation == Operation(Invocation("Enq", (3,)), "Ok")
+
+
+class TestOperation:
+    def test_accessors(self):
+        operation = Operation(Invocation("Debit", (5,)), "Overdraft")
+        assert operation.name == "Debit"
+        assert operation.args == (5,)
+        assert operation.result == "Overdraft"
+
+    def test_default_result_is_ok(self):
+        assert Operation(Invocation("Enq", (1,))).result == "Ok"
+
+    def test_str_matches_paper_notation(self):
+        assert str(Operation(Invocation("Enq", (3,)), "Ok")) == "[Enq(3), 'Ok']"
+
+    def test_equality_includes_result(self):
+        a = Operation(Invocation("Deq"), 1)
+        b = Operation(Invocation("Deq"), 2)
+        assert a != b
+
+    def test_orderable(self):
+        ops = sorted([op("B"), op("A")])
+        assert [o.name for o in ops] == ["A", "B"]
+
+    def test_usable_in_sets(self):
+        assert len({op("Enq", 1), op("Enq", 1), op("Enq", 2)}) == 2
+
+
+class TestOpHelper:
+    def test_op_builds_operation(self):
+        operation = op("Enq", 3)
+        assert operation.invocation == Invocation("Enq", (3,))
+        assert operation.result == "Ok"
+
+    def test_op_custom_result(self):
+        assert op("Deq", result=7).result == 7
+
+    def test_op_multiple_args(self):
+        assert op("Bind", "k", 1).args == ("k", 1)

@@ -1,0 +1,159 @@
+"""Unit tests for serial specifications and legality machinery."""
+
+import pytest
+
+from repro.adts import (
+    AccountSpec,
+    FifoQueueSpec,
+    FileSpec,
+    SemiQueueSpec,
+    credit,
+    debit_ok,
+    debit_overdraft,
+    deq,
+    enq,
+    ins,
+    post,
+    read,
+    rem,
+    write,
+)
+from repro.core import Invocation
+from repro.core.specs import enumerate_legal_sequences
+
+
+class TestFileSpec:
+    def test_initial_read(self):
+        spec = FileSpec(initial=0)
+        assert spec.is_legal((read(0),))
+        assert not spec.is_legal((read(1),))
+
+    def test_read_after_write(self):
+        spec = FileSpec()
+        assert spec.is_legal((write(5), read(5)))
+        assert not spec.is_legal((write(5), read(6)))
+
+    def test_write_always_legal(self):
+        spec = FileSpec()
+        assert spec.is_legal((write(1), write(2), write(1)))
+
+    def test_results_for(self):
+        spec = FileSpec(initial=9)
+        states = spec.initial_states()
+        assert spec.results_for(states, Invocation("Read")) == [9]
+
+    def test_unknown_operation_illegal(self):
+        spec = FileSpec()
+        assert not spec.is_legal((Invocation("Zap").with_result("Ok"),))
+
+
+class TestQueueSpec:
+    def test_fifo_order(self):
+        spec = FifoQueueSpec()
+        assert spec.is_legal((enq(1), enq(2), deq(1), deq(2)))
+        assert not spec.is_legal((enq(1), enq(2), deq(2)))
+
+    def test_deq_empty_is_partial(self):
+        spec = FifoQueueSpec()
+        assert not spec.is_legal((deq(1),))
+        assert spec.results_for(spec.initial_states(), Invocation("Deq")) == []
+
+    def test_deq_result_forced(self):
+        spec = FifoQueueSpec()
+        states = spec.run((enq(7),))
+        assert spec.results_for(states, Invocation("Deq")) == [7]
+
+    def test_duplicate_items_allowed(self):
+        spec = FifoQueueSpec()
+        assert spec.is_legal((enq(1), enq(1), deq(1), deq(1)))
+
+
+class TestSemiQueueSpec:
+    def test_rem_any_item(self):
+        spec = SemiQueueSpec()
+        assert spec.is_legal((ins(1), ins(2), rem(2)))
+        assert spec.is_legal((ins(1), ins(2), rem(1)))
+
+    def test_rem_absent_item_illegal(self):
+        spec = SemiQueueSpec()
+        assert not spec.is_legal((ins(1), rem(2)))
+
+    def test_rem_empty_is_partial(self):
+        spec = SemiQueueSpec()
+        assert not spec.is_legal((rem(1),))
+
+    def test_nondeterministic_results(self):
+        spec = SemiQueueSpec()
+        states = spec.run((ins(1), ins(2)))
+        assert sorted(spec.results_for(states, Invocation("Rem"))) == [1, 2]
+
+    def test_multiset_duplicates(self):
+        spec = SemiQueueSpec()
+        assert spec.is_legal((ins(1), ins(1), rem(1), rem(1)))
+        assert not spec.is_legal((ins(1), rem(1), rem(1)))
+
+    def test_state_canonical(self):
+        spec = SemiQueueSpec()
+        assert spec.run((ins(2), ins(1))) == spec.run((ins(1), ins(2)))
+
+
+class TestAccountSpec:
+    def test_credit_and_debit(self):
+        spec = AccountSpec()
+        assert spec.is_legal((credit(10), debit_ok(4)))
+        assert not spec.is_legal((credit(3), debit_ok(4)))
+
+    def test_overdraft_deterministic(self):
+        spec = AccountSpec()
+        assert spec.is_legal((debit_overdraft(1),))
+        assert not spec.is_legal((debit_ok(1),))
+        # Exactly one of the two results is legal in any state.
+        assert not spec.is_legal((credit(2), debit_overdraft(1)))
+
+    def test_post_interest_exact(self):
+        spec = AccountSpec()
+        # 100 * 1.05 = 105, exactly, via Fractions.
+        assert spec.is_legal((credit(100), post(5), debit_ok(105)))
+        assert not spec.is_legal((credit(100), post(5), debit_ok(106)))
+
+    def test_initial_balance(self):
+        spec = AccountSpec(initial=50)
+        assert spec.is_legal((debit_ok(50),))
+
+
+class TestEnumeration:
+    def test_enumerates_prefix_closed_tree(self):
+        spec = FifoQueueSpec()
+        universe = [enq(1), deq(1)]
+        sequences = list(enumerate_legal_sequences(spec, universe, 2))
+        assert () in sequences
+        assert (enq(1),) in sequences
+        assert (enq(1), deq(1)) in sequences
+        assert (deq(1),) not in sequences
+        assert all(spec.is_legal(s) for s in sequences)
+
+    def test_length_bound_respected(self):
+        spec = FileSpec()
+        universe = [write(0), write(1)]
+        sequences = list(enumerate_legal_sequences(spec, universe, 3))
+        assert max(len(s) for s in sequences) == 3
+        # 1 + 2 + 4 + 8 sequences in the full binary tree.
+        assert len(sequences) == 15
+
+    def test_negative_bound_rejected(self):
+        with pytest.raises(ValueError):
+            list(enumerate_legal_sequences(FileSpec(), [], -1))
+
+
+class TestEquivalence:
+    def test_equivalent_sequences(self):
+        spec = FileSpec()
+        assert spec.equivalent((write(1), write(2)), (write(2),))
+
+    def test_inequivalent_sequences(self):
+        spec = FileSpec()
+        assert not spec.equivalent((write(1),), (write(2),))
+
+    def test_semiqueue_insert_order_irrelevant(self):
+        spec = SemiQueueSpec()
+        assert spec.equivalent((ins(1), ins(2)), (ins(2), ins(1)))

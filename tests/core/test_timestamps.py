@@ -1,0 +1,90 @@
+"""Tests for commit-timestamp generation (Section 3.3's constraint)."""
+
+import pytest
+
+from repro.core import (
+    LogicalClock,
+    MonotoneTimestampGenerator,
+    SkewedTimestampGenerator,
+)
+
+
+class TestLogicalClock:
+    def test_tick_increments(self):
+        clock = LogicalClock()
+        assert clock.tick() == 1
+        assert clock.tick() == 2
+        assert clock.now == 2
+
+    def test_observe_merges(self):
+        clock = LogicalClock()
+        clock.observe(10)
+        assert clock.tick() == 11
+
+    def test_observe_never_rewinds(self):
+        clock = LogicalClock(start=5)
+        clock.observe(2)
+        assert clock.now == 5
+
+
+class TestMonotoneGenerator:
+    def test_strictly_increasing(self):
+        generator = MonotoneTimestampGenerator()
+        stamps = [generator.commit_timestamp(f"T{i}") for i in range(10)]
+        assert stamps == sorted(stamps)
+        assert len(set(stamps)) == 10
+
+    def test_observe_advances(self):
+        generator = MonotoneTimestampGenerator()
+        generator.observe("T1", 100)
+        assert generator.commit_timestamp("T1") > 100
+
+    def test_forget_is_noop(self):
+        generator = MonotoneTimestampGenerator()
+        generator.forget("T1")
+        assert generator.commit_timestamp("T1") == 1
+
+
+class TestSkewedGenerator:
+    def test_unique_timestamps(self):
+        generator = SkewedTimestampGenerator(seed=3)
+        stamps = [generator.commit_timestamp(f"T{i}") for i in range(200)]
+        assert len(set(stamps)) == 200
+
+    def test_respects_observed_bound(self):
+        generator = SkewedTimestampGenerator(seed=1)
+        generator.observe("T", 50)
+        for _ in range(20):
+            assert generator.commit_timestamp("T") > 50
+
+    def test_bound_keeps_maximum(self):
+        generator = SkewedTimestampGenerator(seed=1)
+        generator.observe("T", 50)
+        generator.observe("T", 10)
+        assert generator.commit_timestamp("T") > 50
+
+    def test_produces_out_of_order_stamps(self):
+        # The entire point: some later commit receives a smaller stamp
+        # than some earlier commit.
+        generator = SkewedTimestampGenerator(seed=7, gap=16)
+        stamps = [generator.commit_timestamp(f"T{i}") for i in range(50)]
+        assert any(b < a for a, b in zip(stamps, stamps[1:]))
+
+    def test_forget_clears_bound(self):
+        generator = SkewedTimestampGenerator(seed=0)
+        generator.observe("T", 1000)
+        generator.forget("T")
+        # A fresh transaction named T is unconstrained again (may land
+        # below 1000 eventually); at minimum the bound table has no entry.
+        assert "T" not in generator._bounds
+
+    def test_deterministic_for_seed(self):
+        a = SkewedTimestampGenerator(seed=5)
+        b = SkewedTimestampGenerator(seed=5)
+        assert [a.commit_timestamp(f"T{i}") for i in range(20)] == [
+            b.commit_timestamp(f"T{i}") for i in range(20)
+        ]
+
+    def test_gap_validation(self):
+        with pytest.raises(ValueError):
+            SkewedTimestampGenerator(gap=0)

@@ -1,0 +1,102 @@
+"""Distributed client/coordinator unit tests (driven step by step)."""
+
+import random
+
+import pytest
+
+from repro.adts import make_account_adt
+from repro.distributed import DistributedClient, Network, Site
+from repro.sim import Metrics, Simulator
+
+
+def rig(script, max_step_retries=3, site_count=2):
+    """Build one client with a fixed script over fresh sites."""
+    simulator = Simulator()
+    network = Network(simulator, seed=1, mean_latency=0.5, floor=0.1)
+    sites = {}
+    for index in range(site_count):
+        site = Site(f"S{index}")
+        site.create_object(f"A{index}", make_account_adt())
+        sites[site.name] = site
+    metrics = Metrics()
+    client = DistributedClient(
+        0,
+        simulator,
+        network,
+        sites,
+        lambda _index, _rng: list(script),
+        metrics,
+        random.Random(0),
+        max_step_retries=max_step_retries,
+    )
+    return simulator, network, sites, metrics, client
+
+
+class TestHappyPath:
+    def test_single_site_commit(self):
+        script = [("S0", "A0", "Credit", (10,))]
+        simulator, network, sites, metrics, client = rig(script)
+        client.start()
+        simulator.run_until(20)
+        assert metrics.committed >= 1
+        assert sites["S0"].snapshot("A0") == 10 * metrics.committed
+
+    def test_cross_site_commit_is_atomic(self):
+        script = [("S0", "A0", "Credit", (5,)), ("S1", "A1", "Credit", (7,))]
+        simulator, network, sites, metrics, client = rig(script)
+        client.start()
+        simulator.run_until(30)
+        assert metrics.committed >= 1
+        # Both sites saw the same number of commits from this client.
+        assert sites["S0"].snapshot("A0") == 5 * metrics.committed
+        assert sites["S1"].snapshot("A1") == 7 * metrics.committed
+        # 2PC traffic: one prepare+vote+commit per participant per txn.
+        assert network.sent["prepare"] == network.sent["vote"]
+
+    def test_latency_accrues(self):
+        script = [("S0", "A0", "Credit", (1,))]
+        simulator, network, sites, metrics, client = rig(script)
+        client.start()
+        simulator.run_until(20)
+        assert metrics.mean_latency > 0
+
+
+class TestRetriesAndAborts:
+    def test_lock_conflict_retries_then_aborts(self):
+        # A rival transaction parks an Overdraft lock so the client's
+        # credit is refused until retries run out.
+        script = [("S0", "A0", "Credit", (1,))]
+        simulator, network, sites, metrics, client = rig(
+            script, max_step_retries=2
+        )
+        from repro.core import Invocation
+
+        sites["S0"].handle_invoke("rival", "A0", Invocation("Debit", (1,)))
+        client.start()
+        simulator.run_until(60)
+        assert metrics.conflicts >= 3  # initial + retries per attempt
+        assert metrics.aborted >= 1
+        assert metrics.committed == 0
+
+    def test_recovers_once_lock_released(self):
+        script = [("S0", "A0", "Credit", (1,))]
+        simulator, network, sites, metrics, client = rig(script)
+        from repro.core import Invocation
+
+        sites["S0"].handle_invoke("rival", "A0", Invocation("Debit", (1,)))
+        simulator.schedule(5.0, lambda: sites["S0"].handle_abort("rival"))
+        client.start()
+        simulator.run_until(60)
+        assert metrics.committed >= 1
+
+    def test_crash_tombstone_aborts_transaction(self):
+        script = [("S0", "A0", "Credit", (1,)), ("S0", "A0", "Credit", (1,))]
+        simulator, network, sites, metrics, client = rig(script)
+        # Crash the site shortly after the first operation lands.
+        simulator.schedule(2.0, lambda: sites["S0"].crash())
+        client.start()
+        simulator.run_until(80)
+        # The first incarnation died (no-such-transaction or NO vote),
+        # later incarnations committed.
+        assert metrics.aborted >= 1
+        assert metrics.committed >= 1

@@ -1,0 +1,48 @@
+"""Simulated network unit tests."""
+
+import pytest
+
+from repro.distributed import Network
+from repro.sim import Simulator
+
+
+class TestNetwork:
+    def test_messages_arrive_after_latency(self):
+        simulator = Simulator()
+        network = Network(simulator, seed=1, mean_latency=2.0, floor=0.5)
+        arrived = []
+        network.send("ping", lambda: arrived.append(simulator.now))
+        simulator.run()
+        assert arrived and arrived[0] >= 0.5
+
+    def test_counters_by_label(self):
+        simulator = Simulator()
+        network = Network(simulator, seed=0)
+        network.send("a", lambda: None)
+        network.send("a", lambda: None)
+        network.send("b", lambda: None)
+        assert network.sent["a"] == 2
+        assert network.sent["b"] == 1
+        assert network.total_messages == 3
+
+    def test_deterministic_latencies(self):
+        lat_a = Network(Simulator(), seed=7).latency()
+        lat_b = Network(Simulator(), seed=7).latency()
+        assert lat_a == lat_b
+
+    def test_messages_can_overtake(self):
+        # Two messages sent back to back may arrive out of order — the
+        # property commit timestamps exist to survive.
+        simulator = Simulator()
+        network = Network(simulator, seed=3, mean_latency=5.0, floor=0.0)
+        order = []
+        for tag in range(12):
+            network.send("m", lambda t=tag: order.append(t))
+        simulator.run()
+        assert order != sorted(order)
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            Network(Simulator(), mean_latency=0)
+        with pytest.raises(ValueError):
+            Network(Simulator(), floor=-1)

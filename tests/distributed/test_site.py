@@ -1,0 +1,83 @@
+"""Site handlers: invoke/prepare/commit/abort, clocks, crashes."""
+
+import pytest
+
+from repro.adts import make_account_adt, make_queue_adt
+from repro.core import Invocation
+from repro.distributed import Site
+
+
+def account_site(recorder=None):
+    site = Site("S0", recorder=recorder)
+    site.create_object("A", make_account_adt())
+    return site
+
+
+class TestHandlers:
+    def test_invoke_ok_carries_clock(self):
+        site = account_site()
+        reply = site.handle_invoke("T1", "A", Invocation("Credit", (5,)))
+        assert reply[0] == "ok" and reply[1] == "Ok"
+        assert reply[2] == site.clock.now
+
+    def test_invoke_conflict(self):
+        site = account_site()
+        site.handle_invoke("T1", "A", Invocation("Debit", (5,)))  # Overdraft
+        reply = site.handle_invoke("T2", "A", Invocation("Credit", (5,)))
+        assert reply == ("conflict",)
+
+    def test_invoke_block(self):
+        site = Site("S0")
+        site.create_object("Q", make_queue_adt())
+        assert site.handle_invoke("T1", "Q", Invocation("Deq")) == ("block",)
+
+    def test_prepare_votes_yes_with_clock(self):
+        site = account_site()
+        site.handle_invoke("T1", "A", Invocation("Credit", (5,)))
+        assert site.handle_prepare("T1") == ("yes", site.clock.now)
+
+    def test_commit_applies_and_advances_clock(self):
+        site = account_site()
+        site.handle_invoke("T1", "A", Invocation("Credit", (5,)))
+        site.handle_commit("T1", (7, "T1"))
+        assert site.clock.now == 7
+        assert site.snapshot("A") == 5
+
+    def test_abort_releases(self):
+        site = account_site()
+        site.handle_invoke("T1", "A", Invocation("Debit", (5,)))
+        site.handle_abort("T1")
+        reply = site.handle_invoke("T2", "A", Invocation("Credit", (5,)))
+        assert reply[0] == "ok"
+
+    def test_duplicate_object_rejected(self):
+        site = account_site()
+        with pytest.raises(ValueError):
+            site.create_object("A", make_account_adt())
+
+
+class TestCrash:
+    def test_crash_aborts_unprepared(self):
+        site = account_site()
+        site.handle_invoke("T1", "A", Invocation("Credit", (5,)))
+        assert site.crash() == ["T1"]
+        # Tombstoned: later prepare must vote no, later invoke is refused.
+        assert site.handle_prepare("T1") == ("no",)
+        assert site.handle_invoke("T1", "A", Invocation("Credit", (1,))) == (
+            "no-such-transaction",
+        )
+
+    def test_prepared_transactions_survive_crash(self):
+        site = account_site()
+        site.handle_invoke("T1", "A", Invocation("Credit", (5,)))
+        site.handle_prepare("T1")  # stable log
+        assert site.crash() == []
+        site.handle_commit("T1", (3, "T1"))
+        assert site.snapshot("A") == 5
+
+    def test_committed_state_survives_crash(self):
+        site = account_site()
+        site.handle_invoke("T1", "A", Invocation("Credit", (9,)))
+        site.handle_commit("T1", (1, "T1"))
+        site.crash()
+        assert site.snapshot("A") == 9

@@ -1,0 +1,153 @@
+"""Cross-subsystem integration: the pieces compose.
+
+Each test wires two or more subsystems together in a way no unit test
+does: product types on the optimistic engine and behind quorums, derived
+extension types at distributed sites, read-only snapshots interleaved
+with crashes, and skewed timestamps exercising compaction at runtime
+scale.
+"""
+
+import random
+
+import pytest
+
+from repro.adts import (
+    make_account_adt,
+    make_bounded_queue_adt,
+    make_counter_adt,
+    make_product_adt,
+    make_stack_adt,
+)
+from repro.core import (
+    Invocation,
+    LockConflict,
+    SkewedTimestampGenerator,
+    WouldBlock,
+    is_hybrid_atomic,
+    timestamps_respect_precedes,
+)
+from repro.runtime import (
+    OptimisticTransactionManager,
+    TransactionManager,
+    ValidationFailed,
+)
+
+
+class TestProductEverywhere:
+    def make_record(self):
+        return make_product_adt(
+            {"cash": make_account_adt(), "visits": make_counter_adt()},
+            name="CustomerRecord",
+        )
+
+    def test_product_on_optimistic_engine(self):
+        manager = OptimisticTransactionManager(record_history=True)
+        manager.create_object("cust", self.make_record())
+        manager.run_transaction(lambda ctx: ctx.invoke("cust", "cash.Credit", 50))
+        t = manager.begin()
+        assert manager.invoke(t, "cust", "cash.Debit", 50) == "Ok"
+        # A concurrent commit on the *other field* never invalidates t.
+        manager.run_transaction(lambda ctx: ctx.invoke("cust", "visits.Inc", 1))
+        manager.commit(t)  # fast path: cross-field independence
+        assert manager.object("cust").snapshot() == (0, 1)
+        assert is_hybrid_atomic(manager.history(), manager.specs())
+
+    def test_product_behind_quorums(self):
+        from repro.replication import (
+            QuorumAssignment,
+            QuorumSpec,
+            ReplicatedTransactionManager,
+        )
+
+        record = self.make_record()
+        assignment = QuorumAssignment(
+            3,
+            {
+                "cash.Credit": QuorumSpec(0, 2),
+                "cash.Post": QuorumSpec(0, 2),
+                "cash.Debit": QuorumSpec(2, 2),
+                "visits.Inc": QuorumSpec(0, 2),
+                "visits.Dec": QuorumSpec(2, 2),
+                "visits.Read": QuorumSpec(2, 1),
+            },
+        )
+        assert assignment.is_valid(record.dependency, record.universe())
+        manager = ReplicatedTransactionManager()
+        manager.create_object("cust", record, assignment)
+        manager.run_transaction(
+            lambda ctx: (
+                ctx.invoke("cust", "cash.Credit", 30),
+                ctx.invoke("cust", "visits.Inc", 1),
+            )
+        )
+        manager.object("cust").fail_replicas(1)
+        # Blind field updates survive a failure; reads need their quorum.
+        manager.run_transaction(lambda ctx: ctx.invoke("cust", "visits.Inc", 1))
+        assert manager.run_transaction(
+            lambda ctx: ctx.invoke("cust", "visits.Read")
+        ) == 2
+
+
+class TestExtensionTypesAtSites:
+    def test_stack_and_bounded_queue_at_a_site(self):
+        from repro.distributed import Site
+
+        site = Site("S0")
+        site.create_object("stack", make_stack_adt())
+        site.create_object("buffer", make_bounded_queue_adt(capacity=2))
+        assert site.handle_invoke("T1", "stack", Invocation("Push", (1,)))[0] == "ok"
+        assert site.handle_invoke("T1", "buffer", Invocation("Enq", (1,)))[0] == "ok"
+        site.handle_commit("T1", (1, "T1"))
+        assert site.snapshot("stack") == (1,)
+        # Fill the bounded buffer to its cap; further enqueues block.
+        reply = site.handle_invoke("T2", "buffer", Invocation("Enq", (2,)))
+        assert reply[0] == "ok"
+        site.handle_commit("T2", (2, "T2"))
+        assert site.handle_invoke("T3", "buffer", Invocation("Enq", (3,))) == (
+            "block",
+        )
+
+
+class TestReadonlyAndCrash:
+    def test_snapshot_survives_crash_of_writers(self):
+        manager = TransactionManager()
+        manager.create_object("C", make_counter_adt())
+        manager.run_transaction(lambda ctx: ctx.invoke("C", "Inc", 3))
+        reader = manager.begin_readonly()
+        writer = manager.begin()
+        manager.invoke(writer, "C", "Inc", 10)  # volatile
+        manager.crash()  # kills writer AND the reader's pins
+        # The reader was a crash victim too; its snapshot is gone.
+        from repro.core import TransactionAborted
+
+        with pytest.raises(TransactionAborted):
+            manager.invoke(reader, "C", "Read")
+        # Committed state is intact and service resumes.
+        assert manager.run_transaction(lambda ctx: ctx.invoke("C", "Read")) == 3
+
+
+class TestSkewedTimestampsAtScale:
+    def test_long_skewed_run_bounded_and_correct(self):
+        rng = random.Random(5)
+        manager = TransactionManager(
+            record_history=True, generator=SkewedTimestampGenerator(seed=5, gap=6)
+        )
+        manager.create_object("A", make_account_adt())
+        for _ in range(60):
+            amount = rng.randint(1, 5)
+            op = rng.choice(["Credit", "Debit"])
+            try:
+                manager.run_transaction(lambda ctx: ctx.invoke("A", op, amount))
+            except (LockConflict, WouldBlock):
+                pass
+        machine = manager.object("A").machine
+        # Out-of-order stamps delay the horizon but never unboundedly.
+        assert machine.retained_intentions() < 20
+        h = manager.history()
+        assert timestamps_respect_precedes(h)
+        # (Hybrid atomicity of >8-transaction histories is checked via the
+        # timestamp-order serialization directly.)
+        order = h.committed_in_timestamp_order()
+        from repro.core import is_serializable_in_order
+
+        assert is_serializable_in_order(h.permanent(), order, manager.specs())

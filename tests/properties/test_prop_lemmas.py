@@ -1,0 +1,135 @@
+"""Direct property tests for the paper's key lemmas.
+
+Lemma 7: if ``g`` is an R-view of ``h`` for ``q`` (R a dependency
+relation) and ``g * q`` is legal, then ``h * q`` is legal.
+
+Lemma 23 / Theorem 24: the compacting machine's common prefix — here the
+folded version plus its operation count — grows monotonically along any
+accepted history.
+"""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.adts import (
+    FifoQueueSpec,
+    FileSpec,
+    SemiQueueSpec,
+    deq,
+    enq,
+    get_adt,
+    ins,
+    read,
+    rem,
+    write,
+)
+from repro.core import (
+    CompactingLockMachine,
+    Invocation,
+    LockConflict,
+    WouldBlock,
+    invalidated_by,
+    is_view,
+)
+
+POOLS = [
+    (FileSpec, [read(0), read(1), write(0), write(1)]),
+    (FifoQueueSpec, [enq(1), enq(2), deq(1), deq(2)]),
+    (SemiQueueSpec, [ins(1), ins(2), rem(1), rem(2)]),
+]
+
+
+@settings(max_examples=150, deadline=None)
+@given(
+    st.integers(min_value=0, max_value=len(POOLS) - 1),
+    st.data(),
+)
+def test_lemma7_view_legality_extends(index, data):
+    spec_cls, universe = POOLS[index]
+    spec = spec_cls()
+    relation = invalidated_by(spec, universe, max_h1=2, max_h2=2)
+
+    # Draw a random legal h by a filtered walk.
+    h = []
+    states = spec.initial_states()
+    for _ in range(data.draw(st.integers(min_value=0, max_value=5))):
+        choices = [p for p in universe if spec.step(states, p)]
+        if not choices:
+            break
+        p = data.draw(st.sampled_from(choices))
+        h.append(p)
+        states = spec.step(states, p)
+    h = tuple(h)
+
+    q = data.draw(st.sampled_from(universe))
+    # Draw a random subsequence g of h.
+    mask = data.draw(
+        st.lists(st.booleans(), min_size=len(h), max_size=len(h))
+    )
+    g = tuple(op for op, keep in zip(h, mask) if keep)
+
+    if not is_view(g, h, q, relation):
+        return  # premises not met
+    if not spec.is_legal(g + (q,)):
+        return
+    assert spec.is_legal(h + (q,)), (h, g, q)
+
+
+TRANSACTIONS = ["P", "Q", "R"]
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.sampled_from(["FIFOQueue", "Account", "Set"]),
+    st.lists(
+        st.tuples(
+            st.sampled_from(["invoke", "commit", "abort"]),
+            st.sampled_from(TRANSACTIONS),
+            st.integers(min_value=0, max_value=3),
+        ),
+        max_size=16,
+    ),
+)
+def test_theorem24_version_monotone(adt_name, commands):
+    """The folded-version operation count never decreases (the common
+    prefix grows monotonically)."""
+    invocations = {
+        "FIFOQueue": [Invocation("Enq", (1,)), Invocation("Enq", (2,)), Invocation("Deq")],
+        "Account": [
+            Invocation("Credit", (2,)),
+            Invocation("Post", (50,)),
+            Invocation("Debit", (2,)),
+        ],
+        "Set": [
+            Invocation("Insert", (1,)),
+            Invocation("Remove", (1,)),
+            Invocation("Member", (1,)),
+        ],
+    }[adt_name]
+    adt = get_adt(adt_name)
+    machine = CompactingLockMachine(adt.spec, adt.conflict)
+    stamps = iter(range(1, 100))
+    completed = set()
+    last_folded = 0
+    for kind, transaction, opindex in commands:
+        if transaction in completed:
+            continue
+        if kind == "invoke":
+            try:
+                machine.execute(
+                    transaction, invocations[opindex % len(invocations)]
+                )
+            except (LockConflict, WouldBlock):
+                pass
+        elif kind == "commit":
+            machine.commit(transaction, next(stamps))
+            completed.add(transaction)
+        else:
+            machine.abort(transaction)
+            completed.add(transaction)
+        assert machine.forgotten_operations >= last_folded
+        last_folded = machine.forgotten_operations
+        # The horizon never exceeds the largest committed timestamp and
+        # never retreats below a pinned active bound (spot invariants).
+        assert machine.retained_intentions() >= 0

@@ -1,0 +1,161 @@
+"""Property tests: random runtime executions are always hybrid atomic,
+under every protocol, both timestamp generators, and failure injection."""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.adts import (
+    make_account_adt,
+    make_queue_adt,
+    make_semiqueue_adt,
+    make_set_adt,
+)
+from repro.core import (
+    LockConflict,
+    SkewedTimestampGenerator,
+    WouldBlock,
+    is_hybrid_atomic,
+    timestamps_respect_precedes,
+)
+from repro.protocols import ALL_PROTOCOLS
+from repro.runtime import TransactionManager
+
+OPS = [
+    ("Q", "Enq", lambda rng: (rng.randint(1, 4),)),
+    ("Q", "Deq", lambda rng: ()),
+    ("S", "Ins", lambda rng: (rng.randint(1, 4),)),
+    ("S", "Rem", lambda rng: ()),
+    ("A", "Credit", lambda rng: (rng.randint(1, 5),)),
+    ("A", "Debit", lambda rng: (rng.randint(1, 5),)),
+    ("A", "Post", lambda rng: (50,)),
+    ("Z", "Insert", lambda rng: (rng.randint(1, 3),)),
+    ("Z", "Member", lambda rng: (rng.randint(1, 3),)),
+]
+
+
+def run_random_workload(protocol, skewed, seed, steps=70):
+    rng = random.Random(seed)
+    generator = SkewedTimestampGenerator(seed=seed) if skewed else None
+    manager = TransactionManager(record_history=True, generator=generator)
+    manager.create_object("Q", make_queue_adt(), protocol=protocol)
+    manager.create_object("S", make_semiqueue_adt(), protocol=protocol)
+    manager.create_object("A", make_account_adt(), protocol=protocol)
+    manager.create_object("Z", make_set_adt(), protocol=protocol)
+    active = []
+    counter = 0
+    for _ in range(steps):
+        roll = rng.random()
+        if roll < 0.15 and active:
+            txn = active.pop(rng.randrange(len(active)))
+            manager.abort(txn)  # failure injection
+        elif roll < 0.35 and active:
+            txn = active.pop(rng.randrange(len(active)))
+            manager.commit(txn)
+        else:
+            if len(active) < 4:
+                counter += 1
+                active.append(manager.begin(f"T{counter}"))
+            txn = active[rng.randrange(len(active))]
+            obj, operation, args = OPS[rng.randrange(len(OPS))]
+            try:
+                manager.invoke(txn, obj, operation, *args(rng))
+            except (LockConflict, WouldBlock):
+                pass
+    for txn in active:
+        if rng.random() < 0.5:
+            manager.commit(txn)
+        else:
+            manager.abort(txn)
+    return manager
+
+
+@settings(max_examples=12, deadline=None)
+@given(
+    st.integers(min_value=0, max_value=10_000),
+    st.sampled_from(ALL_PROTOCOLS),
+)
+def test_random_runs_hybrid_atomic_monotone(seed, protocol):
+    manager = run_random_workload(protocol, skewed=False, seed=seed)
+    h = manager.history()
+    assert timestamps_respect_precedes(h)
+    assert is_hybrid_atomic(h, manager.specs())
+
+
+@settings(max_examples=12, deadline=None)
+@given(st.integers(min_value=0, max_value=10_000))
+def test_random_runs_hybrid_atomic_skewed(seed):
+    from repro.protocols import HYBRID
+
+    manager = run_random_workload(HYBRID, skewed=True, seed=seed)
+    h = manager.history()
+    assert timestamps_respect_precedes(h)
+    assert is_hybrid_atomic(h, manager.specs())
+
+
+@settings(max_examples=12, deadline=None)
+@given(st.integers(min_value=0, max_value=10_000))
+def test_optimistic_random_runs_hybrid_atomic(seed):
+    """Random executions on the optimistic engine (no locks, commit-time
+    certification) also verify hybrid atomic."""
+    from repro.runtime import OptimisticTransactionManager, ValidationFailed
+
+    rng = random.Random(seed)
+    manager = OptimisticTransactionManager(record_history=True)
+    manager.create_object("Q", make_queue_adt())
+    manager.create_object("A", make_account_adt())
+    active = []
+    counter = 0
+    for _ in range(60):
+        roll = rng.random()
+        if roll < 0.3 and active:
+            txn = active.pop(rng.randrange(len(active)))
+            try:
+                manager.commit(txn)
+            except ValidationFailed:
+                pass  # aborted internally
+        else:
+            if len(active) < 4:
+                counter += 1
+                active.append(manager.begin(f"T{counter}"))
+            txn = active[rng.randrange(len(active))]
+            obj, operation, args = OPS[rng.randrange(len(OPS))]
+            if obj in ("S", "Z"):
+                continue
+            try:
+                manager.invoke(txn, obj, operation, *args(rng))
+            except WouldBlock:
+                pass
+    for txn in active:
+        try:
+            manager.commit(txn)
+        except ValidationFailed:
+            pass
+    h = manager.history()
+    assert timestamps_respect_precedes(h)
+    assert is_hybrid_atomic(h, manager.specs())
+
+
+@settings(max_examples=8, deadline=None)
+@given(st.integers(min_value=0, max_value=10_000))
+def test_compacting_and_plain_agree(seed):
+    """The same client decisions produce the same committed snapshots on
+    compacting and non-compacting managers."""
+    from repro.protocols import HYBRID
+
+    snapshots = []
+    for compacting in (True, False):
+        rng = random.Random(seed)
+        manager = TransactionManager(compacting=compacting)
+        manager.create_object("A", make_account_adt())
+        for i in range(10):
+            txn = manager.begin()
+            try:
+                manager.invoke(
+                    txn, "A", rng.choice(["Credit", "Debit"]), rng.randint(1, 5)
+                )
+                manager.commit(txn)
+            except (LockConflict, WouldBlock):
+                manager.abort(txn)
+        snapshots.append(manager.object("A").snapshot())
+    assert snapshots[0] == snapshots[1]

@@ -1,0 +1,122 @@
+"""Property tests: serial specification invariants."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.adts import (
+    AccountSpec,
+    FifoQueueSpec,
+    SemiQueueSpec,
+    SetSpec,
+    credit,
+    debit_ok,
+    debit_overdraft,
+    deq,
+    enq,
+    ins,
+    insert,
+    member,
+    post,
+    rem,
+    remove,
+)
+
+queue_ops = st.lists(
+    st.sampled_from([enq(1), enq(2), enq(3), deq(1), deq(2), deq(3)]),
+    max_size=8,
+)
+
+semiqueue_ops = st.lists(
+    st.sampled_from([ins(1), ins(2), rem(1), rem(2)]), max_size=8
+)
+
+account_ops = st.lists(
+    st.sampled_from(
+        [credit(1), credit(2), post(50), debit_ok(1), debit_ok(2),
+         debit_overdraft(1), debit_overdraft(2)]
+    ),
+    max_size=8,
+)
+
+set_ops = st.lists(
+    st.sampled_from(
+        [insert(1), insert(2), remove(1), remove(2),
+         member(1, True), member(1, False), member(2, True), member(2, False)]
+    ),
+    max_size=8,
+)
+
+
+@given(queue_ops)
+def test_queue_legality_prefix_closed(ops):
+    spec = FifoQueueSpec()
+    if spec.is_legal(tuple(ops)):
+        for i in range(len(ops)):
+            assert spec.is_legal(tuple(ops[:i]))
+
+
+@given(queue_ops)
+def test_queue_fifo_invariant(ops):
+    """In any legal sequence, items dequeue in enqueue order."""
+    spec = FifoQueueSpec()
+    if not spec.is_legal(tuple(ops)):
+        return
+    pending = []
+    for operation in ops:
+        if operation.name == "Enq":
+            pending.append(operation.args[0])
+        else:
+            assert pending and pending[0] == operation.result
+            pending.pop(0)
+
+
+@given(semiqueue_ops)
+def test_semiqueue_multiset_invariant(ops):
+    """Legal iff every Rem removes a currently present item."""
+    spec = SemiQueueSpec()
+    contents = []
+    legal = True
+    for operation in ops:
+        if operation.name == "Ins":
+            contents.append(operation.args[0])
+        else:
+            if operation.result in contents:
+                contents.remove(operation.result)
+            else:
+                legal = False
+                break
+    assert spec.is_legal(tuple(ops)) == legal
+
+
+@given(account_ops)
+def test_account_balance_never_negative(ops):
+    spec = AccountSpec()
+    states = spec.initial_states()
+    for operation in ops:
+        states = spec.step(states, operation)
+        if not states:
+            return
+        assert all(balance >= 0 for balance in states)
+
+
+@given(account_ops)
+def test_account_determinism(ops):
+    """The account spec is deterministic: at most one reachable state."""
+    spec = AccountSpec()
+    assert len(spec.run(tuple(ops))) <= 1
+
+
+@given(set_ops)
+def test_set_membership_consistent(ops):
+    spec = SetSpec()
+    contents = set()
+    legal = True
+    for operation in ops:
+        if operation.name == "Insert":
+            contents.add(operation.args[0])
+        elif operation.name == "Remove":
+            contents.discard(operation.args[0])
+        else:
+            if (operation.args[0] in contents) != operation.result:
+                legal = False
+                break
+    assert spec.is_legal(tuple(ops)) == legal

@@ -1,0 +1,117 @@
+"""Protocol descriptors: conflict orderings and correctness preconditions."""
+
+import pytest
+
+from repro.adts import get_adt
+from repro.analysis import Ordering, compare_relations, concurrency_score
+from repro.core import is_dependency_relation, is_symmetric
+from repro.protocols import (
+    ALL_PROTOCOLS,
+    COMMUTATIVITY,
+    HYBRID,
+    SERIAL,
+    TWO_PHASE_RW,
+    get_protocol,
+)
+
+
+UNIVERSES = {
+    "File": ((0, 1),),
+    "FIFOQueue": ((1, 2),),
+    "SemiQueue": ((1, 2),),
+    "Account": ((2, 3), (50,)),
+    "Counter": ((1, 2), (0, 1, 2)),
+    "Set": ((1, 2),),
+    "Directory": (("a",), (1, 2)),
+}
+
+
+def universe_for(adt):
+    return adt.universe(*UNIVERSES[adt.name])
+
+
+class TestLookup:
+    def test_get_protocol(self):
+        assert get_protocol("hybrid") is HYBRID
+        assert get_protocol("rw-2pl") is TWO_PHASE_RW
+
+    def test_unknown(self):
+        with pytest.raises(KeyError):
+            get_protocol("mvcc")
+
+    def test_all_protocols_ordering(self):
+        assert [p.name for p in ALL_PROTOCOLS] == [
+            "hybrid",
+            "commutativity",
+            "rw-2pl",
+            "serial",
+        ]
+
+
+@pytest.mark.parametrize("name", sorted(UNIVERSES))
+class TestCorrectnessPreconditions:
+    """Every protocol's conflict relation must be a symmetric dependency
+    relation for every type (the Theorem 11 precondition)."""
+
+    def test_symmetric(self, name):
+        adt = get_adt(name)
+        ops = universe_for(adt)
+        for protocol in ALL_PROTOCOLS:
+            assert is_symmetric(protocol.conflict_for(adt), ops), protocol.name
+
+    def test_dependency(self, name):
+        adt = get_adt(name)
+        ops = universe_for(adt)
+        for protocol in ALL_PROTOCOLS:
+            assert is_dependency_relation(
+                protocol.conflict_for(adt), adt.spec, ops, max_h=2, max_k=2
+            ), protocol.name
+
+
+@pytest.mark.parametrize("name", sorted(UNIVERSES))
+def test_hybrid_weaker_or_incomparable_to_commutativity(name):
+    # Section 7.1: "lock conflict relations induced by dependency may be
+    # weaker than or incomparable to those induced by the
+    # commutativity-based protocols" — the FIFO queue's Figure 4-2 choice
+    # is the incomparable case; everything else here is equal or weaker.
+    adt = get_adt(name)
+    ops = universe_for(adt)
+    report = compare_relations(
+        HYBRID.conflict_for(adt), COMMUTATIVITY.conflict_for(adt), ops
+    )
+    if name == "FIFOQueue":
+        assert report.ordering is Ordering.INCOMPARABLE
+    else:
+        assert report.ordering in (Ordering.EQUAL, Ordering.SUBSET)
+
+
+@pytest.mark.parametrize("name", sorted(UNIVERSES))
+def test_concurrency_scores_monotone(name):
+    adt = get_adt(name)
+    ops = universe_for(adt)
+    scores = [
+        concurrency_score(protocol.conflict_for(adt), ops)
+        for protocol in ALL_PROTOCOLS
+    ]
+    # commutativity >= rw-2pl >= serial, and hybrid >= serial, on raw pair
+    # counts.  (Hybrid/Fig 4-2 trades some pair-count slack for concurrent
+    # enqueues, so it is not pointwise above commutativity on the queue.)
+    assert scores[1] >= scores[2] >= scores[3]
+    assert scores[0] >= scores[3]
+    if name != "FIFOQueue":
+        assert scores[0] >= scores[1]
+
+
+def test_hybrid_strictly_beats_commutativity_on_account():
+    adt = get_adt("Account")
+    ops = universe_for(adt)
+    report = compare_relations(
+        HYBRID.conflict_for(adt), COMMUTATIVITY.conflict_for(adt), ops
+    )
+    assert report.ordering is Ordering.SUBSET
+
+
+def test_serial_is_total():
+    adt = get_adt("File")
+    ops = universe_for(adt)
+    assert concurrency_score(SERIAL.conflict_for(adt), ops) == 0.0

@@ -1,0 +1,76 @@
+"""The write-back propagation rule: views travel with commits.
+
+When a transaction commits, [8]'s scheme writes back not just its own
+entry but the merged view it read — so dependency closure survives
+transitively even when the original writers' final quorums and a later
+reader's initial quorum barely intersect.
+"""
+
+import pytest
+
+from repro.adts import make_account_adt
+from repro.replication import (
+    QuorumAssignment,
+    QuorumSpec,
+    ReplicatedTransactionManager,
+)
+
+
+def assignment():
+    return QuorumAssignment(
+        5,
+        {
+            "Credit": QuorumSpec(0, 2),
+            "Post": QuorumSpec(0, 2),
+            "Debit": QuorumSpec(4, 2),
+        },
+    )
+
+
+class TestPropagation:
+    def test_commit_carries_the_view(self):
+        manager = ReplicatedTransactionManager()
+        manager.create_object("A", make_account_adt(), assignment())
+        obj = manager.object("A")
+
+        # A credit lands on exactly its final quorum (2 replicas).
+        manager.run_transaction(lambda ctx: ctx.invoke("A", "Credit", 10))
+        holders_before = [r.name for r in obj.replicas if r.entries()]
+        assert len(holders_before) == 2
+
+        # A debit reads 4 replicas (seeing the credit) and commits to 2 —
+        # writing BOTH its entry and the credit's entry back.
+        manager.run_transaction(lambda ctx: ctx.invoke("A", "Debit", 4))
+        replicas_with_credit = [
+            r
+            for r in obj.replicas
+            if any(
+                op.name == "Credit"
+                for (_ts, _txn, ops) in r.entries().values()
+                for op in ops
+            )
+        ]
+        assert len(replicas_with_credit) >= 2  # propagated beyond origin
+
+    def test_snapshot_complete_after_propagation_only(self):
+        manager = ReplicatedTransactionManager()
+        manager.create_object("A", make_account_adt(), assignment())
+        obj = manager.object("A")
+        manager.run_transaction(lambda ctx: ctx.invoke("A", "Credit", 10))
+        manager.run_transaction(lambda ctx: ctx.invoke("A", "Debit", 4))
+        # Kill the two replicas that first stored the credit; the debit's
+        # write-back keeps the committed state reconstructible from the
+        # survivors' logs alone.
+        for replica in obj.replicas[:2]:
+            replica.fail()
+        assert obj.snapshot() == 6
+
+    def test_aborted_transactions_leave_no_entries(self):
+        manager = ReplicatedTransactionManager()
+        manager.create_object("A", make_account_adt(), assignment())
+        t = manager.begin()
+        manager.invoke(t, "A", "Credit", 99)
+        manager.abort(t)
+        obj = manager.object("A")
+        assert all(not r.entries() for r in obj.replicas)
+        assert obj.snapshot() == 0

@@ -1,0 +1,108 @@
+"""Quorum assignment validation and availability arithmetic."""
+
+import pytest
+
+from repro.adts import account_universe, make_account_adt, make_file_adt, file_universe
+from repro.replication import QuorumAssignment, QuorumSpec
+
+
+ACCOUNT_NAMES = ["Credit", "Post", "Debit"]
+
+
+def credit_biased(replicas=5):
+    """Type-specific assignment favouring Credit/Post availability."""
+    return QuorumAssignment(
+        replicas,
+        {
+            "Credit": QuorumSpec(0, 2),
+            "Post": QuorumSpec(0, 2),
+            "Debit": QuorumSpec(4, 2),
+        },
+    )
+
+
+class TestQuorumSpec:
+    def test_bounds(self):
+        with pytest.raises(ValueError):
+            QuorumSpec(-1, 1)
+        with pytest.raises(ValueError):
+            QuorumSpec(0, 0)
+
+    def test_sizes_capped_by_replicas(self):
+        with pytest.raises(ValueError):
+            QuorumAssignment(3, {"Credit": QuorumSpec(4, 1)})
+
+    def test_replica_count_positive(self):
+        with pytest.raises(ValueError):
+            QuorumAssignment(0, {})
+
+
+class TestValidation:
+    def test_credit_biased_assignment_valid(self):
+        adt = make_account_adt()
+        assignment = credit_biased()
+        assert assignment.is_valid(adt.dependency, account_universe())
+
+    def test_violation_detected_and_described(self):
+        adt = make_account_adt()
+        bad = QuorumAssignment(
+            5,
+            {
+                "Credit": QuorumSpec(0, 1),  # fq too small for iq(Debit)=4
+                "Post": QuorumSpec(0, 2),
+                "Debit": QuorumSpec(4, 2),
+            },
+        )
+        violations = bad.validate(adt.dependency, account_universe())
+        assert violations
+        assert any(
+            v.dependent_schema == "Debit" and v.depended_schema == "Credit"
+            for v in violations
+        )
+        assert "depends on" in str(violations[0])
+
+    def test_missing_assignment_raises(self):
+        adt = make_account_adt()
+        partial = QuorumAssignment(5, {"Credit": QuorumSpec(1, 3)})
+        with pytest.raises(KeyError):
+            partial.validate(adt.dependency, account_universe())
+
+    def test_majority_always_valid(self):
+        adt = make_account_adt()
+        majority = QuorumAssignment.majority(5, ACCOUNT_NAMES)
+        assert majority.is_valid(adt.dependency, account_universe())
+
+    def test_read_write_valid_for_file(self):
+        adt = make_file_adt()
+        rw = QuorumAssignment.read_write(
+            5, lambda name: name == "Read", ["Read", "Write"]
+        )
+        assert rw.is_valid(adt.dependency, file_universe((0, 1)))
+
+
+class TestAvailability:
+    def test_available_operations_by_live_count(self):
+        assignment = credit_biased()
+        assert assignment.available_operations(5) == ["Credit", "Debit", "Post"]
+        assert assignment.available_operations(2) == ["Credit", "Post"]
+        assert assignment.available_operations(1) == []
+
+    def test_tolerated_failures(self):
+        assignment = credit_biased()
+        assert assignment.tolerated_failures("Credit") == 3
+        assert assignment.tolerated_failures("Debit") == 1
+
+    def test_majority_tolerates_minority_failures(self):
+        majority = QuorumAssignment.majority(5, ACCOUNT_NAMES)
+        for name in ACCOUNT_NAMES:
+            assert majority.tolerated_failures(name) == 2
+
+    def test_credit_bias_beats_majority_for_credits(self):
+        # The paper's availability point: type-specific quorums can push
+        # chosen operations past what any uniform assignment allows.
+        biased = credit_biased()
+        majority = QuorumAssignment.majority(5, ACCOUNT_NAMES)
+        assert (
+            biased.tolerated_failures("Credit")
+            > majority.tolerated_failures("Credit")
+        )

@@ -1,0 +1,120 @@
+"""Mode-based lock tables (the appendix's lock_tab)."""
+
+import pytest
+
+from repro.adts import (
+    ACCOUNT_CONFLICT,
+    account_universe,
+    credit,
+    debit_ok,
+    debit_overdraft,
+    post,
+    queue_universe,
+    QUEUE_CONFLICT_FIG42,
+)
+from repro.runtime.locks import (
+    ACCOUNT_LOCK_MODES,
+    LockTable,
+    ModeClassificationError,
+    account_lock_mode,
+    mode_table_from_relation,
+)
+
+
+def appendix_table():
+    table = LockTable()
+    table.define("CREDIT_LOCK", "OVERDRAFT_LOCK")
+    table.define("POST_LOCK", "OVERDRAFT_LOCK")
+    table.define("DEBIT_LOCK", "DEBIT_LOCK")
+    return table
+
+
+class TestLockTable:
+    def test_define_is_symmetric(self):
+        table = appendix_table()
+        assert table.modes_conflict("CREDIT_LOCK", "OVERDRAFT_LOCK")
+        assert table.modes_conflict("OVERDRAFT_LOCK", "CREDIT_LOCK")
+        assert not table.modes_conflict("CREDIT_LOCK", "POST_LOCK")
+
+    def test_conflict_checks_other_holders_only(self):
+        table = appendix_table()
+        table.grant("OVERDRAFT_LOCK", "P")
+        assert table.conflict("CREDIT_LOCK", "Q")
+        assert not table.conflict("CREDIT_LOCK", "P")  # own lock
+
+    def test_self_conflicting_mode(self):
+        table = appendix_table()
+        table.grant("DEBIT_LOCK", "P")
+        assert table.conflict("DEBIT_LOCK", "Q")
+        assert not table.conflict("DEBIT_LOCK", "P")
+
+    def test_release_drops_all(self):
+        table = appendix_table()
+        table.grant("DEBIT_LOCK", "P")
+        table.grant("OVERDRAFT_LOCK", "P")
+        table.release("P")
+        assert not table.conflict("DEBIT_LOCK", "Q")
+        assert not table.conflict("CREDIT_LOCK", "Q")
+
+    def test_counted_grants(self):
+        table = appendix_table()
+        table.grant("DEBIT_LOCK", "P")
+        table.grant("DEBIT_LOCK", "P")
+        assert table.holders("DEBIT_LOCK") == ["P"]
+
+    def test_compatible_modes_coexist(self):
+        table = appendix_table()
+        table.grant("CREDIT_LOCK", "P")
+        assert not table.conflict("POST_LOCK", "Q")
+        assert not table.conflict("CREDIT_LOCK", "Q")
+
+
+class TestCompilation:
+    def test_account_compiles_to_appendix_table(self):
+        universe = account_universe((2, 3), (50,))
+        compiled = mode_table_from_relation(
+            ACCOUNT_CONFLICT, universe, account_lock_mode
+        )
+        reference = appendix_table()
+        for mode_a in ACCOUNT_LOCK_MODES:
+            for mode_b in ACCOUNT_LOCK_MODES:
+                assert compiled.modes_conflict(mode_a, mode_b) == (
+                    reference.modes_conflict(mode_a, mode_b)
+                ), (mode_a, mode_b)
+
+    def test_mode_checks_agree_with_predicate_checks(self):
+        universe = account_universe((2, 3), (50,))
+        table = mode_table_from_relation(
+            ACCOUNT_CONFLICT, universe, account_lock_mode
+        )
+        # Simulate: P holds a successful debit; mode table and predicate
+        # agree on every follow-up request.
+        table.grant(account_lock_mode(debit_ok(2)), "P")
+        for operation in universe:
+            mode_says = table.conflict(account_lock_mode(operation), "Q")
+            predicate_says = ACCOUNT_CONFLICT.related(
+                operation, debit_ok(2)
+            ) or ACCOUNT_CONFLICT.related(debit_ok(2), operation)
+            assert mode_says == predicate_says, operation
+
+    def test_lossy_classification_rejected(self):
+        # Collapsing Deq's value-sensitive conflicts into one mode mixes
+        # conflicting and non-conflicting pairs: strict mode refuses.
+        universe = queue_universe((1, 2))
+        with pytest.raises(ModeClassificationError):
+            mode_table_from_relation(
+                QUEUE_CONFLICT_FIG42, universe, lambda op: op.name
+            )
+
+    def test_conservative_classification_allowed(self):
+        universe = queue_universe((1, 2))
+        table = mode_table_from_relation(
+            QUEUE_CONFLICT_FIG42, universe, lambda op: op.name, strict=False
+        )
+        # Conservative: Deq conflicts with Enq at mode level.
+        assert table.modes_conflict("Deq", "Enq")
+        assert not table.modes_conflict("Enq", "Enq")
+
+    def test_classifier_errors_surface(self):
+        with pytest.raises(ValueError):
+            account_lock_mode(queue_universe((1,))[0])

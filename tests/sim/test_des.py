@@ -1,0 +1,68 @@
+"""Discrete-event simulator unit tests."""
+
+import pytest
+
+from repro.sim import Simulator
+
+
+class TestScheduling:
+    def test_events_fire_in_time_order(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(3, lambda: fired.append("c"))
+        sim.schedule(1, lambda: fired.append("a"))
+        sim.schedule(2, lambda: fired.append("b"))
+        sim.run()
+        assert fired == ["a", "b", "c"]
+
+    def test_ties_broken_by_scheduling_order(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1, lambda: fired.append("first"))
+        sim.schedule(1, lambda: fired.append("second"))
+        sim.run()
+        assert fired == ["first", "second"]
+
+    def test_clock_advances_to_event_times(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(5, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [5]
+
+    def test_callbacks_may_schedule_more(self):
+        sim = Simulator()
+        fired = []
+
+        def chain():
+            fired.append(sim.now)
+            if len(fired) < 3:
+                sim.schedule(1, chain)
+
+        sim.schedule(1, chain)
+        sim.run()
+        assert fired == [1, 2, 3]
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            sim.schedule(-1, lambda: None)
+
+
+class TestRunUntil:
+    def test_stops_at_deadline(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1, lambda: fired.append(1))
+        sim.schedule(10, lambda: fired.append(10))
+        sim.run_until(5)
+        assert fired == [1]
+        assert sim.now == 5
+        assert not sim.empty()
+
+    def test_clock_lands_on_deadline_even_when_queue_drains(self):
+        sim = Simulator()
+        sim.schedule(1, lambda: None)
+        sim.run_until(100)
+        assert sim.now == 100
+        assert sim.empty()

@@ -1,0 +1,115 @@
+"""CLI tests (invoking main() in-process)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestList:
+    def test_lists_everything(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "Account" in out
+        assert "hybrid" in out
+        assert "optimistic" in out
+        assert "queue" in out
+
+
+class TestDerive:
+    def test_derive_file(self, capsys):
+        assert main(["derive", "File"]) == 0
+        out = capsys.readouterr().out
+        assert "matches paper table : True" in out
+        assert "failure to commute" in out
+        assert "concurrency scores" in out
+
+    def test_derive_with_custom_values(self, capsys):
+        assert main(["derive", "Set", "--values", "7", "8", "--depth", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "Member,True" in out
+
+    def test_unknown_adt(self, capsys):
+        assert main(["derive", "Blob"]) == 2
+        assert "unknown ADT" in capsys.readouterr().err
+
+
+class TestAudit:
+    def test_audit_one_type(self, capsys):
+        assert main(["audit", "File"]) == 0
+        out = capsys.readouterr().out
+        assert "ALL CHECKS PASS" in out
+        assert "[FAIL]" not in out
+
+    def test_audit_unknown_type(self, capsys):
+        assert main(["audit", "Blob"]) == 2
+        assert "unknown ADT" in capsys.readouterr().err
+
+    def test_audit_with_minimality(self, capsys):
+        assert main(["audit", "SemiQueue", "--minimal"]) == 0
+        assert "minimal" in capsys.readouterr().out
+
+
+class TestSimulate:
+    def test_simulate_default_protocols(self, capsys):
+        assert main(["simulate", "queue", "--duration", "60"]) == 0
+        out = capsys.readouterr().out
+        assert "hybrid" in out
+        assert "serial" in out
+        assert "throughput" in out
+
+    def test_simulate_optimistic(self, capsys):
+        assert (
+            main(
+                [
+                    "simulate",
+                    "account",
+                    "--protocol",
+                    "optimistic",
+                    "--duration",
+                    "60",
+                ]
+            )
+            == 0
+        )
+        assert "optimistic" in capsys.readouterr().out
+
+    def test_unknown_workload(self, capsys):
+        assert main(["simulate", "blob"]) == 2
+        assert "unknown workload" in capsys.readouterr().err
+
+    def test_unknown_protocol(self, capsys):
+        assert main(["simulate", "queue", "--protocol", "mvcc"]) == 2
+        assert "unknown protocol" in capsys.readouterr().err
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_depth_default(self):
+        args = build_parser().parse_args(["derive", "File"])
+        assert args.depth == 3
+
+
+class TestReport:
+    def test_report_to_stdout(self, capsys):
+        assert main(["report"]) == 0
+        out = capsys.readouterr().out
+        assert "Audit matrix" in out
+        assert "all audits pass" in out
+        assert "Figure 4-5" in out
+
+    def test_report_to_file(self, tmp_path, capsys):
+        target = tmp_path / "report.md"
+        assert main(["report", "--output", str(target)]) == 0
+        assert "Audit matrix" in target.read_text()
+
+    def test_report_splices_artifacts(self, tmp_path, capsys):
+        results = tmp_path / "results"
+        results.mkdir()
+        (results / "demo.txt").write_text("demo artifact body")
+        assert main(["report", "--results", str(results)]) == 0
+        out = capsys.readouterr().out
+        assert "Benchmark artifacts" in out
+        assert "demo artifact body" in out
