@@ -5,8 +5,10 @@ control paper: the formal event/history model, dependency relations and
 their mechanical derivation from serial specifications, the LOCK state
 machine with horizon-based compaction, commit-timestamp generation, a
 transaction runtime with atomic commitment, baseline protocols
-(commutativity locking, read/write 2PL), an ADT library, and a
-discrete-event simulation harness for the concurrency comparisons.
+(commutativity locking, read/write 2PL), an ADT library, a durability
+subsystem (write-ahead intentions logs, horizon checkpoints, and
+crash recovery — see :mod:`repro.recovery`), and a discrete-event
+simulation harness for the concurrency comparisons.
 
 Quick start::
 

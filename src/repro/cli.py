@@ -10,7 +10,12 @@ Commands
     from its serial specification and print them in the paper's style.
 ``simulate <workload>``
     Run a simulated workload under one or more protocols and print the
-    metrics table.
+    metrics table.  ``--crash-rate`` injects Poisson manager crashes;
+    ``--wal-dir`` attaches an on-disk write-ahead log per protocol so the
+    run survives a real process kill.
+``recover <logdir>``
+    Rebuild a transaction manager from a ``--wal-dir`` directory
+    (checkpoint + WAL replay) and print the recovered object states.
 
 Examples::
 
@@ -19,6 +24,8 @@ Examples::
     python -m repro derive FIFOQueue --values 1 2 3
     python -m repro simulate queue --protocol hybrid commutativity
     python -m repro simulate account --duration 500 --seed 3
+    python -m repro simulate account --crash-rate 0.01 --wal-dir /tmp/wals
+    python -m repro recover /tmp/wals/hybrid
 """
 
 from __future__ import annotations
@@ -194,18 +201,78 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         "abort_rate",
         "validation_failures",
     ]
+    if args.crash_rate > 0:
+        fields.append("crashes")
     header = f"{'protocol':14s}" + "".join(f"{f:>20s}" for f in fields)
     print(header)
     print("-" * len(header))
+    if (args.crash_rate > 0 or args.wal_dir) and any(
+        p.engine == "optimistic" for p in protocols
+    ):
+        print(
+            "note: crash/WAL flags apply to locking engines only; "
+            "the optimistic engine runs without them",
+            file=sys.stderr,
+        )
     for protocol in protocols:
+        wal = None
+        if args.wal_dir and protocol.engine != "optimistic":
+            import os
+
+            from .recovery import FileWAL
+
+            wal = FileWAL(os.path.join(args.wal_dir, protocol.name))
         metrics = run_experiment(
-            factory(), protocol, duration=args.duration, seed=args.seed
+            factory(),
+            protocol,
+            duration=args.duration,
+            seed=args.seed,
+            crash_rate=0.0 if protocol.engine == "optimistic" else args.crash_rate,
+            crash_seed=args.crash_seed,
+            wal=wal,
         )
         row = metrics.as_row()
         print(
             f"{protocol.name:14s}"
-            + "".join(f"{row[f]:>20}" for f in fields)
+            + "".join(f"{row.get(f, 0):>20}" for f in fields)
         )
+    if args.wal_dir:
+        print(f"\nwrite-ahead logs under {args.wal_dir}/<protocol>")
+    return 0
+
+
+def _cmd_recover(args: argparse.Namespace) -> int:
+    import os
+
+    from .recovery import (
+        FileCheckpointStore,
+        FileWAL,
+        committed_state_set,
+        recover_manager,
+    )
+
+    logdir = args.logdir
+    if not os.path.isfile(os.path.join(logdir, "wal.jsonl")):
+        print(f"no wal.jsonl under {logdir!r}", file=sys.stderr)
+        return 2
+    from .recovery import RecoveryError, WalCorruption
+
+    wal = FileWAL(logdir)
+    store = FileCheckpointStore(logdir)
+    if store.load() is None:
+        store = None
+    try:
+        manager, report = recover_manager(wal, store=store)
+    except (WalCorruption, RecoveryError) as exc:
+        print(f"recovery failed: {exc}", file=sys.stderr)
+        return 1
+    print(report.summary())
+    print()
+    print(f"{'object':20s}{'committed state':>30s}")
+    print("-" * 50)
+    for name in sorted(manager.objects):
+        states = committed_state_set(manager.object(name).machine)
+        print(f"{name:20s}{str(sorted(states, key=repr)[0]):>30s}")
     return 0
 
 
@@ -263,6 +330,25 @@ def build_parser() -> argparse.ArgumentParser:
     )
     simulate.add_argument("--duration", type=float, default=300.0)
     simulate.add_argument("--seed", type=int, default=0)
+    simulate.add_argument(
+        "--crash-rate",
+        type=float,
+        default=0.0,
+        help="Poisson rate of manager crashes (locking engines only)",
+    )
+    simulate.add_argument(
+        "--crash-seed", type=int, default=None, help="separate seed for crash times"
+    )
+    simulate.add_argument(
+        "--wal-dir",
+        default=None,
+        help="directory for on-disk write-ahead logs (one subdir per protocol)",
+    )
+
+    recover = commands.add_parser(
+        "recover", help="rebuild a manager from a write-ahead log directory"
+    )
+    recover.add_argument("logdir", help="directory holding wal.jsonl (and checkpoint)")
     return parser
 
 
@@ -275,6 +361,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "audit": _cmd_audit,
         "report": _cmd_report,
         "simulate": _cmd_simulate,
+        "recover": _cmd_recover,
     }[args.command]
     return handler(args)
 

@@ -30,6 +30,7 @@ from __future__ import annotations
 from typing import Any, Dict, List, Optional, Set, Tuple
 
 from .conflict import Relation
+from .errors import ProtocolError
 from .lock_machine import LockMachine
 from .operations import Operation, OperationSequence
 from .specs import SerialSpec, StateSet
@@ -87,6 +88,9 @@ class CompactingLockMachine(LockMachine):
         self._bounds: Dict[str, Any] = {}
         #: The version: state-set denoted by the forgotten common prefix.
         self._version: StateSet = spec.initial_states()
+        #: Largest commit timestamp folded into the version: the version
+        #: *is* the committed state as of this timestamp (recovery fence).
+        self._version_timestamp: Any = NEG_INFINITY
         #: Number of operations folded into the version (for metrics).
         self._forgotten_operations = 0
         #: Transactions forgotten so far (for metrics/tests).
@@ -107,6 +111,16 @@ class CompactingLockMachine(LockMachine):
     def version_states(self) -> StateSet:
         """The compacted version: state-set of the common prefix."""
         return self._version
+
+    @property
+    def version_timestamp(self) -> Any:
+        """Largest commit timestamp folded into the version (-∞ if none).
+
+        Intentions with commit timestamps at or below this are contained
+        in :attr:`version_states`; everything above must be replayed from
+        a log to rebuild the committed state.
+        """
+        return self._version_timestamp
 
     @property
     def forgotten_operations(self) -> int:
@@ -201,6 +215,56 @@ class CompactingLockMachine(LockMachine):
         return states
 
     # ------------------------------------------------------------------
+    # Durability (used by :mod:`repro.recovery`)
+    # ------------------------------------------------------------------
+
+    def export_version(self) -> Tuple[Any, Any, StateSet]:
+        """``(version_timestamp, clock, version)`` — the checkpointable
+        core of the machine.  The version is the committed state as of
+        ``version_timestamp`` (Definition 20's horizon at the last fold),
+        so a checkpoint of this triple plus the log suffix of commits with
+        later timestamps reconstructs the committed state exactly.
+        """
+        return (self._version_timestamp, self.clock, self._version)
+
+    def restore_version(
+        self,
+        states: StateSet,
+        clock: Any = NEG_INFINITY,
+        version_timestamp: Any = NEG_INFINITY,
+    ) -> None:
+        """Install a checkpointed version into a pristine machine.
+
+        Only a machine that has accepted no events may be restored; the
+        recovery driver replays the log suffix on top afterwards.
+        """
+        if self._accepted or self._committed or self._intentions or self._pending:
+            raise ProtocolError("cannot restore a version into a used machine")
+        version = frozenset(states)
+        if not version:
+            raise ValueError("a version must denote at least one state")
+        self._version = version
+        self.clock = clock
+        self._version_timestamp = version_timestamp
+
+    def _committed_states(self) -> StateSet:
+        return self.spec.run_from(self._version, self.committed_state())
+
+    def replay_committed(
+        self, transaction: str, timestamp: Any, intentions
+    ) -> None:
+        super().replay_committed(transaction, timestamp, intentions)
+        if self.clock < timestamp:
+            self.clock = timestamp
+        self._bounds[transaction] = timestamp
+
+    def replay_active(self, transaction: str, intentions, bound: Any = None) -> None:
+        super().replay_active(transaction, intentions)
+        # The bound piggybacked on the PREPARE vote: the transaction's
+        # eventual commit timestamp exceeds it, so the horizon stays safe.
+        self._bounds[transaction] = self.clock if bound is None else bound
+
+    # ------------------------------------------------------------------
     # Section 6 postconditions
     # ------------------------------------------------------------------
 
@@ -256,6 +320,8 @@ class CompactingLockMachine(LockMachine):
                         " this indicates a protocol bug"
                     )
                 self._forgotten_operations += len(intentions)
+                if self._version_timestamp < self._committed[transaction]:
+                    self._version_timestamp = self._committed[transaction]
                 del self._committed[transaction]
                 self._bounds.pop(transaction, None)
                 forgotten.append(transaction)

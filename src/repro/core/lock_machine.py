@@ -273,6 +273,66 @@ class LockMachine:
         raise conflict
 
     # ------------------------------------------------------------------
+    # Recovery replay entry points (used by :mod:`repro.recovery`)
+    # ------------------------------------------------------------------
+
+    def _committed_states(self):
+        """State-set denoted by the committed state (recovery helper).
+
+        The compacting machine overrides this to start from its version.
+        """
+        return self.spec.run(self.committed_state())
+
+    def replay_committed(
+        self, transaction: str, timestamp: Any, intentions: Sequence[Operation]
+    ) -> None:
+        """Reinstall a committed transaction from a durable intentions log.
+
+        Recovery applies committed intentions lists in commit-timestamp
+        order, so at the time of the call ``timestamp`` exceeds every
+        retained commit timestamp and the replayed operations extend the
+        committed state — legality is exactly hybrid atomicity of the
+        pre-crash history, and is re-checked here as a corruption guard.
+        No events are recorded: the events happened before the crash.
+        """
+        ops = tuple(intentions)
+        if transaction in self._committed or transaction in self._aborted:
+            raise ProtocolError(f"{transaction} already completed; cannot replay")
+        for other, stamp in self._committed.items():
+            if stamp == timestamp:
+                raise ProtocolError(
+                    f"timestamp {timestamp} already used by {other} (replay)"
+                )
+        if not self.spec.run_from(self._committed_states(), ops):
+            raise IllegalOperation(
+                f"replayed intentions of {transaction} are illegal after the"
+                " committed state; the log or checkpoint is corrupt"
+            )
+        self._intentions[transaction] = ops
+        self._committed[transaction] = timestamp
+
+    def replay_active(
+        self, transaction: str, intentions: Sequence[Operation]
+    ) -> None:
+        """Reinstall an *active* transaction's intentions (2PC prepared
+        state): the operations and the locks they imply come back, but no
+        completion is recorded — the coordinator's verdict is still owed.
+        """
+        ops = tuple(intentions)
+        if transaction in self.completed():
+            raise ProtocolError(f"{transaction} already completed; cannot replay")
+        if not self.spec.run_from(self._committed_states(), ops):
+            raise IllegalOperation(
+                f"replayed intentions of {transaction} are illegal after the"
+                " committed state; the log or checkpoint is corrupt"
+            )
+        for operation in ops:
+            self._check_conflicts(transaction, operation)
+            self._intentions[transaction] = self.intentions(transaction) + (
+                operation,
+            )
+
+    # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
 

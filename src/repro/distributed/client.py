@@ -10,7 +10,9 @@ sites: PREPARE fan-out, vote collection, then a commit timestamp
 — strictly above every timestamp committed at any site the transaction
 read, satisfying the §3.3 constraint by construction, and globally unique
 by the transaction-name tiebreak.  COMMIT/ABORT fan-out completes the
-protocol.  Lock refusals retry with backoff; a NO vote (site crash) or
+protocol; decisions are retransmitted until each participant acks, so a
+site that fail-stops after voting still learns the verdict once it has
+recovered.  Lock refusals retry with backoff; a NO vote (site crash) or
 retry exhaustion aborts and restarts with a fresh script.
 """
 
@@ -169,10 +171,7 @@ class DistributedClient:
     def _decide_commit(self, timestamp: Tuple) -> None:
         transaction = self.transaction
         for site_name in sorted(self.participants):
-            site = self.sites[site_name]
-            self.network.send(
-                "commit", lambda s=site: s.handle_commit(transaction, timestamp)
-            )
+            self._deliver_completion(site_name, transaction, "commit", timestamp)
         self.metrics.committed += 1
         self.metrics.total_latency += self.simulator.now - self.started_at
         self._schedule_next()
@@ -180,12 +179,37 @@ class DistributedClient:
     def _abort_and_restart(self) -> None:
         transaction = self.transaction
         for site_name in sorted(self.participants):
-            site = self.sites[site_name]
-            self.network.send(
-                "abort", lambda s=site: s.handle_abort(transaction)
-            )
+            self._deliver_completion(site_name, transaction, "abort", None)
         self.metrics.aborted += 1
         self._schedule_next()
+
+    def _deliver_completion(
+        self, site_name: str, transaction: str, kind: str, timestamp: Any
+    ) -> None:
+        """Deliver the 2PC decision, retrying until the site acks.
+
+        A decision is irrevocable: a participant may be down when it is
+        made, but a prepared transaction holds locks (and its intentions
+        sit on the stable log) until the verdict arrives, so the
+        coordinator keeps retransmitting after each recovery window.
+        Detached from ``self.transaction`` — retries outlive ``_begin``.
+        """
+        site = self.sites[site_name]
+
+        def at_site() -> None:
+            if kind == "commit":
+                acked = site.handle_commit(transaction, timestamp)
+            else:
+                acked = site.handle_abort(transaction)
+            if not acked:  # site is down: retry after a backoff
+                self.simulator.schedule(
+                    self.backoff,
+                    lambda: self._deliver_completion(
+                        site_name, transaction, kind, timestamp
+                    ),
+                )
+
+        self.network.send(kind, at_site)
 
     def _schedule_next(self) -> None:
         self.simulator.schedule(

@@ -3,13 +3,23 @@
 :func:`run_distributed_experiment` spreads accounts across ``site_count``
 sites, spawns clients whose transactions touch up to ``max_spread``
 distinct sites (cross-site transfers coordinated by 2PC), optionally
-injects periodic site crashes, runs the event loop, and returns the
-metrics plus the network traffic breakdown — and, when recording, the
-globally interleaved event history for the Section 3 checkers.
+injects site crashes, runs the event loop, and returns the metrics plus
+the network traffic breakdown — and, when recording, the globally
+interleaved event history for the Section 3 checkers.
+
+Two fault models are available.  ``crash_every`` (legacy) soft-crashes a
+rotating site periodically: volatile transactions abort, committed state
+survives in place.  ``crash_rate`` drives the full durability path: each
+site gets a write-ahead log (and optional periodic horizon checkpoints),
+a seeded :class:`~repro.recovery.faults.CrashPlan` fail-stops sites with
+total volatile loss, and every victim is rebuilt ``crash_downtime`` later
+by checkpoint + WAL replay, with the recovered committed state verified
+against the pre-crash snapshot.
 """
 
 from __future__ import annotations
 
+import os
 import random
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
@@ -33,6 +43,10 @@ class DistributedRun:
     network: Network
     sites: Dict[str, Site]
     events: List[Any] = field(default_factory=list)
+    #: One report per completed checkpoint + WAL-replay recovery.
+    recovery_reports: List[Any] = field(default_factory=list)
+    #: site name -> checkpoint store (durable runs only).
+    stores: Dict[str, Any] = field(default_factory=dict)
 
     def history(self) -> History:
         """The recorded global history (empty unless recording was on)."""
@@ -67,21 +81,50 @@ def run_distributed_experiment(
     initial_balance: int = 1000,
     crash_every: float = 0.0,
     record: bool = False,
+    crash_rate: float = 0.0,
+    crash_seed: Optional[int] = None,
+    crash_downtime: float = 10.0,
+    durable: bool = False,
+    wal_dir: Optional[str] = None,
+    checkpoint_every: float = 0.0,
 ) -> DistributedRun:
     """Run the multi-site banking workload; deterministic per seed.
 
     ``max_spread`` caps how many distinct sites one transaction touches;
-    ``crash_every > 0`` crashes a rotating site at that period (victims
-    are un-prepared transactions only — see :meth:`Site.crash`).
+    ``crash_every > 0`` soft-crashes a rotating site at that period
+    (victims are un-prepared transactions only — see :meth:`Site.crash`).
+    ``crash_rate > 0`` fail-stops sites at that Poisson rate with full
+    volatile loss and recovers each from its WAL (plus checkpoint, when
+    ``checkpoint_every > 0``) after ``crash_downtime``; ``durable=True``
+    attaches logs without injecting faults.  ``wal_dir`` puts the logs on
+    disk (one subdirectory per site) instead of in memory.
     """
     simulator = Simulator()
     network = Network(simulator, seed=seed, mean_latency=mean_latency)
     recorder: Optional[List[Any]] = [] if record else None
+    durable = durable or crash_rate > 0 or wal_dir is not None or checkpoint_every > 0
 
+    stores: Dict[str, Any] = {}
     sites: Dict[str, Site] = {}
     placement: List[Tuple[str, str]] = []  # (site, object)
     for s in range(site_count):
-        site = Site(f"S{s}", recorder=recorder)
+        wal = None
+        if durable:
+            from ..recovery import (
+                FileCheckpointStore,
+                FileWAL,
+                MemoryCheckpointStore,
+                MemoryWAL,
+            )
+
+            if wal_dir is not None:
+                site_dir = os.path.join(wal_dir, f"S{s}")
+                wal = FileWAL(site_dir)
+                stores[f"S{s}"] = FileCheckpointStore(site_dir)
+            else:
+                wal = MemoryWAL()
+                stores[f"S{s}"] = MemoryCheckpointStore()
+        site = Site(f"S{s}", recorder=recorder, wal=wal)
         sites[site.name] = site
         for a in range(accounts_per_site):
             obj = f"acct{s}_{a}"
@@ -128,6 +171,31 @@ def run_distributed_experiment(
 
         simulator.schedule(crash_every, crash_tick)
 
+    if checkpoint_every > 0:
+
+        def checkpoint_tick() -> None:
+            for name in sorted(sites):
+                if sites[name].alive:
+                    sites[name].checkpoint(stores[name], taken_at=simulator.now)
+            simulator.schedule(checkpoint_every, checkpoint_tick)
+
+        simulator.schedule(checkpoint_every, checkpoint_tick)
+
+    recovery_reports: List[Any] = []
+    if crash_rate > 0:
+        from ..recovery import CrashPlan
+
+        plan = CrashPlan.seeded(
+            crash_seed if crash_seed is not None else seed,
+            sorted(sites),
+            duration=duration,
+            rate=crash_rate,
+            downtime=crash_downtime,
+        )
+        recovery_reports = plan.install(
+            simulator, sites, metrics=metrics, stores=stores, verify=True
+        )
+
     simulator.run_until(duration)
     metrics.duration = duration
     return DistributedRun(
@@ -135,4 +203,6 @@ def run_distributed_experiment(
         network=network,
         sites=sites,
         events=recorder or [],
+        recovery_reports=recovery_reports,
+        stores=stores,
     )

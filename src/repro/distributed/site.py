@@ -15,12 +15,20 @@ Message handlers (invoked via the simulated network):
   messages of a commit protocol"), or ``("no",)`` when the transaction
   was lost to a crash;
 * ``handle_commit`` / ``handle_abort`` — deliver the completion to every
-  local object the transaction touched.
+  local object the transaction touched; they return False while the site
+  is down, so coordinators retry decision delivery until it lands.
 
-``crash`` fail-stops the site's volatile state: active transactions are
-aborted locally and remembered as tombstones so a later PREPARE is
-answered ``no`` — the coordinator then aborts globally, which is how 2PC
-turns a participant crash into a clean transaction abort.
+Two failure modes are modelled.  ``crash`` fail-stops the site's volatile
+state in place: active transactions are aborted locally and remembered as
+tombstones so a later PREPARE is answered ``no``.  ``crash_hard`` is a
+full fail-stop with volatile loss — machines, touched maps, prepared
+sets, and the clock are all destroyed, and only the write-ahead log and
+checkpoint (stable storage, attached via the ``wal`` parameter) survive;
+``recover`` rebuilds the site from them via
+:func:`repro.recovery.recover_site_state`: committed intentions are
+replayed in timestamp order on top of the checkpointed versions,
+2PC-prepared transactions come back active with their locks, and
+everything else is presumed aborted.
 """
 
 from __future__ import annotations
@@ -41,7 +49,12 @@ __all__ = ["Site"]
 class Site:
     """One site: named objects plus the local clock and 2PC handlers."""
 
-    def __init__(self, name: str, recorder: Optional[List[Any]] = None):
+    def __init__(
+        self,
+        name: str,
+        recorder: Optional[List[Any]] = None,
+        wal: Optional[Any] = None,
+    ):
         self.name = name
         self.clock = LogicalClock()
         self._machines: Dict[str, CompactingLockMachine] = {}
@@ -54,7 +67,13 @@ class Site:
         #: on the stable log and survive crashes (2PC's prepared state).
         self._prepared: Set[str] = set()
         self._recorder = recorder
+        #: Stable storage: a WriteAheadLog, or None for a volatile site.
+        self.wal = wal
         self.alive = True
+        if wal is not None and len(wal) == 0:
+            from ..recovery.wal import meta_record
+
+            wal.append(meta_record("site", name, compacting=True))
 
     # ------------------------------------------------------------------
 
@@ -69,6 +88,12 @@ class Site:
         )
         self._adts[name] = adt
         self._touched[name] = set()
+        if self.wal is not None:
+            from ..recovery.wal import create_record
+
+            self.wal.append(
+                create_record(name, adt.name, protocol.name, adt.spec.initial_states())
+            )
 
     def objects(self) -> List[str]:
         """Names of objects homed here."""
@@ -94,6 +119,14 @@ class Site:
         if self._recorder is not None:
             self._recorder.append(event)
 
+    def _footprint(self, transaction: str) -> Dict[str, Any]:
+        """The transaction's local intentions lists, by object."""
+        return {
+            obj: self._machines[obj].intentions(transaction)
+            for obj, holders in self._touched.items()
+            if transaction in holders
+        }
+
     # ------------------------------------------------------------------
     # Message handlers
     # ------------------------------------------------------------------
@@ -114,6 +147,11 @@ class Site:
         except WouldBlock:
             return ("block",)
         self._touched[obj].add(transaction)
+        if self.wal is not None:
+            from ..recovery.wal import invoke_record, respond_record
+
+            self.wal.append(invoke_record(transaction, obj, invocation))
+            self.wal.append(respond_record(transaction, obj, result))
         self._record(InvocationEvent(transaction, obj, invocation))
         self._record(ResponseEvent(transaction, obj, result))
         # The reply carries the site clock: everything committed here has
@@ -122,34 +160,101 @@ class Site:
         return ("ok", result, self.clock.now)
 
     def handle_prepare(self, transaction: str) -> Tuple:
-        """2PC phase one: vote, piggybacking the local clock."""
+        """2PC phase one: vote, piggybacking the local clock.
+
+        A transaction without a local footprint votes ``no``: either it
+        never ran here, or its volatile intentions were lost to a crash —
+        voting yes would commit operations the site cannot redo.
+        """
         if not self.alive:
             return ("down",)
         if transaction in self._tombstones:
             return ("no",)
+        footprint = self._footprint(transaction)
+        if not footprint and transaction not in self._prepared:
+            return ("no",)
+        if self.wal is not None and transaction not in self._prepared:
+            from ..recovery.wal import prepare_record
+
+            # Force-write the intentions: the prepared state must survive
+            # a crash so the coordinator's verdict can still be honoured.
+            self.wal.append(prepare_record(transaction, self.clock.now, footprint))
         self._prepared.add(transaction)  # force-write to the stable log
         return ("yes", self.clock.now)
 
-    def handle_commit(self, transaction: str, timestamp: Any) -> None:
-        """2PC phase two: deliver ``commit(timestamp)`` locally."""
+    def handle_commit(self, transaction: str, timestamp: Any) -> bool:
+        """2PC phase two: deliver ``commit(timestamp)`` locally.
+
+        Returns True once delivered; False while the site is down (the
+        coordinator must retry — a decided transaction may not linger
+        prepared forever)."""
         if not self.alive:
-            return
+            return False
+        if self.wal is not None:
+            footprint = self._footprint(transaction)
+            if footprint:
+                from ..recovery.wal import commit_record
+
+                self.wal.append(commit_record(transaction, timestamp, footprint))
         for obj, holders in self._touched.items():
             if transaction in holders:
                 self._machines[obj].commit(transaction, timestamp)
                 self._record(CommitEvent(transaction, obj, timestamp))
                 holders.discard(transaction)
+        self._prepared.discard(transaction)
         self.clock.observe(timestamp[0])
+        return True
 
-    def handle_abort(self, transaction: str) -> None:
-        """Deliver an abort to every local object the transaction touched."""
+    def handle_abort(self, transaction: str) -> bool:
+        """Deliver an abort to every local object the transaction touched.
+
+        Returns True once delivered, False while the site is down."""
         if not self.alive:
-            return
+            return False
+        if self.wal is not None and any(
+            transaction in holders for holders in self._touched.values()
+        ):
+            from ..recovery.wal import abort_record
+
+            self.wal.append(abort_record(transaction))
         for obj, holders in self._touched.items():
             if transaction in holders:
                 self._machines[obj].abort(transaction)
                 self._record(AbortEvent(transaction, obj))
                 holders.discard(transaction)
+        self._prepared.discard(transaction)
+        return True
+
+    # ------------------------------------------------------------------
+    # Durability
+    # ------------------------------------------------------------------
+
+    def checkpoint(self, store: Any, taken_at: float = 0.0) -> Any:
+        """Snapshot every local version into ``store`` and truncate the WAL.
+
+        The checkpoint is keyed by each machine's horizon-bounded version
+        timestamp; the truncation drops exactly the log prefix those
+        versions prove redundant.  Returns the checkpoint.
+        """
+        if self.wal is None:
+            raise ValueError(f"site {self.name!r} has no write-ahead log")
+        from ..recovery.checkpoint import take_checkpoint, truncate_wal
+
+        checkpoint = take_checkpoint(
+            self._machines, site_clock=self.clock.now, taken_at=taken_at
+        )
+        store.save(checkpoint)
+        truncate_wal(self.wal, self._machines, extra_live=self._prepared)
+        return checkpoint
+
+    def recover(self, store: Any = None, catalog: Any = None):
+        """Rebuild the site from checkpoint + WAL replay after ``crash_hard``.
+
+        Returns the :class:`~repro.recovery.recovery.RecoveryReport`.
+        """
+        from ..recovery.recovery import recover_site_state
+
+        return recover_site_state(self, store=store, catalog=catalog)
 
     # ------------------------------------------------------------------
     # Failure injection
@@ -171,5 +276,25 @@ class Site:
                 victims.add(transaction)
             for transaction in victims:
                 holders.discard(transaction)
+        if self.wal is not None:
+            from ..recovery.wal import abort_record
+
+            for transaction in sorted(victims):
+                self.wal.append(abort_record(transaction))
         self._tombstones |= victims
         return sorted(victims)
+
+    def crash_hard(self) -> None:
+        """Full fail-stop: every volatile structure is lost.
+
+        Machines, touched maps, prepared and tombstone sets, and the
+        clock are destroyed; only stable storage (the WAL and any
+        checkpoint) survives.  The site answers ``("down",)`` / False
+        until :meth:`recover` rebuilds it."""
+        self.alive = False
+        self._machines = {}
+        self._adts = {}
+        self._touched = {}
+        self._prepared = set()
+        self._tombstones = set()
+        self.clock = LogicalClock()

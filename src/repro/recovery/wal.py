@@ -1,0 +1,354 @@
+"""Write-ahead intentions log (durability for the LOCK machine).
+
+The paper's LOCK machine already maintains the two artifacts a recovery
+manager needs: per-transaction *intentions lists* (Section 5 — a redo log
+by construction) and commit timestamps that totally order them.  This
+module makes them durable: every invocation, response, commit, abort, and
+2PC prepare is appended to a log as a checksummed JSON line, and commit /
+prepare records carry the transaction's full intentions lists so a crash
+can be replayed from the log alone (the checkpoint in
+:mod:`repro.recovery.checkpoint` merely shortens the replay).
+
+Records are plain dicts with a ``kind`` field; the helpers below build
+them.  Two backends share one encoding: :class:`MemoryWAL` (a list of
+encoded lines — used by simulations, where "stable storage" just means
+"survives :meth:`Site.crash_hard`") and :class:`FileWAL` (an append-only
+``wal.jsonl`` in a directory, flushed and fsynced per append).  Each line
+is ``{"seq": n, "crc": c, "rec": {...}}`` where ``crc`` is the CRC-32 of
+the canonical JSON of ``rec``; a torn final line is tolerated, anything
+else fails the read.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import zlib
+from fractions import Fraction
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence
+
+from ..core.compaction import NEG_INFINITY
+from ..core.errors import ReproError
+from ..core.operations import Invocation, Operation
+from ..core.specs import StateSet
+
+__all__ = [
+    "WalCorruption",
+    "WriteAheadLog",
+    "MemoryWAL",
+    "FileWAL",
+    "encode_value",
+    "decode_value",
+    "encode_operation",
+    "decode_operation",
+    "encode_states",
+    "decode_states",
+    "meta_record",
+    "create_record",
+    "invoke_record",
+    "respond_record",
+    "prepare_record",
+    "commit_record",
+    "abort_record",
+]
+
+
+class WalCorruption(ReproError):
+    """The log failed a checksum, sequence, or decoding check."""
+
+
+# ----------------------------------------------------------------------
+# Value encoding: JSON with tags for the non-JSON state/timestamp shapes
+# ----------------------------------------------------------------------
+
+
+def _sort_key(value: Any) -> str:
+    return repr(value)
+
+
+def encode_value(value: Any) -> Any:
+    """Encode a state / argument / timestamp value as JSON-safe data.
+
+    Tuples, lists, sets, frozensets, and the -∞ timestamp are tagged so
+    :func:`decode_value` restores the exact Python shape (state-set
+    equality must survive the round trip).
+    """
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, tuple):
+        return {"__t__": [encode_value(v) for v in value]}
+    if isinstance(value, list):
+        return {"__l__": [encode_value(v) for v in value]}
+    if isinstance(value, frozenset):
+        return {"__fs__": [encode_value(v) for v in sorted(value, key=_sort_key)]}
+    if isinstance(value, set):
+        return {"__s__": [encode_value(v) for v in sorted(value, key=_sort_key)]}
+    if isinstance(value, Fraction):
+        return {"__fr__": [value.numerator, value.denominator]}
+    if value is NEG_INFINITY or value == NEG_INFINITY:
+        return {"__neginf__": True}
+    raise TypeError(f"cannot encode {value!r} ({type(value).__name__}) for the WAL")
+
+
+def decode_value(data: Any) -> Any:
+    """Inverse of :func:`encode_value`."""
+    if isinstance(data, dict):
+        if "__t__" in data:
+            return tuple(decode_value(v) for v in data["__t__"])
+        if "__l__" in data:
+            return [decode_value(v) for v in data["__l__"]]
+        if "__fs__" in data:
+            return frozenset(decode_value(v) for v in data["__fs__"])
+        if "__s__" in data:
+            return {decode_value(v) for v in data["__s__"]}
+        if "__fr__" in data:
+            return Fraction(data["__fr__"][0], data["__fr__"][1])
+        if "__neginf__" in data:
+            return NEG_INFINITY
+        raise WalCorruption(f"unknown value tag in {data!r}")
+    return data
+
+
+def encode_operation(operation: Operation) -> Dict[str, Any]:
+    """Encode one operation (invocation + result) of an intentions list."""
+    return {
+        "op": operation.name,
+        "args": encode_value(tuple(operation.args)),
+        "result": encode_value(operation.result),
+    }
+
+
+def decode_operation(data: Mapping[str, Any]) -> Operation:
+    """Inverse of :func:`encode_operation`."""
+    return Operation(
+        Invocation(data["op"], decode_value(data["args"])),
+        decode_value(data["result"]),
+    )
+
+
+def encode_states(states: StateSet) -> List[Any]:
+    """Encode a state-set deterministically (sorted by repr)."""
+    return [encode_value(s) for s in sorted(states, key=_sort_key)]
+
+
+def decode_states(data: Iterable[Any]) -> StateSet:
+    """Inverse of :func:`encode_states`."""
+    return frozenset(decode_value(s) for s in data)
+
+
+def _encode_intentions(
+    intentions: Mapping[str, Sequence[Operation]]
+) -> Dict[str, List[Dict[str, Any]]]:
+    return {
+        obj: [encode_operation(op) for op in ops]
+        for obj, ops in sorted(intentions.items())
+    }
+
+
+# ----------------------------------------------------------------------
+# Record constructors
+# ----------------------------------------------------------------------
+
+
+def meta_record(role: str, name: str, compacting: bool = True) -> Dict[str, Any]:
+    """First record of every log: who wrote it and on which machine kind."""
+    return {"kind": "meta", "role": role, "name": name, "compacting": compacting}
+
+
+def create_record(
+    obj: str, adt_name: str, protocol_name: str, initial_states: StateSet
+) -> Dict[str, Any]:
+    """Object creation: enough to rebuild the machine from the registry.
+
+    ``initial_states`` records the actual initial state-set (factories
+    take parameters, e.g. an opening balance), so recovery does not trust
+    the registry default.
+    """
+    return {
+        "kind": "create",
+        "obj": obj,
+        "adt": adt_name,
+        "protocol": protocol_name,
+        "initial": encode_states(initial_states),
+    }
+
+
+def invoke_record(transaction: str, obj: str, invocation: Invocation) -> Dict[str, Any]:
+    """``<inv, X, Q>`` accepted."""
+    return {
+        "kind": "invoke",
+        "txn": transaction,
+        "obj": obj,
+        "op": invocation.name,
+        "args": encode_value(tuple(invocation.args)),
+    }
+
+
+def respond_record(transaction: str, obj: str, result: Any) -> Dict[str, Any]:
+    """``<res, X, Q>`` accepted."""
+    return {
+        "kind": "respond",
+        "txn": transaction,
+        "obj": obj,
+        "result": encode_value(result),
+    }
+
+
+def prepare_record(
+    transaction: str, clock: Any, intentions: Mapping[str, Sequence[Operation]]
+) -> Dict[str, Any]:
+    """2PC force-write: the prepared transaction's intentions survive a
+    crash, so the site can still honour the coordinator's verdict."""
+    return {
+        "kind": "prepare",
+        "txn": transaction,
+        "clock": encode_value(clock),
+        "intentions": _encode_intentions(intentions),
+    }
+
+
+def commit_record(
+    transaction: str, timestamp: Any, intentions: Mapping[str, Sequence[Operation]]
+) -> Dict[str, Any]:
+    """``<commit(t), X, Q>`` with the committed intentions lists — the
+    paper's redo log entry, self-contained for replay."""
+    return {
+        "kind": "commit",
+        "txn": transaction,
+        "ts": encode_value(timestamp),
+        "intentions": _encode_intentions(intentions),
+    }
+
+
+def abort_record(transaction: str) -> Dict[str, Any]:
+    """``<abort, X, Q>`` delivered (presumed abort makes this advisory)."""
+    return {"kind": "abort", "txn": transaction}
+
+
+# ----------------------------------------------------------------------
+# Log backends
+# ----------------------------------------------------------------------
+
+
+def _encode_line(seq: int, record: Mapping[str, Any]) -> str:
+    body = json.dumps(record, sort_keys=True, separators=(",", ":"))
+    crc = zlib.crc32(body.encode("utf-8"))
+    return json.dumps({"seq": seq, "crc": crc, "rec": json.loads(body)}, sort_keys=True)
+
+
+def _decode_line(text: str, expected_seq: int) -> Dict[str, Any]:
+    try:
+        envelope = json.loads(text)
+        body = json.dumps(envelope["rec"], sort_keys=True, separators=(",", ":"))
+        crc = envelope["crc"]
+        seq = envelope["seq"]
+    except (ValueError, KeyError, TypeError) as exc:
+        raise WalCorruption(f"undecodable log line: {text[:80]!r}") from exc
+    if zlib.crc32(body.encode("utf-8")) != crc:
+        raise WalCorruption(f"checksum mismatch at seq {seq}")
+    if seq != expected_seq:
+        raise WalCorruption(f"sequence gap: expected {expected_seq}, found {seq}")
+    return envelope["rec"]
+
+
+class WriteAheadLog:
+    """Shared encode/decode logic; backends supply line storage."""
+
+    def _lines(self) -> List[str]:
+        raise NotImplementedError
+
+    def _write_line(self, line: str) -> None:
+        raise NotImplementedError
+
+    def _replace_lines(self, lines: List[str]) -> None:
+        raise NotImplementedError
+
+    def __len__(self) -> int:
+        return len(self._lines())
+
+    def append(self, record: Mapping[str, Any]) -> int:
+        """Append one record; returns its sequence number."""
+        seq = len(self)
+        self._write_line(_encode_line(seq, record))
+        return seq
+
+    def records(self) -> List[Dict[str, Any]]:
+        """Decode and verify every record.
+
+        A corrupt *final* line is treated as a torn write and dropped —
+        the record was never acknowledged; corruption anywhere else
+        raises :class:`WalCorruption`.
+        """
+        lines = self._lines()
+        out: List[Dict[str, Any]] = []
+        for index, line in enumerate(lines):
+            try:
+                out.append(_decode_line(line, index))
+            except WalCorruption:
+                if index == len(lines) - 1:
+                    break
+                raise
+        return out
+
+    def rewrite(self, records: Sequence[Mapping[str, Any]]) -> None:
+        """Replace the whole log (checkpoint truncation)."""
+        self._replace_lines(
+            [_encode_line(seq, record) for seq, record in enumerate(records)]
+        )
+
+
+class MemoryWAL(WriteAheadLog):
+    """In-memory backend: stable across simulated crashes, not real ones."""
+
+    def __init__(self) -> None:
+        self._store: List[str] = []
+
+    def _lines(self) -> List[str]:
+        return self._store
+
+    def _write_line(self, line: str) -> None:
+        self._store.append(line)
+
+    def _replace_lines(self, lines: List[str]) -> None:
+        self._store = list(lines)
+
+
+class FileWAL(WriteAheadLog):
+    """On-disk backend: ``<directory>/wal.jsonl``, fsynced per append."""
+
+    FILENAME = "wal.jsonl"
+
+    def __init__(self, directory: os.PathLike) -> None:
+        self.directory = pathlib.Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.path = self.directory / self.FILENAME
+        self._count: Optional[int] = None
+
+    def _lines(self) -> List[str]:
+        if not self.path.exists():
+            return []
+        return self.path.read_text().splitlines()
+
+    def __len__(self) -> int:
+        if self._count is None:
+            self._count = len(self._lines())
+        return self._count
+
+    def _write_line(self, line: str) -> None:
+        if self._count is None:
+            self._count = len(self._lines())
+        with open(self.path, "a", encoding="utf-8") as handle:
+            handle.write(line + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+        self._count += 1
+
+    def _replace_lines(self, lines: List[str]) -> None:
+        temp = self.path.with_suffix(".tmp")
+        with open(temp, "w", encoding="utf-8") as handle:
+            handle.write("".join(line + "\n" for line in lines))
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(temp, self.path)
+        self._count = len(lines)

@@ -94,6 +94,12 @@ class TransactionManager:
     compacting:
         Build objects on the Section 6 compacting machine (default) or the
         plain machine.
+    wal:
+        Optional :class:`~repro.recovery.wal.WriteAheadLog`.  When given,
+        object creations, accepted operations, and completions (with
+        committed intentions) are logged durably, and the manager can be
+        rebuilt after a crash with
+        :func:`repro.recovery.recover_manager`.
     """
 
     def __init__(
@@ -101,6 +107,7 @@ class TransactionManager:
         generator: Optional[TimestampGenerator] = None,
         record_history: bool = False,
         compacting: bool = True,
+        wal: Optional[Any] = None,
     ):
         self._generator = generator or MonotoneTimestampGenerator()
         self._objects: Dict[str, ManagedObject] = {}
@@ -109,6 +116,11 @@ class TransactionManager:
         self._record = record_history
         self._events: List[Any] = []
         self._compacting = compacting
+        self.wal = wal
+        if wal is not None and len(wal) == 0:
+            from ..recovery.wal import meta_record
+
+            wal.append(meta_record("manager", "manager", compacting=compacting))
 
     # ------------------------------------------------------------------
     # Setup
@@ -131,6 +143,14 @@ class TransactionManager:
         relation = conflict if conflict is not None else protocol.conflict_for(adt)
         managed = ManagedObject(name, adt, relation, compacting=self._compacting)
         self._objects[name] = managed
+        if self.wal is not None:
+            from ..recovery.wal import create_record
+
+            # A conflict override is code, not data: recovery rebuilds the
+            # relation from the protocol name (pass a catalog otherwise).
+            self.wal.append(
+                create_record(name, adt.name, protocol.name, adt.spec.initial_states())
+            )
         return managed
 
     def object(self, name: str) -> ManagedObject:
@@ -209,6 +229,11 @@ class TransactionManager:
         result = managed.machine.execute(transaction.name, invocation)
         transaction.touched.add(obj)
         transaction.operations += 1
+        if self.wal is not None:
+            from ..recovery.wal import invoke_record, respond_record
+
+            self.wal.append(invoke_record(transaction.name, obj, invocation))
+            self.wal.append(respond_record(transaction.name, obj, result))
         # Section 3.3 / Section 6: after a response at X the transaction's
         # eventual commit timestamp must exceed every timestamp committed
         # at X — feed the object's clock into the generator's bound.
@@ -269,6 +294,16 @@ class TransactionManager:
         if transaction.read_only:
             return self._finish_readonly(transaction, commit=True)
         timestamp = self._generator.commit_timestamp(transaction.name)
+        if self.wal is not None:
+            from ..recovery.wal import commit_record
+
+            # Force-write the redo entry — the committed intentions lists —
+            # before delivering the commit (which may fold them away).
+            intentions = {
+                obj: self._objects[obj].machine.intentions(transaction.name)
+                for obj in sorted(transaction.touched)
+            }
+            self.wal.append(commit_record(transaction.name, timestamp, intentions))
         for obj in sorted(transaction.touched):
             self._objects[obj].machine.commit(transaction.name, timestamp)
             if self._record:
@@ -284,6 +319,10 @@ class TransactionManager:
         if transaction.read_only:
             self._finish_readonly(transaction, commit=False)
             return
+        if self.wal is not None and transaction.touched:
+            from ..recovery.wal import abort_record
+
+            self.wal.append(abort_record(transaction.name))
         for obj in sorted(transaction.touched):
             self._objects[obj].machine.abort(transaction.name)
             if self._record:
@@ -316,6 +355,28 @@ class TransactionManager:
             raise TransactionAborted(
                 f"{transaction.name} is {transaction.status.value}"
             )
+
+    def checkpoint(self, store: Any) -> Any:
+        """Snapshot every object's collapsed version into ``store`` and
+        truncate the WAL prefix the horizon proves redundant.
+
+        Requires a WAL and compacting objects; returns the
+        :class:`~repro.recovery.checkpoint.Checkpoint`.
+        """
+        if self.wal is None:
+            raise ProtocolError("checkpointing requires a write-ahead log")
+        if not self._compacting:
+            raise ProtocolError(
+                "checkpointing requires compacting objects (the version is"
+                " the checkpointable state)"
+            )
+        from ..recovery.checkpoint import take_checkpoint, truncate_wal
+
+        machines = {name: m.machine for name, m in self._objects.items()}
+        checkpoint = take_checkpoint(machines)
+        store.save(checkpoint)
+        truncate_wal(self.wal, machines)
+        return checkpoint
 
     def crash(self) -> List[str]:
         """Simulate a site crash; returns the aborted transaction names.

@@ -45,6 +45,12 @@ class Simulator:
             self._queue, (self._now + delay, next(self._sequence), callback)
         )
 
+    def schedule_at(self, time: float, callback: Callable[[], None]) -> None:
+        """Run ``callback`` at absolute simulated ``time`` (>= now)."""
+        if time < self._now:
+            raise ValueError("cannot schedule into the past")
+        heapq.heappush(self._queue, (time, next(self._sequence), callback))
+
     def run_until(self, end: float) -> None:
         """Process events with timestamps <= ``end``; advance the clock.
 

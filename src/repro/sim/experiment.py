@@ -24,7 +24,7 @@ import random
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
-from ..core.errors import LockConflict, WouldBlock
+from ..core.errors import LockConflict, TransactionAborted, WouldBlock
 from ..core.compaction import CompactingLockMachine
 from ..protocols.base import HYBRID, ProtocolSpec
 from ..runtime.manager import TransactionManager
@@ -118,6 +118,11 @@ class _Client:
         obj, operation, args = self.script[self.position]
         try:
             self.manager.invoke(self.transaction, obj, operation, *args)
+        except TransactionAborted:
+            # A crash tick aborted us underneath (already counted there):
+            # just restart with a fresh script.
+            self._restart_after_crash()
+            return
         except LockConflict as conflict:
             self.metrics.conflicts += 1
             if self.registry is not None and conflict.holder:
@@ -162,9 +167,20 @@ class _Client:
             return
         self._schedule_step(self.params.jittered(self.rng, self.params.backoff))
 
+    def _restart_after_crash(self) -> None:
+        """The manager's crash already aborted (and counted) us."""
+        if self.registry is not None:
+            self.registry.release(self.transaction.name)
+        self.simulator.schedule(
+            self.params.jittered(self.rng, self.params.think_time), self._begin
+        )
+
     def _commit(self) -> None:
         try:
             self.manager.commit(self.transaction)
+        except TransactionAborted:
+            self._restart_after_crash()
+            return
         except ValidationFailed:
             # Optimistic engine only: certification failed; the manager
             # already aborted the transaction — restart with a new script.
@@ -192,23 +208,46 @@ def run_experiment(
     duration: float = 500.0,
     seed: int = 0,
     params: Optional[ClientParams] = None,
+    crash_rate: float = 0.0,
+    crash_seed: Optional[int] = None,
+    wal=None,
 ) -> Metrics:
     """Run one workload under one protocol; return the metrics.
 
     Deterministic for fixed ``(workload, protocol, duration, seed,
-    params)``.
+    params)``.  ``crash_rate > 0`` injects Poisson manager crashes that
+    abort every in-flight transaction (locking engine only); ``wal``
+    attaches a write-ahead log to the manager so the run is recoverable
+    with :func:`repro.recovery.recover_manager`.
     """
     params = params or ClientParams()
     simulator = Simulator()
     if protocol.engine == "optimistic":
+        if wal is not None or crash_rate > 0:
+            raise ValueError(
+                "durability and crash injection require the locking engine"
+            )
         manager = OptimisticTransactionManager()
         for name, adt in workload.objects():
             manager.create_object(name, adt, dependency=protocol.conflict_for(adt))
     else:
-        manager = TransactionManager()
+        manager = TransactionManager(wal=wal)
         for name, adt in workload.objects():
             manager.create_object(name, adt, protocol=protocol)
     metrics = Metrics()
+    if crash_rate > 0:
+        crash_rng = random.Random(f"crash/{crash_seed if crash_seed is not None else seed}")
+
+        def crash_tick() -> None:
+            victims = manager.crash()
+            metrics.crashes += 1
+            metrics.aborted += len(victims)
+            if registry is not None:
+                for victim in victims:
+                    registry.release(victim)
+            simulator.schedule(crash_rng.expovariate(crash_rate), crash_tick)
+
+        simulator.schedule(crash_rng.expovariate(crash_rate), crash_tick)
     registry = WaitRegistry() if params.wait_policy == "block" else None
     for index in range(workload.client_count()):
         client = _Client(

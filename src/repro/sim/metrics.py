@@ -32,6 +32,14 @@ class Metrics:
     validation_failures: int = 0
     #: Waits-for cycles resolved by aborting the requester (block policy).
     deadlocks: int = 0
+    #: Fail-stop crashes injected into the run (fault-injection metric).
+    crashes: int = 0
+    #: Successful checkpoint + WAL-replay recoveries.
+    recoveries: int = 0
+    #: Log records replayed across all recoveries.
+    replayed_records: int = 0
+    #: Total wall-clock seconds spent in recovery (not simulated time).
+    recovery_time: float = 0.0
 
     @property
     def throughput(self) -> float:
@@ -57,7 +65,7 @@ class Metrics:
 
     def as_row(self) -> Dict[str, float]:
         """Flatten to a dict for table rendering."""
-        return {
+        row = {
             "committed": self.committed,
             "aborted": self.aborted,
             "conflicts": self.conflicts,
@@ -69,3 +77,31 @@ class Metrics:
             "validation_failures": self.validation_failures,
             "deadlocks": self.deadlocks,
         }
+        if self.crashes or self.recoveries:
+            row.update(
+                {
+                    "crashes": self.crashes,
+                    "recoveries": self.recoveries,
+                    "replayed_records": self.replayed_records,
+                    "recovery_time": round(self.recovery_time, 4),
+                }
+            )
+        return row
+
+    def merge(self, other: "Metrics") -> "Metrics":
+        """Sum counters from ``other`` into this run (durations add too)."""
+        self.duration += other.duration
+        self.committed += other.committed
+        self.aborted += other.aborted
+        self.conflicts += other.conflicts
+        self.blocks += other.blocks
+        self.operations += other.operations
+        self.total_latency += other.total_latency
+        self.retained_intentions += other.retained_intentions
+        self.validation_failures += other.validation_failures
+        self.deadlocks += other.deadlocks
+        self.crashes += other.crashes
+        self.recoveries += other.recoveries
+        self.replayed_records += other.replayed_records
+        self.recovery_time += other.recovery_time
+        return self

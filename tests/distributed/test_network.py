@@ -46,3 +46,31 @@ class TestNetwork:
             Network(Simulator(), mean_latency=0)
         with pytest.raises(ValueError):
             Network(Simulator(), floor=-1)
+
+    def test_same_pair_messages_can_overtake(self):
+        # Even messages between one fixed (sender, receiver) pair are only
+        # ordered by their random latencies: a later send can arrive
+        # first.  The per-label counter still accounts for every one.
+        simulator = Simulator()
+        network = Network(simulator, seed=11, mean_latency=5.0, floor=0.0)
+        arrivals = []
+        for tag in range(20):
+            network.send("C0->S1", lambda t=tag: arrivals.append(t))
+        simulator.run()
+        assert sorted(arrivals) == list(range(20))  # reliable: all arrive
+        assert arrivals != sorted(arrivals)  # ...but reordered
+        assert network.sent["C0->S1"] == 20
+
+    def test_distributed_run_traffic_breakdown(self):
+        from repro.distributed import run_distributed_experiment
+
+        run = run_distributed_experiment(duration=100.0, seed=5)
+        sent = run.network.sent
+        # Every protocol phase shows up in the per-kind breakdown.
+        for kind in ("invoke", "invoke-reply", "prepare", "vote", "commit"):
+            assert sent[kind] > 0, kind
+        # Requests and replies pair off (modulo messages still in flight
+        # when the run's duration cut the simulation off).
+        assert 0 <= sent["invoke"] - sent["invoke-reply"] <= 1
+        assert sent["vote"] <= sent["prepare"]
+        assert run.network.total_messages == sum(sent.values())

@@ -1,0 +1,234 @@
+"""Recovery drivers: manager rebuild, in-place site rebuild, 2PC edges."""
+
+import pytest
+
+from repro.adts import make_account_adt, make_queue_adt
+from repro.core import Invocation
+from repro.distributed import Site
+from repro.recovery import (
+    FileCheckpointStore,
+    FileWAL,
+    MemoryCheckpointStore,
+    MemoryWAL,
+    RecoveryError,
+    committed_state_sets,
+    recover_manager,
+    verify_recovery,
+)
+from repro.runtime import TransactionManager
+
+
+def manager_with_wal(wal=None, compacting=True):
+    manager = TransactionManager(wal=wal if wal is not None else MemoryWAL(), compacting=compacting)
+    manager.create_object("A", make_account_adt(initial=100))
+    manager.create_object("Q", make_queue_adt())
+    return manager
+
+
+def machines_of(manager):
+    return {name: m.machine for name, m in manager.objects.items()}
+
+
+class TestManagerRecovery:
+    def run_some(self, manager, commits=3):
+        for i in range(commits):
+            txn = manager.begin()
+            manager.invoke(txn, "A", "Credit", 10 + i)
+            manager.invoke(txn, "Q", "Enq", i)
+            manager.commit(txn)
+        aborted = manager.begin()
+        manager.invoke(aborted, "A", "Debit", 1)
+        manager.abort(aborted)
+
+    def test_recovered_state_matches(self):
+        manager = manager_with_wal()
+        self.run_some(manager)
+        expected = committed_state_sets(machines_of(manager))
+        recovered, report = recover_manager(manager.wal)
+        verify_recovery(expected, machines_of(recovered))
+        assert set(report.recovered_objects) == {"A", "Q"}
+        assert report.replayed_records > 0
+
+    def test_uncommitted_intentions_presumed_aborted(self):
+        manager = manager_with_wal()
+        txn = manager.begin()
+        manager.invoke(txn, "A", "Credit", 500)  # never commits
+        expected = committed_state_sets(machines_of(manager))
+        recovered, report = recover_manager(manager.wal)
+        assert txn.name in report.discarded_transactions
+        verify_recovery(expected, machines_of(recovered))
+
+    def test_recovered_manager_keeps_working(self):
+        manager = manager_with_wal()
+        self.run_some(manager)
+        recovered, _ = recover_manager(manager.wal)
+        txn = recovered.begin()
+        # Fresh names must not collide with replayed ones.
+        assert txn.name not in {r["txn"] for r in manager.wal.records() if "txn" in r}
+        recovered.invoke(txn, "A", "Credit", 1)
+        timestamp = recovered.commit(txn)
+        replayed = [
+            r for r in manager.wal.records() if r["kind"] == "commit"
+        ]
+        # New commits serialize after everything recovered (Section 3.3).
+        import json
+
+        from repro.recovery import decode_value
+
+        old = max(decode_value(r["ts"]) for r in replayed[:-1])
+        assert timestamp > old
+
+    def test_checkpoint_shortens_replay(self):
+        manager = manager_with_wal()
+        self.run_some(manager, commits=4)
+        store = MemoryCheckpointStore()
+        manager.checkpoint(store)
+        log_after_checkpoint = len(manager.wal)
+        self.run_some(manager, commits=2)
+        expected = committed_state_sets(machines_of(manager))
+        recovered, report = recover_manager(manager.wal, store=store)
+        verify_recovery(expected, machines_of(recovered))
+        assert report.from_checkpoint
+        assert report.scanned_records < 40  # prefix was truncated
+
+    def test_plain_machines_recover_too(self):
+        manager = manager_with_wal(compacting=False)
+        self.run_some(manager)
+        expected = committed_state_sets(machines_of(manager))
+        recovered, _ = recover_manager(manager.wal)
+        assert not recovered._compacting
+        verify_recovery(expected, machines_of(recovered))
+
+    def test_file_backed_end_to_end(self, tmp_path):
+        wal = FileWAL(tmp_path)
+        manager = manager_with_wal(wal=wal)
+        self.run_some(manager)
+        store = FileCheckpointStore(tmp_path)
+        manager.checkpoint(store)
+        self.run_some(manager, commits=1)
+        expected = committed_state_sets(machines_of(manager))
+        # Recover from a cold re-open of the same directory.
+        recovered, report = recover_manager(
+            FileWAL(tmp_path), store=FileCheckpointStore(tmp_path)
+        )
+        verify_recovery(expected, machines_of(recovered))
+        assert report.from_checkpoint
+
+    def test_verify_recovery_catches_divergence(self):
+        manager = manager_with_wal()
+        self.run_some(manager)
+        expected = committed_state_sets(machines_of(manager))
+        recovered, _ = recover_manager(manager.wal)
+        txn = recovered.begin()
+        recovered.invoke(txn, "A", "Credit", 7)
+        recovered.commit(txn)
+        with pytest.raises(RecoveryError):
+            verify_recovery(expected, machines_of(recovered))
+
+
+def durable_site():
+    site = Site("S0", wal=MemoryWAL())
+    site.create_object("A", make_account_adt(initial=100))
+    return site
+
+
+class TestSiteRecovery:
+    def test_crash_hard_loses_volatile_state(self):
+        site = durable_site()
+        site.handle_invoke("T1", "A", Invocation("Credit", (5,)))
+        site.crash_hard()
+        assert not site.alive
+        assert site.handle_invoke("T1", "A", Invocation("Credit", (1,))) == ("down",)
+        assert site.handle_prepare("T1") == ("down",)
+        assert site.handle_commit("T1", (1, "T1")) is False
+        assert site.handle_abort("T1") is False
+
+    def test_committed_state_survives(self):
+        site = durable_site()
+        site.handle_invoke("T1", "A", Invocation("Credit", (5,)))
+        site.handle_prepare("T1")
+        site.handle_commit("T1", (3, "T1"))
+        expected = committed_state_sets(site._machines)
+        site.crash_hard()
+        report = site.recover()
+        verify_recovery(expected, site._machines)
+        assert site.snapshot("A") == 105
+        assert site.clock.now >= 3
+        assert report.name == "S0"
+
+    def test_unprepared_transaction_lost_and_tombstoned(self):
+        site = durable_site()
+        site.handle_invoke("T1", "A", Invocation("Credit", (5,)))
+        site.crash_hard()
+        site.recover()
+        # Its volatile intentions are gone: the vote must be no, and the
+        # lock it held must be free for others.
+        assert site.handle_prepare("T1") == ("no",)
+        assert site.handle_invoke("T2", "A", Invocation("Debit", (5,)))[0] == "ok"
+
+    def test_prepared_transaction_survives_and_commits(self):
+        site = durable_site()
+        # A failed debit (Overdraft) holds a lock that excludes credits.
+        reply = site.handle_invoke("T1", "A", Invocation("Debit", (500,)))
+        assert reply[:2] == ("ok", "Overdraft")
+        assert site.handle_prepare("T1")[0] == "yes"
+        site.crash_hard()
+        report = site.recover()
+        assert report.prepared_transactions == ("T1",)
+        assert "T1" in site._prepared
+        # The re-derived lock still excludes conflicting operations.
+        assert site.handle_invoke("T2", "A", Invocation("Credit", (5,))) == (
+            "conflict",
+        )
+        # A repeated PREPARE (coordinator retry) still answers yes.
+        assert site.handle_prepare("T1")[0] == "yes"
+        # The verdict can finally land.
+        assert site.handle_commit("T1", (5, "T1")) is True
+        assert site.snapshot("A") == 100
+
+    def test_prepared_transaction_survives_and_aborts(self):
+        site = durable_site()
+        site.handle_invoke("T1", "A", Invocation("Credit", (7,)))
+        site.handle_prepare("T1")
+        site.crash_hard()
+        site.recover()
+        assert site.handle_abort("T1") is True
+        assert site.snapshot("A") == 100
+        assert site.handle_invoke("T2", "A", Invocation("Debit", (1,)))[0] == "ok"
+
+    def test_double_crash_recover(self):
+        site = durable_site()
+        site.handle_invoke("T1", "A", Invocation("Credit", (5,)))
+        site.handle_prepare("T1")
+        site.handle_commit("T1", (2, "T1"))
+        site.crash_hard()
+        site.recover()
+        site.handle_invoke("T2", "A", Invocation("Credit", (6,)))
+        site.handle_prepare("T2")
+        site.handle_commit("T2", (4, "T2"))
+        expected = committed_state_sets(site._machines)
+        site.crash_hard()
+        site.recover()
+        verify_recovery(expected, site._machines)
+        assert site.snapshot("A") == 111
+
+    def test_checkpoint_then_recover(self):
+        site = durable_site()
+        site.handle_invoke("T1", "A", Invocation("Credit", (5,)))
+        site.handle_commit("T1", (2, "T1"))
+        store = MemoryCheckpointStore()
+        site.checkpoint(store)
+        site.handle_invoke("T2", "A", Invocation("Credit", (6,)))
+        site.handle_commit("T2", (4, "T2"))
+        expected = committed_state_sets(site._machines)
+        site.crash_hard()
+        report = site.recover(store=store)
+        verify_recovery(expected, site._machines)
+        assert report.from_checkpoint
+        assert site.snapshot("A") == 111
+
+    def test_recover_without_wal_rejected(self):
+        site = Site("S0")
+        site.create_object("A", make_account_adt())
+        with pytest.raises(RecoveryError):
+            site.recover()

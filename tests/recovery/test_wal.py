@@ -1,0 +1,168 @@
+"""Write-ahead log: encoding round-trips, checksums, torn writes, backends."""
+
+import json
+from fractions import Fraction
+
+import pytest
+
+from repro.core import Invocation, Operation
+from repro.core.compaction import NEG_INFINITY
+from repro.recovery import (
+    FileWAL,
+    MemoryWAL,
+    WalCorruption,
+    abort_record,
+    commit_record,
+    create_record,
+    decode_operation,
+    decode_states,
+    decode_value,
+    encode_operation,
+    encode_states,
+    encode_value,
+    invoke_record,
+    meta_record,
+    prepare_record,
+    respond_record,
+)
+
+
+class TestValueCodec:
+    @pytest.mark.parametrize(
+        "value",
+        [
+            None,
+            True,
+            42,
+            -3,
+            1.5,
+            "hello",
+            (1, "T1"),
+            (1, (2, 3)),
+            [1, 2, [3]],
+            frozenset({1, 2}),
+            frozenset({(1, 2), (3, 4)}),
+            {1, 2},
+            Fraction(7, 3),
+            NEG_INFINITY,
+            ((), (1,), frozenset()),
+        ],
+    )
+    def test_roundtrip(self, value):
+        assert decode_value(encode_value(value)) == value
+
+    def test_tuple_vs_list_distinguished(self):
+        assert decode_value(encode_value((1, 2))) == (1, 2)
+        assert decode_value(encode_value([1, 2])) == [1, 2]
+        assert decode_value(encode_value((1, 2))) != [1, 2]
+
+    def test_neg_infinity_identity(self):
+        assert decode_value(encode_value(NEG_INFINITY)) is NEG_INFINITY
+
+    def test_unencodable_rejected(self):
+        with pytest.raises(TypeError):
+            encode_value(object())
+
+    def test_unknown_tag_rejected(self):
+        with pytest.raises(WalCorruption):
+            decode_value({"__mystery__": 1})
+
+    def test_operation_roundtrip(self):
+        op = Operation(Invocation("Debit", (5,)), "Ok")
+        assert decode_operation(encode_operation(op)) == op
+
+    def test_states_roundtrip(self):
+        states = frozenset({Fraction(10), Fraction(3, 2)})
+        assert decode_states(encode_states(states)) == states
+
+    def test_encoding_is_json_safe(self):
+        record = commit_record(
+            "T1",
+            (3, "T1"),
+            {"A": [Operation(Invocation("Credit", (5,)), "Ok")]},
+        )
+        assert json.loads(json.dumps(record)) == record
+
+
+class TestRecords:
+    def test_record_kinds(self):
+        ops = {"A": [Operation(Invocation("Credit", (1,)), "Ok")]}
+        assert meta_record("site", "S0")["kind"] == "meta"
+        assert create_record("A", "Account", "hybrid", frozenset({0}))["kind"] == "create"
+        assert invoke_record("T1", "A", Invocation("Credit", (1,)))["kind"] == "invoke"
+        assert respond_record("T1", "A", "Ok")["kind"] == "respond"
+        assert prepare_record("T1", 4, ops)["kind"] == "prepare"
+        assert commit_record("T1", (5, "T1"), ops)["kind"] == "commit"
+        assert abort_record("T1")["kind"] == "abort"
+
+
+def fill(wal, n=5):
+    for i in range(n):
+        wal.append(invoke_record(f"T{i}", "A", Invocation("Credit", (i,))))
+
+
+class TestMemoryWAL:
+    def test_append_and_read_back(self):
+        wal = MemoryWAL()
+        fill(wal, 4)
+        records = wal.records()
+        assert len(records) == len(wal) == 4
+        assert [r["txn"] for r in records] == ["T0", "T1", "T2", "T3"]
+
+    def test_torn_final_line_dropped(self):
+        wal = MemoryWAL()
+        fill(wal, 3)
+        wal._store[-1] = wal._store[-1][: len(wal._store[-1]) // 2]
+        assert len(wal.records()) == 2
+
+    def test_mid_log_corruption_raises(self):
+        wal = MemoryWAL()
+        fill(wal, 3)
+        line = json.loads(wal._store[1])
+        line["rec"]["txn"] = "tampered"
+        wal._store[1] = json.dumps(line)
+        with pytest.raises(WalCorruption):
+            wal.records()
+
+    def test_sequence_gap_raises(self):
+        wal = MemoryWAL()
+        fill(wal, 4)
+        del wal._store[1]  # the gap is not at the tail: must raise
+        with pytest.raises(WalCorruption):
+            wal.records()
+
+    def test_rewrite_renumbers(self):
+        wal = MemoryWAL()
+        fill(wal, 5)
+        kept = wal.records()[::2]
+        wal.rewrite(kept)
+        assert wal.records() == kept
+
+
+class TestFileWAL:
+    def test_persists_across_instances(self, tmp_path):
+        wal = FileWAL(tmp_path)
+        fill(wal, 3)
+        reopened = FileWAL(tmp_path)
+        assert len(reopened) == 3
+        assert reopened.records() == wal.records()
+
+    def test_append_after_reopen_continues_sequence(self, tmp_path):
+        fill(FileWAL(tmp_path), 2)
+        reopened = FileWAL(tmp_path)
+        fill(reopened, 1)
+        assert len(FileWAL(tmp_path).records()) == 3
+
+    def test_torn_tail_tolerated(self, tmp_path):
+        wal = FileWAL(tmp_path)
+        fill(wal, 3)
+        text = wal.path.read_text()
+        wal.path.write_text(text[: len(text) - 20])
+        assert len(FileWAL(tmp_path).records()) == 2
+
+    def test_rewrite_is_atomic_replacement(self, tmp_path):
+        wal = FileWAL(tmp_path)
+        fill(wal, 6)
+        wal.rewrite(wal.records()[:2])
+        assert len(FileWAL(tmp_path).records()) == 2
+        assert not wal.path.with_suffix(".tmp").exists()
