@@ -7,7 +7,7 @@ conflicts with everything except Post, so throughput degrades as the
 posting share grows.
 """
 
-from conftest import metrics_table
+from conftest import breakdown_data, metrics_table, run_observed
 
 from repro.protocols import ALL_PROTOCOLS, COMMUTATIVITY, HYBRID
 from repro.sim import AccountWorkload, compare_protocols, run_experiment
@@ -78,8 +78,30 @@ def test_account_concurrency(benchmark, save_artifact):
         > results[0.4]["commutativity"].throughput
     )
 
+    # Event-level view at the hottest mix: hybrid's refusals should name
+    # only the rare Debit/overdraft pairs, never Post × Credit.
+    observed = {
+        protocol.name: run_observed(
+            make_workload(0.4), protocol, duration=DURATION, seed=SEED
+        )
+        for protocol in (HYBRID, COMMUTATIVITY)
+    }
+    hybrid_pairs = observed["hybrid"][1].conflict_breakdown()
+    assert not any(
+        "Post" in pair and "Credit" in pair for pair in hybrid_pairs
+    ), hybrid_pairs
+    assert any(
+        "Post" in pair for pair in observed["commutativity"][1].conflict_breakdown()
+    )
+
+    data = breakdown_data(observed)
+    data["sweep"] = {
+        str(post_p): {name: m.as_row() for name, m in row.items()}
+        for post_p, row in results.items()
+    }
     save_artifact(
         "account_concurrency",
         "C-A: banking mix on one hot account (duration=300, seed=11)\n"
         + "\n".join(lines),
+        data=data,
     )

@@ -85,4 +85,9 @@ def test_compaction_bounds_state(benchmark, save_artifact):
         + "\n\nlaggard sawtooth (retained before/after the laggard commits,"
         " 20 committed\ntransactions pinned behind it per round): "
         + ", ".join(f"{b}->{a}" for b, a in sawtooth),
+        data={
+            "plain_retained": [list(sample) for sample in plain_samples],
+            "compacting_retained": [list(s) for s in compacting_samples],
+            "laggard_sawtooth": [list(pair) for pair in sawtooth],
+        },
     )

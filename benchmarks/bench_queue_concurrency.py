@@ -7,7 +7,7 @@ serialises producers, so its throughput flattens and its conflict count
 explodes; read/write 2PL is worst.
 """
 
-from conftest import metrics_table
+from conftest import breakdown_data, metrics_table, run_observed
 
 from repro.protocols import ALL_PROTOCOLS, COMMUTATIVITY, HYBRID
 from repro.sim import QueueWorkload, compare_protocols, run_experiment
@@ -59,8 +59,34 @@ def test_queue_concurrency(benchmark, save_artifact):
     gap_high = high["hybrid"].throughput - high["commutativity"].throughput
     assert gap_high > gap_low  # contention widens the gap (crossover ~2-4)
 
+    # Event-level confirmation of *why* hybrid wins at peak contention:
+    # its refusals never pair two enqueues, commutativity's mostly do.
+    observed = {
+        protocol.name: run_observed(
+            QueueWorkload(producers=8, consumers=1, ops_per_transaction=4),
+            protocol,
+            duration=DURATION,
+            seed=SEED,
+        )
+        for protocol in (HYBRID, COMMUTATIVITY)
+    }
+    hybrid_pairs = observed["hybrid"][1].conflict_breakdown()
+    assert not any(
+        pair.count("Enq") == 2 for pair in hybrid_pairs
+    ), hybrid_pairs
+    assert any(
+        pair.count("Enq") == 2
+        for pair in observed["commutativity"][1].conflict_breakdown()
+    )
+
+    data = breakdown_data(observed)
+    data["sweep"] = {
+        str(producers): {name: m.as_row() for name, m in row.items()}
+        for producers, row in peak.items()
+    }
     save_artifact(
         "queue_concurrency",
         "C-Q: FIFO queue producer scaling (duration=300, seed=7)\n"
         + "\n".join(lines),
+        data=data,
     )

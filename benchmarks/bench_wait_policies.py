@@ -11,17 +11,18 @@ by aborting the requester); hybrid beats commutativity under either
 policy.
 """
 
-from conftest import metrics_table
+from conftest import breakdown_data, metrics_table, run_observed
 
 from repro.protocols import COMMUTATIVITY, HYBRID
-from repro.sim import AccountWorkload, ClientParams, run_experiment
+from repro.sim import ClientParams
+from repro.sim import AccountWorkload
 
 DURATION = 300.0
 SEED = 2
 
 
 def run(protocol, policy):
-    return run_experiment(
+    return run_observed(
         AccountWorkload(clients=6, accounts=1, post_p=0.2),
         protocol,
         duration=DURATION,
@@ -33,11 +34,12 @@ def run(protocol, policy):
 def test_wait_policies(benchmark, save_artifact):
     benchmark(lambda: run(COMMUTATIVITY, "block"))
 
-    rows = {
+    observed = {
         f"{protocol.name}/{policy}": run(protocol, policy)
         for protocol in (HYBRID, COMMUTATIVITY)
         for policy in ("retry", "block")
     }
+    rows = {name: metrics for name, (metrics, _) in observed.items()}
 
     # Blocking beats polling for the lock-hungry table ...
     assert (
@@ -54,6 +56,13 @@ def test_wait_policies(benchmark, save_artifact):
             > rows[f"commutativity/{policy}"].throughput
         )
 
+    # The block policy's refusals surface as waits, not polling retries.
+    block_registry = observed["commutativity/block"][1]
+    assert block_registry.counter("lock.waits").value > 0
+    assert block_registry.counter("lock.deadlocks").value == (
+        rows["commutativity/block"].deadlocks
+    )
+
     save_artifact(
         "wait_policies",
         "A-W: lock-wait scheduling ablation on a hot account "
@@ -69,4 +78,5 @@ def test_wait_policies(benchmark, save_artifact):
                 "abort_rate",
             ),
         ),
+        data=breakdown_data(observed),
     )

@@ -1,0 +1,103 @@
+"""Observability overhead guard — "no tracer, no cost".
+
+Every instrumentation site in the LOCK machine, manager and simulator is
+guarded by a ``tracer is None`` check, so the disabled path should cost
+one attribute load per site.  This script keeps that contract honest
+without needing the pre-instrumentation binary:
+
+* **relative guard** — the commit-churn microbenchmark (the same 150
+  one-credit transactions as ``bench_machine_micro.py``) must not run
+  measurably slower with observability disabled than fully traced.  If
+  the disabled path ever approaches traced cost, a guard was dropped.
+* **absolute floor** — disabled throughput must clear a floor far below
+  any machine we run CI on, catching pathological regressions (an
+  accidental per-event allocation on the hot path) outright.
+
+Run directly (``PYTHONPATH=src python benchmarks/check_overhead.py``) or
+via pytest.  Exits non-zero on violation.
+"""
+
+import sys
+import time
+
+from repro.adts import make_account_adt
+from repro.core import CompactingLockMachine, Invocation
+from repro.obs import MetricsRegistry, RegistrySink, TraceBus
+
+TRANSACTIONS = 150
+REPEATS = 7
+# Generous: the seed machine does ~45k txn/s on a laptop-class core; CI
+# runners under load still manage several thousand.
+FLOOR_TXN_PER_SECOND = 1_000.0
+# Disabled must be no slower than traced, with headroom for timer noise.
+RELATIVE_TOLERANCE = 1.10
+
+
+def churn(machine, transactions=TRANSACTIONS):
+    for index in range(transactions):
+        name = f"T{index}"
+        machine.execute(name, Invocation("Credit", (1,)))
+        machine.commit(name, index + 1)
+
+
+def best_of(build, repeats=REPEATS):
+    best = float("inf")
+    for _ in range(repeats):
+        machine = build()
+        started = time.perf_counter()
+        churn(machine)
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def main():
+    adt = make_account_adt()
+
+    def disabled():
+        return CompactingLockMachine(adt.spec, adt.conflict)
+
+    def traced():
+        machine = CompactingLockMachine(adt.spec, adt.conflict)
+        bus = TraceBus()
+        bus.subscribe(RegistrySink(MetricsRegistry()))
+        machine.tracer = bus
+        return machine
+
+    # Warm up bytecode caches before timing either variant.
+    churn(disabled())
+
+    disabled_best = best_of(disabled)
+    traced_best = best_of(traced)
+    disabled_tps = TRANSACTIONS / disabled_best
+    traced_tps = TRANSACTIONS / traced_best
+
+    print(f"disabled: {disabled_best:.6f}s best  ({disabled_tps:,.0f} txn/s)")
+    print(f"traced:   {traced_best:.6f}s best  ({traced_tps:,.0f} txn/s)")
+
+    failures = []
+    if disabled_tps < FLOOR_TXN_PER_SECOND:
+        failures.append(
+            f"disabled throughput {disabled_tps:,.0f} txn/s is below the "
+            f"{FLOOR_TXN_PER_SECOND:,.0f} txn/s floor"
+        )
+    if disabled_best > traced_best * RELATIVE_TOLERANCE:
+        failures.append(
+            f"disabled path ({disabled_best:.6f}s) is slower than the traced "
+            f"path ({traced_best:.6f}s) beyond tolerance — a tracer guard "
+            "was probably dropped"
+        )
+
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    print("ok: disabled-path overhead within bounds")
+    return 0
+
+
+def test_overhead_guard():
+    assert main() == 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

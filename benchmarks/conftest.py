@@ -8,6 +8,7 @@ EXPERIMENTS.md can be re-created with::
     pytest benchmarks/ --benchmark-only
 """
 
+import json
 import pathlib
 
 import pytest
@@ -17,15 +18,54 @@ RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
 @pytest.fixture
 def save_artifact():
-    """Write a named artifact to benchmarks/results/ and echo it."""
+    """Write a named artifact to benchmarks/results/ and echo it.
 
-    def _save(name: str, text: str) -> None:
+    ``data`` (optional) additionally writes ``<name>.json`` next to the
+    text artifact — the machine-readable twin EXPERIMENTS.md tooling and
+    downstream analysis read instead of re-parsing the table.
+    """
+
+    def _save(name: str, text: str, data=None) -> None:
         RESULTS_DIR.mkdir(exist_ok=True)
         path = RESULTS_DIR / f"{name}.txt"
         path.write_text(text + "\n")
+        if data is not None:
+            (RESULTS_DIR / f"{name}.json").write_text(
+                json.dumps(data, indent=2, sort_keys=True, default=repr) + "\n"
+            )
         print(f"\n=== {name} ===\n{text}\n")
 
     return _save
+
+
+def run_observed(workload, protocol, **kwargs):
+    """``run_experiment`` with a metrics registry attached.
+
+    Returns ``(metrics, registry)`` — the registry carries the
+    event-derived conflict breakdown (by operation pair) and compaction
+    gauges that benchmark JSON artifacts report.
+    """
+    from repro.obs import MetricsRegistry
+    from repro.sim import run_experiment
+
+    registry = MetricsRegistry()
+    metrics = run_experiment(workload, protocol, registry=registry, **kwargs)
+    return metrics, registry
+
+
+def breakdown_data(results):
+    """JSON-ready rows from a {protocol: (Metrics, registry)} mapping."""
+    data = {}
+    for name, (metrics, registry) in results.items():
+        data[name] = {
+            "metrics": metrics.as_row(),
+            "conflicts_by_pair": registry.conflict_breakdown(),
+            "gauges": {
+                gauge_name: gauge.value
+                for gauge_name, gauge in sorted(registry.gauges.items())
+            },
+        }
+    return data
 
 
 def metrics_table(results, fields=("committed", "conflicts", "throughput", "mean_latency", "abort_rate")):

@@ -16,6 +16,16 @@ Commands
 ``recover <logdir>``
     Rebuild a transaction manager from a ``--wal-dir`` directory
     (checkpoint + WAL replay) and print the recovered object states.
+``trace <workload>``
+    Run one workload under one protocol with the trace bus attached and
+    dump the event stream: ``--format jsonl`` (machine-readable, every
+    ``lock.conflict`` names the refused/held operation pair), ``spans``
+    (per-transaction latency table), ``events`` or ``summary``.
+``stats <workload>``
+    Run one workload and print the metrics-registry view: latency
+    histograms, conflict breakdown by operation pair, compaction
+    horizon / retained-intentions gauges, and an end-of-run lock-table
+    plus waits-for-graph snapshot (``--json`` for machine output).
 
 Examples::
 
@@ -25,7 +35,11 @@ Examples::
     python -m repro simulate queue --protocol hybrid commutativity
     python -m repro simulate account --duration 500 --seed 3
     python -m repro simulate account --crash-rate 0.01 --wal-dir /tmp/wals
+    python -m repro simulate queue --verbose --trace-file /tmp/queue.jsonl
     python -m repro recover /tmp/wals/hybrid
+    python -m repro trace account --format spans
+    python -m repro trace queue --format jsonl --output /tmp/trace.jsonl
+    python -m repro stats account --wait-policy block
 """
 
 from __future__ import annotations
@@ -46,6 +60,7 @@ from .analysis import (
 from .protocols import ALL_PROTOCOLS, OPTIMISTIC, get_protocol
 from .sim import (
     AccountWorkload,
+    ClientParams,
     DirectoryWorkload,
     FileWorkload,
     QueueWorkload,
@@ -214,6 +229,13 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
             "the optimistic engine runs without them",
             file=sys.stderr,
         )
+    observing = args.verbose or args.trace_file
+    jsonl_sink = None
+    if args.trace_file:
+        from .obs import JSONLSink
+
+        jsonl_sink = JSONLSink(args.trace_file)
+    verbose_blocks = []
     for protocol in protocols:
         wal = None
         if args.wal_dir and protocol.engine != "optimistic":
@@ -222,6 +244,15 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
             from .recovery import FileWAL
 
             wal = FileWAL(os.path.join(args.wal_dir, protocol.name))
+        tracer = None
+        registry = None
+        if observing and protocol.engine != "optimistic":
+            from .obs import MetricsRegistry, TraceBus
+
+            tracer = TraceBus()
+            registry = MetricsRegistry()
+            if jsonl_sink is not None:
+                tracer.subscribe(jsonl_sink)
         metrics = run_experiment(
             factory(),
             protocol,
@@ -230,12 +261,30 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
             crash_rate=0.0 if protocol.engine == "optimistic" else args.crash_rate,
             crash_seed=args.crash_seed,
             wal=wal,
+            tracer=tracer,
+            registry=registry,
         )
         row = metrics.as_row()
         print(
             f"{protocol.name:14s}"
             + "".join(f"{row.get(f, 0):>20}" for f in fields)
         )
+        if args.verbose and registry is not None:
+            lines = [f"[{protocol.name}]"]
+            breakdown = registry.conflict_breakdown()
+            if breakdown:
+                lines.append("  conflicts by operation pair:")
+                for name, value in breakdown.items():
+                    lines.append(f"    {name:50s} {value:>8g}")
+            for name, gauge in sorted(registry.gauges.items()):
+                lines.append(f"  {name:52s} {gauge.value!r:>8}")
+            verbose_blocks.append("\n".join(lines))
+    if jsonl_sink is not None:
+        jsonl_sink.close()
+        print(f"\ntrace written to {args.trace_file} ({jsonl_sink.written} events)")
+    if verbose_blocks:
+        print()
+        print("\n".join(verbose_blocks))
     if args.wal_dir:
         print(f"\nwrite-ahead logs under {args.wal_dir}/<protocol>")
     return 0
@@ -261,18 +310,206 @@ def _cmd_recover(args: argparse.Namespace) -> int:
     store = FileCheckpointStore(logdir)
     if store.load() is None:
         store = None
+    tracer = None
+    jsonl_sink = None
+    ring = None
+    if args.verbose or args.trace_file:
+        from .obs import JSONLSink, RingBufferSink, TraceBus, render_events
+
+        tracer = TraceBus()
+        if args.trace_file:
+            jsonl_sink = tracer.subscribe(JSONLSink(args.trace_file))
+        if args.verbose:
+            ring = tracer.subscribe(RingBufferSink())
     try:
-        manager, report = recover_manager(wal, store=store)
+        manager, report = recover_manager(wal, store=store, tracer=tracer)
     except (WalCorruption, RecoveryError) as exc:
         print(f"recovery failed: {exc}", file=sys.stderr)
         return 1
+    finally:
+        if jsonl_sink is not None:
+            jsonl_sink.close()
     print(report.summary())
+    if ring is not None:
+        print()
+        print(render_events(ring.events()))
+    if args.trace_file:
+        print(f"trace written to {args.trace_file} ({jsonl_sink.written} events)")
     print()
     print(f"{'object':20s}{'committed state':>30s}")
     print("-" * 50)
     for name in sorted(manager.objects):
         states = committed_state_set(manager.object(name).machine)
         print(f"{name:20s}{str(sorted(states, key=repr)[0]):>30s}")
+    return 0
+
+
+def _resolve_run(args: argparse.Namespace):
+    """Shared workload/protocol resolution for ``trace`` and ``stats``.
+
+    Returns ``(factory, protocol)`` or an exit code on error.
+    """
+    factory = _WORKLOADS.get(args.workload)
+    if factory is None:
+        print(
+            f"unknown workload {args.workload!r}; "
+            f"available: {', '.join(sorted(_WORKLOADS))}",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        protocol = get_protocol(args.protocol)
+    except KeyError as exc:
+        print(exc.args[0], file=sys.stderr)
+        return 2
+    if protocol.engine == "optimistic":
+        print(
+            "tracing instruments the locking engine; "
+            "pick a locking protocol (e.g. hybrid)",
+            file=sys.stderr,
+        )
+        return 2
+    return factory, protocol
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from .obs import (
+        JSONLSink,
+        RingBufferSink,
+        SpanBuilder,
+        TraceBus,
+        render_events,
+        render_kind_summary,
+        render_spans,
+    )
+
+    resolved = _resolve_run(args)
+    if isinstance(resolved, int):
+        return resolved
+    factory, protocol = resolved
+
+    tracer = TraceBus()
+    spans = tracer.subscribe(SpanBuilder())
+    ring = tracer.subscribe(RingBufferSink())
+    jsonl_sink = None
+    if args.format == "jsonl":
+        jsonl_sink = tracer.subscribe(
+            JSONLSink(args.output) if args.output else JSONLSink(sys.stdout)
+        )
+    run_experiment(
+        factory(),
+        protocol,
+        duration=args.duration,
+        seed=args.seed,
+        crash_rate=args.crash_rate,
+        params=ClientParams(wait_policy=args.wait_policy),
+        tracer=tracer,
+    )
+    if args.format == "jsonl":
+        jsonl_sink.close()
+        if args.output:
+            print(f"trace written to {args.output} ({jsonl_sink.written} events)")
+    elif args.format == "spans":
+        print(render_spans(spans.spans, limit=args.limit))
+    elif args.format == "events":
+        print(render_events(ring.events(), limit=args.limit))
+    else:  # summary
+        print(render_kind_summary(ring.events()))
+        committed = spans.committed()
+        aborted = spans.aborted()
+        print()
+        print(
+            f"{len(spans.spans)} span(s): {len(committed)} committed, "
+            f"{len(aborted)} aborted, "
+            f"{sum(1 for s in spans.spans if not s.well_formed)} malformed"
+        )
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    from .obs import (
+        MetricsRegistry,
+        SpanBuilder,
+        TraceBus,
+        manager_lock_tables,
+        render_histogram,
+        render_lock_tables,
+        render_spans,
+        render_waits_for,
+        waits_for_edges,
+    )
+
+    resolved = _resolve_run(args)
+    if isinstance(resolved, int):
+        return resolved
+    factory, protocol = resolved
+
+    tracer = TraceBus()
+    spans = tracer.subscribe(SpanBuilder())
+    registry = MetricsRegistry()
+    snapshots = {}
+
+    def capture(manager, waits) -> None:
+        # Runs at the duration cutoff, while in-flight transactions still
+        # hold their locks — the interesting moment to snapshot.
+        snapshots["locks"] = manager_lock_tables(manager)
+        snapshots["waits"] = waits_for_edges(waits)
+
+    run_experiment(
+        factory(),
+        protocol,
+        duration=args.duration,
+        seed=args.seed,
+        crash_rate=args.crash_rate,
+        params=ClientParams(wait_policy=args.wait_policy),
+        tracer=tracer,
+        registry=registry,
+        on_finish=capture,
+    )
+    if args.json:
+        snapshot = registry.snapshot()
+        snapshot["lock_tables"] = snapshots.get("locks", {})
+        snapshot["waits_for"] = snapshots.get("waits", {})
+        import json
+
+        print(json.dumps(snapshot, indent=2, default=repr))
+        return 0
+
+    print(f"workload={args.workload} protocol={protocol.name} "
+          f"duration={args.duration:g} seed={args.seed}")
+    print()
+    for name in ("txn.begun", "txn.committed", "txn.aborted",
+                 "lock.conflicts", "lock.blocks", "lock.waits",
+                 "lock.deadlocks", "compaction.advances",
+                 "compaction.collapsed_ops", "wal.appends"):
+        counter = registry.counters.get(name)
+        if counter is not None:
+            print(f"  {name:28s} {counter.value:>10g}")
+    print()
+    for name in ("txn.latency", "txn.abort_latency"):
+        histogram = registry.histograms.get(name)
+        if histogram is not None and histogram.total:
+            print(render_histogram(histogram))
+            print()
+    breakdown = registry.conflict_breakdown()
+    if breakdown:
+        print("conflicts by operation pair:")
+        for name, value in breakdown.items():
+            print(f"  {name:52s} {value:>8g}")
+        print()
+    if registry.gauges:
+        print("gauges:")
+        for name, gauge in sorted(registry.gauges.items()):
+            print(f"  {name:52s} {gauge.value!r:>8}")
+        print()
+    print("lock tables at the duration cutoff:")
+    print(render_lock_tables(snapshots.get("locks", {})))
+    print()
+    print("waits-for graph (waiter -> holder):")
+    print(render_waits_for(snapshots.get("waits", {})))
+    if args.spans:
+        print()
+        print(render_spans(spans.spans, limit=args.spans))
     return 0
 
 
@@ -344,11 +581,80 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="directory for on-disk write-ahead logs (one subdir per protocol)",
     )
+    simulate.add_argument(
+        "--verbose",
+        action="store_true",
+        help="also print per-protocol conflict breakdowns and gauges",
+    )
+    simulate.add_argument(
+        "--trace-file",
+        default=None,
+        help="write the structured event trace (JSONL) here",
+    )
 
     recover = commands.add_parser(
         "recover", help="rebuild a manager from a write-ahead log directory"
     )
     recover.add_argument("logdir", help="directory holding wal.jsonl (and checkpoint)")
+    recover.add_argument(
+        "--verbose",
+        action="store_true",
+        help="print every wal.replay / site.recover event",
+    )
+    recover.add_argument(
+        "--trace-file",
+        default=None,
+        help="write the recovery event trace (JSONL) here",
+    )
+
+    def add_run_options(subparser: argparse.ArgumentParser) -> None:
+        subparser.add_argument(
+            "workload", help="a workload name from `python -m repro list`"
+        )
+        subparser.add_argument(
+            "--protocol", default="hybrid", help="one locking protocol"
+        )
+        subparser.add_argument("--duration", type=float, default=100.0)
+        subparser.add_argument("--seed", type=int, default=0)
+        subparser.add_argument(
+            "--crash-rate", type=float, default=0.0,
+            help="Poisson rate of injected manager crashes",
+        )
+        subparser.add_argument(
+            "--wait-policy", choices=["retry", "block"], default="retry",
+            help="refused-lock handling (block enables the waits-for graph)",
+        )
+
+    trace = commands.add_parser(
+        "trace", help="run a workload and dump the structured event trace"
+    )
+    add_run_options(trace)
+    trace.add_argument(
+        "--format",
+        choices=["jsonl", "spans", "events", "summary"],
+        default="jsonl",
+        help="jsonl (machine-readable), spans (per-transaction table), "
+        "events, or summary (counts by kind)",
+    )
+    trace.add_argument(
+        "--output", default=None, help="write JSONL here instead of stdout"
+    )
+    trace.add_argument(
+        "--limit", type=int, default=None, help="show only the last N rows"
+    )
+
+    stats = commands.add_parser(
+        "stats",
+        help="run a workload and print histograms, gauges, and lock snapshots",
+    )
+    add_run_options(stats)
+    stats.add_argument(
+        "--json", action="store_true", help="dump the registry snapshot as JSON"
+    )
+    stats.add_argument(
+        "--spans", type=int, default=0, metavar="N",
+        help="also show the last N per-transaction spans",
+    )
     return parser
 
 
@@ -362,6 +668,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "report": _cmd_report,
         "simulate": _cmd_simulate,
         "recover": _cmd_recover,
+        "trace": _cmd_trace,
+        "stats": _cmd_stats,
     }[args.command]
     return handler(args)
 

@@ -303,6 +303,8 @@ class CompactingLockMachine(LockMachine):
         transactions forgotten by this call.
         """
         forgotten: List[str] = []
+        old_version_timestamp = self._version_timestamp
+        collapsed = 0
         while True:
             horizon = self.horizon()
             ready = sorted(
@@ -320,10 +322,23 @@ class CompactingLockMachine(LockMachine):
                         " this indicates a protocol bug"
                     )
                 self._forgotten_operations += len(intentions)
+                collapsed += len(intentions)
                 if self._version_timestamp < self._committed[transaction]:
                     self._version_timestamp = self._committed[transaction]
                 del self._committed[transaction]
                 self._bounds.pop(transaction, None)
                 forgotten.append(transaction)
                 self._forgotten_transactions.append(transaction)
+        if forgotten:
+            tracer = self.tracer
+            if tracer is not None:
+                tracer.emit(
+                    "compaction.advance",
+                    obj=self.obj,
+                    old_horizon=old_version_timestamp,
+                    new_horizon=self._version_timestamp,
+                    collapsed=collapsed,
+                    forgotten=tuple(forgotten),
+                    retained=self.retained_intentions(),
+                )
         return forgotten

@@ -73,6 +73,9 @@ class LockMachine:
         self._aborted: Set[str] = set()
         # Accepted events, for verification.
         self._accepted: List[Event] = []
+        #: Optional :class:`repro.obs.TraceBus`; None keeps every
+        #: instrumentation site a single attribute-load-and-compare.
+        self.tracer: Optional[Any] = None
 
     # ------------------------------------------------------------------
     # State observers
@@ -165,6 +168,15 @@ class LockMachine:
             )
         self._pending[transaction] = invocation
         self._accepted.append(InvocationEvent(transaction, self.obj, invocation))
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.emit(
+                "txn.invoke",
+                transaction=transaction,
+                obj=self.obj,
+                operation=invocation.name,
+                args=invocation.args,
+            )
         self._on_event_observed(transaction)
 
     def can_respond(self, transaction: str, result: Any) -> bool:
@@ -187,6 +199,14 @@ class LockMachine:
         del self._pending[transaction]
         self._intentions[transaction] = self.intentions(transaction) + (operation,)
         self._accepted.append(ResponseEvent(transaction, self.obj, result))
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.emit(
+                "txn.respond",
+                transaction=transaction,
+                obj=self.obj,
+                result=result,
+            )
         self._on_event_observed(transaction)
         return operation
 
@@ -258,6 +278,14 @@ class LockMachine:
         states = self.view_states(transaction)
         results = self.spec.results_for(states, invocation)
         if not results:
+            tracer = self.tracer
+            if tracer is not None:
+                tracer.emit(
+                    "lock.block",
+                    transaction=transaction,
+                    obj=self.obj,
+                    operation=invocation.name,
+                )
             raise WouldBlock(f"{invocation} has no legal outcome in the view")
         conflict: Optional[LockConflict] = None
         for result in results:
@@ -362,6 +390,17 @@ class LockMachine:
                 if self.conflict.related(held, operation) or self.conflict.related(
                     operation, held
                 ):
+                    tracer = self.tracer
+                    if tracer is not None:
+                        tracer.emit(
+                            "lock.conflict",
+                            transaction=transaction,
+                            obj=self.obj,
+                            operation=str(operation),
+                            holder=other,
+                            held=str(held),
+                            relation=self.conflict.name,
+                        )
                     raise LockConflict(
                         f"{operation} conflicts with {held} held by {other}",
                         holder=other,

@@ -48,7 +48,10 @@ class DistributedClient:
         think_time: float = 0.5,
         backoff: float = 1.0,
         max_step_retries: int = 10,
+        tracer=None,
     ):
+        #: Optional :class:`repro.obs.TraceBus` (coordinator-side events).
+        self.tracer = tracer
         self.index = index
         self.simulator = simulator
         self.network = network
@@ -83,6 +86,11 @@ class DistributedClient:
         self.retries = 0
         self.participants = set()
         self.started_at = self.simulator.now
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.emit(
+                "txn.begin", transaction=self.transaction, read_only=False
+            )
         self._send_step()
 
     # -- operation phase --------------------------------------------------
@@ -136,6 +144,10 @@ class DistributedClient:
         if not self.participants:
             # Nothing touched (degenerate script): count and move on.
             self.metrics.committed += 1
+            if self.tracer is not None:
+                self.tracer.emit(
+                    "txn.commit", transaction=self.transaction, timestamp=None
+                )
             self._schedule_next()
             return
         transaction = self.transaction
@@ -170,6 +182,11 @@ class DistributedClient:
 
     def _decide_commit(self, timestamp: Tuple) -> None:
         transaction = self.transaction
+        tracer = self.tracer
+        if tracer is not None:
+            # The coordinator's decision is *the* commit; later per-site
+            # deliveries show up as extra events on the closed span.
+            tracer.emit("txn.commit", transaction=transaction, timestamp=timestamp)
         for site_name in sorted(self.participants):
             self._deliver_completion(site_name, transaction, "commit", timestamp)
         self.metrics.committed += 1
@@ -178,6 +195,9 @@ class DistributedClient:
 
     def _abort_and_restart(self) -> None:
         transaction = self.transaction
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.emit("txn.abort", transaction=transaction)
         for site_name in sorted(self.participants):
             self._deliver_completion(site_name, transaction, "abort", None)
         self.metrics.aborted += 1

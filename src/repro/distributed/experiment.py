@@ -87,6 +87,8 @@ def run_distributed_experiment(
     durable: bool = False,
     wal_dir: Optional[str] = None,
     checkpoint_every: float = 0.0,
+    tracer=None,
+    registry=None,
 ) -> DistributedRun:
     """Run the multi-site banking workload; deterministic per seed.
 
@@ -98,9 +100,24 @@ def run_distributed_experiment(
     ``checkpoint_every > 0``) after ``crash_downtime``; ``durable=True``
     attaches logs without injecting faults.  ``wal_dir`` puts the logs on
     disk (one subdirectory per site) instead of in memory.
+
+    ``tracer`` (a :class:`repro.obs.TraceBus`, clock rebound to simulated
+    time) is threaded through the network, every site, and every client;
+    ``registry`` (a :class:`repro.obs.MetricsRegistry`) accumulates
+    event-derived counters plus per-object horizon gauges and the final
+    ``Metrics`` row.
     """
     simulator = Simulator()
-    network = Network(simulator, seed=seed, mean_latency=mean_latency)
+    registry_sink = None
+    if registry is not None:
+        from ..obs import RegistrySink, TraceBus
+
+        if tracer is None:
+            tracer = TraceBus()
+        registry_sink = tracer.subscribe(RegistrySink(registry))
+    if tracer is not None:
+        tracer.clock = lambda: simulator.now
+    network = Network(simulator, seed=seed, mean_latency=mean_latency, tracer=tracer)
     recorder: Optional[List[Any]] = [] if record else None
     durable = durable or crash_rate > 0 or wal_dir is not None or checkpoint_every > 0
 
@@ -124,7 +141,7 @@ def run_distributed_experiment(
             else:
                 wal = MemoryWAL()
                 stores[f"S{s}"] = MemoryCheckpointStore()
-        site = Site(f"S{s}", recorder=recorder, wal=wal)
+        site = Site(f"S{s}", recorder=recorder, wal=wal, tracer=tracer)
         sites[site.name] = site
         for a in range(accounts_per_site):
             obj = f"acct{s}_{a}"
@@ -158,6 +175,7 @@ def run_distributed_experiment(
             script,
             metrics,
             random.Random(f"{seed}/client{index}"),
+            tracer=tracer,
         ).start()
 
     if crash_every > 0:
@@ -198,6 +216,17 @@ def run_distributed_experiment(
 
     simulator.run_until(duration)
     metrics.duration = duration
+    if registry_sink is not None:
+        for site_name in sorted(sites):
+            site = sites[site_name]
+            for obj in site.objects():
+                machine = site.machine(obj)
+                registry.gauge(f"compaction.horizon[{obj}]").set(machine.horizon())
+                registry.gauge(f"compaction.retained[{obj}]").set(
+                    machine.retained_intentions()
+                )
+        registry.absorb_metrics(metrics)
+        tracer.unsubscribe(registry_sink)
     return DistributedRun(
         metrics=metrics,
         network=network,

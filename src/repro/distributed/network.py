@@ -32,6 +32,7 @@ class Network:
         seed: int = 0,
         mean_latency: float = 1.0,
         floor: float = 0.1,
+        tracer=None,
     ):
         if mean_latency <= 0 or floor < 0:
             raise ValueError("latencies must be positive")
@@ -41,6 +42,9 @@ class Network:
         self.floor = floor
         #: Messages sent, by label.
         self.sent: Counter = Counter()
+        #: Optional :class:`repro.obs.TraceBus` emitting ``net.send`` /
+        #: ``net.deliver`` (None = no tracing, no wrapper allocation).
+        self.tracer = tracer
 
     def latency(self) -> float:
         """Draw one message latency."""
@@ -49,6 +53,15 @@ class Network:
     def send(self, label: str, deliver: Callable[[], None]) -> None:
         """Send a message: ``deliver`` runs after a random latency."""
         self.sent[label] += 1
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.emit("net.send", label=label)
+            inner = deliver
+
+            def deliver() -> None:
+                tracer.emit("net.deliver", label=label)
+                inner()
+
         self.simulator.schedule(self.latency(), deliver)
 
     @property

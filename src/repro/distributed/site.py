@@ -54,8 +54,11 @@ class Site:
         name: str,
         recorder: Optional[List[Any]] = None,
         wal: Optional[Any] = None,
+        tracer: Optional[Any] = None,
     ):
         self.name = name
+        #: Optional :class:`repro.obs.TraceBus`, propagated to machines.
+        self.tracer = tracer
         self.clock = LogicalClock()
         self._machines: Dict[str, CompactingLockMachine] = {}
         self._adts: Dict[str, ADT] = {}
@@ -83,9 +86,11 @@ class Site:
         """Home a new object at this site."""
         if name in self._machines:
             raise ValueError(f"object {name!r} already exists at {self.name}")
-        self._machines[name] = CompactingLockMachine(
+        machine = CompactingLockMachine(
             adt.spec, protocol.conflict_for(adt), obj=name
         )
+        machine.tracer = self.tracer
+        self._machines[name] = machine
         self._adts[name] = adt
         self._touched[name] = set()
         if self.wal is not None:
@@ -152,6 +157,13 @@ class Site:
 
             self.wal.append(invoke_record(transaction, obj, invocation))
             self.wal.append(respond_record(transaction, obj, result))
+            if self.tracer is not None:
+                self.tracer.emit(
+                    "wal.append",
+                    record="invoke+respond",
+                    site=self.name,
+                    transaction=transaction,
+                )
         self._record(InvocationEvent(transaction, obj, invocation))
         self._record(ResponseEvent(transaction, obj, result))
         # The reply carries the site clock: everything committed here has
@@ -179,6 +191,13 @@ class Site:
             # Force-write the intentions: the prepared state must survive
             # a crash so the coordinator's verdict can still be honoured.
             self.wal.append(prepare_record(transaction, self.clock.now, footprint))
+            if self.tracer is not None:
+                self.tracer.emit(
+                    "wal.append",
+                    record="prepare",
+                    site=self.name,
+                    transaction=transaction,
+                )
         self._prepared.add(transaction)  # force-write to the stable log
         return ("yes", self.clock.now)
 
@@ -203,6 +222,14 @@ class Site:
                 holders.discard(transaction)
         self._prepared.discard(transaction)
         self.clock.observe(timestamp[0])
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.emit(
+                "txn.commit",
+                transaction=transaction,
+                timestamp=timestamp,
+                site=self.name,
+            )
         return True
 
     def handle_abort(self, transaction: str) -> bool:
@@ -223,6 +250,9 @@ class Site:
                 self._record(AbortEvent(transaction, obj))
                 holders.discard(transaction)
         self._prepared.discard(transaction)
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.emit("txn.abort", transaction=transaction, site=self.name)
         return True
 
     # ------------------------------------------------------------------
@@ -282,6 +312,11 @@ class Site:
             for transaction in sorted(victims):
                 self.wal.append(abort_record(transaction))
         self._tombstones |= victims
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.emit(
+                "site.crash", site=self.name, hard=False, victims=sorted(victims)
+            )
         return sorted(victims)
 
     def crash_hard(self) -> None:
@@ -298,3 +333,6 @@ class Site:
         self._prepared = set()
         self._tombstones = set()
         self.clock = LogicalClock()
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.emit("site.crash", site=self.name, hard=True)

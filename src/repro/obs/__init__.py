@@ -1,0 +1,70 @@
+"""Observability: structured tracing, spans, and a metrics registry.
+
+The subsystem has three pieces (see ``docs/observability.md``):
+
+* a zero-dependency **event bus** (:class:`TraceBus`) that instrumented
+  components publish typed, timestamped :class:`TraceEvent` records to —
+  disabled by default, one ``is None`` check on the hot path;
+* **aggregators**: :class:`SpanBuilder` rolls events up into
+  per-transaction spans; :class:`RegistrySink` folds them into a
+  :class:`MetricsRegistry` of counters, gauges, and fixed-bucket
+  histograms (a strict superset of ``repro.sim.metrics.Metrics``);
+* **sinks**: in-memory ring buffer, JSONL file writer, and table
+  renderers for the ``repro trace`` / ``repro stats`` CLI.
+"""
+
+from .bus import TraceBus
+from .events import EVENT_KINDS, TraceEvent
+from .registry import (
+    DEFAULT_LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    RegistrySink,
+)
+from .sinks import (
+    JSONLSink,
+    RingBufferSink,
+    read_jsonl,
+    render_events,
+    render_histogram,
+    render_kind_summary,
+    render_spans,
+    spans_as_dicts,
+)
+from .snapshot import (
+    lock_table_snapshot,
+    manager_lock_tables,
+    render_lock_tables,
+    render_waits_for,
+    waits_for_edges,
+)
+from .spans import Span, SpanBuilder
+
+__all__ = [
+    "TraceBus",
+    "TraceEvent",
+    "EVENT_KINDS",
+    "Span",
+    "SpanBuilder",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "RegistrySink",
+    "DEFAULT_LATENCY_BUCKETS",
+    "RingBufferSink",
+    "JSONLSink",
+    "read_jsonl",
+    "render_events",
+    "render_histogram",
+    "render_kind_summary",
+    "render_spans",
+    "spans_as_dicts",
+    "lock_table_snapshot",
+    "manager_lock_tables",
+    "waits_for_edges",
+    "render_lock_tables",
+    "render_waits_for",
+]

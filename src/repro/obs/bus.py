@@ -1,0 +1,73 @@
+"""The trace event bus: emit-if-anyone-listens, near-zero when idle.
+
+Instrumented components hold an optional ``tracer`` attribute that is
+``None`` by default.  Every instrumentation site is guarded::
+
+    tracer = self.tracer
+    if tracer is not None:
+        tracer.emit("lock.conflict", ...)
+
+so the disabled path costs one attribute load and an identity check —
+no event object is built, no dict allocated, no clock read.  The
+overhead guard in ``benchmarks/check_overhead.py`` keeps it that way.
+
+When a bus *is* attached but has no subscribers, :meth:`TraceBus.emit`
+still returns before constructing the event.  Sinks are plain callables
+taking a :class:`~repro.obs.events.TraceEvent`; see
+:mod:`repro.obs.sinks` for the stock ones.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Callable, List, Optional
+
+from .events import TraceEvent
+
+__all__ = ["TraceBus"]
+
+
+class TraceBus:
+    """Fan-out of trace events to subscribed sinks.
+
+    Parameters
+    ----------
+    clock:
+        Zero-argument callable giving the event timestamp.  Defaults to
+        :func:`time.monotonic`; the simulation harness rebinds it to the
+        discrete-event clock so traces carry simulated time.
+    """
+
+    __slots__ = ("_sinks", "clock", "emitted")
+
+    def __init__(self, clock: Optional[Callable[[], float]] = None):
+        self._sinks: List[Callable[[TraceEvent], None]] = []
+        self.clock: Callable[[], float] = clock or time.monotonic
+        #: Total events emitted to at least one sink (cheap sanity stat).
+        self.emitted: int = 0
+
+    @property
+    def active(self) -> bool:
+        """True when at least one sink is subscribed."""
+        return bool(self._sinks)
+
+    def subscribe(self, sink: Callable[[TraceEvent], None]):
+        """Attach a sink; returns it (for chaining)."""
+        self._sinks.append(sink)
+        return sink
+
+    def unsubscribe(self, sink: Callable[[TraceEvent], None]) -> None:
+        """Detach a sink (no-op if absent)."""
+        try:
+            self._sinks.remove(sink)
+        except ValueError:
+            pass
+
+    def emit(self, kind: str, **data: Any) -> None:
+        """Publish one event to every sink (no-op without subscribers)."""
+        if not self._sinks:
+            return
+        event = TraceEvent(self.clock(), kind, data)
+        self.emitted += 1
+        for sink in self._sinks:
+            sink(event)

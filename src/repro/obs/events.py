@@ -1,0 +1,112 @@
+"""Typed trace events — the vocabulary of the observability layer.
+
+The paper's interesting quantities are *invisible* in an end-of-run
+metrics row: which operation pair a lock refusal named (Section 5's
+conflict relation at work), how far the horizon let intentions be
+compacted (Section 6, Lemmas 18-23), which messages a 2PC round cost.
+Trace events make each of those a first-class, timestamped record.
+
+Event taxonomy (the ``kind`` field):
+
+=====================  =============================================
+kind                   emitted when / payload highlights
+=====================  =============================================
+``txn.begin``          a transaction starts (``transaction``,
+                       ``read_only``)
+``txn.invoke``         an invocation is accepted by a LOCK machine
+                       (``transaction``, ``obj``, ``operation``,
+                       ``args``)
+``txn.respond``        a response is accepted (``transaction``,
+                       ``obj``, ``result``)
+``txn.commit``         a commit event is delivered (``transaction``,
+                       ``timestamp``, ``objects`` or ``site``)
+``txn.abort``          an abort event is delivered (``transaction``)
+``lock.conflict``      a lock refusal: the requested operation, the
+                       held operation it conflicts with, the holder,
+                       and the *relation that refused it*
+``lock.block``         a partial operation had no legal outcome in
+                       the view (``WouldBlock``)
+``lock.wait``          a transaction blocks on a holder (block
+                       wait-policy)
+``lock.deadlock``      a waits-for cycle was refused (victim aborts)
+``compaction.advance`` ``forget()`` folded intentions into the
+                       version: old/new horizon, collapsed-prefix
+                       length, forgotten transactions
+``wal.append``         a record hit the write-ahead log (``record``
+                       names the record kind, ``transaction`` when
+                       it has one)
+``wal.replay``         recovery replayed a logged transaction
+``net.send``           a message entered the simulated network
+``net.deliver``        a message reached its destination
+``site.crash``         fail-stop injected (``hard`` distinguishes
+                       volatile-loss crashes)
+``site.recover``       checkpoint + WAL replay rebuilt a site or
+                       manager
+=====================  =============================================
+
+Events are deliberately plain: a frozen dataclass of ``(ts, kind,
+data)`` where ``data`` is a small dict.  Everything downstream — spans,
+metric registries, JSONL files — is a fold over the event stream.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Mapping
+
+__all__ = ["TraceEvent", "EVENT_KINDS"]
+
+#: The closed set of event kinds the instrumentation emits.  Sinks must
+#: tolerate unknown kinds (forward compatibility), but the CLI and the
+#: docs enumerate exactly these.
+EVENT_KINDS = frozenset(
+    {
+        "txn.begin",
+        "txn.invoke",
+        "txn.respond",
+        "txn.commit",
+        "txn.abort",
+        "lock.conflict",
+        "lock.block",
+        "lock.wait",
+        "lock.deadlock",
+        "compaction.advance",
+        "wal.append",
+        "wal.replay",
+        "net.send",
+        "net.deliver",
+        "site.crash",
+        "site.recover",
+    }
+)
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One timestamped observation.
+
+    ``ts`` is whatever clock the emitting :class:`~repro.obs.bus.TraceBus`
+    was configured with — simulated time inside the discrete-event
+    harness, wall-clock seconds elsewhere.  ``data`` holds the
+    kind-specific payload.
+    """
+
+    ts: float
+    kind: str
+    data: Mapping[str, Any] = field(default_factory=dict)
+
+    @property
+    def transaction(self) -> Any:
+        """The transaction this event concerns, if any."""
+        return self.data.get("transaction")
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Flatten to a JSON-friendly dict (payload keys at top level)."""
+        record: Dict[str, Any] = {"ts": self.ts, "kind": self.kind}
+        for key, value in self.data.items():
+            record[key] = value
+        return record
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        body = " ".join(f"{k}={v!r}" for k, v in self.data.items())
+        return f"[{self.ts:12.4f}] {self.kind:20s} {body}"

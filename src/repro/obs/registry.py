@@ -1,0 +1,273 @@
+"""Metrics registry: counters, gauges, and fixed-bucket histograms.
+
+The registry subsumes the flat :class:`repro.sim.metrics.Metrics`
+dataclass: :meth:`MetricsRegistry.absorb_metrics` imports every field of
+a ``Metrics`` row as a counter (so nothing the old API reported is
+lost), while the event-driven :class:`RegistrySink` adds the breakdowns
+the dataclass cannot express — conflicts *per operation pair*, latency
+*distributions*, horizon/retained-intentions gauges.
+
+Histograms use fixed bucket boundaries chosen at creation (cumulative
+rendering, Prometheus-style ``le`` semantics), so merged or compared
+runs always share bucket edges.
+"""
+
+from __future__ import annotations
+
+import bisect
+import json
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from .events import TraceEvent
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "RegistrySink",
+    "DEFAULT_LATENCY_BUCKETS",
+]
+
+#: Default latency bucket upper bounds (simulated time units).
+DEFAULT_LATENCY_BUCKETS: Tuple[float, ...] = (
+    1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 200.0, 500.0,
+)
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value: float = 0
+
+    def inc(self, amount: float = 1) -> None:
+        """Add ``amount`` (must be >= 0)."""
+        if amount < 0:
+            raise ValueError("counters only go up")
+        self.value += amount
+
+
+class Gauge:
+    """A point-in-time value (last write wins)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value: Any = None
+
+    def set(self, value: Any) -> None:
+        """Record the current value."""
+        self.value = value
+
+
+class Histogram:
+    """Fixed-boundary histogram with count/sum like Prometheus.
+
+    ``boundaries`` are the inclusive upper bounds of the finite buckets;
+    an implicit +inf bucket catches the rest.
+    """
+
+    __slots__ = ("name", "boundaries", "counts", "total", "sum")
+
+    def __init__(self, name: str, boundaries: Sequence[float]):
+        edges = tuple(sorted(boundaries))
+        if not edges:
+            raise ValueError("a histogram needs at least one boundary")
+        self.name = name
+        self.boundaries = edges
+        self.counts: List[int] = [0] * (len(edges) + 1)
+        self.total = 0
+        self.sum = 0.0
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        self.counts[bisect.bisect_left(self.boundaries, value)] += 1
+        self.total += 1
+        self.sum += value
+
+    @property
+    def mean(self) -> float:
+        """Mean of all observations (0 when empty)."""
+        return self.sum / self.total if self.total else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Bucket-resolution quantile estimate (upper bound of the bucket
+        holding the q-th observation; the last boundary for the +inf
+        bucket)."""
+        if not 0 <= q <= 1:
+            raise ValueError("quantile must be in [0, 1]")
+        if not self.total:
+            return 0.0
+        rank = q * self.total
+        seen = 0
+        for index, count in enumerate(self.counts):
+            seen += count
+            if seen >= rank and count:
+                return (
+                    self.boundaries[index]
+                    if index < len(self.boundaries)
+                    else self.boundaries[-1]
+                )
+        return self.boundaries[-1]
+
+
+class MetricsRegistry:
+    """Named counters, gauges, and histograms with get-or-create access."""
+
+    def __init__(self):
+        self.counters: Dict[str, Counter] = {}
+        self.gauges: Dict[str, Gauge] = {}
+        self.histograms: Dict[str, Histogram] = {}
+
+    # -- get-or-create -------------------------------------------------
+
+    def counter(self, name: str) -> Counter:
+        """The named counter, created on first use."""
+        counter = self.counters.get(name)
+        if counter is None:
+            counter = self.counters[name] = Counter(name)
+        return counter
+
+    def gauge(self, name: str) -> Gauge:
+        """The named gauge, created on first use."""
+        gauge = self.gauges.get(name)
+        if gauge is None:
+            gauge = self.gauges[name] = Gauge(name)
+        return gauge
+
+    def histogram(
+        self, name: str, boundaries: Optional[Sequence[float]] = None
+    ) -> Histogram:
+        """The named histogram, created with ``boundaries`` on first use."""
+        histogram = self.histograms.get(name)
+        if histogram is None:
+            histogram = self.histograms[name] = Histogram(
+                name, boundaries or DEFAULT_LATENCY_BUCKETS
+            )
+        return histogram
+
+    # -- Metrics bridge ------------------------------------------------
+
+    def absorb_metrics(self, metrics: Any, prefix: str = "") -> None:
+        """Import every field of a :class:`repro.sim.metrics.Metrics`.
+
+        Iterates ``dataclasses.fields`` so counters added to ``Metrics``
+        later can never be silently dropped here either.
+        """
+        import dataclasses
+
+        for field in dataclasses.fields(metrics):
+            value = getattr(metrics, field.name)
+            self.counter(prefix + field.name).inc(value)
+
+    # -- export --------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, Any]:
+        """A plain-dict snapshot of everything (JSON-friendly shapes)."""
+        return {
+            "counters": {
+                name: counter.value
+                for name, counter in sorted(self.counters.items())
+            },
+            "gauges": {
+                name: gauge.value for name, gauge in sorted(self.gauges.items())
+            },
+            "histograms": {
+                name: {
+                    "boundaries": list(histogram.boundaries),
+                    "counts": list(histogram.counts),
+                    "total": histogram.total,
+                    "sum": histogram.sum,
+                    "mean": histogram.mean,
+                }
+                for name, histogram in sorted(self.histograms.items())
+            },
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        """The snapshot as a JSON document (non-JSON values via repr)."""
+        return json.dumps(self.snapshot(), indent=indent, default=repr)
+
+    def conflict_breakdown(self) -> Dict[str, float]:
+        """Per-operation-pair conflict counters (``lock.conflict[...]``)."""
+        return {
+            name: counter.value
+            for name, counter in sorted(self.counters.items())
+            if name.startswith("lock.conflict[")
+        }
+
+
+class RegistrySink:
+    """Bus sink that folds trace events into a :class:`MetricsRegistry`.
+
+    Derived counters live under event-shaped names (``txn.committed``,
+    ``lock.conflicts``, ``lock.conflict[pair]``, ``net.messages`` …) so
+    they never collide with the ``Metrics`` fields imported by
+    :meth:`MetricsRegistry.absorb_metrics`.
+    """
+
+    def __init__(
+        self,
+        registry: MetricsRegistry,
+        latency_buckets: Optional[Sequence[float]] = None,
+    ):
+        self.registry = registry
+        self._buckets = tuple(latency_buckets or DEFAULT_LATENCY_BUCKETS)
+        self._begin_ts: Dict[str, float] = {}
+
+    def __call__(self, event: TraceEvent) -> None:
+        registry = self.registry
+        kind = event.kind
+        data = event.data
+        if kind == "txn.begin":
+            registry.counter("txn.begun").inc()
+            self._begin_ts[data["transaction"]] = event.ts
+        elif kind == "txn.commit":
+            transaction = data["transaction"]
+            begun = self._begin_ts.pop(transaction, None)
+            if begun is not None:
+                registry.counter("txn.committed").inc()
+                registry.histogram("txn.latency", self._buckets).observe(
+                    event.ts - begun
+                )
+        elif kind == "txn.abort":
+            transaction = data["transaction"]
+            begun = self._begin_ts.pop(transaction, None)
+            if begun is not None:
+                registry.counter("txn.aborted").inc()
+                registry.histogram("txn.abort_latency", self._buckets).observe(
+                    event.ts - begun
+                )
+        elif kind == "lock.conflict":
+            registry.counter("lock.conflicts").inc()
+            pair = f"{data.get('operation')} × {data.get('held')}"
+            registry.counter(f"lock.conflict[{pair}]").inc()
+        elif kind == "lock.block":
+            registry.counter("lock.blocks").inc()
+        elif kind == "lock.wait":
+            registry.counter("lock.waits").inc()
+        elif kind == "lock.deadlock":
+            registry.counter("lock.deadlocks").inc()
+        elif kind == "compaction.advance":
+            registry.counter("compaction.advances").inc()
+            registry.counter("compaction.collapsed_ops").inc(
+                data.get("collapsed", 0)
+            )
+        elif kind == "wal.append":
+            registry.counter("wal.appends").inc()
+        elif kind == "wal.replay":
+            registry.counter("wal.replays").inc()
+        elif kind == "net.send":
+            registry.counter("net.messages").inc()
+            label = data.get("label")
+            if label:
+                registry.counter(f"net.send[{label}]").inc()
+        elif kind == "site.crash":
+            registry.counter("site.crashes").inc()
+        elif kind == "site.recover":
+            registry.counter("site.recoveries").inc()

@@ -1,0 +1,192 @@
+"""Stock sinks and renderers for the trace bus.
+
+Three consumption styles:
+
+* :class:`RingBufferSink` — keep the last N events in memory (flight
+  recorder; attach permanently, inspect on failure);
+* :class:`JSONLSink` — append one JSON object per event to a file; the
+  log replays with :func:`read_jsonl`;
+* the ``render_*`` helpers — human-readable tables for the CLI.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter as _Counter
+from collections import deque
+from typing import IO, Any, Dict, Iterable, List, Optional, Sequence, Union
+
+from .events import TraceEvent
+from .registry import Histogram
+from .spans import Span
+
+__all__ = [
+    "RingBufferSink",
+    "JSONLSink",
+    "read_jsonl",
+    "render_events",
+    "render_spans",
+    "render_histogram",
+    "render_kind_summary",
+    "spans_as_dicts",
+]
+
+
+class RingBufferSink:
+    """Keep the most recent ``capacity`` events (all of them when None)."""
+
+    def __init__(self, capacity: Optional[int] = None):
+        self._events: deque = deque(maxlen=capacity)
+        #: Count of every event seen, including ones the ring dropped.
+        self.seen = 0
+
+    def __call__(self, event: TraceEvent) -> None:
+        self._events.append(event)
+        self.seen += 1
+
+    def events(self) -> List[TraceEvent]:
+        """The retained events, oldest first."""
+        return list(self._events)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def clear(self) -> None:
+        """Drop the retained events (``seen`` keeps counting)."""
+        self._events.clear()
+
+
+class JSONLSink:
+    """Write each event as one JSON line to a path or open file.
+
+    Non-JSON payload values (operation tuples, -∞ timestamps) are
+    serialised via ``repr`` — the log is for inspection and replay-side
+    analysis, not for reconstructing live Python objects.
+    """
+
+    def __init__(self, target: Union[str, IO[str]]):
+        if isinstance(target, str):
+            self._file: IO[str] = open(target, "w", encoding="utf-8")
+            self._owns = True
+        else:
+            self._file = target
+            self._owns = False
+        self.written = 0
+
+    def __call__(self, event: TraceEvent) -> None:
+        self._file.write(json.dumps(event.to_dict(), default=repr) + "\n")
+        self.written += 1
+
+    def close(self) -> None:
+        """Flush and (when this sink opened the file) close it."""
+        self._file.flush()
+        if self._owns:
+            self._file.close()
+
+    def __enter__(self) -> "JSONLSink":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+
+def read_jsonl(path: str) -> List[TraceEvent]:
+    """Replay a JSONL trace file back into :class:`TraceEvent` objects."""
+    events: List[TraceEvent] = []
+    with open(path, encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            record = json.loads(line)
+            ts = record.pop("ts")
+            kind = record.pop("kind")
+            events.append(TraceEvent(ts, kind, record))
+    return events
+
+
+# ----------------------------------------------------------------------
+# Human-readable renderers
+# ----------------------------------------------------------------------
+
+
+def render_events(events: Iterable[TraceEvent], limit: Optional[int] = None) -> str:
+    """One line per event; the last ``limit`` events when given."""
+    rows = list(events)
+    if limit is not None:
+        rows = rows[-limit:]
+    lines = []
+    for event in rows:
+        body = " ".join(f"{k}={v}" for k, v in event.data.items())
+        lines.append(f"{event.ts:12.4f}  {event.kind:20s} {body}")
+    return "\n".join(lines)
+
+
+def render_kind_summary(events: Iterable[TraceEvent]) -> str:
+    """Event counts by kind, most frequent first."""
+    counts = _Counter(event.kind for event in events)
+    width = max((len(kind) for kind in counts), default=4)
+    lines = [f"{kind:{width}s}  {count:>8d}" for kind, count in counts.most_common()]
+    return "\n".join(lines)
+
+
+def render_spans(spans: Sequence[Span], limit: Optional[int] = None) -> str:
+    """An aligned table of spans: outcome, latency, breakdown, counts."""
+    rows = list(spans)
+    if limit is not None:
+        rows = rows[:limit]
+    header = (
+        f"{'transaction':14s}{'outcome':>10s}{'latency':>10s}"
+        f"{'queued':>10s}{'blocked':>10s}{'executing':>10s}"
+        f"{'ops':>6s}{'cfl':>6s}{'objects':>14s}"
+    )
+    lines = [header, "-" * len(header)]
+    for span in rows:
+        latency = span.latency
+        lines.append(
+            f"{span.transaction:14s}"
+            f"{span.outcome or 'open':>10s}"
+            f"{latency if latency is not None else float('nan'):>10.3f}"
+            f"{span.queued:>10.3f}{span.blocked:>10.3f}{span.executing:>10.3f}"
+            f"{span.invokes:>6d}{span.conflicts:>6d}"
+            f"{','.join(sorted(span.objects)):>14s}"
+        )
+    return "\n".join(lines)
+
+
+def render_histogram(histogram: Histogram, width: int = 40) -> str:
+    """ASCII bar-chart of a histogram's cumulative buckets."""
+    lines = [
+        f"{histogram.name}: n={histogram.total} mean={histogram.mean:.3f}"
+        f" p50~{histogram.quantile(0.5):g} p95~{histogram.quantile(0.95):g}"
+    ]
+    peak = max(histogram.counts) if histogram.total else 1
+    labels = [f"<= {b:g}" for b in histogram.boundaries] + ["+inf"]
+    for label, count in zip(labels, histogram.counts):
+        bar = "#" * (round(width * count / peak) if peak else 0)
+        lines.append(f"  {label:>10s} {count:>8d} {bar}")
+    return "\n".join(lines)
+
+
+def spans_as_dicts(spans: Sequence[Span]) -> List[Dict[str, Any]]:
+    """JSON-friendly span rows (for machine-readable artifacts)."""
+    rows = []
+    for span in spans:
+        rows.append(
+            {
+                "transaction": span.transaction,
+                "outcome": span.outcome,
+                "begin_ts": span.begin_ts,
+                "end_ts": span.end_ts,
+                "latency": span.latency,
+                "queued": span.queued,
+                "blocked": span.blocked,
+                "executing": span.executing,
+                "invokes": span.invokes,
+                "conflicts": span.conflicts,
+                "blocks": span.blocks,
+                "objects": sorted(span.objects),
+                "read_only": span.read_only,
+            }
+        )
+    return rows

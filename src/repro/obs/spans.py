@@ -1,0 +1,178 @@
+"""Per-transaction spans: begin→completion aggregation of trace events.
+
+A *span* is the transaction-level rollup of the event stream: when the
+transaction began, how it ended, which objects it touched, and where its
+latency went.  The latency breakdown follows the classic queued /
+blocked / executing split:
+
+* **executing** — intervals that end in an accepted ``txn.invoke`` /
+  ``txn.respond`` (the machine did work);
+* **blocked** — intervals that end in a ``lock.conflict``,
+  ``lock.block``, ``lock.wait`` or ``lock.deadlock`` (the transaction
+  paid for concurrency control);
+* **queued** — everything else (scheduling delay, think time inside the
+  transaction, commit processing).
+
+:class:`SpanBuilder` is a bus sink: subscribe it to a
+:class:`~repro.obs.bus.TraceBus` and read ``builder.spans`` afterwards.
+Every committed or aborted transaction yields exactly one span; events
+arriving after completion (e.g. per-site commit deliveries in the
+distributed runtime) are tallied as ``extra_events`` rather than
+reopening the span.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Set
+
+from .events import TraceEvent
+
+__all__ = ["Span", "SpanBuilder"]
+
+#: Event kinds that end a "blocked" interval.
+_BLOCKED_KINDS = frozenset(
+    {"lock.conflict", "lock.block", "lock.wait", "lock.deadlock"}
+)
+#: Event kinds that end an "executing" interval.
+_EXECUTING_KINDS = frozenset({"txn.invoke", "txn.respond"})
+#: Event kinds that complete a span.
+_TERMINAL_KINDS = frozenset({"txn.commit", "txn.abort"})
+
+
+@dataclass
+class Span:
+    """One transaction's aggregated trace."""
+
+    transaction: str
+    begin_ts: Optional[float] = None
+    end_ts: Optional[float] = None
+    #: ``"committed"`` / ``"aborted"`` / None while open.
+    outcome: Optional[str] = None
+    #: Commit timestamp (the protocol's, not the clock's), if committed.
+    timestamp: Any = None
+    read_only: bool = False
+    invokes: int = 0
+    responds: int = 0
+    conflicts: int = 0
+    blocks: int = 0
+    objects: Set[str] = field(default_factory=set)
+    #: Latency breakdown (same clock units as the bus).
+    queued: float = 0.0
+    blocked: float = 0.0
+    executing: float = 0.0
+    #: Events observed after the span completed (distributed fan-out).
+    extra_events: int = 0
+    #: The raw event kinds, in arrival order (for well-formedness checks).
+    kinds: List[str] = field(default_factory=list)
+
+    @property
+    def latency(self) -> Optional[float]:
+        """Begin-to-completion time, if both ends were observed."""
+        if self.begin_ts is None or self.end_ts is None:
+            return None
+        return self.end_ts - self.begin_ts
+
+    def violations(self) -> List[str]:
+        """Well-formedness defects (empty list == well formed).
+
+        A well-formed span saw its begin first, its terminal last,
+        every invoke matched by a response in between, and monotone
+        breakdown totals that add up to the observed latency.
+        """
+        problems: List[str] = []
+        if self.begin_ts is None:
+            problems.append("no txn.begin observed")
+        if self.outcome is None:
+            problems.append("no terminal event observed")
+        if self.kinds and self.kinds[0] != "txn.begin":
+            problems.append(f"first event was {self.kinds[0]}, not txn.begin")
+        if self.kinds and self.outcome and self.kinds[-1] not in _TERMINAL_KINDS:
+            problems.append(f"last event was {self.kinds[-1]}, not terminal")
+        if self.invokes != self.responds:
+            problems.append(
+                f"{self.invokes} invokes vs {self.responds} responses"
+            )
+        latency = self.latency
+        if latency is not None:
+            total = self.queued + self.blocked + self.executing
+            if total - latency > 1e-9:
+                problems.append("breakdown exceeds observed latency")
+        return problems
+
+    @property
+    def well_formed(self) -> bool:
+        """True when :meth:`violations` finds nothing."""
+        return not self.violations()
+
+
+class SpanBuilder:
+    """Bus sink folding transaction events into :class:`Span` objects."""
+
+    def __init__(self):
+        #: Completed spans, in completion order.
+        self.spans: List[Span] = []
+        #: Still-open spans by transaction name.
+        self.open: Dict[str, Span] = {}
+        #: Completed spans by transaction name (latest wins).
+        self._done: Dict[str, Span] = {}
+        #: Last event timestamp per open transaction (interval anchor).
+        self._last_ts: Dict[str, float] = {}
+
+    def __call__(self, event: TraceEvent) -> None:
+        transaction = event.data.get("transaction")
+        if transaction is None or event.kind.startswith(("wal.", "net.")):
+            return
+        done = self._done.get(transaction)
+        if done is not None:
+            done.extra_events += 1
+            return
+        span = self.open.get(transaction)
+        if span is None:
+            span = Span(transaction=transaction)
+            self.open[transaction] = span
+        if event.kind == "txn.begin":
+            span.begin_ts = event.ts
+            span.read_only = bool(event.data.get("read_only"))
+        else:
+            anchor = self._last_ts.get(
+                transaction, span.begin_ts if span.begin_ts is not None else event.ts
+            )
+            interval = max(0.0, event.ts - anchor)
+            if event.kind in _EXECUTING_KINDS:
+                span.executing += interval
+            elif event.kind in _BLOCKED_KINDS:
+                span.blocked += interval
+            else:
+                span.queued += interval
+        self._last_ts[transaction] = event.ts
+        span.kinds.append(event.kind)
+        if event.kind == "txn.invoke":
+            span.invokes += 1
+            obj = event.data.get("obj")
+            if obj is not None:
+                span.objects.add(obj)
+        elif event.kind == "txn.respond":
+            span.responds += 1
+        elif event.kind == "lock.conflict":
+            span.conflicts += 1
+        elif event.kind in ("lock.block", "lock.wait"):
+            span.blocks += 1
+        elif event.kind in _TERMINAL_KINDS:
+            span.end_ts = event.ts
+            span.outcome = (
+                "committed" if event.kind == "txn.commit" else "aborted"
+            )
+            span.timestamp = event.data.get("timestamp")
+            self.spans.append(span)
+            self._done[transaction] = span
+            del self.open[transaction]
+            self._last_ts.pop(transaction, None)
+
+    def committed(self) -> List[Span]:
+        """Completed spans that ended in a commit."""
+        return [span for span in self.spans if span.outcome == "committed"]
+
+    def aborted(self) -> List[Span]:
+        """Completed spans that ended in an abort."""
+        return [span for span in self.spans if span.outcome == "aborted"]

@@ -226,11 +226,14 @@ def recover_machines(
     checkpoint: Optional[Checkpoint] = None,
     catalog: Optional[Mapping[str, ADT]] = None,
     compacting: Optional[bool] = None,
+    tracer: Optional[Any] = None,
 ) -> Tuple[Dict[str, LockMachine], Dict[str, ADT], _LogImage, RecoveryReport]:
     """Rebuild machines from decoded log records plus an optional checkpoint.
 
     Returns ``(machines, adts, log image, report)``; the report's timing
-    and name fields are filled in by the caller.
+    and name fields are filled in by the caller.  ``tracer`` (a
+    :class:`repro.obs.TraceBus`) receives one ``wal.replay`` event per
+    replayed transaction.
     """
     image = _scan(records)
     if compacting is None:
@@ -270,6 +273,13 @@ def recover_machines(
             applied = True
         if applied:
             report.replayed_records += 1
+            if tracer is not None:
+                tracer.emit(
+                    "wal.replay",
+                    transaction=transaction,
+                    record="commit",
+                    timestamp=timestamp,
+                )
 
     # Prepared-but-undecided transactions come back active (locks held).
     prepared: List[str] = []
@@ -297,6 +307,8 @@ def recover_machines(
             report.replayed_operations += len(ops)
         prepared.append(transaction)
         report.replayed_records += 1
+        if tracer is not None:
+            tracer.emit("wal.replay", transaction=transaction, record="prepare")
     report.prepared_transactions = tuple(prepared)
 
     # Presumed abort: everything else that ran but never committed.
@@ -326,6 +338,7 @@ def recover_manager(
     wal: WriteAheadLog,
     store: Optional[CheckpointStore] = None,
     catalog: Optional[Mapping[str, ADT]] = None,
+    tracer: Optional[Any] = None,
 ):
     """Rebuild a :class:`~repro.runtime.manager.TransactionManager` from a
     persisted log (plus checkpoint, if a store holds one).
@@ -342,10 +355,10 @@ def recover_manager(
     checkpoint = store.load() if store is not None else None
     records = wal.records()
     machines, adts, image, report = recover_machines(
-        records, checkpoint=checkpoint, catalog=catalog
+        records, checkpoint=checkpoint, catalog=catalog, tracer=tracer
     )
     manager = TransactionManager(
-        compacting=bool(image.meta.get("compacting", True))
+        compacting=bool(image.meta.get("compacting", True)), tracer=tracer
     )
     for record in image.creates:
         obj = record["obj"]
@@ -353,6 +366,7 @@ def recover_manager(
             obj, adts[obj], protocol=get_protocol(record["protocol"])
         )
         managed.machine = machines[obj]
+        managed.machine.tracer = tracer
 
     # Advance the generator past every recovered timestamp and the name
     # counter past every recovered transaction (names must stay unique).
@@ -368,6 +382,17 @@ def recover_manager(
     manager.wal = wal
     report.name = image.meta.get("name", "manager")
     report.elapsed_seconds = time.perf_counter() - started
+    if tracer is not None:
+        tracer.emit(
+            "site.recover",
+            site=report.name,
+            objects=list(report.recovered_objects),
+            replayed_records=report.replayed_records,
+            replayed_operations=report.replayed_operations,
+            prepared=list(report.prepared_transactions),
+            discarded=list(report.discarded_transactions),
+            from_checkpoint=report.from_checkpoint,
+        )
     return manager, report
 
 
@@ -394,11 +419,15 @@ def recover_site_state(
             f"site {site.name!r} has no write-ahead log; nothing to recover"
         )
     started = time.perf_counter()
+    tracer = getattr(site, "tracer", None)
     checkpoint = store.load() if store is not None else None
     records = site.wal.records()
     machines, adts, image, report = recover_machines(
-        records, checkpoint=checkpoint, catalog=catalog, compacting=True
+        records, checkpoint=checkpoint, catalog=catalog, compacting=True,
+        tracer=tracer,
     )
+    for machine in machines.values():
+        machine.tracer = tracer
 
     site._machines = machines
     site._adts = adts
@@ -427,4 +456,15 @@ def recover_site_state(
 
     report.name = site.name
     report.elapsed_seconds = time.perf_counter() - started
+    if tracer is not None:
+        tracer.emit(
+            "site.recover",
+            site=site.name,
+            objects=list(report.recovered_objects),
+            replayed_records=report.replayed_records,
+            replayed_operations=report.replayed_operations,
+            prepared=list(report.prepared_transactions),
+            discarded=list(report.discarded_transactions),
+            from_checkpoint=report.from_checkpoint,
+        )
     return report

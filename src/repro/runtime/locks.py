@@ -56,10 +56,14 @@ class LockTable:
     * :meth:`release` — drop all locks of a transaction.
     """
 
-    def __init__(self):
+    def __init__(self, obj: str = "X", tracer=None):
         self._conflicts: Set[FrozenSet[str]] = set()
         #: mode -> multiset of holders.
         self._held: Dict[str, Counter] = {}
+        #: Object label used in trace events.
+        self.obj = obj
+        #: Optional :class:`repro.obs.TraceBus` (None = no tracing).
+        self.tracer = tracer
 
     def define(self, mode_a: str, mode_b: str) -> None:
         """Register a (symmetric) conflict between two modes."""
@@ -76,6 +80,17 @@ class LockTable:
                 continue
             for holder, count in holders.items():
                 if holder != who and count > 0:
+                    tracer = self.tracer
+                    if tracer is not None:
+                        tracer.emit(
+                            "lock.conflict",
+                            transaction=who,
+                            obj=self.obj,
+                            operation=mode,
+                            holder=holder,
+                            held=held_mode,
+                            relation="mode-table",
+                        )
                     return True
         return False
 
@@ -95,6 +110,20 @@ class LockTable:
             for holder, count in self._held.get(mode, Counter()).items()
             if count > 0
         )
+
+    def snapshot(self) -> Dict[str, Dict[str, int]]:
+        """Mode → {holder: count} for every currently held lock.
+
+        The mode-table analogue of
+        :func:`repro.obs.snapshot.lock_table_snapshot`.
+        """
+        return {
+            mode: {
+                holder: count for holder, count in holders.items() if count > 0
+            }
+            for mode, holders in sorted(self._held.items())
+            if any(count > 0 for count in holders.values())
+        }
 
 
 def mode_table_from_relation(

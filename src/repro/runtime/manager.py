@@ -100,6 +100,13 @@ class TransactionManager:
         committed intentions) are logged durably, and the manager can be
         rebuilt after a crash with
         :func:`repro.recovery.recover_manager`.
+    tracer:
+        Optional :class:`~repro.obs.TraceBus`.  When given, the manager
+        emits ``txn.begin``/``txn.commit``/``txn.abort`` and
+        ``wal.append`` trace events and propagates the bus to every
+        machine it creates (``lock.conflict``, ``compaction.advance``,
+        …).  None (the default) keeps every hot path a single
+        attribute check.
     """
 
     def __init__(
@@ -108,6 +115,7 @@ class TransactionManager:
         record_history: bool = False,
         compacting: bool = True,
         wal: Optional[Any] = None,
+        tracer: Optional[Any] = None,
     ):
         self._generator = generator or MonotoneTimestampGenerator()
         self._objects: Dict[str, ManagedObject] = {}
@@ -117,10 +125,13 @@ class TransactionManager:
         self._events: List[Any] = []
         self._compacting = compacting
         self.wal = wal
+        self.tracer = tracer
         if wal is not None and len(wal) == 0:
             from ..recovery.wal import meta_record
 
             wal.append(meta_record("manager", "manager", compacting=compacting))
+            if tracer is not None:
+                tracer.emit("wal.append", record="meta")
 
     # ------------------------------------------------------------------
     # Setup
@@ -142,6 +153,7 @@ class TransactionManager:
             raise ValueError(f"object {name!r} already exists")
         relation = conflict if conflict is not None else protocol.conflict_for(adt)
         managed = ManagedObject(name, adt, relation, compacting=self._compacting)
+        managed.machine.tracer = self.tracer
         self._objects[name] = managed
         if self.wal is not None:
             from ..recovery.wal import create_record
@@ -151,6 +163,8 @@ class TransactionManager:
             self.wal.append(
                 create_record(name, adt.name, protocol.name, adt.spec.initial_states())
             )
+            if self.tracer is not None:
+                self.tracer.emit("wal.append", record="create", obj=name)
         return managed
 
     def object(self, name: str) -> ManagedObject:
@@ -166,7 +180,7 @@ class TransactionManager:
     # Transaction lifecycle
     # ------------------------------------------------------------------
 
-    def begin(self, name: Optional[str] = None) -> Transaction:
+    def begin(self, name: Optional[str] = None, _quiet: bool = False) -> Transaction:
         """Start a new transaction."""
         if name is None:
             name = f"T{next(self._names)}"
@@ -174,6 +188,9 @@ class TransactionManager:
             raise ValueError(f"transaction {name!r} already exists")
         transaction = Transaction(name)
         self._transactions[name] = transaction
+        tracer = self.tracer
+        if tracer is not None and not _quiet:
+            tracer.emit("txn.begin", transaction=name, read_only=False)
         return transaction
 
     def begin_readonly(self, name: Optional[str] = None) -> Transaction:
@@ -191,9 +208,17 @@ class TransactionManager:
                 " generator: a skewed generator could commit an updater"
                 " below the reader's start timestamp"
             )
-        transaction = self.begin(name)
+        transaction = self.begin(name, _quiet=True)
         transaction.read_only = True
         transaction.timestamp = self._generator.commit_timestamp(transaction.name)
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.emit(
+                "txn.begin",
+                transaction=transaction.name,
+                read_only=True,
+                timestamp=transaction.timestamp,
+            )
         # Pin the snapshot everywhere now — the read set is not known in
         # advance, and an object must not fold commits above the reader's
         # timestamp into its version while the reader lives.
@@ -234,6 +259,10 @@ class TransactionManager:
 
             self.wal.append(invoke_record(transaction.name, obj, invocation))
             self.wal.append(respond_record(transaction.name, obj, result))
+            if self.tracer is not None:
+                self.tracer.emit(
+                    "wal.append", record="invoke+respond", transaction=transaction.name
+                )
         # Section 3.3 / Section 6: after a response at X the transaction's
         # eventual commit timestamp must exceed every timestamp committed
         # at X — feed the object's clock into the generator's bound.
@@ -304,6 +333,10 @@ class TransactionManager:
                 for obj in sorted(transaction.touched)
             }
             self.wal.append(commit_record(transaction.name, timestamp, intentions))
+            if self.tracer is not None:
+                self.tracer.emit(
+                    "wal.append", record="commit", transaction=transaction.name
+                )
         for obj in sorted(transaction.touched):
             self._objects[obj].machine.commit(transaction.name, timestamp)
             if self._record:
@@ -311,6 +344,14 @@ class TransactionManager:
         transaction.status = Status.COMMITTED
         transaction.timestamp = timestamp
         self._generator.forget(transaction.name)
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.emit(
+                "txn.commit",
+                transaction=transaction.name,
+                timestamp=timestamp,
+                objects=sorted(transaction.touched),
+            )
         return timestamp
 
     def abort(self, transaction: Transaction) -> None:
@@ -323,12 +364,23 @@ class TransactionManager:
             from ..recovery.wal import abort_record
 
             self.wal.append(abort_record(transaction.name))
+            if self.tracer is not None:
+                self.tracer.emit(
+                    "wal.append", record="abort", transaction=transaction.name
+                )
         for obj in sorted(transaction.touched):
             self._objects[obj].machine.abort(transaction.name)
             if self._record:
                 self._events.append(AbortEvent(transaction.name, obj))
         transaction.status = Status.ABORTED
         self._generator.forget(transaction.name)
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.emit(
+                "txn.abort",
+                transaction=transaction.name,
+                objects=sorted(transaction.touched),
+            )
 
     def _finish_readonly(self, transaction: Transaction, commit: bool) -> Any:
         """Release pins and record the outcome of a read-only transaction."""
@@ -346,6 +398,23 @@ class TransactionManager:
                     self._events.append(AbortEvent(transaction.name, obj))
         transaction.status = Status.COMMITTED if commit else Status.ABORTED
         self._generator.forget(transaction.name)
+        tracer = self.tracer
+        if tracer is not None:
+            if commit:
+                tracer.emit(
+                    "txn.commit",
+                    transaction=transaction.name,
+                    timestamp=transaction.timestamp,
+                    objects=sorted(transaction.touched),
+                    read_only=True,
+                )
+            else:
+                tracer.emit(
+                    "txn.abort",
+                    transaction=transaction.name,
+                    objects=sorted(transaction.touched),
+                    read_only=True,
+                )
         return transaction.timestamp
 
     def _require_active(self, transaction: Transaction) -> None:

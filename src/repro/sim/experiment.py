@@ -211,6 +211,9 @@ def run_experiment(
     crash_rate: float = 0.0,
     crash_seed: Optional[int] = None,
     wal=None,
+    tracer=None,
+    registry=None,
+    on_finish=None,
 ) -> Metrics:
     """Run one workload under one protocol; return the metrics.
 
@@ -219,9 +222,28 @@ def run_experiment(
     abort every in-flight transaction (locking engine only); ``wal``
     attaches a write-ahead log to the manager so the run is recoverable
     with :func:`repro.recovery.recover_manager`.
+
+    Observability (locking engine): ``tracer`` is a
+    :class:`repro.obs.TraceBus` whose clock is rebound to simulated time
+    and fed to every instrumented component; ``registry`` is a
+    :class:`repro.obs.MetricsRegistry` that receives event-derived
+    counters/histograms during the run, plus horizon and
+    retained-intentions gauges and the final ``Metrics`` row at the end.
+    ``on_finish(manager, wait_registry)`` runs before returning, while
+    in-flight transactions still hold locks — the hook ``repro stats``
+    uses to snapshot lock tables and the waits-for graph.
     """
     params = params or ClientParams()
     simulator = Simulator()
+    registry_sink = None
+    if registry is not None:
+        from ..obs import RegistrySink, TraceBus
+
+        if tracer is None:
+            tracer = TraceBus()
+        registry_sink = tracer.subscribe(RegistrySink(registry))
+    if tracer is not None:
+        tracer.clock = lambda: simulator.now
     if protocol.engine == "optimistic":
         if wal is not None or crash_rate > 0:
             raise ValueError(
@@ -231,7 +253,7 @@ def run_experiment(
         for name, adt in workload.objects():
             manager.create_object(name, adt, dependency=protocol.conflict_for(adt))
     else:
-        manager = TransactionManager(wal=wal)
+        manager = TransactionManager(wal=wal, tracer=tracer)
         for name, adt in workload.objects():
             manager.create_object(name, adt, protocol=protocol)
     metrics = Metrics()
@@ -242,13 +264,15 @@ def run_experiment(
             victims = manager.crash()
             metrics.crashes += 1
             metrics.aborted += len(victims)
-            if registry is not None:
+            if tracer is not None:
+                tracer.emit("site.crash", site="manager", hard=False, victims=victims)
+            if waits is not None:
                 for victim in victims:
-                    registry.release(victim)
+                    waits.release(victim)
             simulator.schedule(crash_rng.expovariate(crash_rate), crash_tick)
 
         simulator.schedule(crash_rng.expovariate(crash_rate), crash_tick)
-    registry = WaitRegistry() if params.wait_policy == "block" else None
+    waits = WaitRegistry(tracer=tracer) if params.wait_policy == "block" else None
     for index in range(workload.client_count()):
         client = _Client(
             index,
@@ -258,7 +282,7 @@ def run_experiment(
             params,
             metrics,
             random.Random(f"{seed}/{index}"),
-            registry=registry,
+            registry=waits,
         )
         client.start()
     simulator.run_until(duration)
@@ -268,6 +292,25 @@ def run_experiment(
         for managed in manager.objects.values()
         if isinstance(getattr(managed, "machine", None), CompactingLockMachine)
     )
+    if registry_sink is not None:
+        obs_registry = registry
+        for name, managed in sorted(manager.objects.items()):
+            machine = getattr(managed, "machine", None)
+            if isinstance(machine, CompactingLockMachine):
+                obs_registry.gauge(f"compaction.horizon[{name}]").set(
+                    machine.horizon()
+                )
+                obs_registry.gauge(f"compaction.retained[{name}]").set(
+                    machine.retained_intentions()
+                )
+                obs_registry.gauge(f"compaction.forgotten_ops[{name}]").set(
+                    machine.forgotten_operations
+                )
+        obs_registry.gauge("retained_intentions").set(metrics.retained_intentions)
+        obs_registry.absorb_metrics(metrics)
+        tracer.unsubscribe(registry_sink)
+    if on_finish is not None:
+        on_finish(manager, waits)
     return metrics
 
 

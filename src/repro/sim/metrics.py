@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, fields
 from typing import Dict
 
 __all__ = ["Metrics"]
@@ -89,19 +89,15 @@ class Metrics:
         return row
 
     def merge(self, other: "Metrics") -> "Metrics":
-        """Sum counters from ``other`` into this run (durations add too)."""
-        self.duration += other.duration
-        self.committed += other.committed
-        self.aborted += other.aborted
-        self.conflicts += other.conflicts
-        self.blocks += other.blocks
-        self.operations += other.operations
-        self.total_latency += other.total_latency
-        self.retained_intentions += other.retained_intentions
-        self.validation_failures += other.validation_failures
-        self.deadlocks += other.deadlocks
-        self.crashes += other.crashes
-        self.recoveries += other.recoveries
-        self.replayed_records += other.replayed_records
-        self.recovery_time += other.recovery_time
+        """Sum counters from ``other`` into this run (durations add too).
+
+        Iterates ``dataclasses.fields`` so a counter added to the class
+        later can never be silently dropped from merged results.
+        """
+        for field in fields(self):
+            setattr(
+                self,
+                field.name,
+                getattr(self, field.name) + getattr(other, field.name),
+            )
         return self

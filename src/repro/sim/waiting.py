@@ -47,11 +47,17 @@ class WaitRegistry:
     called when a transaction completes so its waiters resume.
     """
 
-    def __init__(self):
+    def __init__(self, tracer=None):
         #: waiter -> holder (at most one outgoing edge per waiter).
         self._waiting_for: Dict[str, str] = {}
         #: holder -> list of (waiter, callback).
         self._waiters: Dict[str, List[tuple]] = {}
+        #: Optional :class:`repro.obs.TraceBus` (None = no tracing).
+        self.tracer = tracer
+
+    def edges(self) -> Dict[str, str]:
+        """A copy of the waits-for graph (waiter → holder)."""
+        return dict(self._waiting_for)
 
     def waiting_for(self, waiter: str) -> Optional[str]:
         """The transaction ``waiter`` is blocked on, if any."""
@@ -85,8 +91,18 @@ class WaitRegistry:
         if waiter in self._waiting_for:
             raise ValueError(f"{waiter} is already waiting")
         cycle = self._would_deadlock(waiter, holder)
+        tracer = self.tracer
         if cycle is not None:
+            if tracer is not None:
+                tracer.emit(
+                    "lock.deadlock",
+                    transaction=waiter,
+                    holder=holder,
+                    cycle=list(cycle),
+                )
             raise DeadlockDetected(waiter, holder, cycle)
+        if tracer is not None:
+            tracer.emit("lock.wait", transaction=waiter, holder=holder)
         self._waiting_for[waiter] = holder
         self._waiters.setdefault(holder, []).append((waiter, wake))
 

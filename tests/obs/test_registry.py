@@ -1,0 +1,154 @@
+"""The metrics registry: primitives, Metrics bridge, and the event sink."""
+
+import dataclasses
+
+import pytest
+
+from repro.obs import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    RegistrySink,
+    TraceBus,
+)
+from repro.sim.metrics import Metrics
+
+
+class TestPrimitives:
+    def test_counter_increments(self):
+        counter = Counter("c")
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+
+    def test_counter_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Counter("c").inc(-1)
+
+    def test_gauge_holds_last_value(self):
+        gauge = Gauge("g")
+        gauge.set(3)
+        gauge.set(1)
+        assert gauge.value == 1
+
+    def test_histogram_buckets_are_cumulative_le(self):
+        histogram = Histogram("h", (1.0, 5.0, 10.0))
+        for value in (0.5, 1.0, 3.0, 7.0, 100.0):
+            histogram.observe(value)
+        # counts per bucket: <=1, <=5, <=10, +inf
+        assert histogram.counts == [2, 1, 1, 1]
+        assert histogram.total == 5
+        assert histogram.sum == pytest.approx(111.5)
+        assert histogram.mean == pytest.approx(111.5 / 5)
+
+    def test_histogram_quantile(self):
+        histogram = Histogram("h", (1.0, 2.0, 4.0))
+        for value in (0.5, 0.6, 0.7, 3.0):
+            histogram.observe(value)
+        assert histogram.quantile(0.5) == 1.0  # 3/4 of mass at or below 1
+        assert histogram.quantile(0.99) == 4.0
+
+
+class TestMetricsRegistry:
+    def test_get_or_create_returns_same_instrument(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a") is registry.counter("a")
+        assert registry.gauge("b") is registry.gauge("b")
+        assert registry.histogram("c") is registry.histogram("c")
+
+    def test_absorb_metrics_imports_every_field(self):
+        registry = MetricsRegistry()
+        metrics = Metrics(committed=7, conflicts=3, deadlocks=2)
+        registry.absorb_metrics(metrics)
+        for field in dataclasses.fields(metrics):
+            assert registry.counter(field.name).value == getattr(
+                metrics, field.name
+            )
+
+    def test_snapshot_shape(self):
+        registry = MetricsRegistry()
+        registry.counter("a").inc()
+        registry.gauge("g").set(5)
+        registry.histogram("h").observe(2.0)
+        snapshot = registry.snapshot()
+        assert snapshot["counters"] == {"a": 1}
+        assert snapshot["gauges"] == {"g": 5}
+        assert snapshot["histograms"]["h"]["total"] == 1
+        # snapshot is JSON-serialisable via to_json
+        assert '"counters"' in registry.to_json()
+
+
+class TestRegistrySink:
+    def make_bus(self, registry, clock_values):
+        it = iter(clock_values)
+        bus = TraceBus(clock=lambda: next(it))
+        bus.subscribe(RegistrySink(registry))
+        return bus
+
+    def test_lifecycle_counters_and_latency(self):
+        registry = MetricsRegistry()
+        bus = self.make_bus(registry, [0.0, 4.0, 5.0, 11.0])
+        bus.emit("txn.begin", transaction="T1")
+        bus.emit("txn.commit", transaction="T1", timestamp=1)
+        bus.emit("txn.begin", transaction="T2")
+        bus.emit("txn.abort", transaction="T2")
+        assert registry.counter("txn.begun").value == 2
+        assert registry.counter("txn.committed").value == 1
+        assert registry.counter("txn.aborted").value == 1
+        assert registry.histogram("txn.latency").sum == pytest.approx(4.0)
+        assert registry.histogram("txn.abort_latency").sum == pytest.approx(6.0)
+
+    def test_terminal_without_begin_is_ignored(self):
+        registry = MetricsRegistry()
+        bus = self.make_bus(registry, [1.0])
+        bus.emit("txn.commit", transaction="ghost", timestamp=1)
+        assert "txn.committed" not in registry.counters
+
+    def test_conflict_pair_breakdown(self):
+        registry = MetricsRegistry()
+        bus = self.make_bus(registry, [1.0, 2.0, 3.0])
+        bus.emit(
+            "lock.conflict",
+            transaction="T2",
+            operation="[Deq(), 1]",
+            held="[Enq(1), 'Ok']",
+            holder="T1",
+        )
+        bus.emit(
+            "lock.conflict",
+            transaction="T3",
+            operation="[Deq(), 1]",
+            held="[Enq(1), 'Ok']",
+            holder="T1",
+        )
+        bus.emit(
+            "lock.conflict",
+            transaction="T3",
+            operation="[Enq(2), 'Ok']",
+            held="[Deq(), 1]",
+            holder="T2",
+        )
+        assert registry.counter("lock.conflicts").value == 3
+        assert registry.conflict_breakdown() == {
+            "lock.conflict[[Deq(), 1] × [Enq(1), 'Ok']]": 2,
+            "lock.conflict[[Enq(2), 'Ok'] × [Deq(), 1]]": 1,
+        }
+
+    def test_compaction_wal_net_site_counters(self):
+        registry = MetricsRegistry()
+        bus = self.make_bus(registry, iter(float(i) for i in range(10)))
+        bus.emit("compaction.advance", obj="Q", collapsed=5)
+        bus.emit("wal.append", record="commit")
+        bus.emit("wal.replay", transaction="T1", record="commit")
+        bus.emit("net.send", label="prepare")
+        bus.emit("site.crash", site="S0", hard=True)
+        bus.emit("site.recover", site="S0")
+        assert registry.counter("compaction.advances").value == 1
+        assert registry.counter("compaction.collapsed_ops").value == 5
+        assert registry.counter("wal.appends").value == 1
+        assert registry.counter("wal.replays").value == 1
+        assert registry.counter("net.messages").value == 1
+        assert registry.counter("net.send[prepare]").value == 1
+        assert registry.counter("site.crashes").value == 1
+        assert registry.counter("site.recoveries").value == 1

@@ -113,3 +113,184 @@ class TestReport:
         out = capsys.readouterr().out
         assert "Benchmark artifacts" in out
         assert "demo artifact body" in out
+
+class TestTrace:
+    def test_jsonl_to_stdout_names_conflict_pairs(self, capsys):
+        import json
+
+        assert main(["trace", "account", "--duration", "60"]) == 0
+        out = capsys.readouterr().out
+        records = [json.loads(line) for line in out.splitlines() if line]
+        kinds = {record["kind"] for record in records}
+        assert {"txn.begin", "txn.invoke", "txn.commit"} <= kinds
+        conflicts = [r for r in records if r["kind"] == "lock.conflict"]
+        assert conflicts, "seeded account run should conflict"
+        for record in conflicts:
+            assert record["operation"] and record["held"] and record["relation"]
+
+    def test_jsonl_to_file(self, tmp_path, capsys):
+        target = tmp_path / "trace.jsonl"
+        assert (
+            main(
+                [
+                    "trace",
+                    "queue",
+                    "--duration",
+                    "40",
+                    "--output",
+                    str(target),
+                ]
+            )
+            == 0
+        )
+        assert "trace written to" in capsys.readouterr().out
+        from repro.obs import read_jsonl
+
+        events = read_jsonl(str(target))
+        assert events and events[0].kind == "txn.begin"
+
+    def test_spans_format(self, capsys):
+        assert (
+            main(["trace", "account", "--duration", "60", "--format", "spans"])
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "transaction" in out and "committed" in out
+
+    def test_summary_format(self, capsys):
+        assert (
+            main(["trace", "account", "--duration", "60", "--format", "summary"])
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "txn.commit" in out and "span(s)" in out
+
+    def test_rejects_optimistic(self, capsys):
+        assert main(["trace", "account", "--protocol", "optimistic"]) == 2
+        assert "locking" in capsys.readouterr().err
+
+
+class TestStats:
+    def test_human_output(self, capsys):
+        assert main(["stats", "account", "--duration", "80"]) == 0
+        out = capsys.readouterr().out
+        assert "txn.latency" in out
+        assert "conflicts by operation pair" in out
+        assert "compaction.horizon" in out
+        assert "lock tables at the duration cutoff" in out
+        assert "waits-for graph" in out
+
+    def test_block_policy_shows_waits(self, capsys):
+        assert (
+            main(
+                [
+                    "stats",
+                    "account",
+                    "--duration",
+                    "80",
+                    "--wait-policy",
+                    "block",
+                    "--spans",
+                    "5",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "lock.waits" in out
+        assert "transaction" in out  # the spans table
+
+    def test_json_output(self, capsys):
+        import json
+
+        assert main(["stats", "queue", "--duration", "40", "--json"]) == 0
+        snapshot = json.loads(capsys.readouterr().out)
+        assert snapshot["counters"]["txn.committed"] > 0
+        assert "txn.latency" in snapshot["histograms"]
+        assert "lock_tables" in snapshot and "waits_for" in snapshot
+        assert any(
+            name.startswith("compaction.horizon[") for name in snapshot["gauges"]
+        )
+
+
+class TestSimulateObservability:
+    def test_verbose_prints_breakdowns(self, capsys):
+        assert (
+            main(
+                [
+                    "simulate",
+                    "account",
+                    "--protocol",
+                    "hybrid",
+                    "--duration",
+                    "60",
+                    "--verbose",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "[hybrid]" in out
+        assert "conflicts by operation pair" in out
+        assert "compaction.horizon" in out
+
+    def test_trace_file_written(self, tmp_path, capsys):
+        target = tmp_path / "sim.jsonl"
+        assert (
+            main(
+                [
+                    "simulate",
+                    "queue",
+                    "--protocol",
+                    "hybrid",
+                    "--duration",
+                    "40",
+                    "--trace-file",
+                    str(target),
+                ]
+            )
+            == 0
+        )
+        assert "trace written to" in capsys.readouterr().out
+        assert target.exists() and target.read_text().strip()
+
+
+class TestRecoverObservability:
+    def seed_wal(self, tmp_path):
+        wal_dir = tmp_path / "wals"
+        assert (
+            main(
+                [
+                    "simulate",
+                    "account",
+                    "--protocol",
+                    "hybrid",
+                    "--duration",
+                    "40",
+                    "--wal-dir",
+                    str(wal_dir),
+                ]
+            )
+            == 0
+        )
+        return wal_dir / "hybrid"
+
+    def test_verbose_lists_replays(self, tmp_path, capsys):
+        logdir = self.seed_wal(tmp_path)
+        capsys.readouterr()
+        assert main(["recover", str(logdir), "--verbose"]) == 0
+        out = capsys.readouterr().out
+        assert "wal.replay" in out
+        assert "site.recover" in out
+
+    def test_trace_file_round_trips(self, tmp_path, capsys):
+        logdir = self.seed_wal(tmp_path)
+        target = tmp_path / "recovery.jsonl"
+        assert (
+            main(["recover", str(logdir), "--trace-file", str(target)]) == 0
+        )
+        from repro.obs import read_jsonl
+
+        kinds = [event.kind for event in read_jsonl(str(target))]
+        assert "wal.replay" in kinds
+        assert kinds[-1] == "site.recover"
