@@ -7,9 +7,13 @@ enqueues depend on nothing — the relation that admits concurrent
 enqueues), and verifies Definition 3 plus minimality.
 """
 
+from conftest import certification_data, certified_run
+
 from repro.adts import QUEUE_DEPENDENCY_FIG42, make_queue_adt, queue_universe
 from repro.analysis import concurrency_score, derive_figure
 from repro.core import invalidated_by
+from repro.protocols import HYBRID
+from repro.sim import QueueWorkload
 
 
 def test_fig4_2_queue_dependency(benchmark, save_artifact):
@@ -33,7 +37,21 @@ def test_fig4_2_queue_dependency(benchmark, save_artifact):
         derived.related(enq(v), p) for v in (1, 2) for p in universe
     )
 
+    _, cert = certified_run(QueueWorkload(), HYBRID, duration=150.0, seed=1)
+
+    score = concurrency_score(adt.conflict, universe)
     text = report.render() + (
-        f"\nconcurrency score   : {concurrency_score(adt.conflict, universe):.3f}"
+        f"\nconcurrency score   : {score:.3f}"
+        f"\ncertified run       : {cert['verdict']} ({cert['events']} events)"
     )
-    save_artifact("fig4_2_queue", text)
+    save_artifact(
+        "fig4_2_queue",
+        text,
+        data={
+            "matches_paper": report.matches_paper,
+            "is_dependency": report.is_dependency,
+            "is_minimal": report.is_minimal,
+            "concurrency_score": score,
+            "certification": certification_data(cert),
+        },
+    )

@@ -9,6 +9,8 @@ figures' conflict closures are incomparable, and (c) demonstrates
 Theorem 17: dropping a required pair admits a non-hybrid-atomic history.
 """
 
+from conftest import certification_data, certified_run
+
 from repro.adts import (
     QUEUE_CONFLICT_FIG42,
     QUEUE_CONFLICT_FIG43,
@@ -17,6 +19,8 @@ from repro.adts import (
     make_queue_adt,
     queue_universe,
 )
+from repro.protocols import HYBRID
+from repro.sim import QueueWorkload
 from repro.analysis import (
     Ordering,
     compare_relations,
@@ -49,6 +53,11 @@ def test_fig4_3_queue_dependency(benchmark, save_artifact):
     )
     assert comparison.ordering is Ordering.INCOMPARABLE
 
+    _, cert = certified_run(
+        QueueWorkload(dependency="fig43"), HYBRID, duration=150.0, seed=1
+    )
+
+    score = concurrency_score(QUEUE_CONFLICT_FIG43, universe)
     lines = [
         "Figure 4-3: FIFO Queue (second minimal dependency relation)",
         "",
@@ -57,9 +66,20 @@ def test_fig4_3_queue_dependency(benchmark, save_artifact):
         "dependency relation : True",
         "minimal             : True",
         f"vs Figure 4-2       : {comparison}",
-        f"concurrency score   : {concurrency_score(QUEUE_CONFLICT_FIG43, universe):.3f}",
+        f"concurrency score   : {score:.3f}",
+        f"certified run       : {cert['verdict']} ({cert['events']} events)",
     ]
-    save_artifact("fig4_3_queue", "\n".join(lines))
+    save_artifact(
+        "fig4_3_queue",
+        "\n".join(lines),
+        data={
+            "is_dependency": True,
+            "is_minimal": True,
+            "vs_fig4_2": str(comparison),
+            "concurrency_score": score,
+            "certification": certification_data(cert),
+        },
+    )
 
 
 def test_theorem17_necessity(benchmark, save_artifact):

@@ -6,6 +6,8 @@ equals the paper's entries, confirms its symmetric closure is exactly the
 appendix's Avalon lock table, and verifies minimality.
 """
 
+from conftest import certification_data, certified_run
+
 from repro.adts import (
     ACCOUNT_CONFLICT,
     account_universe,
@@ -17,6 +19,8 @@ from repro.adts import (
 )
 from repro.analysis import concurrency_score, derive_figure
 from repro.core import invalidated_by
+from repro.protocols import HYBRID
+from repro.sim import AccountWorkload
 
 
 def test_fig4_5_account_dependency(benchmark, save_artifact):
@@ -44,9 +48,23 @@ def test_fig4_5_account_dependency(benchmark, save_artifact):
     assert not ACCOUNT_CONFLICT.related(post(50), debit_ok(3))
     assert not ACCOUNT_CONFLICT.related(post(50), credit(3))
 
+    _, cert = certified_run(AccountWorkload(), HYBRID, duration=150.0, seed=1)
+
+    score = concurrency_score(ACCOUNT_CONFLICT, universe)
     text = report.render() + (
         "\nsymmetric closure == appendix lock table "
         "(CREDIT-OVERDRAFT, POST-OVERDRAFT, DEBIT-DEBIT): True"
-        f"\nconcurrency score   : {concurrency_score(ACCOUNT_CONFLICT, universe):.3f}"
+        f"\nconcurrency score   : {score:.3f}"
+        f"\ncertified run       : {cert['verdict']} ({cert['events']} events)"
     )
-    save_artifact("fig4_5_account", text)
+    save_artifact(
+        "fig4_5_account",
+        text,
+        data={
+            "matches_paper": report.matches_paper,
+            "is_dependency": report.is_dependency,
+            "is_minimal": report.is_minimal,
+            "concurrency_score": score,
+            "certification": certification_data(cert),
+        },
+    )

@@ -8,6 +8,8 @@ hybrid conflicts of Figure 4-5 are a strict subset — the extra pairs are
 exactly Post vs Credit/Debit.
 """
 
+from conftest import certification_data, certified_run
+
 from repro.adts import (
     ACCOUNT_COMMUTATIVITY_CONFLICT,
     ACCOUNT_CONFLICT,
@@ -21,6 +23,8 @@ from repro.analysis import (
     derive_commutativity_figure,
 )
 from repro.core import failure_to_commute
+from repro.protocols import COMMUTATIVITY
+from repro.sim import AccountWorkload
 
 
 def test_fig7_1_account_commutativity(benchmark, save_artifact):
@@ -43,12 +47,30 @@ def test_fig7_1_account_commutativity(benchmark, save_artifact):
     extra = sorted({(q.name, p.name) for q, p in comparison.only_right})
     assert all("Post" in pair for pair in extra)
 
+    # Certify a run under the commutativity-based protocol itself.
+    _, cert = certified_run(
+        AccountWorkload(), COMMUTATIVITY, duration=150.0, seed=1
+    )
+
+    hybrid_score = concurrency_score(ACCOUNT_CONFLICT, universe)
+    commute_score = concurrency_score(ACCOUNT_COMMUTATIVITY_CONFLICT, universe)
     text = report.render() + (
         f"\nhybrid (Fig 4-5) vs commutativity: {comparison}"
         f"\nextra commutativity conflicts    : {extra}"
-        f"\nconcurrency score (hybrid)       : "
-        f"{concurrency_score(ACCOUNT_CONFLICT, universe):.3f}"
-        f"\nconcurrency score (commutativity): "
-        f"{concurrency_score(ACCOUNT_COMMUTATIVITY_CONFLICT, universe):.3f}"
+        f"\nconcurrency score (hybrid)       : {hybrid_score:.3f}"
+        f"\nconcurrency score (commutativity): {commute_score:.3f}"
+        f"\ncertified run (commutativity)    : {cert['verdict']}"
+        f" ({cert['events']} events)"
     )
-    save_artifact("fig7_1_account_commute", text)
+    save_artifact(
+        "fig7_1_account_commute",
+        text,
+        data={
+            "matches_paper": report.matches_paper,
+            "is_dependency": report.is_dependency,
+            "extra_commutativity_conflicts": extra,
+            "concurrency_score_hybrid": hybrid_score,
+            "concurrency_score_commutativity": commute_score,
+            "certification": certification_data(cert),
+        },
+    )

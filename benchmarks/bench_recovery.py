@@ -16,6 +16,8 @@ sharply once periodic horizon checkpoints truncate the logs, and
 throughput degrades gracefully as the crash rate rises.
 """
 
+from conftest import certification_data
+
 from repro.core import is_hybrid_atomic, timestamps_respect_precedes
 from repro.distributed import run_distributed_experiment
 
@@ -24,7 +26,7 @@ SEED = 7
 CRASH_SEED = 3
 
 
-def crashy_run(rate, checkpoint_every=0.0, record=False):
+def crashy_run(rate, checkpoint_every=0.0, record=False, tracer=None):
     return run_distributed_experiment(
         site_count=3,
         clients=5,
@@ -34,7 +36,21 @@ def crashy_run(rate, checkpoint_every=0.0, record=False):
         crash_seed=CRASH_SEED,
         checkpoint_every=checkpoint_every,
         record=record,
+        tracer=tracer,
     )
+
+
+def certified_crashy_run(rate, checkpoint_every=0.0, record=False):
+    """One crashy run with the streaming oracle attached (fresh checker
+    per run — transaction names repeat across configurations)."""
+    from repro.obs import AtomicityChecker, TraceBus
+
+    bus = TraceBus()
+    checker = bus.subscribe(AtomicityChecker(emit_to=bus))
+    run = crashy_run(rate, checkpoint_every, record=record, tracer=bus)
+    report = checker.report()
+    assert report["ok"], checker.render_report()
+    return run, report
 
 
 def test_recovery(benchmark, save_artifact):
@@ -47,9 +63,13 @@ def test_recovery(benchmark, save_artifact):
     )
     lines = [header]
     replayed_by_config = {}
+    certifications = {}
     for rate in (0.01, 0.02, 0.04):
         for checkpoint_every in (0.0, 25.0):
-            run = crashy_run(rate, checkpoint_every, record=True)
+            run, cert = certified_crashy_run(rate, checkpoint_every, record=True)
+            certifications[f"rate={rate} ckpt={checkpoint_every}"] = (
+                certification_data(cert)
+            )
             m = run.metrics
 
             # Every planned crash recovered, in-run, via replay.
@@ -84,5 +104,12 @@ def test_recovery(benchmark, save_artifact):
         f"crash_seed={CRASH_SEED})\n\n" + "\n".join(lines) + "\n\n"
         "every victim recovered in-run; recovered committed state-sets "
         "verified against pre-crash snapshots; post-crash histories hybrid "
-        "atomic: True",
+        "atomic: True; every run certified by the streaming oracle",
+        data={
+            "replayed_records": {
+                f"rate={rate} ckpt={ckpt}": count
+                for (rate, ckpt), count in sorted(replayed_by_config.items())
+            },
+            "certifications": certifications,
+        },
     )

@@ -46,9 +46,22 @@ def assignments():
     return {"majority": majority, "read-write": read_write, "type-specific": biased}
 
 
-def measure(assignment, failed):
-    """Try one op of each kind with ``failed`` replicas down."""
-    manager = ReplicatedTransactionManager()
+def measure(assignment, failed, check=False):
+    """Try one op of each kind with ``failed`` replicas down.
+
+    With ``check=True`` the streaming oracle rides along (a fresh bus and
+    checker per call — every manager reuses transaction names) and the
+    committed sub-history is asserted hybrid atomic; returns
+    ``(outcome, report)`` then.
+    """
+    tracer = None
+    checker = None
+    if check:
+        from repro.obs import AtomicityChecker, TraceBus
+
+        tracer = TraceBus()
+        checker = tracer.subscribe(AtomicityChecker(emit_to=tracer))
+    manager = ReplicatedTransactionManager(tracer=tracer)
     manager.create_object("A", make_account_adt(), assignment)
     manager.run_transaction(lambda ctx: ctx.invoke("A", "Credit", 100))
     manager.object("A").fail_replicas(failed)
@@ -59,6 +72,10 @@ def measure(assignment, failed):
             outcome[op] = "up"
         except Unavailable:
             outcome[op] = "-"
+    if check:
+        report = checker.report()
+        assert report["ok"], checker.render_report()
+        return outcome, report
     return outcome
 
 
@@ -73,10 +90,16 @@ def test_replication_availability(benchmark, save_artifact):
 
     lines = []
     grids = {}
+    certifications = {}
     for name, assignment in table.items():
         rows = []
         for failed in range(REPLICAS):
-            outcome = measure(assignment, failed)
+            outcome, cert = measure(assignment, failed, check=True)
+            certifications[f"{name}/failed={failed}"] = {
+                "verdict": cert["verdict"],
+                "events": cert["events"],
+                "violations": cert["violations"],
+            }
             rows.append(
                 [str(failed)] + [outcome[op] for op in NAMES]
             )
@@ -99,6 +122,11 @@ def test_replication_availability(benchmark, save_artifact):
     save_artifact(
         "replication_availability",
         "X-Q: Account availability under replica failures "
-        f"({REPLICAS} replicas; 'up' = operation committable)\n"
+        f"({REPLICAS} replicas; 'up' = operation committable; every "
+        "configuration's committed history certified hybrid atomic)\n"
         + "\n".join(lines),
+        data={
+            "availability": grids,
+            "certifications": certifications,
+        },
     )

@@ -12,6 +12,14 @@ without needing the pre-instrumentation binary:
 * **absolute floor** — disabled throughput must clear a floor far below
   any machine we run CI on, catching pathological regressions (an
   accidental per-event allocation on the hot path) outright.
+* **idle-bus guard** — a bus with *no* subscribers must also stay within
+  the relative tolerance of disabled: ``TraceBus.emit`` returns before
+  building an event when nobody listens.
+* **checker budget** — the streaming atomicity checker riding a manager
+  commit-churn loop must keep throughput above an absolute floor and
+  within a (deliberately loose) multiple of the unobserved manager.  The
+  oracle re-sorts and re-verifies committed prefixes, so it is allowed to
+  be much slower — this bound only catches accidental quadratic blowups.
 
 Run directly (``PYTHONPATH=src python benchmarks/check_overhead.py``) or
 via pytest.  Exits non-zero on violation.
@@ -22,7 +30,8 @@ import time
 
 from repro.adts import make_account_adt
 from repro.core import CompactingLockMachine, Invocation
-from repro.obs import MetricsRegistry, RegistrySink, TraceBus
+from repro.obs import AtomicityChecker, MetricsRegistry, RegistrySink, TraceBus
+from repro.runtime import TransactionManager
 
 TRANSACTIONS = 150
 REPEATS = 7
@@ -31,6 +40,10 @@ REPEATS = 7
 FLOOR_TXN_PER_SECOND = 1_000.0
 # Disabled must be no slower than traced, with headroom for timer noise.
 RELATIVE_TOLERANCE = 1.10
+# The checker replays the serial order per commit; keep it merely
+# "not pathological": within 15x of the bare manager and above 100 txn/s.
+CHECKER_TOLERANCE = 15.0
+CHECKER_FLOOR_TXN_PER_SECOND = 100.0
 
 
 def churn(machine, transactions=TRANSACTIONS):
@@ -50,6 +63,23 @@ def best_of(build, repeats=REPEATS):
     return best
 
 
+def manager_churn(manager, transactions=TRANSACTIONS):
+    for _ in range(transactions):
+        txn = manager.begin()
+        manager.invoke(txn, "A", "Credit", 1)
+        manager.commit(txn)
+
+
+def best_of_manager(build, repeats=REPEATS):
+    best = float("inf")
+    for _ in range(repeats):
+        manager = build()
+        started = time.perf_counter()
+        manager_churn(manager)
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
 def main():
     adt = make_account_adt()
 
@@ -63,16 +93,44 @@ def main():
         machine.tracer = bus
         return machine
 
+    def idle_bus():
+        # Attached bus, zero subscribers: emit() must bail immediately.
+        machine = CompactingLockMachine(adt.spec, adt.conflict)
+        machine.tracer = TraceBus()
+        return machine
+
+    def bare_manager():
+        manager = TransactionManager()
+        manager.create_object("A", adt)
+        return manager
+
+    def checked_manager():
+        bus = TraceBus()
+        bus.subscribe(AtomicityChecker())
+        manager = TransactionManager(tracer=bus)
+        manager.create_object("A", adt)
+        return manager
+
     # Warm up bytecode caches before timing either variant.
     churn(disabled())
+    manager_churn(bare_manager())
 
     disabled_best = best_of(disabled)
     traced_best = best_of(traced)
+    idle_best = best_of(idle_bus)
+    manager_best = best_of_manager(bare_manager)
+    checked_best = best_of_manager(checked_manager)
     disabled_tps = TRANSACTIONS / disabled_best
     traced_tps = TRANSACTIONS / traced_best
+    idle_tps = TRANSACTIONS / idle_best
+    manager_tps = TRANSACTIONS / manager_best
+    checked_tps = TRANSACTIONS / checked_best
 
     print(f"disabled: {disabled_best:.6f}s best  ({disabled_tps:,.0f} txn/s)")
     print(f"traced:   {traced_best:.6f}s best  ({traced_tps:,.0f} txn/s)")
+    print(f"idle bus: {idle_best:.6f}s best  ({idle_tps:,.0f} txn/s)")
+    print(f"manager:  {manager_best:.6f}s best  ({manager_tps:,.0f} txn/s)")
+    print(f"checked:  {checked_best:.6f}s best  ({checked_tps:,.0f} txn/s)")
 
     failures = []
     if disabled_tps < FLOOR_TXN_PER_SECOND:
@@ -85,6 +143,23 @@ def main():
             f"disabled path ({disabled_best:.6f}s) is slower than the traced "
             f"path ({traced_best:.6f}s) beyond tolerance — a tracer guard "
             "was probably dropped"
+        )
+    if idle_best > traced_best * RELATIVE_TOLERANCE:
+        failures.append(
+            f"idle-bus path ({idle_best:.6f}s) is slower than the traced "
+            f"path ({traced_best:.6f}s) beyond tolerance — emit() is doing "
+            "work with no subscribers"
+        )
+    if checked_tps < CHECKER_FLOOR_TXN_PER_SECOND:
+        failures.append(
+            f"checker-attached throughput {checked_tps:,.0f} txn/s is below "
+            f"the {CHECKER_FLOOR_TXN_PER_SECOND:,.0f} txn/s floor"
+        )
+    if checked_best > manager_best * CHECKER_TOLERANCE:
+        failures.append(
+            f"checker-attached churn ({checked_best:.6f}s) exceeds "
+            f"{CHECKER_TOLERANCE:.0f}x the bare manager ({manager_best:.6f}s)"
+            " — the oracle's per-event work has blown up"
         )
 
     if failures:

@@ -53,6 +53,35 @@ def run_observed(workload, protocol, **kwargs):
     return metrics, registry
 
 
+def certified_run(workload, protocol, **kwargs):
+    """``run_experiment`` with the streaming atomicity checker attached.
+
+    Returns ``(metrics, report)`` where ``report`` is the checker's
+    verdict dict; asserts the run certified clean, so every benchmark
+    that uses this helper doubles as an end-to-end oracle check.
+    """
+    from repro.obs import AtomicityChecker, TraceBus
+    from repro.sim import run_experiment
+
+    bus = TraceBus()
+    checker = bus.subscribe(AtomicityChecker(emit_to=bus))
+    metrics = run_experiment(workload, protocol, tracer=bus, **kwargs)
+    report = checker.report()
+    assert report["ok"], checker.render_report()
+    return metrics, report
+
+
+def certification_data(report):
+    """The JSON-artifact verdict block for a checker report."""
+    return {
+        "verdict": report["verdict"],
+        "ok": report["ok"],
+        "events": report["events"],
+        "transactions": report["transactions"],
+        "violations": report["violations"],
+    }
+
+
 def breakdown_data(results):
     """JSON-ready rows from a {protocol: (Metrics, registry)} mapping."""
     data = {}

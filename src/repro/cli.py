@@ -26,6 +26,14 @@ Commands
     histograms, conflict breakdown by operation pair, compaction
     horizon / retained-intentions gauges, and an end-of-run lock-table
     plus waits-for-graph snapshot (``--json`` for machine output).
+``check [workload | --trace-file FILE]``
+    Certify a run hybrid atomic with the streaming oracle
+    (:class:`repro.obs.AtomicityChecker`): either run a workload live
+    with the checker attached (any protocol, including ``optimistic``),
+    or replay a recorded JSONL trace offline.  Prints the verdict (or
+    the full report with ``--json``) and exits nonzero when any checked
+    property is violated; each violation carries a minimal witness —
+    the smallest event sub-sequence that still reproduces it.
 
 Examples::
 
@@ -36,10 +44,13 @@ Examples::
     python -m repro simulate account --duration 500 --seed 3
     python -m repro simulate account --crash-rate 0.01 --wal-dir /tmp/wals
     python -m repro simulate queue --verbose --trace-file /tmp/queue.jsonl
+    python -m repro simulate queue --check
     python -m repro recover /tmp/wals/hybrid
     python -m repro trace account --format spans
     python -m repro trace queue --format jsonl --output /tmp/trace.jsonl
     python -m repro stats account --wait-policy block
+    python -m repro check account --duration 200
+    python -m repro check --trace-file /tmp/trace.jsonl --json
 """
 
 from __future__ import annotations
@@ -236,6 +247,8 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
 
         jsonl_sink = JSONLSink(args.trace_file)
     verbose_blocks = []
+    check_lines = []
+    all_certified = True
     for protocol in protocols:
         wal = None
         if args.wal_dir and protocol.engine != "optimistic":
@@ -253,6 +266,15 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
             registry = MetricsRegistry()
             if jsonl_sink is not None:
                 tracer.subscribe(jsonl_sink)
+        checker = None
+        if args.check:
+            # One fresh checker per protocol: each run reuses transaction
+            # names, so a shared checker would see duplicate histories.
+            from .obs import AtomicityChecker, TraceBus
+
+            if tracer is None:
+                tracer = TraceBus()
+            checker = tracer.subscribe(AtomicityChecker(emit_to=tracer))
         metrics = run_experiment(
             factory(),
             protocol,
@@ -279,15 +301,21 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
             for name, gauge in sorted(registry.gauges.items()):
                 lines.append(f"  {name:52s} {gauge.value!r:>8}")
             verbose_blocks.append("\n".join(lines))
+        if checker is not None:
+            all_certified = all_certified and checker.ok
+            check_lines.append(f"[{protocol.name}] {checker.render_report()}")
     if jsonl_sink is not None:
         jsonl_sink.close()
         print(f"\ntrace written to {args.trace_file} ({jsonl_sink.written} events)")
     if verbose_blocks:
         print()
         print("\n".join(verbose_blocks))
+    if check_lines:
+        print()
+        print("\n".join(check_lines))
     if args.wal_dir:
         print(f"\nwrite-ahead logs under {args.wal_dir}/<protocol>")
-    return 0
+    return 0 if all_certified else 1
 
 
 def _cmd_recover(args: argparse.Namespace) -> int:
@@ -513,6 +541,61 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_check(args: argparse.Namespace) -> int:
+    import json
+
+    from .obs import AtomicityChecker, TraceBus, read_jsonl
+
+    if args.trace_file:
+        if args.workload:
+            print(
+                "check: give a workload or --trace-file, not both",
+                file=sys.stderr,
+            )
+            return 2
+        import os
+
+        if not os.path.isfile(args.trace_file):
+            print(f"no such trace file: {args.trace_file}", file=sys.stderr)
+            return 2
+        checker = AtomicityChecker()
+        checker.replay(read_jsonl(args.trace_file))
+    else:
+        if not args.workload:
+            print("check: need a workload or --trace-file", file=sys.stderr)
+            return 2
+        factory = _WORKLOADS.get(args.workload)
+        if factory is None:
+            print(
+                f"unknown workload {args.workload!r}; "
+                f"available: {', '.join(sorted(_WORKLOADS))}",
+                file=sys.stderr,
+            )
+            return 2
+        try:
+            protocol = get_protocol(args.protocol)
+        except KeyError as exc:
+            print(exc.args[0], file=sys.stderr)
+            return 2
+        tracer = TraceBus()
+        checker = tracer.subscribe(AtomicityChecker(emit_to=tracer))
+        run_experiment(
+            factory(),
+            protocol,
+            duration=args.duration,
+            seed=args.seed,
+            crash_rate=0.0 if protocol.engine == "optimistic" else args.crash_rate,
+            params=ClientParams(wait_policy=args.wait_policy),
+            tracer=tracer,
+        )
+    report = checker.report()
+    if args.json:
+        print(json.dumps(report, indent=2, default=repr))
+    else:
+        print(checker.render_report())
+    return 0 if report["ok"] else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI's argument parser (exposed for testing)."""
     parser = argparse.ArgumentParser(
@@ -591,6 +674,12 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="write the structured event trace (JSONL) here",
     )
+    simulate.add_argument(
+        "--check",
+        action="store_true",
+        help="attach the online atomicity checker and print a verdict "
+        "per protocol (exit 1 on any violation)",
+    )
 
     recover = commands.add_parser(
         "recover", help="rebuild a manager from a write-ahead log directory"
@@ -655,6 +744,40 @@ def build_parser() -> argparse.ArgumentParser:
         "--spans", type=int, default=0, metavar="N",
         help="also show the last N per-transaction spans",
     )
+
+    check = commands.add_parser(
+        "check",
+        help="certify a run hybrid atomic (live workload or recorded trace)",
+    )
+    check.add_argument(
+        "workload",
+        nargs="?",
+        default=None,
+        help="a workload name to run live (omit with --trace-file)",
+    )
+    check.add_argument(
+        "--protocol",
+        default="hybrid",
+        help="any protocol, including optimistic",
+    )
+    check.add_argument("--duration", type=float, default=100.0)
+    check.add_argument("--seed", type=int, default=0)
+    check.add_argument(
+        "--crash-rate", type=float, default=0.0,
+        help="Poisson rate of injected manager crashes (locking engines)",
+    )
+    check.add_argument(
+        "--wait-policy", choices=["retry", "block"], default="retry",
+        help="refused-lock handling for the live run",
+    )
+    check.add_argument(
+        "--trace-file",
+        default=None,
+        help="replay this recorded JSONL trace instead of running a workload",
+    )
+    check.add_argument(
+        "--json", action="store_true", help="print the full report as JSON"
+    )
     return parser
 
 
@@ -670,6 +793,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "recover": _cmd_recover,
         "trace": _cmd_trace,
         "stats": _cmd_stats,
+        "check": _cmd_check,
     }[args.command]
     return handler(args)
 

@@ -93,6 +93,16 @@ class Site:
         self._machines[name] = machine
         self._adts[name] = adt
         self._touched[name] = set()
+        if self.tracer is not None:
+            self.tracer.emit(
+                "obj.create",
+                obj=name,
+                adt=adt.name,
+                protocol=protocol.name,
+                relation=machine.conflict.name,
+                initial=adt.spec.initial_states(),
+                site=self.name,
+            )
         if self.wal is not None:
             from ..recovery.wal import create_record
 
@@ -215,11 +225,13 @@ class Site:
                 from ..recovery.wal import commit_record
 
                 self.wal.append(commit_record(transaction, timestamp, footprint))
+        delivered = []
         for obj, holders in self._touched.items():
             if transaction in holders:
                 self._machines[obj].commit(transaction, timestamp)
                 self._record(CommitEvent(transaction, obj, timestamp))
                 holders.discard(transaction)
+                delivered.append(obj)
         self._prepared.discard(transaction)
         self.clock.observe(timestamp[0])
         tracer = self.tracer
@@ -228,6 +240,7 @@ class Site:
                 "txn.commit",
                 transaction=transaction,
                 timestamp=timestamp,
+                objects=sorted(delivered),
                 site=self.name,
             )
         return True
@@ -244,15 +257,22 @@ class Site:
             from ..recovery.wal import abort_record
 
             self.wal.append(abort_record(transaction))
+        delivered = []
         for obj, holders in self._touched.items():
             if transaction in holders:
                 self._machines[obj].abort(transaction)
                 self._record(AbortEvent(transaction, obj))
                 holders.discard(transaction)
+                delivered.append(obj)
         self._prepared.discard(transaction)
         tracer = self.tracer
         if tracer is not None:
-            tracer.emit("txn.abort", transaction=transaction, site=self.name)
+            tracer.emit(
+                "txn.abort",
+                transaction=transaction,
+                objects=sorted(delivered),
+                site=self.name,
+            )
         return True
 
     # ------------------------------------------------------------------

@@ -10,10 +10,15 @@ The subsystem has three pieces (see ``docs/observability.md``):
   :class:`MetricsRegistry` of counters, gauges, and fixed-bucket
   histograms (a strict superset of ``repro.sim.metrics.Metrics``);
 * **sinks**: in-memory ring buffer, JSONL file writer, and table
-  renderers for the ``repro trace`` / ``repro stats`` CLI.
+  renderers for the ``repro trace`` / ``repro stats`` CLI;
+* an **oracle**: :class:`AtomicityChecker` streams over the events (live
+  or replayed from JSONL) and certifies the run hybrid atomic — or
+  refutes it with a minimal witness (``repro check``).
 """
 
 from .bus import TraceBus
+from .checker import AtomicityChecker
+from .codec import decode_value, encode_value
 from .events import EVENT_KINDS, TraceEvent
 from .registry import (
     DEFAULT_LATENCY_BUCKETS,
@@ -41,11 +46,17 @@ from .snapshot import (
     waits_for_edges,
 )
 from .spans import Span, SpanBuilder
+from .witness import Violation, minimize_witness
 
 __all__ = [
     "TraceBus",
     "TraceEvent",
     "EVENT_KINDS",
+    "AtomicityChecker",
+    "Violation",
+    "minimize_witness",
+    "encode_value",
+    "decode_value",
     "Span",
     "SpanBuilder",
     "Counter",

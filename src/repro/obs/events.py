@@ -42,6 +42,27 @@ kind                   emitted when / payload highlights
                        volatile-loss crashes)
 ``site.recover``       checkpoint + WAL replay rebuilt a site or
                        manager
+``obj.create``         an object registered with a manager or site
+                       (``obj``, ``adt``, ``protocol``, ``relation``,
+                       ``initial`` serial states) — the checker reads
+                       its spec and conflict relation from this
+``validation.begin``   an optimistic commit entered certification
+                       (``transaction``, ``obj``, ``start``)
+``validation.success`` certification passed (``path`` says whether the
+                       fast path or a dependency replay decided it)
+``validation.invalidated``  certification failed, naming the committed
+                       transaction whose operation invalidated the
+                       view (``invalidated_by``, ``operation``)
+``quorum.assemble``    a replica quorum was chosen (``obj``, ``kind``
+                       initial/final, ``replicas``, ``size``)
+``quorum.deny``        a quorum could not be formed — too many
+                       replicas down, or a quorum-intersection rule
+                       violated at assignment validation
+``replica.read``       one replica served its log to a view
+``replica.write``      one replica absorbed committed intentions
+``check.violation``    the atomicity checker refuted a property of
+                       the run (``rule``, ``txn``, ``obj``,
+                       ``witness_events``)
 =====================  =============================================
 
 Events are deliberately plain: a frozen dataclass of ``(ts, kind,
@@ -77,6 +98,15 @@ EVENT_KINDS = frozenset(
         "net.deliver",
         "site.crash",
         "site.recover",
+        "obj.create",
+        "validation.begin",
+        "validation.success",
+        "validation.invalidated",
+        "quorum.assemble",
+        "quorum.deny",
+        "replica.read",
+        "replica.write",
+        "check.violation",
     }
 )
 

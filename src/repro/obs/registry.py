@@ -271,3 +271,13 @@ class RegistrySink:
             registry.counter("site.crashes").inc()
         elif kind == "site.recover":
             registry.counter("site.recoveries").inc()
+        elif kind == "validation.success":
+            registry.counter("validation.successes").inc()
+        elif kind == "validation.invalidated":
+            registry.counter("validation.invalidated").inc()
+        elif kind == "quorum.assemble":
+            registry.counter("quorum.assembled").inc()
+        elif kind == "quorum.deny":
+            registry.counter("quorum.denied").inc()
+        elif kind == "check.violation":
+            registry.counter("check.violations").inc()

@@ -16,6 +16,7 @@ from collections import Counter as _Counter
 from collections import deque
 from typing import IO, Any, Dict, Iterable, List, Optional, Sequence, Union
 
+from .codec import decode_value, encode_value
 from .events import TraceEvent
 from .registry import Histogram
 from .spans import Span
@@ -59,9 +60,10 @@ class RingBufferSink:
 class JSONLSink:
     """Write each event as one JSON line to a path or open file.
 
-    Non-JSON payload values (operation tuples, -∞ timestamps) are
-    serialised via ``repr`` — the log is for inspection and replay-side
-    analysis, not for reconstructing live Python objects.
+    Payload values go through :func:`repro.obs.codec.encode_value`, so
+    tuples, state-set frozensets, fractions, and the ``-∞`` horizon
+    sentinel survive the file round trip; :func:`read_jsonl` restores
+    the original Python values.
     """
 
     def __init__(self, target: Union[str, IO[str]]):
@@ -74,7 +76,10 @@ class JSONLSink:
         self.written = 0
 
     def __call__(self, event: TraceEvent) -> None:
-        self._file.write(json.dumps(event.to_dict(), default=repr) + "\n")
+        record: Dict[str, Any] = {"ts": event.ts, "kind": event.kind}
+        for key, value in event.data.items():
+            record[key] = encode_value(value)
+        self._file.write(json.dumps(record, default=repr) + "\n")
         self.written += 1
 
     def close(self) -> None:
@@ -101,7 +106,8 @@ def read_jsonl(path: str) -> List[TraceEvent]:
             record = json.loads(line)
             ts = record.pop("ts")
             kind = record.pop("kind")
-            events.append(TraceEvent(ts, kind, record))
+            data = {key: decode_value(value) for key, value in record.items()}
+            events.append(TraceEvent(ts, kind, data))
     return events
 
 

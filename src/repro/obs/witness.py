@@ -1,0 +1,112 @@
+"""Violation records and minimal-witness extraction for the checker.
+
+When the streaming oracle (:mod:`repro.obs.checker`) refutes a property,
+pointing at the *last* event is rarely enough: the interesting question
+is which handful of events, out of tens of thousands, already suffice to
+demonstrate the failure.  :func:`minimize_witness` answers it with a
+greedy delta-debugging pass: replay candidate sub-sequences through a
+fresh checker and keep shrinking while the same violation still fires.
+
+Two shrinking passes, both linear in trace length:
+
+1. drop every event of one transaction at a time (removes uninvolved
+   transactions wholesale — the big win);
+2. drop single events (trims setup noise like begins or unrelated
+   responses).
+
+The result is not guaranteed globally minimal (that is NP-hard), but it
+is *1-minimal for transactions* and usually a handful of events in
+practice — small enough to read.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from .events import TraceEvent
+from .sinks import render_events
+
+__all__ = ["Violation", "minimize_witness"]
+
+
+@dataclass
+class Violation:
+    """One refuted property, with the evidence that refutes it.
+
+    ``rule`` names the property family (``well-formedness``,
+    ``commit-timestamp``, ``serial-order``, ``conflict-acceptance``,
+    ``compaction``, ``recovery``); ``witness`` is the minimized event
+    sub-sequence that reproduces the violation on replay.
+    """
+
+    rule: str
+    message: str
+    obj: Optional[str] = None
+    transaction: Optional[str] = None
+    index: int = -1
+    witness: Tuple[TraceEvent, ...] = field(default_factory=tuple)
+
+    def signature(self) -> Tuple[str, Optional[str], Optional[str]]:
+        """What makes two violations "the same" during minimization."""
+        return (self.rule, self.obj, self.transaction)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-friendly shape (witness events flattened like JSONL)."""
+        return {
+            "rule": self.rule,
+            "message": self.message,
+            "obj": self.obj,
+            "transaction": self.transaction,
+            "index": self.index,
+            "witness": [event.to_dict() for event in self.witness],
+        }
+
+    def render(self) -> str:
+        """Human-readable block: headline plus the witness events."""
+        lines = [f"[{self.rule}] {self.message}"]
+        if self.witness:
+            lines.append(f"  witness ({len(self.witness)} event(s)):")
+            body = render_events(self.witness)
+            lines.extend("    " + line for line in body.splitlines())
+        return "\n".join(lines)
+
+
+def minimize_witness(
+    events: Sequence[TraceEvent],
+    reproduces: Callable[[Sequence[TraceEvent]], bool],
+    max_single_pass: int = 1500,
+) -> Tuple[TraceEvent, ...]:
+    """Greedily shrink ``events`` while ``reproduces`` stays true.
+
+    ``reproduces`` replays a candidate sub-sequence through a fresh
+    checker and reports whether the same violation still fires.  The
+    single-event pass is skipped above ``max_single_pass`` events (it is
+    quadratic); the transaction pass always runs.
+    """
+    current: List[TraceEvent] = list(events)
+    if not reproduces(current):  # pragma: no cover - defensive
+        return tuple(current)
+
+    # Pass 1: drop whole transactions.
+    transactions: List[Any] = []
+    for event in current:
+        transaction = event.transaction
+        if transaction is not None and transaction not in transactions:
+            transactions.append(transaction)
+    for transaction in transactions:
+        trial = [e for e in current if e.transaction != transaction]
+        if len(trial) < len(current) and reproduces(trial):
+            current = trial
+
+    # Pass 2: drop single events (keep index fixed on success: the next
+    # event slides into the removed slot).
+    if len(current) <= max_single_pass:
+        index = 0
+        while index < len(current):
+            trial = current[:index] + current[index + 1 :]
+            if reproduces(trial):
+                current = trial
+            else:
+                index += 1
+    return tuple(current)

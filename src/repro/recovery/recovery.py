@@ -246,6 +246,16 @@ def recover_machines(
         machine, adt = _build_machine(record, checkpoint, catalog, compacting)
         machines[record["obj"]] = machine
         adts[record["obj"]] = adt
+        if tracer is not None:
+            tracer.emit(
+                "obj.create",
+                obj=record["obj"],
+                adt=adt.name,
+                protocol=record["protocol"],
+                relation=machine.conflict.name,
+                initial=adt.spec.initial_states(),
+                recovered=True,
+            )
 
     report = RecoveryReport(
         scanned_records=image.scanned,

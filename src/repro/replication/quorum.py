@@ -109,7 +109,11 @@ class QuorumAssignment:
     # ------------------------------------------------------------------
 
     def validate(
-        self, dependency: Relation, universe: Sequence[Operation]
+        self,
+        dependency: Relation,
+        universe: Sequence[Operation],
+        tracer=None,
+        obj: str = None,
     ) -> List[QuorumViolation]:
         """Check the intersection constraint over a finite universe.
 
@@ -117,7 +121,8 @@ class QuorumAssignment:
         relation, the initial quorum of ``q``'s invocation must overlap
         the final quorum of ``p``'s invocation:
         ``initial(q) + final(p) > n``.  Returns all violations (empty
-        means valid).
+        means valid).  When ``tracer`` (a :class:`repro.obs.TraceBus`) is
+        given, each violation is also emitted as a ``quorum.deny`` event.
         """
         violations: List[QuorumViolation] = []
         seen: set = set()
@@ -132,9 +137,21 @@ class QuorumAssignment:
                 iq = self.spec_for(q.invocation).initial
                 fp = self.spec_for(p.invocation).final
                 if iq + fp <= self.replicas:
-                    violations.append(
-                        QuorumViolation(q.name, p.name, iq, fp, self.replicas)
+                    violation = QuorumViolation(
+                        q.name, p.name, iq, fp, self.replicas
                     )
+                    violations.append(violation)
+                    if tracer is not None:
+                        tracer.emit(
+                            "quorum.deny",
+                            obj=obj,
+                            quorum="assignment",
+                            dependent=q.name,
+                            depended=p.name,
+                            initial=iq,
+                            final=fp,
+                            replicas=self.replicas,
+                        )
         return violations
 
     def is_valid(self, dependency: Relation, universe: Sequence[Operation]) -> bool:

@@ -107,6 +107,8 @@ class ReplicatedObject:
         self.spec = adt.spec
         self.assignment = assignment
         self.conflict = conflict if conflict is not None else adt.conflict
+        #: Optional :class:`repro.obs.TraceBus` (set by the manager).
+        self.tracer = None
         self.replicas = [
             Replica(f"{name}/r{i}") for i in range(assignment.replicas)
         ]
@@ -143,7 +145,17 @@ class ReplicatedObject:
 
     def _choose(self, size: int, kind: str) -> List[Replica]:
         live = self.live_replicas()
+        tracer = self.tracer
         if len(live) < size:
+            if tracer is not None:
+                tracer.emit(
+                    "quorum.deny",
+                    obj=self.name,
+                    quorum=kind,
+                    needed=size,
+                    live=len(live),
+                    replicas=self.assignment.replicas,
+                )
             raise Unavailable(
                 f"{self.name}: {kind} quorum needs {size} replicas,"
                 f" only {len(live)} live",
@@ -152,17 +164,44 @@ class ReplicatedObject:
             )
         start = self._rotation % max(1, len(live))
         self._rotation += 1
-        return [live[(start + i) % len(live)] for i in range(size)]
+        chosen = [live[(start + i) % len(live)] for i in range(size)]
+        if tracer is not None:
+            tracer.emit(
+                "quorum.assemble",
+                obj=self.name,
+                quorum=kind,
+                size=size,
+                live=len(live),
+                members=sorted(replica.name for replica in chosen),
+            )
+        return chosen
 
     def _read_quorum(self, size: int) -> Dict[str, LogEntry]:
         merged: Dict[str, LogEntry] = {}
+        tracer = self.tracer
         for replica in self._choose(size, "initial"):
-            merged.update(replica.entries())
+            entries = replica.entries()
+            if tracer is not None:
+                tracer.emit(
+                    "replica.read",
+                    obj=self.name,
+                    replica=replica.name,
+                    entries=len(entries),
+                )
+            merged.update(entries)
         return merged
 
     def _write_quorum(self, size: int, entries: Dict[str, LogEntry]) -> None:
+        tracer = self.tracer
         for replica in self._choose(size, "final"):
             replica.merge(entries)
+            if tracer is not None:
+                tracer.emit(
+                    "replica.write",
+                    obj=self.name,
+                    replica=replica.name,
+                    entries=len(entries),
+                )
 
     @staticmethod
     def _ordered(entries: Dict[str, LogEntry]) -> OperationSequence:
@@ -208,6 +247,17 @@ class ReplicatedObject:
                 if self.conflict.related(held, operation) or self.conflict.related(
                     operation, held
                 ):
+                    tracer = self.tracer
+                    if tracer is not None:
+                        tracer.emit(
+                            "lock.conflict",
+                            transaction=transaction,
+                            obj=self.name,
+                            operation=str(operation),
+                            holder=other,
+                            held=str(held),
+                            relation=self.conflict.name,
+                        )
                     raise LockConflict(
                         f"{operation} conflicts with {held} held by {other}",
                         holder=other,
@@ -279,6 +329,7 @@ class ReplicatedTransactionManager:
         self,
         generator: Optional[TimestampGenerator] = None,
         record_history: bool = False,
+        tracer: Optional[Any] = None,
     ):
         self._generator = generator or MonotoneTimestampGenerator()
         self._objects: Dict[str, ReplicatedObject] = {}
@@ -286,6 +337,8 @@ class ReplicatedTransactionManager:
         self._names = itertools.count(1)
         self._record = record_history
         self._events: List[Any] = []
+        #: Optional :class:`repro.obs.TraceBus`, propagated to objects.
+        self.tracer = tracer
 
     def create_object(
         self,
@@ -302,14 +355,27 @@ class ReplicatedTransactionManager:
             raise ValueError(f"object {name!r} already exists")
         if validate:
             ops = list(universe) if universe is not None else adt.universe()
-            violations = assignment.validate(adt.dependency, ops)
+            violations = assignment.validate(
+                adt.dependency, ops, tracer=self.tracer, obj=name
+            )
             if violations:
                 raise ValueError(
                     "quorum assignment violates the dependency constraint: "
                     + "; ".join(str(v) for v in violations)
                 )
         managed = ReplicatedObject(name, adt, assignment, conflict)
+        managed.tracer = self.tracer
         self._objects[name] = managed
+        if self.tracer is not None:
+            self.tracer.emit(
+                "obj.create",
+                obj=name,
+                adt=adt.name,
+                protocol="quorum",
+                relation=managed.conflict.name,
+                initial=adt.spec.initial_states(),
+                replicas=assignment.replicas,
+            )
         return managed
 
     def object(self, name: str) -> ReplicatedObject:
@@ -331,6 +397,8 @@ class ReplicatedTransactionManager:
             raise ValueError(f"transaction {name!r} already exists")
         transaction = Transaction(name)
         self._transactions[name] = transaction
+        if self.tracer is not None:
+            self.tracer.emit("txn.begin", transaction=name, read_only=False)
         return transaction
 
     def invoke(
@@ -341,6 +409,23 @@ class ReplicatedTransactionManager:
         invocation = Invocation(operation, args)
         managed = self._objects[obj]
         result = managed.execute(transaction.name, invocation)
+        tracer = self.tracer
+        if tracer is not None:
+            # Like the LOCK machine, record invoke+respond only on
+            # acceptance: a refused attempt leaves the object unchanged.
+            tracer.emit(
+                "txn.invoke",
+                transaction=transaction.name,
+                obj=obj,
+                operation=operation,
+                args=invocation.args,
+            )
+            tracer.emit(
+                "txn.respond",
+                transaction=transaction.name,
+                obj=obj,
+                result=result,
+            )
         transaction.touched.add(obj)
         transaction.operations += 1
         observed = managed.max_committed_timestamp(transaction.name)
@@ -364,6 +449,15 @@ class ReplicatedTransactionManager:
                     live=len(managed.live_replicas()),
                 )
         timestamp = self._generator.commit_timestamp(transaction.name)
+        if self.tracer is not None:
+            # Decision time: the commit event precedes the quorum writes
+            # it triggers, so downstream events trail the commit.
+            self.tracer.emit(
+                "txn.commit",
+                transaction=transaction.name,
+                timestamp=timestamp,
+                objects=sorted(transaction.touched),
+            )
         for obj in sorted(transaction.touched):  # commit
             self._objects[obj].apply_commit(transaction.name, timestamp)
             if self._record:
@@ -382,6 +476,12 @@ class ReplicatedTransactionManager:
                 self._events.append(AbortEvent(transaction.name, obj))
         transaction.status = Status.ABORTED
         self._generator.forget(transaction.name)
+        if self.tracer is not None:
+            self.tracer.emit(
+                "txn.abort",
+                transaction=transaction.name,
+                objects=sorted(transaction.touched),
+            )
 
     def _require_active(self, transaction: Transaction) -> None:
         if self._transactions.get(transaction.name) is not transaction:

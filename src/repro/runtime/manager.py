@@ -155,6 +155,15 @@ class TransactionManager:
         managed = ManagedObject(name, adt, relation, compacting=self._compacting)
         managed.machine.tracer = self.tracer
         self._objects[name] = managed
+        if self.tracer is not None:
+            self.tracer.emit(
+                "obj.create",
+                obj=name,
+                adt=adt.name,
+                protocol=protocol.name,
+                relation=relation.name,
+                initial=adt.spec.initial_states(),
+            )
         if self.wal is not None:
             from ..recovery.wal import create_record
 
@@ -306,6 +315,23 @@ class TransactionManager:
                 f"{operation} is not a read operation; read-only"
                 " transactions may only observe"
             )
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.emit(
+                "txn.invoke",
+                transaction=transaction.name,
+                obj=managed.name,
+                operation=invocation.name,
+                args=invocation.args,
+                read_only=True,
+            )
+            tracer.emit(
+                "txn.respond",
+                transaction=transaction.name,
+                obj=managed.name,
+                result=result,
+                read_only=True,
+            )
         return result
 
     def commit(self, transaction: Transaction) -> Any:
@@ -337,6 +363,17 @@ class TransactionManager:
                 self.tracer.emit(
                     "wal.append", record="commit", transaction=transaction.name
                 )
+        tracer = self.tracer
+        if tracer is not None:
+            # Emit at decision time, *before* delivery: delivering the
+            # commit may immediately fold the intentions (compaction
+            # events), and those must trail the commit they depend on.
+            tracer.emit(
+                "txn.commit",
+                transaction=transaction.name,
+                timestamp=timestamp,
+                objects=sorted(transaction.touched),
+            )
         for obj in sorted(transaction.touched):
             self._objects[obj].machine.commit(transaction.name, timestamp)
             if self._record:
@@ -344,14 +381,6 @@ class TransactionManager:
         transaction.status = Status.COMMITTED
         transaction.timestamp = timestamp
         self._generator.forget(transaction.name)
-        tracer = self.tracer
-        if tracer is not None:
-            tracer.emit(
-                "txn.commit",
-                transaction=transaction.name,
-                timestamp=timestamp,
-                objects=sorted(transaction.touched),
-            )
         return timestamp
 
     def abort(self, transaction: Transaction) -> None:

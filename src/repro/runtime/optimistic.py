@@ -72,12 +72,17 @@ class OptimisticObject:
         #: Directional dependency relation used for fast-path validation.
         self.dependency = dependency if dependency is not None else adt.dependency
         self._committed: List[Operation] = []
+        #: Which transaction committed each entry of ``_committed`` —
+        #: lets a failed validation name the commit that invalidated it.
+        self._committed_by: List[str] = []
         self._intentions: Dict[str, List[Operation]] = {}
         self._start_index: Dict[str, int] = {}
         #: Fast/slow path counters (exposed for the benchmarks).
         self.fast_validations = 0
         self.replay_validations = 0
         self.failed_validations = 0
+        #: Optional :class:`repro.obs.TraceBus`; None keeps tracing free.
+        self.tracer = None
 
     # ------------------------------------------------------------------
 
@@ -104,33 +109,94 @@ class OptimisticObject:
             raise WouldBlock(f"{invocation} has no legal outcome in the view")
         result = results[0]
         mine.append(Operation(invocation, result))
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.emit(
+                "txn.invoke",
+                transaction=transaction,
+                obj=self.name,
+                operation=invocation.name,
+                args=invocation.args,
+            )
+            tracer.emit(
+                "txn.respond",
+                transaction=transaction,
+                obj=self.name,
+                result=result,
+            )
         return result
 
     def validate(self, transaction: str) -> bool:
         """Commit-time certification against newly committed operations."""
+        tracer = self.tracer
         mine = self._intentions.get(transaction, [])
         start = self._start_index.get(transaction, len(self._committed))
         new_ops = self._committed[start:]
+        if tracer is not None:
+            tracer.emit(
+                "validation.begin",
+                transaction=transaction,
+                obj=self.name,
+                new_commits=len(new_ops),
+            )
         if not new_ops or not mine:
             self.fast_validations += 1
+            if tracer is not None:
+                tracer.emit(
+                    "validation.success",
+                    transaction=transaction,
+                    obj=self.name,
+                    path="fast",
+                )
             return True
         # Fast path: nothing of mine depends on anything new (Lemma 7).
         if not any(
             self.dependency.related(q, p) for q in mine for p in new_ops
         ):
             self.fast_validations += 1
+            if tracer is not None:
+                tracer.emit(
+                    "validation.success",
+                    transaction=transaction,
+                    obj=self.name,
+                    path="fast",
+                )
             return True
         # Slow path: replay after the full committed sequence.
         self.replay_validations += 1
         if self.spec.run(tuple(self._committed) + tuple(mine)):
+            if tracer is not None:
+                tracer.emit(
+                    "validation.success",
+                    transaction=transaction,
+                    obj=self.name,
+                    path="replay",
+                )
             return True
         self.failed_validations += 1
+        if tracer is not None:
+            invalidated_by = None
+            culprit = None
+            for index, new_op in enumerate(new_ops):
+                if any(self.dependency.related(q, new_op) for q in mine):
+                    invalidated_by = self._committed_by[start + index]
+                    culprit = str(new_op)
+                    break
+            tracer.emit(
+                "validation.invalidated",
+                transaction=transaction,
+                obj=self.name,
+                invalidated_by=invalidated_by,
+                operation=culprit,
+            )
         return False
 
     def apply_commit(self, transaction: str) -> None:
         """Fold a validated transaction's intentions into the committed
         sequence (commit order = timestamp order)."""
-        self._committed.extend(self._intentions.pop(transaction, []))
+        mine = self._intentions.pop(transaction, [])
+        self._committed.extend(mine)
+        self._committed_by.extend([transaction] * len(mine))
         self._start_index.pop(transaction, None)
 
     def discard(self, transaction: str) -> None:
@@ -155,13 +221,14 @@ class OptimisticTransactionManager:
     analogue of a coordinator voting "no".
     """
 
-    def __init__(self, record_history: bool = False):
+    def __init__(self, record_history: bool = False, tracer=None):
         self._objects: Dict[str, OptimisticObject] = {}
         self._transactions: Dict[str, Transaction] = {}
         self._names = itertools.count(1)
         self._clock = LogicalClock()
         self._record = record_history
         self._events: List[Any] = []
+        self.tracer = tracer
 
     # -- setup ----------------------------------------------------------
 
@@ -173,7 +240,17 @@ class OptimisticTransactionManager:
         if name in self._objects:
             raise ValueError(f"object {name!r} already exists")
         managed = OptimisticObject(name, adt, dependency)
+        managed.tracer = self.tracer
         self._objects[name] = managed
+        if self.tracer is not None:
+            self.tracer.emit(
+                "obj.create",
+                obj=name,
+                adt=adt.name,
+                protocol="optimistic",
+                relation=managed.dependency.name,
+                initial=adt.spec.initial_states(),
+            )
         return managed
 
     def object(self, name: str) -> OptimisticObject:
@@ -195,6 +272,8 @@ class OptimisticTransactionManager:
             raise ValueError(f"transaction {name!r} already exists")
         transaction = Transaction(name)
         self._transactions[name] = transaction
+        if self.tracer is not None:
+            self.tracer.emit("txn.begin", transaction=name, read_only=False)
         return transaction
 
     def invoke(
@@ -227,6 +306,13 @@ class OptimisticTransactionManager:
                     obj=obj,
                 )
         timestamp = self._clock.tick()
+        if self.tracer is not None:
+            self.tracer.emit(
+                "txn.commit",
+                transaction=transaction.name,
+                timestamp=timestamp,
+                objects=sorted(transaction.touched),
+            )
         for obj in sorted(transaction.touched):
             self._objects[obj].apply_commit(transaction.name)
             if self._record:
@@ -246,6 +332,12 @@ class OptimisticTransactionManager:
             if self._record:
                 self._events.append(AbortEvent(transaction.name, obj))
         transaction.status = Status.ABORTED
+        if self.tracer is not None:
+            self.tracer.emit(
+                "txn.abort",
+                transaction=transaction.name,
+                objects=sorted(transaction.touched),
+            )
 
     def _require_active(self, transaction: Transaction) -> None:
         if self._transactions.get(transaction.name) is not transaction:

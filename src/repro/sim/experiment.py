@@ -223,7 +223,7 @@ def run_experiment(
     attaches a write-ahead log to the manager so the run is recoverable
     with :func:`repro.recovery.recover_manager`.
 
-    Observability (locking engine): ``tracer`` is a
+    Observability (both engines): ``tracer`` is a
     :class:`repro.obs.TraceBus` whose clock is rebound to simulated time
     and fed to every instrumented component; ``registry`` is a
     :class:`repro.obs.MetricsRegistry` that receives event-derived
@@ -249,7 +249,7 @@ def run_experiment(
             raise ValueError(
                 "durability and crash injection require the locking engine"
             )
-        manager = OptimisticTransactionManager()
+        manager = OptimisticTransactionManager(tracer=tracer)
         for name, adt in workload.objects():
             manager.create_object(name, adt, dependency=protocol.conflict_for(adt))
     else:

@@ -1,0 +1,170 @@
+"""Property test: the JSONL codec is lossless for trace payloads.
+
+``JSONLSink`` flattens each :class:`TraceEvent` to one JSON line through
+:func:`repro.obs.codec.encode_value`; ``read_jsonl`` must restore the
+*identical* event — same kind, same timestamp, payload values equal and
+of the same Python type (tuples stay tuples, frozensets stay frozen,
+fractions stay exact).  Hypothesis drives the payloads over every shape
+the codec claims to support, nested arbitrarily.
+"""
+
+import io
+from fractions import Fraction
+
+from hypothesis import given, settings, strategies as st
+
+from repro.obs import EVENT_KINDS, JSONLSink, TraceEvent, read_jsonl
+
+# NaN is excluded (NaN != NaN breaks any equality round trip); ±inf are
+# fine — Python's json emits and re-reads the Infinity literals.
+scalars = (
+    st.none()
+    | st.booleans()
+    | st.integers(min_value=-(10**9), max_value=10**9)
+    | st.floats(allow_nan=False)
+    | st.text(max_size=12)
+    | st.fractions()
+)
+
+# Set/frozenset members and dict keys must be hashable.
+hashables = st.recursive(
+    scalars,
+    lambda children: st.frozensets(children, max_size=3)
+    | st.lists(children, max_size=3).map(tuple),
+    max_leaves=6,
+)
+
+values = st.recursive(
+    scalars | hashables,
+    lambda children: (
+        st.lists(children, max_size=3)
+        | st.lists(children, max_size=3).map(tuple)
+        | st.sets(hashables, max_size=3)
+        | st.frozensets(hashables, max_size=3)
+        | st.dictionaries(st.text(max_size=8), children, max_size=3)
+        | st.dictionaries(hashables, children, max_size=3)
+    ),
+    max_leaves=10,
+)
+
+payload_keys = st.text(min_size=1, max_size=12).filter(
+    lambda key: key not in ("ts", "kind")
+)
+
+events = st.builds(
+    TraceEvent,
+    ts=st.floats(allow_nan=False, allow_infinity=False),
+    # Unknown kinds must survive too (sinks tolerate forward-compat kinds).
+    kind=st.sampled_from(sorted(EVENT_KINDS)) | st.just("future.kind"),
+    data=st.dictionaries(payload_keys, values, max_size=4),
+)
+
+
+def round_trip(batch, tmp_path):
+    path = tmp_path / "trace.jsonl"
+    with JSONLSink(str(path)) as sink:
+        for event in batch:
+            sink(event)
+    return read_jsonl(str(path))
+
+
+def same_shape(a, b):
+    """Equality plus *type* identity, recursively.
+
+    ``==`` blurs exactly the distinctions the codec exists to keep:
+    ``Fraction(1, 2) == 0.5``, ``(1,) != [1]`` but ``{1} == frozenset({1})``,
+    ``True == 1``.  Set elements are matched pairwise by shape (two
+    elements of one set are never ``==``, so the matching is unique and
+    iteration order cannot produce false negatives).
+    """
+    if type(a) is not type(b):
+        return False
+    if isinstance(a, (list, tuple)):
+        return len(a) == len(b) and all(
+            same_shape(x, y) for x, y in zip(a, b)
+        )
+    if isinstance(a, dict):
+        return (
+            len(a) == len(b)
+            and all(key in b for key in a)
+            and all(same_shape(value, b[key]) for key, value in a.items())
+        )
+    if isinstance(a, (set, frozenset)):
+        remaining = list(b)
+        for x in a:
+            index = next(
+                (i for i, y in enumerate(remaining) if same_shape(x, y)),
+                None,
+            )
+            if index is None:
+                return False
+            remaining.pop(index)
+        return not remaining
+    return a == b
+
+
+@settings(max_examples=200, deadline=None)
+@given(batch=st.lists(events, max_size=10))
+def test_jsonl_round_trips_bit_exactly(batch):
+    buffer = io.StringIO()
+    sink = JSONLSink(buffer)
+    for event in batch:
+        sink(event)
+    sink.close()
+
+    import json
+
+    from repro.obs import decode_value
+
+    restored = []
+    for line in buffer.getvalue().splitlines():
+        record = json.loads(line)
+        ts = record.pop("ts")
+        kind = record.pop("kind")
+        restored.append(
+            TraceEvent(
+                ts, kind, {k: decode_value(v) for k, v in record.items()}
+            )
+        )
+
+    assert restored == batch
+    assert all(
+        event.ts == original.ts
+        and event.kind == original.kind
+        and same_shape(dict(event.data), dict(original.data))
+        for event, original in zip(restored, batch)
+    )
+
+
+def test_jsonl_round_trips_through_a_file(tmp_path):
+    batch = [
+        TraceEvent(
+            0.5,
+            "txn.commit",
+            {
+                "transaction": "T1",
+                "timestamp": (3, "S1"),
+                "objects": ["a", "b"],
+                "states": frozenset({(1, 2), (3, 4)}),
+                "exact": Fraction(1, 3),
+                "table": {(0, "x"): {"nested": {1, 2}}},
+            },
+        ),
+        TraceEvent(1.0, "future.kind", {"free": None}),
+    ]
+    from repro.core import NEG_INFINITY
+
+    batch.append(
+        TraceEvent(
+            2.0,
+            "compaction.advance",
+            {"obj": "a", "old_horizon": NEG_INFINITY, "new_horizon": 4},
+        )
+    )
+    restored = round_trip(batch, tmp_path)
+    assert restored[:2] == batch[:2]
+    data = restored[2].data
+    assert data["new_horizon"] == 4
+    assert data["old_horizon"] is NEG_INFINITY or repr(
+        data["old_horizon"]
+    ) == repr(NEG_INFINITY)
