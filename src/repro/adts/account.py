@@ -157,7 +157,7 @@ def _account_mc(q: Operation, p: Operation) -> bool:
 
 #: Figure 7-1: failure-to-commute conflicts for Account — a strict
 #: superset of the hybrid conflicts.
-ACCOUNT_COMMUTATIVITY_CONFLICT = PredicateRelation(
+ACCOUNT_COMMUTATIVITY_CONFLICT = PredicateRelation(  # repro: symmetric (audited over the finite universe in tests/adts)
     _account_mc, name="Account conflicts (commutativity, Fig 7-1)"
 )
 

@@ -135,7 +135,7 @@ def _counter_mc(q: Operation, p: Operation) -> bool:
 
 #: Failure-to-commute conflicts — for Counter these coincide with the
 #: symmetric closure of the dependency relation (no Post-like operation).
-COUNTER_COMMUTATIVITY_CONFLICT = PredicateRelation(
+COUNTER_COMMUTATIVITY_CONFLICT = PredicateRelation(  # repro: symmetric (audited over the finite universe in tests/adts)
     _counter_mc, name="Counter conflicts (commutativity)"
 )
 

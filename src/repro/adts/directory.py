@@ -237,7 +237,7 @@ def _directory_mc(q: Operation, p: Operation) -> bool:
 
 
 #: Failure-to-commute conflicts for Directory: adds writer/writer pairs.
-DIRECTORY_COMMUTATIVITY_CONFLICT = PredicateRelation(
+DIRECTORY_COMMUTATIVITY_CONFLICT = PredicateRelation(  # repro: symmetric (audited over the finite universe in tests/adts)
     _directory_mc, name="Directory conflicts (commutativity)"
 )
 

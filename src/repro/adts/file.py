@@ -101,7 +101,7 @@ def _fails_to_commute(q: Operation, p: Operation) -> bool:
 
 #: Failure-to-commute conflicts for File (the commutativity baseline);
 #: strictly more restrictive than Figure 4-1 on write/write pairs.
-FILE_COMMUTATIVITY_CONFLICT = PredicateRelation(
+FILE_COMMUTATIVITY_CONFLICT = PredicateRelation(  # repro: symmetric (audited over the finite universe in tests/adts)
     _fails_to_commute, name="File conflicts (commutativity)"
 )
 

@@ -104,7 +104,7 @@ SEMIQUEUE_CONFLICT = symmetric_closure(
 )
 
 #: Failure-to-commute coincides with the dependency relation here.
-SEMIQUEUE_COMMUTATIVITY_CONFLICT = PredicateRelation(
+SEMIQUEUE_COMMUTATIVITY_CONFLICT = PredicateRelation(  # repro: symmetric (audited over the finite universe in tests/adts)
     lambda q, p: _semiqueue_dep(q, p) or _semiqueue_dep(p, q),
     name="SemiQueue conflicts (commutativity)",
 )

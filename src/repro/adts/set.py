@@ -113,7 +113,7 @@ def _set_mc(q: Operation, p: Operation) -> bool:
 
 
 #: Failure-to-commute conflicts for Set: adds Insert(v) <-> Remove(v).
-SET_COMMUTATIVITY_CONFLICT = PredicateRelation(
+SET_COMMUTATIVITY_CONFLICT = PredicateRelation(  # repro: symmetric (audited over the finite universe in tests/adts)
     _set_mc, name="Set conflicts (commutativity)"
 )
 

@@ -94,7 +94,7 @@ def _stack_mc(q: Operation, p: Operation) -> bool:
 
 
 #: Failure-to-commute conflicts: pushes of distinct items conflict.
-STACK_COMMUTATIVITY_CONFLICT = PredicateRelation(
+STACK_COMMUTATIVITY_CONFLICT = PredicateRelation(  # repro: symmetric (audited over the finite universe in tests/adts)
     _stack_mc, name="Stack conflicts (commutativity)"
 )
 

@@ -26,6 +26,13 @@ Commands
     histograms, conflict breakdown by operation pair, compaction
     horizon / retained-intentions gauges, and an end-of-run lock-table
     plus waits-for-graph snapshot (``--json`` for machine output).
+``lint [paths...]``
+    Run the AST-based static analyzer (:mod:`repro.lint`) that enforces
+    the repo's concurrency-control invariants at rest: registered trace
+    kinds and payload keys, symmetric conflict relations, encapsulated
+    protocol state, deterministic simulation paths, exception-safe
+    resource handling, and no blocking calls in the event loop.  Exits
+    nonzero when any rule fires (the CI gate).
 ``check [workload | --trace-file FILE]``
     Certify a run hybrid atomic with the streaming oracle
     (:class:`repro.obs.AtomicityChecker`): either run a workload live
@@ -57,6 +64,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+import time
 from typing import List, Optional, Sequence
 
 from .adts import get_adt, registry
@@ -350,7 +358,11 @@ def _cmd_recover(args: argparse.Namespace) -> int:
         if args.verbose:
             ring = tracer.subscribe(RingBufferSink())
     try:
-        manager, report = recover_manager(wal, store=store, tracer=tracer)
+        # The CLI is the one place wall-clock timing belongs: simulated
+        # paths leave ``clock`` unset so reports stay deterministic.
+        manager, report = recover_manager(
+            wal, store=store, tracer=tracer, clock=time.perf_counter
+        )
     except (WalCorruption, RecoveryError) as exc:
         print(f"recovery failed: {exc}", file=sys.stderr)
         return 1
@@ -539,6 +551,12 @@ def _cmd_stats(args: argparse.Namespace) -> int:
         print()
         print(render_spans(spans.spans, limit=args.spans))
     return 0
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from .lint.cli import run_lint_command
+
+    return run_lint_command(args)
 
 
 def _cmd_check(args: argparse.Namespace) -> int:
@@ -745,6 +763,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="also show the last N per-transaction spans",
     )
 
+    lint = commands.add_parser(
+        "lint",
+        help="statically check the repo's concurrency-control invariants",
+    )
+    from .lint.cli import add_lint_arguments
+
+    add_lint_arguments(lint)
+
     check = commands.add_parser(
         "check",
         help="certify a run hybrid atomic (live workload or recorded trace)",
@@ -794,6 +820,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "trace": _cmd_trace,
         "stats": _cmd_stats,
         "check": _cmd_check,
+        "lint": _cmd_lint,
     }[args.command]
     return handler(args)
 

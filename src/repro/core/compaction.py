@@ -197,6 +197,10 @@ class CompactingLockMachine(LockMachine):
         self._pins.pop(token, None)
         self.forget()
 
+    def has_pin(self, token: str) -> bool:
+        """True while ``token`` holds a horizon pin on this object."""
+        return token in self._pins
+
     def read_view_states(self, timestamp: Any) -> StateSet:
         """The committed state as of ``timestamp``: the version plus every
         retained committed intentions list with commit timestamp at or

@@ -41,7 +41,7 @@ from .errors import IllegalOperation, LockConflict, ProtocolError, WouldBlock
 from .events import AbortEvent, CommitEvent, Event, InvocationEvent, ResponseEvent
 from .history import History
 from .operations import Invocation, Operation, OperationSequence
-from .specs import SerialSpec
+from .specs import SerialSpec, StateSet
 
 __all__ = ["LockMachine"]
 
@@ -88,6 +88,22 @@ class LockMachine:
     def intentions(self, transaction: str) -> OperationSequence:
         """``s.intentions(Q)``: operations executed by the transaction."""
         return self._intentions.get(transaction, ())
+
+    def active_intentions(self) -> Dict[str, OperationSequence]:
+        """Active transaction → its intentions list, as a fresh map.
+
+        Locks are implicit in the intentions lists (Section 5.1), so this
+        *is* the machine's lock table: every operation in an active
+        transaction's list is a held lock; completed transactions hold
+        nothing.  The returned dict is a copy — introspection tools may
+        not alias protocol state.
+        """
+        completed = self.completed()
+        return {
+            transaction: operations
+            for transaction, operations in self._intentions.items()
+            if transaction not in completed
+        }
 
     def commit_timestamp(self, transaction: str) -> Optional[Any]:
         """``s.committed(Q)``: the commit timestamp, or None if active."""
@@ -139,7 +155,7 @@ class LockMachine:
         """``View(Q, s)``: committed state followed by Q's intentions."""
         return self.committed_state() + self.intentions(transaction)
 
-    def view_states(self, transaction: str):
+    def view_states(self, transaction: str) -> StateSet:
         """State-set reached by the transaction's view.
 
         The base machine replays the full view through the specification;
@@ -304,7 +320,7 @@ class LockMachine:
     # Recovery replay entry points (used by :mod:`repro.recovery`)
     # ------------------------------------------------------------------
 
-    def _committed_states(self):
+    def _committed_states(self) -> StateSet:
         """State-set denoted by the committed state (recovery helper).
 
         The compacting machine overrides this to start from its version.

@@ -118,6 +118,19 @@ class Site:
         """The LOCK machine for a local object."""
         return self._machines[obj]
 
+    def machines(self) -> Dict[str, CompactingLockMachine]:
+        """Name → LOCK machine for every local object (a fresh map).
+
+        The machines themselves are the live protocol objects; the
+        *mapping* is a copy, so callers cannot add or remove objects
+        behind the site's back.
+        """
+        return dict(self._machines)
+
+    def prepared_transactions(self) -> Set[str]:
+        """Transactions in 2PC's prepared state (a copy)."""
+        return set(self._prepared)
+
     def adt(self, obj: str) -> ADT:
         """The ADT bundle for a local object."""
         return self._adts[obj]
@@ -297,14 +310,44 @@ class Site:
         truncate_wal(self.wal, self._machines, extra_live=self._prepared)
         return checkpoint
 
-    def recover(self, store: Any = None, catalog: Any = None):
+    def recover(self, store: Any = None, catalog: Any = None, clock: Any = None):
         """Rebuild the site from checkpoint + WAL replay after ``crash_hard``.
 
-        Returns the :class:`~repro.recovery.recovery.RecoveryReport`.
+        ``clock`` is an optional zero-argument callable timing the rebuild
+        (e.g. ``time.perf_counter`` from a CLI); simulated runs leave it
+        unset and the report's ``elapsed_seconds`` stays 0.0, keeping
+        crash-seeded runs bit-for-bit reproducible.  Returns the
+        :class:`~repro.recovery.recovery.RecoveryReport`.
         """
         from ..recovery.recovery import recover_site_state
 
-        return recover_site_state(self, store=store, catalog=catalog)
+        return recover_site_state(self, store=store, catalog=catalog, clock=clock)
+
+    def install_recovered_state(
+        self,
+        machines: Dict[str, CompactingLockMachine],
+        adts: Dict[str, ADT],
+        prepared: Any,
+        tombstones: Any,
+        touched: Optional[Dict[str, Set[str]]] = None,
+    ) -> None:
+        """Install the volatile state recovery rebuilt from stable storage.
+
+        The sanctioned mutation point for :mod:`repro.recovery.recovery`:
+        machines and ADT bundles replace the ones ``crash_hard`` destroyed,
+        ``prepared`` transactions come back awaiting their 2PC verdict,
+        ``tombstones`` (presumed abort) are remembered so a late PREPARE is
+        voted down, and ``touched`` restores the completion fan-out map for
+        prepared intentions.  All inputs are copied.
+        """
+        self._machines = dict(machines)
+        self._adts = dict(adts)
+        self._touched = {obj: set() for obj in self._machines}
+        if touched:
+            for obj, holders in touched.items():
+                self._touched[obj].update(holders)
+        self._prepared = set(prepared)
+        self._tombstones = set(tombstones)
 
     # ------------------------------------------------------------------
     # Failure injection

@@ -1,0 +1,64 @@
+"""``repro.lint`` — an AST-based static analyzer for the repo's
+concurrency-control invariants.
+
+The runtime oracle (:mod:`repro.obs.checker`) certifies *runs*; this
+package certifies the *code at rest*: the static preconditions the
+paper's theorems assume.  Six repo-specific rules:
+
+========  ====================  =============================================
+id        name                  protects
+========  ====================  =============================================
+REP101    trace-event           the event taxonomy & checker payload contract
+          discipline            (obs/events.py ↔ obs/checker.py, statically)
+REP102    relation-symmetry     Theorem 11/16's symmetric dependency relation
+REP103    state-encapsulation   Section 5.1's machine-owned protocol state
+REP104    determinism           Section 6 clocks & crash-seed reproducibility
+REP105    exception-safety      lock discipline & WAL durability on error
+                                paths
+REP106    blocking-calls        the discrete-event model of waiting
+========  ====================  =============================================
+
+Usage::
+
+    python -m repro lint src/repro
+    python -m repro lint --select REP104 --format json src/repro
+
+Suppressions are explicit annotations: ``# repro: noqa[REP104]``.
+See ``docs/static-analysis.md`` for the rule ↔ paper-precondition map.
+"""
+
+from __future__ import annotations
+
+from .engine import (
+    FileContext,
+    Finding,
+    Project,
+    Rule,
+    Runner,
+    RunResult,
+    all_rules,
+    iter_python_files,
+    register,
+)
+from .reporters import render_json, render_statistics, render_text
+
+__all__ = [
+    "FileContext",
+    "Finding",
+    "Project",
+    "Rule",
+    "Runner",
+    "RunResult",
+    "all_rules",
+    "iter_python_files",
+    "register",
+    "render_json",
+    "render_statistics",
+    "render_text",
+    "run_lint",
+]
+
+
+def run_lint(paths, select=None):
+    """Convenience API: lint ``paths`` and return a :class:`RunResult`."""
+    return Runner(select=select).run(paths)

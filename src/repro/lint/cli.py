@@ -1,0 +1,89 @@
+"""``repro lint`` — the CLI entry point for the static analyzer.
+
+Exit codes: 0 clean, 1 findings (or file errors), 2 usage errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from .engine import Runner, all_rules
+from .reporters import render_json, render_statistics, render_text
+
+__all__ = ["add_lint_arguments", "run_lint_command", "main"]
+
+
+def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
+    """Attach the lint options to a parser (shared with ``repro`` CLI)."""
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src/repro"],
+        help="files or directories to lint (default: src/repro)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=["text", "json"],
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--select",
+        nargs="+",
+        metavar="RULE",
+        default=None,
+        help="run only these rule ids (e.g. REP101 REP104)",
+    )
+    parser.add_argument(
+        "--statistics",
+        action="store_true",
+        help="append per-rule finding counts",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="list the registered rules and exit",
+    )
+
+
+def run_lint_command(args: argparse.Namespace) -> int:
+    """Execute the lint run described by parsed arguments."""
+    if args.list_rules:
+        for cls in all_rules():
+            print(f"{cls.id}  {cls.name}")
+            print(f"        {cls.rationale}")
+        return 0
+    try:
+        runner = Runner(select=args.select)
+    except ValueError as exc:
+        print(f"lint: {exc}", file=sys.stderr)
+        return 2
+    try:
+        result = runner.run(args.paths)
+    except FileNotFoundError as exc:
+        print(f"lint: no such path: {exc}", file=sys.stderr)
+        return 2
+    if args.format == "json":
+        print(render_json(result))
+    else:
+        print(render_text(result))
+        if args.statistics:
+            print(render_statistics(result))
+    return 0 if result.ok else 1
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Standalone entry point (``python -m repro.lint``)."""
+    parser = argparse.ArgumentParser(
+        prog="repro lint",
+        description="AST-based static analyzer for the repo's "
+        "concurrency-control invariants.",
+    )
+    add_lint_arguments(parser)
+    return run_lint_command(parser.parse_args(argv))
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

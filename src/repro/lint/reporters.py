@@ -1,0 +1,48 @@
+"""Finding reporters: text for humans, JSON for machines."""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+
+from .engine import RunResult
+
+__all__ = ["render_text", "render_json", "render_statistics"]
+
+
+def render_text(result: RunResult) -> str:
+    """One ``path:line:col: RULE message`` line per finding."""
+    lines = [finding.render() for finding in result.findings]
+    lines.extend(f"error: {error}" for error in result.errors)
+    if result.findings:
+        lines.append(
+            f"{len(result.findings)} finding(s) in {result.files} file(s)"
+        )
+    else:
+        lines.append(f"clean: {result.files} file(s), 0 findings")
+    if result.suppressed:
+        lines.append(f"{result.suppressed} finding(s) suppressed by noqa")
+    return "\n".join(lines)
+
+
+def render_json(result: RunResult) -> str:
+    """A machine-readable report (stable key order)."""
+    return json.dumps(
+        {
+            "ok": result.ok,
+            "files": result.files,
+            "suppressed": result.suppressed,
+            "errors": list(result.errors),
+            "findings": [finding.as_dict() for finding in result.findings],
+        },
+        indent=2,
+        sort_keys=True,
+    )
+
+
+def render_statistics(result: RunResult) -> str:
+    """Counts by rule id (including a suppressed total)."""
+    counts = Counter(finding.rule for finding in result.findings)
+    lines = [f"{rule:8s} {count:>6d}" for rule, count in sorted(counts.items())]
+    lines.append(f"{'noqa':8s} {result.suppressed:>6d}")
+    return "\n".join(lines)

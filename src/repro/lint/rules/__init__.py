@@ -1,0 +1,21 @@
+"""Rule modules — importing this package registers every rule."""
+
+from __future__ import annotations
+
+from . import (  # noqa: F401  — imported for their registration side effect
+    blocking,
+    determinism,
+    encapsulation,
+    exceptions,
+    symmetry,
+    trace_events,
+)
+
+__all__ = [
+    "blocking",
+    "determinism",
+    "encapsulation",
+    "exceptions",
+    "symmetry",
+    "trace_events",
+]

@@ -1,0 +1,91 @@
+"""REP106 — no blocking calls in simulated hot paths.
+
+The discrete-event harness models time explicitly: "waiting" is a
+scheduled callback, never a suspended thread.  A ``time.sleep`` inside
+the simulated network or a site handler stalls the whole single-threaded
+simulation for *wall-clock* time without advancing *simulated* time —
+throughput numbers silently become nonsense, and the seeded run is no
+longer a function of its seed.  Real I/O (sockets, subprocesses,
+``input()``) in those paths is the same bug with a bigger constant.
+
+Scope: ``core/``, ``distributed/``, ``sim/``, and ``replication/`` —
+the layers that run inside the event loop.  The ``recovery/`` WAL is
+deliberately *outside* the scope: durability requires real file I/O.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Optional
+
+from ..engine import FileContext, Finding, Project, Rule, register
+
+__all__ = ["BlockingCalls"]
+
+_SCOPED_DIRS = ("/core/", "/distributed/", "/sim/", "/replication/")
+
+#: (module, attribute) calls that block the thread.
+_BLOCKING_ATTR_CALLS = {
+    ("time", "sleep"),
+    ("socket", "socket"),
+    ("socket", "create_connection"),
+    ("subprocess", "run"),
+    ("subprocess", "call"),
+    ("subprocess", "check_output"),
+    ("subprocess", "check_call"),
+    ("subprocess", "Popen"),
+    ("os", "system"),
+    ("os", "popen"),
+    ("requests", "get"),
+    ("requests", "post"),
+    ("requests", "request"),
+    ("urllib", "urlopen"),
+    ("request", "urlopen"),
+}
+
+#: Bare-name calls that block on external input.
+_BLOCKING_NAME_CALLS = {"input", "sleep"}
+
+
+def _dotted_base(node: ast.expr) -> Optional[str]:
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return None
+
+
+@register
+class BlockingCalls(Rule):
+    id = "REP106"
+    name = "blocking-calls"
+    rationale = (
+        "the simulator models waiting as scheduled callbacks; a blocking "
+        "call stalls wall-clock time without advancing simulated time"
+    )
+
+    def check(self, context: FileContext, project: Project) -> Iterable[Finding]:
+        path = context.path.replace("\\", "/")
+        if not any(fragment in path for fragment in _SCOPED_DIRS):
+            return
+        for node in ast.walk(context.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if isinstance(node.func, ast.Attribute):
+                base = _dotted_base(node.func.value)
+                if base is not None and (base, node.func.attr) in _BLOCKING_ATTR_CALLS:
+                    yield self.finding(
+                        context,
+                        node,
+                        f"blocking call {base}.{node.func.attr}() in a "
+                        "simulated hot path; model the delay with "
+                        "simulator.schedule(...) instead",
+                    )
+            elif isinstance(node.func, ast.Name):
+                if node.func.id in _BLOCKING_NAME_CALLS:
+                    yield self.finding(
+                        context,
+                        node,
+                        f"blocking call {node.func.id}() in a simulated hot "
+                        "path; the event loop must never suspend the thread",
+                    )

@@ -1,0 +1,154 @@
+"""REP102 — lock-conflict relations must be symmetric by construction.
+
+Theorem 11/16 requires the lock-conflict relation handed to the LOCK
+machine to be a *symmetric* dependency relation; Theorem 17 shows the
+guarantee genuinely fails otherwise.  The runtime audit
+(``repro audit``) re-derives tables, but only at bounded depth and only
+when someone runs it — a transcription slip in a declared relation
+should not survive to that point.
+
+Statically provable discipline:
+
+* an :class:`EnumeratedRelation` built from a *literal* collection of
+  pairs must contain ``(b, a)`` for every ``(a, b)`` as written;
+* a module-level conflict declaration (a name ending in ``_CONFLICT``)
+  in ``adts/`` must be symmetric **by construction** — produced by
+  ``symmetric_closure(...)``, a symmetric enumerated literal, or an
+  expression of already-checked conflicts — or carry an explicit
+  ``# repro: symmetric`` marker asserting the predicate is symmetric
+  and covered by the runtime audit (the analogue of ``@GuardedBy``:
+  an auditable annotation where static proof is undecidable).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Optional, Set
+
+from ..engine import FileContext, Finding, Project, Rule, register
+
+__all__ = ["RelationSymmetry"]
+
+#: Call names that yield symmetric relations by construction.
+_SYMMETRIC_BUILDERS = {"symmetric_closure"}
+
+#: Relation-algebra combinators that preserve symmetry when every
+#: argument is symmetric.
+_SYMMETRY_PRESERVING = {"union", "restrict"}
+
+
+def _call_name(node: ast.Call) -> Optional[str]:
+    func = node.func
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return None
+
+
+def _literal_pairs(node: ast.expr) -> Optional[Set[str]]:
+    """The pair collection as canonical strings, or None if not literal.
+
+    Elements need not be constants (``Operation(...)`` calls are fine);
+    symmetry is checked *as written*, by structural AST equality.
+    """
+    if not isinstance(node, (ast.Set, ast.Tuple, ast.List)):
+        return None
+    rendered: Set[str] = set()
+    for element in node.elts:
+        if not (isinstance(element, ast.Tuple) and len(element.elts) == 2):
+            return None
+        left, right = element.elts
+        rendered.add(f"{ast.dump(left)}|{ast.dump(right)}")
+    return rendered
+
+
+@register
+class RelationSymmetry(Rule):
+    id = "REP102"
+    name = "relation-symmetry"
+    rationale = (
+        "Theorem 11/16: hybrid atomicity needs a symmetric dependency "
+        "relation; an asymmetric transcription breaks the guarantee"
+    )
+
+    def check(self, context: FileContext, project: Project) -> Iterable[Finding]:
+        yield from self._check_enumerated_literals(context)
+        if "/adts/" in context.path.replace("\\", "/"):
+            yield from self._check_conflict_declarations(context)
+
+    # -- literal EnumeratedRelation pair sets --------------------------
+
+    def _check_enumerated_literals(self, context: FileContext):
+        for node in ast.walk(context.tree):
+            if not (
+                isinstance(node, ast.Call)
+                and _call_name(node) == "EnumeratedRelation"
+                and node.args
+            ):
+                continue
+            pairs = _literal_pairs(node.args[0])
+            if pairs is None:
+                continue  # not a literal; nothing provable here
+            for element in node.args[0].elts:  # type: ignore[union-attr]
+                left, right = element.elts  # checked 2-tuples by now
+                key = f"{ast.dump(left)}|{ast.dump(right)}"
+                mirror = f"{ast.dump(right)}|{ast.dump(left)}"
+                if key != mirror and mirror not in pairs:
+                    yield self.finding(
+                        context,
+                        element,
+                        "EnumeratedRelation literal is asymmetric as "
+                        f"written: {ast.unparse(element)} has no mirror — "
+                        "wrap the pair set in symmetric_closure() or add "
+                        "the mirrored pair",
+                    )
+                    break  # one finding per literal is enough
+
+    # -- module-level *_CONFLICT declarations in adts/ -----------------
+
+    def _check_conflict_declarations(self, context: FileContext):
+        for node in context.tree.body:
+            if not isinstance(node, ast.Assign):
+                continue
+            names = [
+                t.id
+                for t in node.targets
+                if isinstance(t, ast.Name) and t.id.endswith("_CONFLICT")
+            ]
+            if not names:
+                continue
+            if self._symmetric_by_construction(node.value):
+                continue
+            if context.has_marker("symmetric", node.lineno):
+                continue
+            yield self.finding(
+                context,
+                node,
+                f"{names[0]} is not symmetric by construction: build it "
+                "with symmetric_closure(...) or annotate the declaration "
+                "with `# repro: symmetric` once the runtime audit covers it",
+            )
+
+    def _symmetric_by_construction(self, value: ast.expr) -> bool:
+        if isinstance(value, ast.Call):
+            name = _call_name(value)
+            if name in _SYMMETRIC_BUILDERS:
+                return True
+            if name in _SYMMETRY_PRESERVING:
+                return all(
+                    self._symmetric_by_construction(arg) for arg in value.args
+                )
+            if name == "EnumeratedRelation" and value.args:
+                pairs = _literal_pairs(value.args[0])
+                if pairs is not None:
+                    return all(
+                        f"{p.split('|', 1)[1]}|{p.split('|', 1)[0]}" in pairs
+                        for p in pairs
+                    )
+            return False
+        if isinstance(value, ast.Name):
+            # Aliasing an existing *_CONFLICT keeps whatever that name
+            # already proved; anything else is unproven.
+            return value.id.endswith("_CONFLICT")
+        return False

@@ -73,9 +73,9 @@ metric registries, JSONL files — is a fold over the event stream.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, Mapping
+from typing import Any, Dict, FrozenSet, Mapping
 
-__all__ = ["TraceEvent", "EVENT_KINDS"]
+__all__ = ["TraceEvent", "EVENT_KINDS", "EVENT_PAYLOADS"]
 
 #: The closed set of event kinds the instrumentation emits.  Sinks must
 #: tolerate unknown kinds (forward compatibility), but the CLI and the
@@ -109,6 +109,96 @@ EVENT_KINDS = frozenset(
         "check.violation",
     }
 )
+
+#: The declared payload vocabulary per kind — the contract between the
+#: emit sites and the consumers (the checker's handlers, the span
+#: builder, the registry sink).  ``repro lint`` (REP101) statically
+#: checks every ``tracer.emit(...)`` keyword against this map, and
+#: cross-references it against the keys :mod:`repro.obs.checker`
+#: actually reads, so a mistyped key can neither be emitted nor
+#: silently dropped by the oracle.  Keys must be string literals here;
+#: the lint rule reads this file without importing it.
+EVENT_PAYLOADS: Mapping[str, FrozenSet[str]] = {
+    "txn.begin": frozenset({"transaction", "read_only", "timestamp"}),
+    "txn.invoke": frozenset(
+        {"transaction", "obj", "operation", "args", "read_only"}
+    ),
+    "txn.respond": frozenset({"transaction", "obj", "result", "read_only"}),
+    "txn.commit": frozenset(
+        {"transaction", "timestamp", "objects", "site", "read_only"}
+    ),
+    "txn.abort": frozenset({"transaction", "objects", "site", "read_only"}),
+    "lock.conflict": frozenset(
+        {"transaction", "obj", "operation", "holder", "held", "relation"}
+    ),
+    "lock.block": frozenset({"transaction", "obj", "operation"}),
+    "lock.wait": frozenset({"transaction", "holder"}),
+    "lock.deadlock": frozenset({"transaction", "holder", "cycle"}),
+    "compaction.advance": frozenset(
+        {
+            "obj",
+            "old_horizon",
+            "new_horizon",
+            "collapsed",
+            "forgotten",
+            "retained",
+        }
+    ),
+    "wal.append": frozenset({"record", "transaction", "obj", "site"}),
+    "wal.replay": frozenset({"record", "transaction", "timestamp"}),
+    "net.send": frozenset({"label"}),
+    "net.deliver": frozenset({"label"}),
+    "site.crash": frozenset({"site", "hard", "victims"}),
+    "site.recover": frozenset(
+        {
+            "site",
+            "objects",
+            "replayed_records",
+            "replayed_operations",
+            "prepared",
+            "discarded",
+            "from_checkpoint",
+        }
+    ),
+    "obj.create": frozenset(
+        {
+            "obj",
+            "adt",
+            "protocol",
+            "relation",
+            "initial",
+            "site",
+            "replicas",
+            "recovered",
+        }
+    ),
+    "validation.begin": frozenset({"transaction", "obj", "start", "new_commits"}),
+    "validation.success": frozenset({"transaction", "obj", "path"}),
+    "validation.invalidated": frozenset(
+        {"transaction", "obj", "invalidated_by", "operation"}
+    ),
+    "quorum.assemble": frozenset(
+        {"obj", "kind", "quorum", "members", "live", "size", "replicas"}
+    ),
+    "quorum.deny": frozenset(
+        {
+            "obj",
+            "quorum",
+            "live",
+            "needed",
+            "replicas",
+            "initial",
+            "final",
+            "dependent",
+            "depended",
+        }
+    ),
+    "replica.read": frozenset({"obj", "replica", "entries"}),
+    "replica.write": frozenset({"obj", "replica", "entries"}),
+    "check.violation": frozenset(
+        {"rule", "txn", "obj", "message", "witness_events"}
+    ),
+}
 
 
 @dataclass(frozen=True)

@@ -68,7 +68,11 @@ class JSONLSink:
 
     def __init__(self, target: Union[str, IO[str]]):
         if isinstance(target, str):
-            self._file: IO[str] = open(target, "w", encoding="utf-8")
+            # The sink owns the handle for its whole lifetime: close()
+            # and __exit__ release it, so no `with` block can scope it.
+            self._file: IO[str] = open(  # repro: noqa[REP105]
+                target, "w", encoding="utf-8"
+            )
             self._owns = True
         else:
             self._file = target

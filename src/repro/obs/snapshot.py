@@ -27,13 +27,10 @@ def lock_table_snapshot(machine: Any) -> Dict[str, List[str]]:
     Every operation in an active transaction's intentions list is a held
     lock; completed transactions hold nothing.
     """
-    completed = machine.completed()
-    table: Dict[str, List[str]] = {}
-    for transaction, operations in machine._intentions.items():
-        if transaction in completed:
-            continue
-        table[transaction] = [str(operation) for operation in operations]
-    return table
+    return {
+        transaction: [str(operation) for operation in operations]
+        for transaction, operations in machine.active_intentions().items()
+    }
 
 
 def manager_lock_tables(manager: Any) -> Dict[str, Dict[str, List[str]]]:
@@ -48,7 +45,7 @@ def waits_for_edges(registry: Optional[Any]) -> Dict[str, str]:
     """Waiter → holder edges from a :class:`WaitRegistry` (empty if None)."""
     if registry is None:
         return {}
-    return dict(registry._waiting_for)
+    return registry.edges()
 
 
 def render_lock_tables(tables: Mapping[str, Mapping[str, List[str]]]) -> str:

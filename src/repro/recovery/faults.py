@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Mapping, Optional, Sequence
+from typing import Callable, List, Mapping, Optional, Sequence
 
 from ..sim.des import Simulator
 from ..sim.metrics import Metrics
@@ -105,8 +105,8 @@ class CrashPlan:
             site = sites[event.site]
             if not site.alive:
                 return
-            expected = committed_state_sets(site._machines) if verify else {}
-            expected_prepared = set(site._prepared)
+            expected = committed_state_sets(site.machines()) if verify else {}
+            expected_prepared = site.prepared_transactions()
             site.crash_hard()
             if metrics is not None:
                 metrics.crashes += 1
@@ -115,10 +115,11 @@ class CrashPlan:
                 store = (stores or {}).get(event.site)
                 report = site.recover(store=store, catalog=catalog)
                 if verify:
-                    verify_recovery(expected, site._machines)
-                    assert site._prepared == expected_prepared, (
+                    verify_recovery(expected, site.machines())
+                    recovered_prepared = site.prepared_transactions()
+                    assert recovered_prepared == expected_prepared, (
                         f"prepared set diverged at {event.site}: "
-                        f"{site._prepared} != {expected_prepared}"
+                        f"{recovered_prepared} != {expected_prepared}"
                     )
                 if metrics is not None:
                     metrics.recoveries += 1

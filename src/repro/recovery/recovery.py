@@ -19,9 +19,8 @@ from __future__ import annotations
 
 import itertools
 import re
-import time
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Mapping, Optional, Set, Tuple
+from typing import Any, Callable, Dict, List, Mapping, Optional, Set, Tuple
 
 from ..adts.base import ADT, get_adt
 from ..core.compaction import NEG_INFINITY, CompactingLockMachine
@@ -349,6 +348,7 @@ def recover_manager(
     store: Optional[CheckpointStore] = None,
     catalog: Optional[Mapping[str, ADT]] = None,
     tracer: Optional[Any] = None,
+    clock: Optional[Callable[[], float]] = None,
 ):
     """Rebuild a :class:`~repro.runtime.manager.TransactionManager` from a
     persisted log (plus checkpoint, if a store holds one).
@@ -357,11 +357,16 @@ def recover_manager(
     timestamp generator advanced past every replayed commit timestamp, so
     new commits serialize after everything recovered — the Section 3.3
     constraint holds across the crash.
+
+    ``clock`` is an optional zero-argument callable used only to time the
+    rebuild for the report (a CLI passes ``time.perf_counter``).  Left
+    unset — as every simulated path leaves it — ``elapsed_seconds`` stays
+    0.0 and recovery contributes no wall-clock nondeterminism to the run.
     """
     from ..protocols import get_protocol
     from ..runtime.manager import TransactionManager
 
-    started = time.perf_counter()
+    started = clock() if clock is not None else 0.0
     checkpoint = store.load() if store is not None else None
     records = wal.records()
     machines, adts, image, report = recover_machines(
@@ -391,7 +396,7 @@ def recover_manager(
 
     manager.wal = wal
     report.name = image.meta.get("name", "manager")
-    report.elapsed_seconds = time.perf_counter() - started
+    report.elapsed_seconds = (clock() - started) if clock is not None else 0.0
     if tracer is not None:
         tracer.emit(
             "site.recover",
@@ -415,12 +420,15 @@ def recover_site_state(
     site,
     store: Optional[CheckpointStore] = None,
     catalog: Optional[Mapping[str, ADT]] = None,
+    clock: Optional[Callable[[], float]] = None,
 ) -> RecoveryReport:
     """Rebuild a crashed :class:`~repro.distributed.site.Site` in place.
 
     The site's WAL and checkpoint store are its stable storage; volatile
     state (machines, touched maps, prepared/tombstone sets, the clock) is
-    reconstructed.  Returns the :class:`RecoveryReport`.
+    reconstructed.  ``clock`` is an optional wall-clock callable for the
+    report's ``elapsed_seconds``; simulated runs leave it unset so the
+    report is deterministic.  Returns the :class:`RecoveryReport`.
     """
     from ..core.timestamps import LogicalClock
 
@@ -428,7 +436,7 @@ def recover_site_state(
         raise RecoveryError(
             f"site {site.name!r} has no write-ahead log; nothing to recover"
         )
-    started = time.perf_counter()
+    started = clock() if clock is not None else 0.0
     tracer = getattr(site, "tracer", None)
     checkpoint = store.load() if store is not None else None
     records = site.wal.records()
@@ -439,33 +447,38 @@ def recover_site_state(
     for machine in machines.values():
         machine.tracer = tracer
 
-    site._machines = machines
-    site._adts = adts
-    site._touched = {obj: set() for obj in machines}
-    site._prepared = set(report.prepared_transactions)
-    # Transactions whose volatile intentions were lost must never pass a
-    # later PREPARE: remember them as tombstones (presumed abort).
-    site._tombstones = set(report.discarded_transactions)
+    # Prepared transactions come back with their intentions live; the
+    # completion fan-out map must know which objects they touched.
+    touched: Dict[str, Set[str]] = {}
     for transaction in report.prepared_transactions:
         _, intentions = image.prepares[transaction]
         for obj in intentions:
-            site._touched[obj].add(transaction)
+            touched.setdefault(obj, set()).add(transaction)
+    # Transactions whose volatile intentions were lost must never pass a
+    # later PREPARE: they are installed as tombstones (presumed abort).
+    site.install_recovered_state(
+        machines,
+        adts,
+        prepared=report.prepared_transactions,
+        tombstones=report.discarded_transactions,
+        touched=touched,
+    )
 
-    clock = LogicalClock()
+    site_clock = LogicalClock()
     if checkpoint is not None:
-        clock.observe(checkpoint.site_clock)
+        site_clock.observe(checkpoint.site_clock)
     for timestamp, _ in image.commits.values():
         number = timestamp[0] if isinstance(timestamp, tuple) else timestamp
         if isinstance(number, int):
-            clock.observe(number)
+            site_clock.observe(number)
     for bound, _ in image.prepares.values():
         if isinstance(bound, int):
-            clock.observe(bound)
-    site.clock = clock
+            site_clock.observe(bound)
+    site.clock = site_clock
     site.alive = True
 
     report.name = site.name
-    report.elapsed_seconds = time.perf_counter() - started
+    report.elapsed_seconds = (clock() - started) if clock is not None else 0.0
     if tracer is not None:
         tracer.emit(
             "site.recover",

@@ -295,7 +295,7 @@ class TransactionManager:
                 "read-only transactions require compacting objects"
                 " (multiversion reads use the horizon machinery)"
             )
-        if transaction.name not in machine._pins:
+        if not machine.has_pin(transaction.name):
             # The object was created after the reader began; its snapshot
             # at the reader's timestamp may already be unaddressable.
             raise ProtocolError(

@@ -1,0 +1,18 @@
+"""REP102 fixture: relations that are not symmetric by construction.
+
+Parsed by the lint tests, never imported or executed.
+"""
+
+from repro.core.conflict import EnumeratedRelation, PredicateRelation
+
+# Missing the mirrored ("Deq", "Enq") pair.
+ASYMMETRIC = EnumeratedRelation({("Enq", "Deq")}, name="asymmetric")
+
+
+def _predicate(p, q):
+    return p.name == "Enq"
+
+
+# A conflict relation with no symmetry evidence: neither built with
+# symmetric_closure(...) nor annotated ``# repro: symmetric``.
+FIXTURE_CONFLICT = PredicateRelation(_predicate, name="fixture")

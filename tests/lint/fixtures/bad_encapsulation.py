@@ -1,0 +1,20 @@
+"""REP103 fixture: aliasing returns and foreign state reaches.
+
+Parsed by the lint tests, never imported or executed.
+"""
+
+
+class Registry:
+    def __init__(self):
+        self._machines = {}
+
+    def machines(self):
+        return self._machines  # aliases internal mutable state
+
+
+def poke(machine):
+    machine._intentions["T1"] = ()  # mutates machine-owned state
+
+
+def peek(machine):
+    return "T1" in machine._committed  # reaches into machine-owned state

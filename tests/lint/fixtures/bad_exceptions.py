@@ -1,0 +1,29 @@
+"""REP105 fixture: exception-safety sins.
+
+Parsed by the lint tests, never imported or executed.
+"""
+
+
+def unpaired(lock):
+    lock.acquire()  # no try/finally, no with
+    lock.do_work()
+    lock.release()
+
+
+def swallow(run):
+    try:
+        run()
+    except Exception:
+        pass  # silently swallows the error
+
+
+def naked(run):
+    try:
+        run()
+    except:  # bare except
+        raise
+
+
+def leak(path):
+    handle = open(path)  # not in a with, never closed in a finally
+    return handle.read()

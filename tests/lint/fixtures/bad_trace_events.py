@@ -1,0 +1,12 @@
+"""REP101 fixture: every trace-event sin in one file.
+
+Parsed by the lint tests, never imported or executed.
+"""
+
+
+def run(tracer, payload):
+    tracer.emit("txn.bogus", transaction="T1")  # unregistered kind
+    tracer.emit("txn.begin", transaction="T1", nonsense_key=1)  # bad key
+    kind = "txn.begin"
+    tracer.emit(kind, transaction="T1")  # non-literal kind
+    tracer.emit("txn.begin", **payload)  # splat hides the keys

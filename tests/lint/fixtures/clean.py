@@ -1,0 +1,18 @@
+"""A clean fixture: the analyzer must report nothing here."""
+
+
+def emit_begin(tracer):
+    tracer.emit("txn.begin", transaction="T1", read_only=False)
+
+
+class Owner:
+    def __init__(self):
+        self._items = {}
+
+    def items(self):
+        return dict(self._items)  # copies before returning
+
+
+def read_file(path):
+    with open(path, encoding="utf-8") as handle:
+        return handle.read()

@@ -1,0 +1,11 @@
+"""REP106 fixture: real blocking calls in a simulated hot path.
+
+The ``core/`` directory name puts this file in the rule's scope.
+Parsed by the lint tests, never imported or executed.
+"""
+
+import time
+
+
+def wait_for_site():
+    time.sleep(0.1)  # real time has no place in simulated waiting

@@ -1,0 +1,20 @@
+"""REP104 fixture: naked entropy and wall clocks in a simulated path.
+
+The ``core/`` directory name puts this file in the rule's scope.
+Parsed by the lint tests, never imported or executed.
+"""
+
+import random
+import time
+
+
+def jitter():
+    return random.random() + time.time()  # two violations
+
+
+def unseeded():
+    return random.Random()  # no seed: irreproducible
+
+
+def seeded(seed):
+    return random.Random(f"fixture-{seed}")  # fine: seeded

@@ -1,0 +1,7 @@
+"""A seeded violation under an explicit suppression annotation."""
+
+import random
+
+
+def jitter():
+    return random.random()  # repro: noqa[REP104]
