@@ -1,0 +1,351 @@
+"""Hot-path benchmark — incremental view caching vs naive replay.
+
+The LOCK machine's response check used to replay a transaction's whole
+view (committed prefix + own intentions) through the specification per
+operation; it now advances a cached view state-set by one ``spec.step``
+per appended operation.  This benchmark quantifies that change and writes
+two machine-readable artifacts (validated by ``bench_schema.py``):
+
+* ``BENCH_hot_path.json`` — the intentions-list length sweep (ops/sec and
+  p50/p99 per-op latency, cached vs naive, with speedups), commit-churn
+  throughput for the plain and compacting machines, relation-memo
+  enumeration rates, and a checker-certified manager churn run.
+* ``BENCH_machine_micro.json`` — the machine × protocol commit-churn grid
+  (the ``bench_machine_micro.py`` numbers, in a schema'd envelope).
+
+Run directly::
+
+    PYTHONPATH=src python benchmarks/bench_hot_path.py [--smoke] [--output-dir DIR]
+
+``--smoke`` shrinks repeats and sweep lengths for CI; the full run's
+artifacts are committed at the repository root.  Every run is certified:
+the manager-churn section drives a :class:`repro.obs.AtomicityChecker`
+and the script fails if the oracle reports a violation.
+"""
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+from repro.adts import make_account_adt
+from repro.core import CompactingLockMachine, Invocation, LockMachine
+from repro.core.conflict import PredicateRelation
+from repro.obs import AtomicityChecker, TraceBus
+from repro.protocols import ALL_PROTOCOLS
+from repro.runtime import TransactionManager
+
+SCHEMA_VERSION = 1
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+SWEEP_LENGTHS = (25, 50, 100, 200, 400)
+SMOKE_SWEEP_LENGTHS = (25, 50, 200)
+CHURN_TRANSACTIONS = 150
+CERTIFIED_TRANSACTIONS = 100
+MEMO_ROUNDS = 200
+SMOKE_MEMO_ROUNDS = 20
+
+
+def _percentile(sorted_values, fraction):
+    index = min(len(sorted_values) - 1, int(len(sorted_values) * fraction))
+    return sorted_values[index]
+
+
+def _latency_stats(latencies, elapsed):
+    ranked = sorted(latencies)
+    return {
+        "operations": len(latencies),
+        "elapsed_seconds": elapsed,
+        "ops_per_second": len(latencies) / elapsed,
+        "p50_latency_us": _percentile(ranked, 0.50) * 1e6,
+        "p99_latency_us": _percentile(ranked, 0.99) * 1e6,
+    }
+
+
+def long_transaction(machine, length):
+    """One transaction appending ``length`` operations; per-op latency."""
+    latencies = []
+    started = time.perf_counter()
+    for _ in range(length):
+        before = time.perf_counter()
+        machine.execute("T", Invocation("Credit", (1,)))
+        latencies.append(time.perf_counter() - before)
+    return latencies, time.perf_counter() - started
+
+
+def sweep_intentions_length(adt, lengths, repeats):
+    """Cached vs naive single-transaction sweep over intentions lengths.
+
+    The naive machine replays the whole view per response check, so its
+    per-op cost grows with the intentions list; the cached machine does
+    one ``spec.step``.  Best-of-``repeats`` per variant.
+    """
+    rows = []
+    for length in lengths:
+        best = {}
+        for key, view_caching in (("cached", True), ("naive", False)):
+            stats = None
+            for _ in range(repeats):
+                machine = LockMachine(
+                    adt.spec, adt.conflict, view_caching=view_caching
+                )
+                latencies, elapsed = long_transaction(machine, length)
+                candidate = _latency_stats(latencies, elapsed)
+                if stats is None or candidate["elapsed_seconds"] < stats["elapsed_seconds"]:
+                    stats = candidate
+            best[key] = stats
+        rows.append(
+            {
+                "length": length,
+                "cached": best["cached"],
+                "naive": best["naive"],
+                "speedup": best["naive"]["elapsed_seconds"]
+                / best["cached"]["elapsed_seconds"],
+            }
+        )
+    return rows
+
+
+def churn(machine, transactions=CHURN_TRANSACTIONS):
+    for index in range(transactions):
+        name = f"T{index}"
+        machine.execute(name, Invocation("Credit", (1,)))
+        machine.commit(name, index + 1)
+
+
+def best_of(build, repeats, transactions=CHURN_TRANSACTIONS):
+    best = float("inf")
+    for _ in range(repeats):
+        machine = build()
+        started = time.perf_counter()
+        churn(machine, transactions)
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def commit_churn(adt, repeats):
+    """Sequential one-op transactions: the many-small-transactions shape."""
+    variants = {
+        "plain_cached": lambda: LockMachine(adt.spec, adt.conflict),
+        "plain_naive": lambda: LockMachine(
+            adt.spec, adt.conflict, view_caching=False
+        ),
+        "compacting_cached": lambda: CompactingLockMachine(adt.spec, adt.conflict),
+        "compacting_naive": lambda: CompactingLockMachine(
+            adt.spec, adt.conflict, view_caching=False
+        ),
+    }
+    results = {}
+    for name, build in variants.items():
+        elapsed = best_of(build, repeats)
+        results[name] = {
+            "transactions": CHURN_TRANSACTIONS,
+            "elapsed_seconds": elapsed,
+            "txn_per_second": CHURN_TRANSACTIONS / elapsed,
+        }
+    return results
+
+
+def relation_memo(adt, rounds):
+    """Pair-grid enumeration: memoised relation vs a cold one per round.
+
+    ``Relation.pairs`` memoises per (instance, universe); building a
+    fresh un-memoised relation each round re-pays the |U|² predicate
+    grid, which is what the bounded derivations used to do on every
+    restriction.
+    """
+    universe = adt.universe()
+    warm_relation = PredicateRelation(adt.conflict.related, name="warm")
+    warm_relation.pairs(universe)  # populate the memo before timing
+    started = time.perf_counter()
+    for _ in range(rounds):
+        warm_relation.pairs(universe)
+    warm = time.perf_counter() - started
+    started = time.perf_counter()
+    for _ in range(rounds):
+        PredicateRelation(
+            adt.conflict.related, name="cold", memoize=False
+        ).pairs(universe)
+    cold = time.perf_counter() - started
+    return {
+        "universe_size": len(universe),
+        "rounds": rounds,
+        "warm_enumerations_per_second": rounds / warm,
+        "cold_enumerations_per_second": rounds / cold,
+        "warm_over_cold": cold / warm,
+    }
+
+
+def certified_churn(adt, transactions=CERTIFIED_TRANSACTIONS):
+    """Manager commit churn with the streaming atomicity oracle attached.
+
+    The benchmark numbers are only worth reporting if the run they came
+    from is hybrid atomic — the checker certifies it online and its
+    verdict is embedded in the artifact.
+    """
+    bus = TraceBus()
+    checker = bus.subscribe(AtomicityChecker(emit_to=bus))
+    manager = TransactionManager(tracer=bus)
+    manager.create_object("A", adt)
+    started = time.perf_counter()
+    for _ in range(transactions):
+        txn = manager.begin()
+        manager.invoke(txn, "A", "Credit", 1)
+        manager.commit(txn)
+    elapsed = time.perf_counter() - started
+    report = checker.report()
+    if not report["ok"]:
+        raise AssertionError(checker.render_report())
+    return {
+        "transactions": transactions,
+        "elapsed_seconds": elapsed,
+        "txn_per_second": transactions / elapsed,
+        "certification": {
+            "verdict": report["verdict"],
+            "ok": report["ok"],
+            "events": report["events"],
+            "transactions": report["transactions"],
+            "violations": report["violations"],
+        },
+    }
+
+
+def machine_micro_grid(adt, repeats):
+    """The ``bench_machine_micro`` grid: machine × protocol churn rates."""
+    results = {}
+    for label, build in (
+        ("plain machine", lambda c: LockMachine(adt.spec, c)),
+        ("compacting machine", lambda c: CompactingLockMachine(adt.spec, c)),
+    ):
+        for protocol in ALL_PROTOCOLS:
+            conflict = protocol.conflict_for(adt)
+            elapsed = min(
+                _timed_churn(build, conflict) for _ in range(repeats)
+            )
+            results[f"{label}/{protocol.name}"] = {
+                "elapsed_seconds": elapsed,
+                "txn_per_second": CHURN_TRANSACTIONS / elapsed,
+            }
+    return results
+
+
+def _timed_churn(build, conflict):
+    machine = build(conflict)
+    started = time.perf_counter()
+    churn(machine)
+    return time.perf_counter() - started
+
+
+def run_benchmarks(smoke=False, output_dir=REPO_ROOT):
+    adt = make_account_adt()
+    lengths = SMOKE_SWEEP_LENGTHS if smoke else SWEEP_LENGTHS
+    repeats = 1 if smoke else 3
+    memo_rounds = SMOKE_MEMO_ROUNDS if smoke else MEMO_ROUNDS
+
+    # Warm up bytecode caches before any timing.
+    churn(LockMachine(adt.spec, adt.conflict), 30)
+
+    hot_path = {
+        "schema_version": SCHEMA_VERSION,
+        "smoke": smoke,
+        "adt": adt.name,
+        "sweep": sweep_intentions_length(adt, lengths, repeats),
+        "commit_churn": commit_churn(adt, repeats),
+        "relation_memo": relation_memo(adt, memo_rounds),
+        "certified_churn": certified_churn(adt),
+    }
+    machine_micro = {
+        "schema_version": SCHEMA_VERSION,
+        "smoke": smoke,
+        "transactions": CHURN_TRANSACTIONS,
+        "results": machine_micro_grid(adt, repeats),
+    }
+
+    output_dir = Path(output_dir)
+    output_dir.mkdir(parents=True, exist_ok=True)
+    artifacts = {
+        "BENCH_hot_path.json": hot_path,
+        "BENCH_machine_micro.json": machine_micro,
+    }
+    for name, data in artifacts.items():
+        (output_dir / name).write_text(
+            json.dumps(data, indent=2, sort_keys=True) + "\n"
+        )
+    return hot_path, machine_micro
+
+
+def render_summary(hot_path):
+    lines = ["hot path: cached vs naive single-transaction sweep"]
+    for row in hot_path["sweep"]:
+        lines.append(
+            f"  n={row['length']:>4}: cached {row['cached']['ops_per_second']:>10,.0f} op/s"
+            f" (p99 {row['cached']['p99_latency_us']:>8,.1f}us) | naive"
+            f" {row['naive']['ops_per_second']:>10,.0f} op/s"
+            f" (p99 {row['naive']['p99_latency_us']:>8,.1f}us) |"
+            f" {row['speedup']:>6.1f}x"
+        )
+    chn = hot_path["commit_churn"]
+    lines.append(
+        "commit churn: "
+        + ", ".join(
+            f"{name} {entry['txn_per_second']:,.0f} txn/s"
+            for name, entry in sorted(chn.items())
+        )
+    )
+    memo = hot_path["relation_memo"]
+    lines.append(
+        f"relation memo: warm {memo['warm_enumerations_per_second']:,.0f}"
+        f" vs cold {memo['cold_enumerations_per_second']:,.0f} enum/s"
+        f" ({memo['warm_over_cold']:.0f}x)"
+    )
+    cert = hot_path["certified_churn"]
+    lines.append(
+        f"certified churn: {cert['txn_per_second']:,.0f} txn/s, verdict"
+        f" {cert['certification']['verdict']!r}"
+    )
+    return "\n".join(lines)
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="shrink sweep lengths and repeats for CI smoke runs",
+    )
+    parser.add_argument(
+        "--output-dir",
+        default=str(REPO_ROOT),
+        help="directory for BENCH_*.json artifacts (default: repo root)",
+    )
+    args = parser.parse_args(argv)
+    hot_path, machine_micro = run_benchmarks(
+        smoke=args.smoke, output_dir=args.output_dir
+    )
+    from bench_schema import validate_artifact
+
+    validate_artifact("BENCH_hot_path.json", hot_path)
+    validate_artifact("BENCH_machine_micro.json", machine_micro)
+    print(render_summary(hot_path))
+    return 0
+
+
+def test_hot_path_smoke(tmp_path, save_artifact):
+    """Smoke-sized run under pytest: artifacts validate, oracle certifies,
+    and the cache clears a conservative speedup floor at length 200."""
+    from bench_schema import validate_artifact
+
+    hot_path, machine_micro = run_benchmarks(smoke=True, output_dir=tmp_path)
+    validate_artifact("BENCH_hot_path.json", hot_path)
+    validate_artifact("BENCH_machine_micro.json", machine_micro)
+    longest = max(hot_path["sweep"], key=lambda row: row["length"])
+    assert longest["length"] >= 200
+    assert longest["speedup"] >= 2.0
+    assert hot_path["certified_churn"]["certification"]["ok"]
+    save_artifact("hot_path_smoke", render_summary(hot_path), data=hot_path)
+
+
+if __name__ == "__main__":
+    sys.path.insert(0, str(Path(__file__).resolve().parent))
+    sys.exit(main())

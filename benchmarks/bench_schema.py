@@ -1,0 +1,182 @@
+"""Hand-rolled schema validation for the BENCH_*.json artifacts.
+
+CI's perf-smoke job regenerates the artifacts and validates them here
+before uploading; the committed copies at the repository root are checked
+by the same code.  Deliberately dependency-free (no ``jsonschema``): a
+schema is a nested dict of ``key -> checker`` where a checker is a type,
+a tuple of types, a nested schema dict, or a callable returning an error
+string (or None).  Extra keys are rejected so stale fields can't linger
+unnoticed.
+
+Run directly::
+
+    python benchmarks/bench_schema.py BENCH_hot_path.json [BENCH_machine_micro.json ...]
+"""
+
+import json
+import sys
+from pathlib import Path
+
+NUMBER = (int, float)
+
+
+def positive(value):
+    if not isinstance(value, NUMBER) or isinstance(value, bool) or value <= 0:
+        return f"expected a positive number, got {value!r}"
+    return None
+
+
+def non_negative_int(value):
+    if not isinstance(value, int) or isinstance(value, bool) or value < 0:
+        return f"expected a non-negative integer, got {value!r}"
+    return None
+
+
+LATENCY_STATS = {
+    "operations": non_negative_int,
+    "elapsed_seconds": positive,
+    "ops_per_second": positive,
+    "p50_latency_us": positive,
+    "p99_latency_us": positive,
+}
+
+CHURN_STATS = {
+    "transactions": non_negative_int,
+    "elapsed_seconds": positive,
+    "txn_per_second": positive,
+}
+
+SWEEP_ROW = {
+    "length": non_negative_int,
+    "cached": LATENCY_STATS,
+    "naive": LATENCY_STATS,
+    "speedup": positive,
+}
+
+HOT_PATH_SCHEMA = {
+    "schema_version": non_negative_int,
+    "smoke": bool,
+    "adt": str,
+    "sweep": [SWEEP_ROW],
+    "commit_churn": {
+        "plain_cached": CHURN_STATS,
+        "plain_naive": CHURN_STATS,
+        "compacting_cached": CHURN_STATS,
+        "compacting_naive": CHURN_STATS,
+    },
+    "relation_memo": {
+        "universe_size": non_negative_int,
+        "rounds": non_negative_int,
+        "warm_enumerations_per_second": positive,
+        "cold_enumerations_per_second": positive,
+        "warm_over_cold": positive,
+    },
+    "certified_churn": {
+        "transactions": non_negative_int,
+        "elapsed_seconds": positive,
+        "txn_per_second": positive,
+        "certification": {
+            "verdict": str,
+            "ok": bool,
+            "events": non_negative_int,
+            "transactions": {
+                "total": non_negative_int,
+                "committed": non_negative_int,
+                "aborted": non_negative_int,
+                "active": non_negative_int,
+            },
+            "violations": list,
+        },
+    },
+}
+
+MACHINE_MICRO_SCHEMA = {
+    "schema_version": non_negative_int,
+    "smoke": bool,
+    "transactions": non_negative_int,
+    # "results" is checked structurally below: the machine/protocol key
+    # set depends on the registered protocols, not the schema.
+    "results": dict,
+}
+
+ARTIFACT_SCHEMAS = {
+    "BENCH_hot_path.json": HOT_PATH_SCHEMA,
+    "BENCH_machine_micro.json": MACHINE_MICRO_SCHEMA,
+}
+
+
+def _check(checker, value, path, errors):
+    if isinstance(checker, dict):
+        if not isinstance(value, dict):
+            errors.append(f"{path}: expected an object, got {type(value).__name__}")
+            return
+        for key in checker:
+            if key not in value:
+                errors.append(f"{path}.{key}: missing")
+        for key in value:
+            if key not in checker:
+                errors.append(f"{path}.{key}: unexpected key")
+        for key, sub in checker.items():
+            if key in value:
+                _check(sub, value[key], f"{path}.{key}", errors)
+    elif isinstance(checker, list):
+        if not isinstance(value, list) or not value:
+            errors.append(f"{path}: expected a non-empty array")
+            return
+        for index, item in enumerate(value):
+            _check(checker[0], item, f"{path}[{index}]", errors)
+    elif isinstance(checker, (type, tuple)):
+        if checker is bool:
+            ok = isinstance(value, bool)
+        else:
+            ok = isinstance(value, checker) and not isinstance(value, bool)
+        if not ok:
+            errors.append(
+                f"{path}: expected {checker!r}, got {type(value).__name__}"
+            )
+    else:  # callable checker
+        message = checker(value)
+        if message:
+            errors.append(f"{path}: {message}")
+
+
+def validate_artifact(name, data):
+    """Validate one artifact dict against its schema; raises ValueError."""
+    schema = ARTIFACT_SCHEMAS.get(name)
+    if schema is None:
+        raise ValueError(f"no schema registered for {name!r}")
+    errors = []
+    _check(schema, data, name, errors)
+    if name == "BENCH_machine_micro.json" and isinstance(data.get("results"), dict):
+        if not data["results"]:
+            errors.append(f"{name}.results: must not be empty")
+        for key, row in data["results"].items():
+            _check(
+                {"elapsed_seconds": positive, "txn_per_second": positive},
+                row,
+                f"{name}.results[{key}]",
+                errors,
+            )
+    if errors:
+        raise ValueError("\n".join(errors))
+
+
+def main(argv):
+    if not argv:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    status = 0
+    for argument in argv:
+        path = Path(argument)
+        try:
+            validate_artifact(path.name, json.loads(path.read_text()))
+        except (OSError, ValueError) as failure:
+            print(f"FAIL {path}: {failure}", file=sys.stderr)
+            status = 1
+        else:
+            print(f"ok {path}")
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

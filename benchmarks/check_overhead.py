@@ -20,6 +20,14 @@ without needing the pre-instrumentation binary:
   within a (deliberately loose) multiple of the unobserved manager.  The
   oracle re-sorts and re-verifies committed prefixes, so it is allowed to
   be much slower — this bound only catches accidental quadratic blowups.
+* **view-cache budget** — the incremental view cache must keep paying:
+  commit churn on the plain machine at least ``CACHE_CHURN_FLOOR``×
+  faster cached than naive replay, a 200-op single transaction at least
+  ``CACHE_SWEEP_FLOOR``× faster, and caching must not slow the
+  compacting machine's churn beyond ``CACHE_COMPACTING_TOLERANCE``
+  (there the committed prefix is already folded, so the cache only has
+  to be ~free, not faster).  Floors are far below the measured margins
+  (see ``BENCH_hot_path.json``) to stay robust on loaded CI runners.
 
 Run directly (``PYTHONPATH=src python benchmarks/check_overhead.py``) or
 via pytest.  Exits non-zero on violation.
@@ -29,7 +37,7 @@ import sys
 import time
 
 from repro.adts import make_account_adt
-from repro.core import CompactingLockMachine, Invocation
+from repro.core import CompactingLockMachine, Invocation, LockMachine
 from repro.obs import AtomicityChecker, MetricsRegistry, RegistrySink, TraceBus
 from repro.runtime import TransactionManager
 
@@ -44,6 +52,12 @@ RELATIVE_TOLERANCE = 1.10
 # "not pathological": within 15x of the bare manager and above 100 txn/s.
 CHECKER_TOLERANCE = 15.0
 CHECKER_FLOOR_TXN_PER_SECOND = 100.0
+# The view cache's measured margins are ~10x (plain churn) and ~35x
+# (200-op sweep); guard at a small fraction of that.
+CACHE_CHURN_FLOOR = 2.0
+CACHE_SWEEP_FLOOR = 3.0
+CACHE_SWEEP_LENGTH = 200
+CACHE_COMPACTING_TOLERANCE = 1.5
 
 
 def churn(machine, transactions=TRANSACTIONS):
@@ -68,6 +82,21 @@ def manager_churn(manager, transactions=TRANSACTIONS):
         txn = manager.begin()
         manager.invoke(txn, "A", "Credit", 1)
         manager.commit(txn)
+
+
+def long_transaction(machine, length=CACHE_SWEEP_LENGTH):
+    for _ in range(length):
+        machine.execute("T", Invocation("Credit", (1,)))
+
+
+def best_of_long(build, repeats=3):
+    best = float("inf")
+    for _ in range(repeats):
+        machine = build()
+        started = time.perf_counter()
+        long_transaction(machine)
+        best = min(best, time.perf_counter() - started)
+    return best
 
 
 def best_of_manager(build, repeats=REPEATS):
@@ -115,11 +144,25 @@ def main():
     churn(disabled())
     manager_churn(bare_manager())
 
+    def plain_cached():
+        return LockMachine(adt.spec, adt.conflict)
+
+    def plain_naive():
+        return LockMachine(adt.spec, adt.conflict, view_caching=False)
+
+    def compacting_naive():
+        return CompactingLockMachine(adt.spec, adt.conflict, view_caching=False)
+
     disabled_best = best_of(disabled)
     traced_best = best_of(traced)
     idle_best = best_of(idle_bus)
     manager_best = best_of_manager(bare_manager)
     checked_best = best_of_manager(checked_manager)
+    plain_cached_best = best_of(plain_cached)
+    plain_naive_best = best_of(plain_naive)
+    compacting_naive_best = best_of(compacting_naive)
+    sweep_cached_best = best_of_long(plain_cached)
+    sweep_naive_best = best_of_long(plain_naive)
     disabled_tps = TRANSACTIONS / disabled_best
     traced_tps = TRANSACTIONS / traced_best
     idle_tps = TRANSACTIONS / idle_best
@@ -131,6 +174,19 @@ def main():
     print(f"idle bus: {idle_best:.6f}s best  ({idle_tps:,.0f} txn/s)")
     print(f"manager:  {manager_best:.6f}s best  ({manager_tps:,.0f} txn/s)")
     print(f"checked:  {checked_best:.6f}s best  ({checked_tps:,.0f} txn/s)")
+    print(
+        f"plain churn: cached {plain_cached_best:.6f}s vs naive "
+        f"{plain_naive_best:.6f}s ({plain_naive_best / plain_cached_best:.1f}x)"
+    )
+    print(
+        f"compacting churn: cached {disabled_best:.6f}s vs naive "
+        f"{compacting_naive_best:.6f}s"
+    )
+    print(
+        f"{CACHE_SWEEP_LENGTH}-op sweep: cached {sweep_cached_best:.6f}s vs "
+        f"naive {sweep_naive_best:.6f}s "
+        f"({sweep_naive_best / sweep_cached_best:.1f}x)"
+    )
 
     failures = []
     if disabled_tps < FLOOR_TXN_PER_SECOND:
@@ -160,6 +216,26 @@ def main():
             f"checker-attached churn ({checked_best:.6f}s) exceeds "
             f"{CHECKER_TOLERANCE:.0f}x the bare manager ({manager_best:.6f}s)"
             " — the oracle's per-event work has blown up"
+        )
+
+    if plain_naive_best < plain_cached_best * CACHE_CHURN_FLOOR:
+        failures.append(
+            f"plain-machine commit churn cached ({plain_cached_best:.6f}s) is "
+            f"not {CACHE_CHURN_FLOOR:.0f}x faster than naive replay "
+            f"({plain_naive_best:.6f}s) — the view cache stopped paying"
+        )
+    if sweep_naive_best < sweep_cached_best * CACHE_SWEEP_FLOOR:
+        failures.append(
+            f"{CACHE_SWEEP_LENGTH}-op transaction cached "
+            f"({sweep_cached_best:.6f}s) is not {CACHE_SWEEP_FLOOR:.0f}x "
+            f"faster than naive replay ({sweep_naive_best:.6f}s)"
+        )
+    if disabled_best > compacting_naive_best * CACHE_COMPACTING_TOLERANCE:
+        failures.append(
+            f"compacting churn with the cache ({disabled_best:.6f}s) exceeds "
+            f"{CACHE_COMPACTING_TOLERANCE:.1f}x the uncached machine "
+            f"({compacting_naive_best:.6f}s) — cache maintenance is costing "
+            "more than it saves on the folded path"
         )
 
     if failures:

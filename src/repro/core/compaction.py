@@ -80,8 +80,14 @@ class CompactingLockMachine(LockMachine):
     ``tests/core/test_compaction.py``.
     """
 
-    def __init__(self, spec: SerialSpec, conflict: Relation, obj: str = "X"):
-        super().__init__(spec, conflict, obj)
+    def __init__(
+        self,
+        spec: SerialSpec,
+        conflict: Relation,
+        obj: str = "X",
+        view_caching: bool = True,
+    ):
+        super().__init__(spec, conflict, obj, view_caching=view_caching)
         #: ``s.clock``: latest observed commit timestamp.
         self.clock: Any = NEG_INFINITY
         #: ``s.bound``: per-transaction commit-timestamp lower bounds.
@@ -168,10 +174,15 @@ class CompactingLockMachine(LockMachine):
         operations already folded into the version."""
         return super().committed_state()
 
-    def view_states(self, transaction: str) -> StateSet:
-        """View as a state-set: version, then retained committed intentions
-        in timestamp order, then the transaction's own intentions."""
-        return self.spec.run_from(self._version, self.view(transaction))
+    def _base_states(self) -> StateSet:
+        """Views replay from the version: the folded common prefix.
+
+        Combined with the base machine's incremental caching, a view is
+        the version, then the retained committed intentions in timestamp
+        order, then the transaction's own intentions — with the first two
+        segments cached and the third advanced one step per operation.
+        """
+        return self._version
 
     # ------------------------------------------------------------------
     # Multiversion read-only support (Section 7.1's generalisation)
@@ -250,9 +261,7 @@ class CompactingLockMachine(LockMachine):
         self._version = version
         self.clock = clock
         self._version_timestamp = version_timestamp
-
-    def _committed_states(self) -> StateSet:
-        return self.spec.run_from(self._version, self.committed_state())
+        self._invalidate_views(None)
 
     def replay_committed(
         self, transaction: str, timestamp: Any, intentions
@@ -305,6 +314,26 @@ class CompactingLockMachine(LockMachine):
         commit-timestamp order; the intentions list, timestamp, and bound
         of each forgotten transaction are discarded.  Returns the list of
         transactions forgotten by this call.
+
+        ``ready`` is computed from a horizon *snapshot*, then the inner
+        loop mutates ``_committed``/``_bounds`` before the horizon is
+        recomputed.  The snapshot is safe by a monotonicity invariant:
+        ``ready`` is ascending in commit timestamp and every candidate
+        entering the horizon's min (active bounds, pins, and the largest
+        *remaining* committed timestamp, which includes the element about
+        to be forgotten) stays at or above the snapshot horizon while the
+        loop runs, so each element still satisfies Lemma 19's
+        ``committed(Q) <= horizon`` against the *recomputed* horizon at
+        the moment it is forgotten.  The assertion below re-checks this
+        per transaction; ``tests/core/test_compaction.py`` drives the
+        same check through skewed-timestamp property workloads.
+
+        Folding moves operations from the retained committed prefix into
+        the version without changing the state-set the two jointly
+        denote (``run_from`` distributes over concatenation), so the
+        incremental view caches stay valid across a fold — they are
+        already the rebased values.  The bisimulation suite pins this by
+        forcing folds under a live cached view.
         """
         forgotten: List[str] = []
         old_version_timestamp = self._version_timestamp
@@ -318,6 +347,12 @@ class CompactingLockMachine(LockMachine):
             if not ready:
                 break
             for transaction in ready:
+                # Lemma 19 against the *current* horizon, not the
+                # snapshot (see docstring).
+                assert self._committed[transaction] <= self.horizon(), (
+                    f"horizon regressed below {transaction}'s commit "
+                    "timestamp mid-forget; the snapshot invariant is broken"
+                )
                 intentions = self._intentions.pop(transaction, ())
                 self._version = self.spec.run_from(self._version, intentions)
                 if not self._version:

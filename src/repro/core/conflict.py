@@ -22,7 +22,7 @@ closure of a dependency relation.
 
 from __future__ import annotations
 
-from typing import Callable, FrozenSet, Iterable, Sequence, Set, Tuple
+from typing import Callable, Dict, FrozenSet, Iterable, Optional, Sequence, Set, Tuple
 
 from .operations import Operation
 
@@ -52,6 +52,10 @@ class Relation:
     #: Optional human-readable name, used by the table renderers.
     name: str = "relation"
 
+    #: Lazily created per-instance memo for :meth:`pairs` (class-level
+    #: None until the first enumeration; never shared across instances).
+    _pairs_cache: Optional[Dict[Tuple[Operation, ...], FrozenSet[Pair]]] = None
+
     def related(self, q: Operation, p: Operation) -> bool:
         """True iff ``(q, p)`` is in the relation ("q depends on p")."""
         raise NotImplementedError
@@ -67,7 +71,33 @@ class Relation:
         return difference(self, other)
 
     def pairs(self, universe: Sequence[Operation]) -> FrozenSet[Pair]:
-        """All related pairs drawn from a finite operation universe."""
+        """All related pairs drawn from a finite operation universe.
+
+        Enumerations over the same universe are memoised per relation
+        instance: the bounded derivations (:mod:`repro.analysis.derive`,
+        :mod:`repro.core.invalidated_by`,
+        :mod:`repro.core.commutativity`) restrict the same paper tables
+        repeatedly, and relations here are pure — membership depends
+        only on the operation pair — so re-evaluating the |U|² predicate
+        grid per enumeration is wasted work.
+        """
+        key = tuple(universe)
+        cache = self._pairs_cache
+        if cache is None:
+            cache = {}
+            # Instance attribute shadowing the class-level None:
+            # subclasses need not call Relation.__init__.
+            self._pairs_cache = cache
+        try:
+            hit = cache.get(key)
+        except TypeError:  # unhashable operation payloads: no memo
+            return self._enumerate_pairs(universe)
+        if hit is None:
+            hit = self._enumerate_pairs(universe)
+            cache[key] = hit
+        return hit
+
+    def _enumerate_pairs(self, universe: Sequence[Operation]) -> FrozenSet[Pair]:
         return frozenset(
             (q, p) for q in universe for p in universe if self.related(q, p)
         )
@@ -91,12 +121,44 @@ class PredicateRelation(Relation):
         )
     """
 
-    def __init__(self, predicate: Callable[[Operation, Operation], bool], name: str = "relation"):
+    #: Memo entries are dropped wholesale past this size so a long-lived
+    #: relation over an unbounded live workload cannot leak; paper
+    #: universes are tiny, so the cap is never hit by the derivations.
+    _MEMO_LIMIT = 65536
+
+    def __init__(
+        self,
+        predicate: Callable[[Operation, Operation], bool],
+        name: str = "relation",
+        memoize: bool = True,
+    ):
         self._predicate = predicate
+        self._memo: Optional[Dict[Pair, bool]] = {} if memoize else None
         self.name = name
 
     def related(self, q: Operation, p: Operation) -> bool:
-        return bool(self._predicate(q, p))
+        """Memoised predicate evaluation.
+
+        The paper's tables are pure functions of the operation pair, and
+        both the machine's conflict check and the bounded derivations ask
+        about the same pairs over and over — so the verdict is cached per
+        ``(q, p)``.  Pairs with unhashable payloads fall back to a direct
+        call.
+        """
+        memo = self._memo
+        if memo is None:
+            return bool(self._predicate(q, p))
+        key = (q, p)
+        try:
+            hit = memo.get(key)
+        except TypeError:  # unhashable operation arguments or results
+            return bool(self._predicate(q, p))
+        if hit is None:
+            hit = bool(self._predicate(q, p))
+            if len(memo) >= self._MEMO_LIMIT:
+                memo.clear()
+            memo[key] = hit
+        return hit
 
 
 class EnumeratedRelation(Relation):

@@ -34,7 +34,7 @@ The machine also records the accepted event sequence so its language
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional, Sequence, Set
+from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
 
 from .conflict import Relation
 from .errors import IllegalOperation, LockConflict, ProtocolError, WouldBlock
@@ -60,9 +60,24 @@ class LockMachine:
         this, mirroring Theorem 17's necessity direction.
     obj:
         The object's name as it appears in events.
+    view_caching:
+        Maintain each transaction's view state-set incrementally (one
+        ``spec.step`` per appended operation) instead of replaying the
+        whole view on every response check.  The caches are pure
+        bookkeeping — ``L(LOCK)`` is unchanged, which the bisimulation
+        property suite (``tests/properties/test_incremental_equivalence``)
+        certifies by driving a cached and an uncached machine through
+        identical workloads.  ``False`` selects the naive replay path
+        (the reference implementation, and the benchmark baseline).
     """
 
-    def __init__(self, spec: SerialSpec, conflict: Relation, obj: str = "X"):
+    def __init__(
+        self,
+        spec: SerialSpec,
+        conflict: Relation,
+        obj: str = "X",
+        view_caching: bool = True,
+    ):
         self.spec = spec
         self.conflict = conflict
         self.obj = obj
@@ -73,6 +88,19 @@ class LockMachine:
         self._aborted: Set[str] = set()
         # Accepted events, for verification.
         self._accepted: List[Event] = []
+        # Incremental view bookkeeping (no effect on the accepted
+        # language; see ``view_states``).  ``_view_cache`` maps an active
+        # transaction to ``(len(intentions), states)`` — the state-set of
+        # its view after that many of its own operations — and is only
+        # trusted while the committed prefix is unchanged (every change
+        # clears it).  ``_committed_cache`` is the state-set denoted by
+        # the committed state, or None when it must be recomputed; note
+        # an *empty frozenset* is a valid cached value (a Theorem 17
+        # relation can drive a view illegal), so staleness is always
+        # tested with ``is None``, never truthiness.
+        self._view_caching = bool(view_caching)
+        self._view_cache: Dict[str, Tuple[int, StateSet]] = {}
+        self._committed_cache: Optional[StateSet] = None
         #: Optional :class:`repro.obs.TraceBus`; None keeps every
         #: instrumentation site a single attribute-load-and-compare.
         self.tracer: Optional[Any] = None
@@ -155,14 +183,69 @@ class LockMachine:
         """``View(Q, s)``: committed state followed by Q's intentions."""
         return self.committed_state() + self.intentions(transaction)
 
+    def _base_states(self) -> StateSet:
+        """What the committed prefix replays from.
+
+        The base machine starts at the specification's initial states;
+        the compacting machine (Section 6) overrides this to return its
+        version (the state-set of the folded common prefix).
+        """
+        return self.spec.initial_states()
+
+    def _committed_view_states(self) -> StateSet:
+        """State-set denoted by the committed state, cached.
+
+        The cache is advanced incrementally on in-timestamp-order commits
+        and replays, dropped on out-of-order commits, and recomputed here
+        on demand by replaying the retained committed intentions from
+        :meth:`_base_states`.
+        """
+        cache = self._committed_cache
+        if cache is None:
+            cache = self.spec.run_from(self._base_states(), self.committed_state())
+            if self._view_caching:
+                self._committed_cache = cache
+        return cache
+
     def view_states(self, transaction: str) -> StateSet:
         """State-set reached by the transaction's view.
 
-        The base machine replays the full view through the specification;
-        the compacting machine (Section 6) overrides this to start from a
-        pre-computed version of the common prefix.
+        With ``view_caching`` (the default) the committed prefix's
+        state-set is cached and each transaction's view state-set is
+        advanced by one ``spec.step`` per appended operation — the shape
+        of the paper's appendix (Avalon/C++ Account), where per-
+        transaction state is maintained incrementally rather than
+        replayed.  Without it, the full view is replayed through the
+        specification on every call (the naive reference path).
         """
-        return self.spec.run(self.view(transaction))
+        if not self._view_caching:
+            return self.spec.run_from(self._base_states(), self.view(transaction))
+        own = self.intentions(transaction)
+        entry = self._view_cache.get(transaction)
+        if entry is not None:
+            applied, states = entry
+            if applied == len(own):
+                return states
+            if applied < len(own):
+                states = self.spec.run_from(states, own[applied:])
+                self._view_cache[transaction] = (len(own), states)
+                return states
+            # An intentions list never shrinks while its cache entry
+            # lives (abort/commit/forget drop the entry), so this branch
+            # is unreachable; rebuild defensively if it ever isn't.
+        states = self.spec.run_from(self._committed_view_states(), own)
+        self._view_cache[transaction] = (len(own), states)
+        return states
+
+    def _invalidate_views(self, committed_states: Optional[StateSet]) -> None:
+        """The committed prefix changed: drop every per-transaction view.
+
+        ``committed_states`` installs the new committed state-set when
+        the caller could advance it incrementally (an in-timestamp-order
+        commit or replay); None forces a lazy recompute.
+        """
+        self._view_cache.clear()
+        self._committed_cache = committed_states if self._view_caching else None
 
     # ------------------------------------------------------------------
     # Transitions
@@ -211,9 +294,15 @@ class LockMachine:
         On success the pending invocation is consumed and the operation is
         appended to the transaction's intentions list.
         """
-        operation = self._check_response(transaction, result)
+        operation, stepped = self._check_response_states(transaction, result)
         del self._pending[transaction]
-        self._intentions[transaction] = self.intentions(transaction) + (operation,)
+        own = self.intentions(transaction) + (operation,)
+        self._intentions[transaction] = own
+        if self._view_caching:
+            # ``stepped`` is the view state-set after appending the
+            # operation, computed against the current committed prefix by
+            # the legality check — reuse it instead of re-stepping.
+            self._view_cache[transaction] = (len(own), stepped)
         self._accepted.append(ResponseEvent(transaction, self.obj, result))
         tracer = self.tracer
         if tracer is not None:
@@ -239,12 +328,26 @@ class LockMachine:
             raise ProtocolError(
                 f"{transaction} previously committed with timestamp {previous}"
             )
+        in_order = True
         for other, stamp in self._committed.items():
             if other != transaction and stamp == timestamp:
                 raise ProtocolError(
                     f"timestamp {timestamp} already used by {other} (well-formedness)"
                 )
+            if timestamp < stamp:
+                in_order = False
+        advanced: Optional[StateSet] = None
+        if in_order and self._view_caching and self._committed_cache is not None:
+            # The new timestamp exceeds every retained committed one, so
+            # the transaction's intentions *extend* the committed state —
+            # advance the cached state-set instead of dropping it.  An
+            # out-of-order (skewed) timestamp splices the intentions into
+            # the middle of the prefix; that falls back to a recompute.
+            advanced = self.spec.run_from(
+                self._committed_cache, self.intentions(transaction)
+            )
         self._committed[transaction] = timestamp
+        self._invalidate_views(advanced)
         self._accepted.append(CommitEvent(transaction, self.obj, timestamp))
         self._on_commit_observed(transaction, timestamp)
 
@@ -253,6 +356,9 @@ class LockMachine:
         if transaction in self._committed:
             raise ProtocolError(f"{transaction} already committed (well-formedness)")
         self._aborted.add(transaction)
+        # Aborted intentions were never part of any other view, so only
+        # the aborting transaction's cached view dies.
+        self._view_cache.pop(transaction, None)
         self._accepted.append(AbortEvent(transaction, self.obj))
         self._on_abort_observed(transaction)
 
@@ -323,9 +429,10 @@ class LockMachine:
     def _committed_states(self) -> StateSet:
         """State-set denoted by the committed state (recovery helper).
 
-        The compacting machine overrides this to start from its version.
+        Delegates to the cached committed-prefix state-set, which starts
+        from :meth:`_base_states` (the compacting machine's version).
         """
-        return self.spec.run(self.committed_state())
+        return self._committed_view_states()
 
     def replay_committed(
         self, transaction: str, timestamp: Any, intentions: Sequence[Operation]
@@ -347,13 +454,17 @@ class LockMachine:
                 raise ProtocolError(
                     f"timestamp {timestamp} already used by {other} (replay)"
                 )
-        if not self.spec.run_from(self._committed_states(), ops):
+        replayed = self.spec.run_from(self._committed_states(), ops)
+        if not replayed:
             raise IllegalOperation(
                 f"replayed intentions of {transaction} are illegal after the"
                 " committed state; the log or checkpoint is corrupt"
             )
         self._intentions[transaction] = ops
         self._committed[transaction] = timestamp
+        # Replay applies commits in timestamp order (see docstring), so
+        # the legality check's result *is* the new committed state-set.
+        self._invalidate_views(replayed)
 
     def replay_active(
         self, transaction: str, intentions: Sequence[Operation]
@@ -381,6 +492,17 @@ class LockMachine:
     # ------------------------------------------------------------------
 
     def _check_response(self, transaction: str, result: Any) -> Operation:
+        return self._check_response_states(transaction, result)[0]
+
+    def _check_response_states(
+        self, transaction: str, result: Any
+    ) -> Tuple[Operation, StateSet]:
+        """Check the response preconditions; also return the stepped view.
+
+        The stepped state-set is the view after appending the operation —
+        :meth:`respond` installs it as the transaction's cached view so
+        the legality check's work is not repeated.
+        """
         invocation = self._pending.get(transaction)
         if invocation is None:
             raise ProtocolError(f"{transaction} has no pending invocation")
@@ -388,12 +510,13 @@ class LockMachine:
             raise ProtocolError(f"{transaction} has already completed")
         operation = Operation(invocation, result)
         states = self.view_states(transaction)
-        if not self.spec.step(states, operation):
+        stepped = self.spec.step(states, operation)
+        if not stepped:
             raise IllegalOperation(
                 f"{operation} is not legal after the view of {transaction}"
             )
         self._check_conflicts(transaction, operation)
-        return operation
+        return operation, stepped
 
     def _check_conflicts(self, transaction: str, operation: Operation) -> None:
         """Fourth precondition: no conflicting lock held by another active

@@ -26,6 +26,7 @@ from __future__ import annotations
 from abc import ABC, abstractmethod
 from typing import Any, FrozenSet, Hashable, Iterable, Iterator, List, Sequence, Tuple
 
+from .canon import canonical_key
 from .operations import Invocation, Operation, OperationSequence
 
 __all__ = ["SerialSpec", "StateSet", "enumerate_legal_sequences"]
@@ -116,10 +117,15 @@ class SerialSpec(ABC):
 
         Used by the locking protocol to "choose a result consistent with the
         view" (Section 4.1).  The returned list is duplicate-free and
-        deterministically ordered for reproducibility.
+        deterministically ordered for reproducibility: candidate states
+        are ranked by their canonical encoding
+        (:func:`repro.core.canon.canonical_key`), not ``repr`` — the
+        ``repr`` of set-valued states lists elements in hash-iteration
+        order, which varies with ``PYTHONHASHSEED`` and would let the
+        chosen result flip between runs.
         """
         seen: List[Any] = []
-        for state in sorted(states, key=repr):
+        for state in sorted(states, key=canonical_key):
             for result, _ in self.outcomes(state, invocation):
                 if result not in seen:
                     seen.append(result)

@@ -13,8 +13,8 @@ tag                       value
 ========================  =========================================
 ``{"__t__": [...]}``      tuple (e.g. distributed commit timestamps)
 ``{"__l__": [...]}``      list
-``{"__s__": [...]}``      set (elements sorted by ``repr``)
-``{"__fs__": [...]}``     frozenset (state sets; sorted by ``repr``)
+``{"__s__": [...]}``      set (elements in canonical-key order)
+``{"__fs__": [...]}``     frozenset (state sets; canonical-key order)
 ``{"__d__": [[k,v],..]}``  dict (pairs, so non-string keys survive)
 ``{"__fr__": [n, d]}``    :class:`fractions.Fraction`
 ``{"__neginf__": true}``  the ``NEG_INFINITY`` horizon sentinel
@@ -31,6 +31,7 @@ from __future__ import annotations
 from fractions import Fraction
 from typing import Any
 
+from ..core.canon import canonical_key
 from ..core.compaction import NEG_INFINITY
 
 __all__ = ["encode_value", "decode_value"]
@@ -48,10 +49,17 @@ def encode_value(value: Any) -> Any:
         return {"__t__": [encode_value(item) for item in value]}
     if isinstance(value, list):
         return {"__l__": [encode_value(item) for item in value]}
+    # Set elements are ordered by their canonical encoding, not repr:
+    # repr order follows hash iteration, which is seed-dependent, and
+    # trace files should be byte-identical across runs.
     if isinstance(value, frozenset):
-        return {"__fs__": [encode_value(item) for item in sorted(value, key=repr)]}
+        return {
+            "__fs__": [encode_value(item) for item in sorted(value, key=canonical_key)]
+        }
     if isinstance(value, set):
-        return {"__s__": [encode_value(item) for item in sorted(value, key=repr)]}
+        return {
+            "__s__": [encode_value(item) for item in sorted(value, key=canonical_key)]
+        }
     if isinstance(value, dict):
         return {
             "__d__": [

@@ -298,10 +298,14 @@ def recover_machines(
         bound, intentions = image.prepares[transaction]
         if image.meta.get("role") == "site" and isinstance(bound, int):
             # Site commit timestamps are (number, name) tuples; the vote
-            # clock is a plain number.  The eventual commit timestamp has
-            # number > clock, so (clock, "") is the tight tuple-shaped
-            # lower bound.
-            bound = (bound, "")
+            # clock is a plain number.  The coordinator assigns
+            # number = max(votes) + 1, so the eventual commit timestamp
+            # sorts above every (clock, name) — the tight tuple-shaped
+            # lower bound is (clock + 1,), which tuple comparison places
+            # above all same-number commits and below all later ones.
+            # The looser (clock, "") would pin the recovered horizon
+            # below commits the never-crashed machine already folded.
+            bound = (bound + 1,)
         for obj, encoded_ops in intentions.items():
             machine = machines.get(obj)
             if machine is None:
@@ -330,6 +334,14 @@ def recover_machines(
         )
     )
 
+    # Compact once replay completes.  ``replay_committed``/``replay_active``
+    # deliberately never fold mid-replay: the horizon is only correct after
+    # every prepared transaction's bound is installed (folding earlier
+    # could collapse committed intentions above a prepared transaction's
+    # eventual commit timestamp).  Without this pass a recovered machine
+    # would retain every replayed committed intentions list until its next
+    # live commit — tests/recovery/test_recovery_compaction.py pins that a
+    # recovered machine retains exactly what a never-crashed peer does.
     for machine in machines.values():
         if isinstance(machine, CompactingLockMachine):
             machine.forget()

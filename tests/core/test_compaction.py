@@ -1,6 +1,7 @@
 """Tests for Section 6: clocks, bounds, horizon, and forgetting."""
 
 import pytest
+from hypothesis import given, settings, strategies as st
 
 from repro.adts import (
     ACCOUNT_CONFLICT,
@@ -208,3 +209,78 @@ class TestQueueSpecialCase:
         assert machine.retained_intentions() == 0
         # Everything folded: the machine is back to its fresh-state horizon.
         assert machine.horizon() == NEG_INFINITY
+
+
+class TestHorizonMonotonicity:
+    """Lemma 19's safety rests on an invariant ``forget()`` asserts per
+    transaction: the fold fence never regresses.  The raw horizon *can*
+    drop back to -∞ — Definition 20's min is over active bounds and
+    retained commit timestamps, and a full fold empties that candidate
+    set — but ``max(version_timestamp, horizon())`` is monotone: bounds
+    only rise (to the clock), pins are rejected below the horizon, and
+    folding removes a committed timestamp only after recording it in the
+    version timestamp.  This drives the machine through skewed-timestamp
+    workloads (commit order deliberately disagreeing with timestamp
+    order) and checks that fence directly, plus: nothing folded can
+    still be needed (every retained intentions list belongs to a commit
+    timestamp above the version timestamp)."""
+
+    command = st.tuples(
+        st.sampled_from(["invoke", "commit", "abort"]),
+        st.sampled_from(["P", "Q", "R", "S"]),
+        st.integers(min_value=0, max_value=3),
+    )
+
+    @settings(max_examples=80, deadline=None)
+    @given(commands=st.lists(command, max_size=20), seed=st.integers(0, 2**16))
+    def test_horizon_never_regresses_under_skew(self, commands, seed):
+        from repro.core import LockConflict, WouldBlock
+        from repro.core.timestamps import SkewedTimestampGenerator
+        from repro.adts import ACCOUNT_CONFLICT, AccountSpec
+
+        invocations = [
+            Invocation("Credit", (2,)),
+            Invocation("Post", (50,)),
+            Invocation("Debit", (2,)),
+            Invocation("Debit", (3,)),
+        ]
+        machine = CompactingLockMachine(AccountSpec(), ACCOUNT_CONFLICT)
+        generator = SkewedTimestampGenerator(seed=seed, gap=9)
+        completed = set()
+        issued = 0
+        last_fence = max(machine.version_timestamp, machine.horizon())
+        last_version_timestamp = machine.version_timestamp
+        for kind, transaction, index in commands:
+            if transaction in completed:
+                continue
+            if kind == "invoke":
+                try:
+                    machine.execute(transaction, invocations[index % 4])
+                except (LockConflict, WouldBlock):
+                    pass
+                else:
+                    if issued:
+                        generator.observe(transaction, issued)
+            elif kind == "commit":
+                timestamp = generator.commit_timestamp(transaction)
+                generator.forget(transaction)
+                issued = max(issued, timestamp)
+                machine.commit(transaction, timestamp)
+                completed.add(transaction)
+            else:
+                machine.abort(transaction)
+                generator.forget(transaction)
+                completed.add(transaction)
+            fence = max(machine.version_timestamp, machine.horizon())
+            assert last_fence <= fence, "fold fence regressed"
+            last_fence = fence
+            assert last_version_timestamp <= machine.version_timestamp
+            last_version_timestamp = machine.version_timestamp
+            # Nothing folded is still needed: retained intentions all
+            # belong to commits above the version timestamp.  (A commit
+            # at or below it is legal only for a transaction that never
+            # executed — its bound was never raised — and such a
+            # transaction has nothing to retain.)
+            for name, retained in machine.committed_transactions.items():
+                if machine.intentions(name):
+                    assert retained > machine.version_timestamp

@@ -1,0 +1,204 @@
+"""Bisimulation: incremental view caching has no effect on ``L(LOCK)``.
+
+The LOCK machine keeps, per transaction, a cached view state-set that is
+advanced by one ``spec.step`` per appended operation instead of replaying
+the whole view on every response check (``view_caching=True``, the
+default).  The caches are pure bookkeeping: these tests certify that by
+driving a cached machine and a naive replay machine
+(``view_caching=False``) of the *same* class through identical randomized
+workloads — skewed commit timestamps, aborts, and horizon compaction
+included — and asserting, after every event, identical results, refusals,
+observable state, view state-sets, and (at the end) identical accepted
+histories.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.adts import ACCOUNT_CONFLICT, AccountSpec, get_adt
+from repro.core import (
+    CompactingLockMachine,
+    Invocation,
+    LockConflict,
+    LockMachine,
+    WouldBlock,
+)
+from repro.core.timestamps import SkewedTimestampGenerator
+
+TRANSACTIONS = ["P", "Q", "R", "S"]
+
+INVOCATIONS = {
+    "FIFOQueue": [
+        Invocation("Enq", (1,)),
+        Invocation("Enq", (2,)),
+        Invocation("Deq"),
+    ],
+    "Account": [
+        Invocation("Credit", (2,)),
+        Invocation("Post", (50,)),
+        Invocation("Debit", (2,)),
+        Invocation("Debit", (3,)),
+    ],
+    "Set": [
+        Invocation("Insert", (1,)),
+        Invocation("Remove", (1,)),
+        Invocation("Member", (1,)),
+    ],
+}
+
+command = st.tuples(
+    st.sampled_from(["invoke", "commit", "abort"]),
+    st.sampled_from(TRANSACTIONS),
+    st.integers(min_value=0, max_value=3),
+)
+
+
+def assert_bisimilar(cached, naive):
+    """Every observable of the two machines agrees right now."""
+    assert cached.committed_transactions == naive.committed_transactions
+    assert cached.aborted_transactions == naive.aborted_transactions
+    assert cached.active_transactions() == naive.active_transactions()
+    for transaction in cached.active_transactions():
+        assert cached.intentions(transaction) == naive.intentions(transaction)
+        assert cached.view_states(transaction) == naive.view_states(transaction)
+    if isinstance(cached, CompactingLockMachine):
+        assert cached.clock == naive.clock
+        assert cached.horizon() == naive.horizon()
+        assert cached.version_states == naive.version_states
+        assert cached.version_timestamp == naive.version_timestamp
+        assert cached.retained_intentions() == naive.retained_intentions()
+        assert cached.forgotten_transactions == naive.forgotten_transactions
+
+
+def drive_both(cached, naive, adt_name, commands, seed):
+    """Apply one command stream to both machines in lockstep.
+
+    Commit timestamps come from a single :class:`SkewedTimestampGenerator`
+    so both machines see the *same* deliberately out-of-commit-order
+    stamps; the generator's Section 3.3 bound is fed from the largest
+    timestamp issued so far, mirroring what a manager's logical clock
+    would have observed.
+    """
+    generator = SkewedTimestampGenerator(seed=seed, gap=7)
+    invocations = INVOCATIONS[adt_name]
+    completed = set()
+    issued = 0
+    for kind, transaction, index in commands:
+        if transaction in completed:
+            continue
+        if kind == "invoke":
+            invocation = invocations[index % len(invocations)]
+            outcomes = []
+            for machine in (cached, naive):
+                try:
+                    outcomes.append(("ok", machine.execute(transaction, invocation)))
+                except (LockConflict, WouldBlock) as refusal:
+                    outcomes.append(("refused", type(refusal).__name__))
+            assert outcomes[0] == outcomes[1]
+            if outcomes[0][0] == "ok" and issued:
+                generator.observe(transaction, issued)
+        elif kind == "commit":
+            timestamp = generator.commit_timestamp(transaction)
+            generator.forget(transaction)
+            issued = max(issued, timestamp)
+            cached.commit(transaction, timestamp)
+            naive.commit(transaction, timestamp)
+            completed.add(transaction)
+        else:
+            cached.abort(transaction)
+            naive.abort(transaction)
+            generator.forget(transaction)
+            completed.add(transaction)
+        assert_bisimilar(cached, naive)
+    assert cached.history() == naive.history()
+
+
+@pytest.mark.parametrize("machine_class", [LockMachine, CompactingLockMachine])
+@settings(max_examples=40, deadline=None)
+@given(
+    adt_name=st.sampled_from(sorted(INVOCATIONS)),
+    commands=st.lists(command, max_size=16),
+    seed=st.integers(min_value=0, max_value=2**16),
+)
+def test_cached_machine_bisimulates_naive_replay(
+    machine_class, adt_name, commands, seed
+):
+    adt = get_adt(adt_name)
+    cached = machine_class(adt.spec, adt.conflict)
+    naive = machine_class(adt.spec, adt.conflict, view_caching=False)
+    drive_both(cached, naive, adt_name, commands, seed)
+
+
+class CountingAccountSpec(AccountSpec):
+    """Account spec that counts ``step`` calls (``run_from`` included)."""
+
+    def __init__(self):
+        super().__init__(initial=0)
+        self.steps = 0
+
+    def step(self, states, operation):
+        self.steps += 1
+        return super().step(states, operation)
+
+
+def test_cached_machine_does_linear_work_per_operation():
+    """The point of the cache: one long transaction costs O(n) spec steps
+    cached, O(n^2) under naive replay — same answers either way."""
+    n = 60
+    cached_spec, naive_spec = CountingAccountSpec(), CountingAccountSpec()
+    cached = LockMachine(cached_spec, ACCOUNT_CONFLICT)
+    naive = LockMachine(naive_spec, ACCOUNT_CONFLICT, view_caching=False)
+    for machine in (cached, naive):
+        for _ in range(n):
+            assert machine.execute("T", Invocation("Credit", (1,))) == "Ok"
+    assert cached.view_states("T") == naive.view_states("T")
+    assert cached_spec.steps <= 4 * n
+    assert naive_spec.steps >= n * (n - 1) // 2
+
+
+class TestForgetUnderLiveCachedView:
+    """Cache invalidation across ``forget()``: folding the committed
+    prefix into the version while a transaction's cached view is live
+    must not change anything that transaction (or anyone else) sees.
+
+    Folding moves operations from the retained committed prefix into the
+    version without changing the state-set the two jointly denote, so the
+    machine deliberately does *not* drop view caches on a fold — this is
+    the test that earns that choice.
+    """
+
+    def build(self, view_caching):
+        return CompactingLockMachine(
+            AccountSpec(initial=0), ACCOUNT_CONFLICT, view_caching=view_caching
+        )
+
+    def test_fold_mid_transaction_preserves_views(self):
+        cached, naive = self.build(True), self.build(False)
+        for machine in (cached, naive):
+            # T goes first: bound -inf pins the horizon down.
+            assert machine.execute("T", Invocation("Credit", (1,))) == "Ok"
+            # U commits at 5, but cannot fold while T's bound is -inf.
+            assert machine.execute("U", Invocation("Credit", (2,))) == "Ok"
+            machine.commit("U", 5)
+            assert machine.forgotten_transactions == ()
+            # T's next response raises its bound to the clock (5), and the
+            # cached path extends T's live view state-set in place.
+            assert machine.execute("T", Invocation("Credit", (3,))) == "Ok"
+            # V commits at 6: horizon = min(bound(T)=5, max committed=6)
+            # = 5, so U folds *under T's live cached view*.
+            assert machine.execute("V", Invocation("Credit", (4,))) == "Ok"
+            machine.commit("V", 6)
+            assert machine.forgotten_transactions == ("U",)
+            assert machine.is_active("T")
+        assert_bisimilar(cached, naive)
+        # T keeps executing against the rebased view and commits cleanly.
+        for machine in (cached, naive):
+            assert machine.execute("T", Invocation("Debit", (2,))) == "Ok"
+            machine.commit("T", 7)
+        assert_bisimilar(cached, naive)
+        assert cached.history() == naive.history()
+        # Everyone is done: the whole run folds to balance 1+2+3+4-2 = 8.
+        from fractions import Fraction
+
+        assert cached.forgotten_transactions == naive.forgotten_transactions
+        assert cached.version_states == frozenset({Fraction(8)})

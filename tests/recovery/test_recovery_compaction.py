@@ -1,0 +1,106 @@
+"""Recovery must hand back a *compacted* machine.
+
+Replay reinstalls committed intentions one transaction at a time, so a
+recovered :class:`~repro.core.compaction.CompactingLockMachine` would
+retain every replayed intentions list if the driver never folded — a
+recovered site would pay unbounded memory for exactly the history whose
+cost Section 6's bookkeeping bounds.  ``recover_machines`` therefore runs
+``forget()`` once per machine after the replay is complete (folding
+mid-replay would be unsound: prepared transactions' bounds are not
+installed until the end).  These tests pin that behaviour by comparing a
+crash-recovered machine against a never-crashed peer that executed the
+same workload.
+"""
+
+from repro.adts import make_account_adt, make_queue_adt
+from repro.core import Invocation
+from repro.distributed import Site
+from repro.recovery import MemoryWAL, recover_manager
+from repro.runtime import TransactionManager
+
+
+def compacting_manager():
+    manager = TransactionManager(wal=MemoryWAL(), compacting=True)
+    manager.create_object("A", make_account_adt(initial=100))
+    manager.create_object("Q", make_queue_adt())
+    return manager
+
+
+def assert_same_compaction(recovered, peer):
+    assert recovered.retained_intentions() == peer.retained_intentions()
+    assert recovered.version_states == peer.version_states
+    assert recovered.version_timestamp == peer.version_timestamp
+    assert recovered.committed_transactions == peer.committed_transactions
+    assert recovered.forgotten_transactions == peer.forgotten_transactions
+
+
+class TestManagerRecoveryCompaction:
+    def run_workload(self, manager):
+        for i in range(3):
+            txn = manager.begin()
+            manager.invoke(txn, "A", "Credit", 10 + i)
+            manager.invoke(txn, "Q", "Enq", i)
+            manager.commit(txn)
+        # One transaction is still in flight at crash time.
+        active = manager.begin()
+        manager.invoke(active, "A", "Debit", 1)
+        return active
+
+    def test_recovered_machines_match_never_crashed_peer(self):
+        manager, peer = compacting_manager(), compacting_manager()
+        self.run_workload(manager)
+        peer_active = self.run_workload(peer)
+        recovered, report = recover_manager(manager.wal)
+        # The crash presumes the in-flight transaction aborted; the peer
+        # must agree before the comparison is fair.
+        assert peer_active.name in report.discarded_transactions
+        peer.abort(peer_active)
+        for name, obj in recovered.objects.items():
+            assert_same_compaction(obj.machine, peer.objects[name].machine)
+
+    def test_recovered_machines_are_fully_folded(self):
+        manager = compacting_manager()
+        self.run_workload(manager)
+        recovered, _ = recover_manager(manager.wal)
+        for obj in recovered.objects.values():
+            # Nothing active survives the crash, so the horizon reaches
+            # the largest replayed commit timestamp and everything folds.
+            assert obj.machine.retained_intentions() == 0
+            assert obj.machine.forgotten_transactions != ()
+
+
+class TestSiteRecoveryCompaction:
+    """The prepared-survivor path: an in-doubt transaction's replayed
+    intentions must be retained (its verdict is still owed) while the
+    committed prefix below its bound still folds."""
+
+    def build_and_run(self, site):
+        site.handle_invoke("T1", "A", Invocation("Credit", (5,)))
+        site.handle_prepare("T1")
+        site.handle_commit("T1", (3, "T1"))
+        # T2 executes after T1's commit, so its bound rides above it;
+        # it prepares but never learns its verdict.
+        site.handle_invoke("T2", "A", Invocation("Debit", (2,)))
+        site.handle_prepare("T2")
+
+    def test_prepared_survivor_retained_but_prefix_folds(self):
+        site = Site("S0", wal=MemoryWAL())
+        site.create_object("A", make_account_adt(initial=100))
+        peer = Site("S1", wal=MemoryWAL())
+        peer.create_object("A", make_account_adt(initial=100))
+        self.build_and_run(site)
+        self.build_and_run(peer)
+        site.crash_hard()
+        report = site.recover()
+        assert report.prepared_transactions == ("T2",)
+        recovered_machine = site._machines["A"]
+        peer_machine = peer._machines["A"]
+        assert_same_compaction(recovered_machine, peer_machine)
+        # T1 folded into the version, T2's single operation retained.
+        assert recovered_machine.forgotten_transactions == ("T1",)
+        assert recovered_machine.retained_intentions() == len(
+            recovered_machine.intentions("T2")
+        ) == 1
+        # The verdict can still land, and the machine folds it in turn.
+        assert site.handle_commit("T2", (7, "T2")) is True
+        assert recovered_machine.retained_intentions() == 0
