@@ -53,6 +53,21 @@ SWEEP_ROW = {
     "speedup": positive,
 }
 
+#: The atomicity checker's embedded verdict (shared by every benchmark
+#: that certifies the run its numbers came from).
+CERTIFICATION = {
+    "verdict": str,
+    "ok": bool,
+    "events": non_negative_int,
+    "transactions": {
+        "total": non_negative_int,
+        "committed": non_negative_int,
+        "aborted": non_negative_int,
+        "active": non_negative_int,
+    },
+    "violations": list,
+}
+
 HOT_PATH_SCHEMA = {
     "schema_version": non_negative_int,
     "smoke": bool,
@@ -75,19 +90,63 @@ HOT_PATH_SCHEMA = {
         "transactions": non_negative_int,
         "elapsed_seconds": positive,
         "txn_per_second": positive,
-        "certification": {
-            "verdict": str,
-            "ok": bool,
-            "events": non_negative_int,
-            "transactions": {
-                "total": non_negative_int,
-                "committed": non_negative_int,
-                "aborted": non_negative_int,
-                "active": non_negative_int,
-            },
-            "violations": list,
-        },
+        "certification": CERTIFICATION,
     },
+}
+
+SERVE_TXN_STATS = {
+    "transactions": non_negative_int,
+    "elapsed_seconds": positive,
+    "txn_per_second": positive,
+    "p50_latency_ms": positive,
+    "p99_latency_ms": positive,
+}
+
+SERVE_CLOSED_ROW = {
+    "clients": positive,
+    "committed": non_negative_int,
+    # error-code -> count; the code set is the protocol's, not the schema's.
+    "errors": dict,
+    "stats": SERVE_TXN_STATS,
+}
+
+SERVE_OPEN_ROW = {
+    "offered_txn_per_second": positive,
+    "pool": positive,
+    "offered": non_negative_int,
+    "committed": non_negative_int,
+    "errors": dict,
+    "stats": SERVE_TXN_STATS,
+}
+
+SERVE_SCHEMA = {
+    "schema_version": non_negative_int,
+    "smoke": bool,
+    "adt": str,
+    "config": {
+        "workers": positive,
+        "queue_limit": positive,
+        "objects": positive,
+        "ops_per_txn": positive,
+        "duration_seconds": positive,
+    },
+    "max_concurrent_clients": positive,
+    "closed_loop": [SERVE_CLOSED_ROW],
+    "open_loop": [SERVE_OPEN_ROW],
+    "server": {
+        "connections": non_negative_int,
+        "requests": non_negative_int,
+        "busy": non_negative_int,
+        "errors": non_negative_int,
+        "transactions_committed": non_negative_int,
+        "transactions_aborted": non_negative_int,
+    },
+    "drain": {
+        "sessions": non_negative_int,
+        "finished": non_negative_int,
+        "aborted": non_negative_int,
+    },
+    "certification": CERTIFICATION,
 }
 
 MACHINE_MICRO_SCHEMA = {
@@ -102,6 +161,7 @@ MACHINE_MICRO_SCHEMA = {
 ARTIFACT_SCHEMAS = {
     "BENCH_hot_path.json": HOT_PATH_SCHEMA,
     "BENCH_machine_micro.json": MACHINE_MICRO_SCHEMA,
+    "BENCH_serve.json": SERVE_SCHEMA,
 }
 
 
@@ -157,6 +217,31 @@ def validate_artifact(name, data):
                 f"{name}.results[{key}]",
                 errors,
             )
+    if name == "BENCH_serve.json" and not errors:
+        # Structural floors the type checks can't express: the sweep must
+        # reach 64 concurrent connections, commit work there, and carry a
+        # passing certification (numbers from an uncertified run are
+        # worthless).
+        floor = data["max_concurrent_clients"]
+        if floor < 64:
+            errors.append(
+                f"{name}.max_concurrent_clients: sweep must reach 64 "
+                f"concurrent clients, got {floor}"
+            )
+        top = next(
+            (row for row in data["closed_loop"] if row["clients"] == floor),
+            None,
+        )
+        if top is None:
+            errors.append(
+                f"{name}.closed_loop: no row at {floor} clients"
+            )
+        elif top["committed"] <= 0:
+            errors.append(
+                f"{name}.closed_loop: nothing committed at {floor} clients"
+            )
+        if data["certification"]["ok"] is not True:
+            errors.append(f"{name}.certification.ok: served run must certify")
     if errors:
         raise ValueError("\n".join(errors))
 

@@ -33,6 +33,18 @@ Commands
     protocol state, deterministic simulation paths, exception-safe
     resource handling, and no blocking calls in the event loop.  Exits
     nonzero when any rule fires (the CI gate).
+``serve``
+    Boot the socket serving tier (:mod:`repro.server`): one or more
+    sharded transaction managers behind the length-prefixed JSON wire
+    protocol, with per-connection sessions, bounded work queues (BUSY
+    backpressure), and graceful drain on SIGTERM/SIGINT.  ``--trace-file``
+    records every ``server.*`` / ``txn.*`` event so the run can be
+    certified offline with ``repro check --trace-file``.
+``bench serve``
+    Run the closed-/open-loop load generator against an in-process
+    server and write the schema-validated ``BENCH_serve.json`` artifact
+    (sustained txn/s and p50/p99 latency across a concurrency sweep,
+    with the atomicity checker's verdict embedded).
 ``check [workload | --trace-file FILE]``
     Certify a run hybrid atomic with the streaming oracle
     (:class:`repro.obs.AtomicityChecker`): either run a workload live
@@ -58,6 +70,8 @@ Examples::
     python -m repro stats account --wait-policy block
     python -m repro check account --duration 200
     python -m repro check --trace-file /tmp/trace.jsonl --json
+    python -m repro serve --port 7400 --workers 2 --trace-file /tmp/serve.jsonl
+    python -m repro bench serve --smoke --output-dir /tmp
 """
 
 from __future__ import annotations
@@ -553,6 +567,84 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+    import signal
+
+    from .obs import JSONLSink, MetricsRegistry, RegistrySink, TraceBus
+    from .server import ReproServer
+
+    tracer = TraceBus()
+    registry = MetricsRegistry()
+    tracer.subscribe(RegistrySink(registry))
+    sinks = []
+    if args.trace_file:
+        sinks.append(tracer.subscribe(JSONLSink(args.trace_file)))
+    server = ReproServer(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        queue_limit=args.queue_limit,
+        protocol=args.protocol,
+        tracer=tracer,
+        drain_grace=args.drain_grace,
+        flush_on_drain=sinks,
+    )
+    for spec in args.object or []:
+        name, _, adt = spec.partition(":")
+        try:
+            server.create_object(name, adt or "Account")
+        except (KeyError, ValueError) as exc:
+            print(f"serve: cannot create {spec!r}: {exc}", file=sys.stderr)
+            return 2
+
+    async def run() -> None:
+        host, port = await server.start()
+        server.install_signal_handlers([signal.SIGTERM, signal.SIGINT])
+        print(
+            f"serving on {host}:{port} "
+            f"({server.workers} worker(s), queue limit {server.queue_limit}); "
+            "SIGTERM/SIGINT drains gracefully",
+            flush=True,
+        )
+        await server.serve_forever()
+
+    asyncio.run(run())
+    print(
+        f"drained: {server.stats['requests']} request(s), "
+        f"{server.stats['transactions_committed']} committed, "
+        f"{server.stats['transactions_aborted']} aborted, "
+        f"{server.stats['busy']} BUSY refusal(s)"
+    )
+    if args.trace_file:
+        print(f"trace written to {args.trace_file}")
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from .server.bench import render_summary, run_serve_bench
+
+    if args.target != "serve":  # pragma: no cover - argparse enforces choices
+        print(f"unknown bench target {args.target!r}", file=sys.stderr)
+        return 2
+    try:
+        result = run_serve_bench(
+            smoke=args.smoke,
+            workers=args.workers,
+            queue_limit=args.queue_limit,
+            duration=args.duration,
+            output_dir=Path(args.output_dir),
+        )
+    except AssertionError as exc:
+        print(f"bench serve failed: {exc}", file=sys.stderr)
+        return 1
+    print(render_summary(result))
+    print(f"\nartifact written to {Path(args.output_dir) / 'BENCH_serve.json'}")
+    return 0
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
     from .lint.cli import run_lint_command
 
@@ -771,6 +863,55 @@ def build_parser() -> argparse.ArgumentParser:
 
     add_lint_arguments(lint)
 
+    serve = commands.add_parser(
+        "serve", help="boot the socket serving tier (drains on SIGTERM)"
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=7400, help="0 picks an ephemeral port"
+    )
+    serve.add_argument(
+        "--workers", type=int, default=1,
+        help="manager shards (objects are partitioned by name)",
+    )
+    serve.add_argument(
+        "--queue-limit", type=int, default=64,
+        help="per-worker queue high-water mark (BUSY beyond it)",
+    )
+    serve.add_argument(
+        "--protocol", default="hybrid",
+        help="conflict-relation protocol for served objects",
+    )
+    serve.add_argument(
+        "--object", action="append", metavar="NAME[:ADT]",
+        help="pre-create an object (repeatable; ADT defaults to Account)",
+    )
+    serve.add_argument(
+        "--drain-grace", type=float, default=5.0,
+        help="seconds to let in-flight transactions finish on drain",
+    )
+    serve.add_argument(
+        "--trace-file", default=None,
+        help="record the event trace (JSONL) for offline certification",
+    )
+
+    bench = commands.add_parser(
+        "bench", help="run a load benchmark and write its artifact"
+    )
+    bench.add_argument("target", choices=["serve"], help="what to benchmark")
+    bench.add_argument("--smoke", action="store_true",
+                       help="short CI-sized sweep")
+    bench.add_argument("--workers", type=int, default=2)
+    bench.add_argument("--queue-limit", type=int, default=64)
+    bench.add_argument(
+        "--duration", type=float, default=None,
+        help="seconds per sweep level (default: 0.6 smoke / 3.0 full)",
+    )
+    bench.add_argument(
+        "--output-dir", default=".",
+        help="directory for BENCH_serve.json and serve_trace.jsonl",
+    )
+
     check = commands.add_parser(
         "check",
         help="certify a run hybrid atomic (live workload or recorded trace)",
@@ -821,6 +962,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "stats": _cmd_stats,
         "check": _cmd_check,
         "lint": _cmd_lint,
+        "serve": _cmd_serve,
+        "bench": _cmd_bench,
     }[args.command]
     return handler(args)
 

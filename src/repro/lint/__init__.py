@@ -29,6 +29,7 @@ See ``docs/static-analysis.md`` for the rule ↔ paper-precondition map.
 
 from __future__ import annotations
 
+from .config import RULE_SCOPES, RuleScope, allowlisted, in_scope
 from .engine import (
     FileContext,
     Finding,
@@ -43,6 +44,10 @@ from .engine import (
 from .reporters import render_json, render_statistics, render_text
 
 __all__ = [
+    "RULE_SCOPES",
+    "RuleScope",
+    "allowlisted",
+    "in_scope",
     "FileContext",
     "Finding",
     "Project",

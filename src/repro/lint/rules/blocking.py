@@ -8,9 +8,12 @@ throughput numbers silently become nonsense, and the seeded run is no
 longer a function of its seed.  Real I/O (sockets, subprocesses,
 ``input()``) in those paths is the same bug with a bigger constant.
 
-Scope: ``core/``, ``distributed/``, ``sim/``, and ``replication/`` —
-the layers that run inside the event loop.  The ``recovery/`` WAL is
-deliberately *outside* the scope: durability requires real file I/O.
+Scope: configured in :mod:`repro.lint.config` (``RULE_SCOPES``) — the
+layers that run inside an event loop, simulated or real.  The
+``recovery/`` WAL is deliberately *outside* the scope (durability
+requires real file I/O), and the serving tier's socket modules are
+explicitly allowlisted there: real wire I/O is their purpose, while the
+tier's pure framing/session modules stay fully checked.
 """
 
 from __future__ import annotations
@@ -18,11 +21,10 @@ from __future__ import annotations
 import ast
 from typing import Iterable, Optional
 
+from ..config import in_scope
 from ..engine import FileContext, Finding, Project, Rule, register
 
 __all__ = ["BlockingCalls"]
-
-_SCOPED_DIRS = ("/core/", "/distributed/", "/sim/", "/replication/")
 
 #: (module, attribute) calls that block the thread.
 _BLOCKING_ATTR_CALLS = {
@@ -65,8 +67,7 @@ class BlockingCalls(Rule):
     )
 
     def check(self, context: FileContext, project: Project) -> Iterable[Finding]:
-        path = context.path.replace("\\", "/")
-        if not any(fragment in path for fragment in _SCOPED_DIRS):
+        if not in_scope(self.id, context.path):
             return
         for node in ast.walk(context.tree):
             if not isinstance(node, ast.Call):

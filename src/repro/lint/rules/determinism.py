@@ -8,8 +8,11 @@ seed.  One naked ``random.random()`` in a crash plan, or one
 stops being true — the checker can no longer replay what the simulator
 did.
 
-Inside the simulation subsystems (``core/``, ``distributed/``,
-``recovery/``, ``sim/``, ``replication/``) this rule forbids:
+Inside the scoped subsystems (see ``RULE_SCOPES`` in
+:mod:`repro.lint.config`: ``core/``, ``distributed/``, ``recovery/``,
+``sim/``, ``replication/``, and the serving tier's pure modules — its
+real-I/O socket/benchmark modules are allowlisted by engine
+configuration there) this rule forbids:
 
 * module-level RNG calls (``random.random()``, ``random.choice`` … —
   anything on the shared global generator) and unseeded
@@ -29,12 +32,10 @@ from __future__ import annotations
 import ast
 from typing import Iterable, Optional
 
+from ..config import in_scope
 from ..engine import FileContext, Finding, Project, Rule, register
 
 __all__ = ["Determinism"]
-
-#: Path fragments marking the simulation subsystems.
-_SCOPED_DIRS = ("/core/", "/distributed/", "/recovery/", "/sim/", "/replication/")
 
 _WALL_CLOCK = {
     ("time", "time"),
@@ -76,8 +77,7 @@ class Determinism(Rule):
     )
 
     def check(self, context: FileContext, project: Project) -> Iterable[Finding]:
-        path = context.path.replace("\\", "/")
-        if not any(fragment in path for fragment in _SCOPED_DIRS):
+        if not in_scope(self.id, context.path):
             return
         for node in ast.walk(context.tree):
             if not (isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute)):

@@ -63,6 +63,18 @@ kind                   emitted when / payload highlights
 ``check.violation``    the atomicity checker refuted a property of
                        the run (``rule``, ``txn``, ``obj``,
                        ``witness_events``)
+``server.connect``     a client connection was accepted by the wire
+                       tier (``session``, ``peer``)
+``server.disconnect``  a connection closed; any transactions it still
+                       held were aborted (``session``, ``requests``,
+                       ``aborted``)
+``server.request``     a request was admitted to a worker queue
+                       (``session``, ``action``, ``queue_depth``)
+``server.busy``        a request was refused with BUSY — the bounded
+                       work queue was past its high-water mark
+``server.drain``       graceful shutdown finished: accepted requests
+                       all answered, in-flight transactions resolved
+                       (``sessions``, ``finished``, ``aborted``)
 =====================  =============================================
 
 Events are deliberately plain: a frozen dataclass of ``(ts, kind,
@@ -107,6 +119,11 @@ EVENT_KINDS = frozenset(
         "replica.read",
         "replica.write",
         "check.violation",
+        "server.connect",
+        "server.disconnect",
+        "server.request",
+        "server.busy",
+        "server.drain",
     }
 )
 
@@ -198,6 +215,11 @@ EVENT_PAYLOADS: Mapping[str, FrozenSet[str]] = {
     "check.violation": frozenset(
         {"rule", "txn", "obj", "message", "witness_events"}
     ),
+    "server.connect": frozenset({"session", "peer"}),
+    "server.disconnect": frozenset({"session", "requests", "aborted"}),
+    "server.request": frozenset({"session", "action", "queue_depth"}),
+    "server.busy": frozenset({"session", "action", "queue_depth"}),
+    "server.drain": frozenset({"sessions", "finished", "aborted"}),
 }
 
 

@@ -219,6 +219,7 @@ class RegistrySink:
         self.registry = registry
         self._buckets = tuple(latency_buckets or DEFAULT_LATENCY_BUCKETS)
         self._begin_ts: Dict[str, float] = {}
+        self._connections = 0
 
     def __call__(self, event: TraceEvent) -> None:
         registry = self.registry
@@ -281,3 +282,22 @@ class RegistrySink:
             registry.counter("quorum.denied").inc()
         elif kind == "check.violation":
             registry.counter("check.violations").inc()
+        elif kind == "server.connect":
+            registry.counter("server.connections_opened").inc()
+            self._connections += 1
+            registry.gauge("server.connections").set(self._connections)
+        elif kind == "server.disconnect":
+            registry.counter("server.connections_closed").inc()
+            self._connections -= 1
+            registry.gauge("server.connections").set(self._connections)
+        elif kind == "server.request":
+            registry.counter("server.requests").inc()
+            action = data.get("action")
+            if action:
+                registry.counter(f"server.request[{action}]").inc()
+            registry.gauge("server.queue_depth").set(data.get("queue_depth"))
+        elif kind == "server.busy":
+            registry.counter("server.busy").inc()
+            registry.gauge("server.queue_depth").set(data.get("queue_depth"))
+        elif kind == "server.drain":
+            registry.counter("server.drains").inc()

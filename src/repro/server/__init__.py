@@ -1,0 +1,64 @@
+"""The serving tier: a real socket boundary over the runtime managers.
+
+The concurrency-control kernel (machines, managers, protocols) is pure
+and synchronous; this package is where the outside world attaches:
+
+* :mod:`~repro.server.protocol` — the versioned, length-prefixed JSON
+  wire protocol (payloads through the tagged trace codec);
+* :mod:`~repro.server.session` — per-connection transaction handles and
+  the idempotent commit-ack cache;
+* :mod:`~repro.server.server` — the asyncio front end: sessions,
+  bounded work queues with BUSY backpressure, sharded managers, and
+  graceful drain;
+* :mod:`~repro.server.client` — sync and asyncio client libraries;
+* :mod:`~repro.server.bench` — the closed-/open-loop load harness
+  behind ``repro bench serve``.
+
+See ``docs/serving.md`` for the protocol and lifecycle reference.
+"""
+
+from .client import AsyncClient, SyncClient
+from .protocol import (
+    ACTIONS,
+    ERROR_CODES,
+    MAX_FRAME_BYTES,
+    PROTOCOL_VERSION,
+    FrameDecoder,
+    FrameError,
+    Request,
+    Response,
+    WireError,
+    encode_frame,
+    error_frame,
+    parse_request,
+    parse_response,
+    request_frame,
+    response_frame,
+)
+from .server import ReproServer, ShardedTimestampGenerator, shard_for
+from .session import Session, SessionError
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "MAX_FRAME_BYTES",
+    "ACTIONS",
+    "ERROR_CODES",
+    "WireError",
+    "FrameError",
+    "Request",
+    "Response",
+    "FrameDecoder",
+    "encode_frame",
+    "request_frame",
+    "response_frame",
+    "error_frame",
+    "parse_request",
+    "parse_response",
+    "Session",
+    "SessionError",
+    "ReproServer",
+    "ShardedTimestampGenerator",
+    "shard_for",
+    "SyncClient",
+    "AsyncClient",
+]

@@ -1,0 +1,650 @@
+"""The asyncio serving tier: sessions, backpressure, graceful drain.
+
+This is the real wire boundary the paper's model assumes (Sections 1 and
+3.3: external clients submit operations to transaction managers).  The
+front end accepts client connections, frames requests with
+:mod:`repro.server.protocol`, and routes them onto one or more
+:class:`~repro.runtime.TransactionManager` instances — the concurrency-
+control kernel stays wholly unaware that a network exists, exactly the
+layering Malta & Martinez argue for (wire tier strictly outside the
+commutativity kernel).
+
+Concurrency model
+-----------------
+
+Everything runs on one event loop; the managers are synchronous and are
+only ever touched from worker coroutines (plus the inline cleanup paths,
+which also run on the loop).  The work queue is therefore *not* a thread
+guard — it is the **backpressure** mechanism: each worker owns a bounded
+queue, a request is admitted only while the queue is below its
+high-water mark, and past it the server answers ``BUSY`` immediately
+(``server.busy`` trace event) instead of buffering unboundedly.  Clients
+treat BUSY like a lock conflict: back off and retry.
+
+Sharding
+--------
+
+With ``workers > 1`` each worker owns a disjoint shard of the objects
+(stable CRC32 of the object name).  A transaction is pinned to the shard
+owning the *first* object it touches; touching another shard answers
+``CROSS_SHARD`` (single-shard transactions only — cross-shard 2PC is
+ROADMAP item 2's distributed coordinator, not this tier's job).  Commit
+timestamps stay globally unique because worker *i* of *W* issues only
+timestamps ≡ *i* (mod *W*) — each shard's generator is monotone, so the
+Section 3.3 constraint holds per manager, and the shards' timestamp
+streams never collide, so a merged trace still certifies.
+
+Graceful drain
+--------------
+
+``drain()`` (wired to SIGTERM by ``repro serve``) stops accepting
+connections, lets in-flight transactions finish for a grace period,
+force-aborts stragglers, answers every admitted request, emits
+``server.drain``, and flushes the trace sinks — an accepted request is
+never dropped, and the trace file ends with a complete, certifiable run.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import zlib
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..adts import get_adt
+from ..core.errors import (
+    LockConflict,
+    ProtocolError,
+    ReproError,
+    TransactionAborted,
+    WouldBlock,
+)
+from ..core.timestamps import TimestampGenerator
+from ..protocols import get_protocol
+from ..runtime import TransactionManager
+from .protocol import (
+    MAX_FRAME_BYTES,
+    PROTOCOL_VERSION,
+    FrameDecoder,
+    FrameError,
+    Request,
+    WireError,
+    error_frame,
+    parse_request,
+    response_frame,
+)
+from .session import Session, SessionError
+
+__all__ = ["ReproServer", "ShardedTimestampGenerator", "shard_for"]
+
+
+def shard_for(obj: str, workers: int) -> int:
+    """The worker shard owning ``obj`` (stable across runs and processes)."""
+    if workers <= 1:
+        return 0
+    return zlib.crc32(obj.encode("utf-8")) % workers
+
+
+class ShardedTimestampGenerator(TimestampGenerator):
+    """Monotone per-shard timestamps, globally unique across shards.
+
+    Worker ``shard`` of ``shards`` issues the integers congruent to
+    ``shard`` modulo ``shards``, always strictly above both its own last
+    issue and every bound the transaction observed — the Section 3.3
+    constraint per manager, with no inter-shard coordination and no
+    possibility of two shards committing the same timestamp.
+    """
+
+    def __init__(self, shard: int = 0, shards: int = 1):
+        if not 0 <= shard < shards:
+            raise ValueError(f"shard {shard} out of range for {shards} shard(s)")
+        self._shard = shard
+        self._shards = shards
+        self._last = 0
+        self._bounds: Dict[str, int] = {}
+
+    def observe(self, transaction: str, committed_timestamp: Any) -> None:
+        current = self._bounds.get(transaction, 0)
+        if int(committed_timestamp) > current:
+            self._bounds[transaction] = int(committed_timestamp)
+
+    def commit_timestamp(self, transaction: str) -> int:
+        floor = max(self._last, self._bounds.get(transaction, 0))
+        candidate = floor + 1
+        candidate += (self._shard - candidate) % self._shards
+        self._last = candidate
+        return candidate
+
+    def forget(self, transaction: str) -> None:
+        self._bounds.pop(transaction, None)
+
+
+class _Connection:
+    """One accepted socket: its session, decoder, and write lock."""
+
+    def __init__(self, session: Session, reader, writer):
+        self.session = session
+        self.reader = reader
+        self.writer = writer
+        self.decoder = FrameDecoder()
+        self._write_lock = asyncio.Lock()
+        self.open = True
+
+    async def send(self, frame: bytes) -> None:
+        """Write one frame; tolerate a peer that vanished mid-response."""
+        if not self.open:
+            return
+        try:
+            async with self._write_lock:
+                self.writer.write(frame)
+                await self.writer.drain()
+        except (ConnectionError, RuntimeError, OSError):
+            self.open = False
+
+
+class ReproServer:
+    """The socket front end over one or more transaction managers.
+
+    Parameters
+    ----------
+    host, port:
+        Bind address; ``port=0`` picks an ephemeral port (read it back
+        from :attr:`port` after :meth:`start`).
+    workers:
+        Number of manager shards (each with its own bounded queue).
+    queue_limit:
+        High-water mark per worker queue; admissions beyond it answer
+        ``BUSY``.
+    protocol:
+        Conflict-relation protocol name for objects created over the
+        wire or via :meth:`create_object` (default ``hybrid``).
+    tracer:
+        Optional :class:`~repro.obs.TraceBus`; the server emits
+        ``server.*`` events and the managers emit the usual ``txn.*`` /
+        ``lock.*`` / ``obj.create`` stream through it, so a served run
+        is certifiable end-to-end by the :class:`AtomicityChecker`.
+    drain_grace:
+        Seconds :meth:`drain` waits for in-flight transactions before
+        force-aborting them.
+    flush_on_drain:
+        Sinks to flush/close after the drain completes (e.g. the CLI's
+        ``JSONLSink``).
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        workers: int = 1,
+        queue_limit: int = 64,
+        protocol: str = "hybrid",
+        max_frame_bytes: int = MAX_FRAME_BYTES,
+        tracer: Any = None,
+        drain_grace: float = 5.0,
+        flush_on_drain: Sequence[Any] = (),
+        ack_capacity: int = 256,
+    ):
+        if workers < 1:
+            raise ValueError("need at least one worker")
+        self.host = host
+        self.port = port
+        self.workers = workers
+        self.queue_limit = queue_limit
+        self.max_frame_bytes = max_frame_bytes
+        self.tracer = tracer
+        self.drain_grace = drain_grace
+        self._flush_on_drain = list(flush_on_drain)
+        self._ack_capacity = ack_capacity
+        self._protocol = get_protocol(protocol)
+        self.managers: List[TransactionManager] = [
+            TransactionManager(
+                generator=ShardedTimestampGenerator(index, workers),
+                tracer=tracer,
+            )
+            for index in range(workers)
+        ]
+        #: object name -> owning worker index.
+        self._catalog: Dict[str, int] = {}
+        self._queues: List[asyncio.Queue] = []
+        self._worker_tasks: List[asyncio.Task] = []
+        self._connections: List[_Connection] = []
+        self._session_ids = itertools.count(1)
+        self._server: Optional[asyncio.AbstractServer] = None
+        self.draining = False
+        self._stopping = False
+        self._drained = asyncio.Event()
+        #: Coarse server-side tallies (the registry, when attached via a
+        #: RegistrySink, derives the same numbers from the events).
+        self.stats = {
+            "connections": 0,
+            "requests": 0,
+            "busy": 0,
+            "errors": 0,
+            "transactions_committed": 0,
+            "transactions_aborted": 0,
+        }
+
+    # ------------------------------------------------------------------
+    # Setup / lifecycle
+    # ------------------------------------------------------------------
+
+    def create_object(
+        self, name: str, adt_name: str, protocol: Optional[str] = None
+    ) -> int:
+        """Create ``name`` on its owning shard; returns the worker index."""
+        if name in self._catalog:
+            raise ValueError(f"object {name!r} already exists")
+        worker = shard_for(name, self.workers)
+        spec = get_protocol(protocol) if protocol else self._protocol
+        self.managers[worker].create_object(name, get_adt(adt_name), protocol=spec)
+        self._catalog[name] = worker
+        return worker
+
+    async def start(self) -> Tuple[str, int]:
+        """Bind, spawn the workers, and begin accepting connections."""
+        self._queues = [asyncio.Queue() for _ in range(self.workers)]
+        self._worker_tasks = [
+            asyncio.ensure_future(self._worker(index)) for index in range(self.workers)
+        ]
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+        sockname = self._server.sockets[0].getsockname()
+        self.host, self.port = sockname[0], sockname[1]
+        return self.host, self.port
+
+    async def serve_forever(self) -> None:
+        """Block until a :meth:`drain` (e.g. from a signal) completes."""
+        await self._drained.wait()
+
+    def install_signal_handlers(self, signals: Sequence[int]) -> None:
+        """Trigger a graceful drain on each of ``signals`` (e.g. SIGTERM)."""
+        loop = asyncio.get_event_loop()
+        for signum in signals:
+            loop.add_signal_handler(
+                signum, lambda: asyncio.ensure_future(self.drain())
+            )
+
+    async def drain(self) -> Dict[str, int]:
+        """Graceful shutdown; see the module docstring for the phases."""
+        if self.draining:
+            await self._drained.wait()
+            return self._drain_report
+        self.draining = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        loop = asyncio.get_event_loop()
+        active_at_start = sum(c.session.active for c in self._connections)
+        deadline = loop.time() + self.drain_grace
+        while (
+            any(c.session.active for c in self._connections)
+            and loop.time() < deadline
+        ):
+            await asyncio.sleep(0.02)
+        # Force-abort whatever is still open, inline (the loop owns the
+        # managers; the queues only exist for backpressure).
+        forced = 0
+        for connection in self._connections:
+            session = connection.session
+            for handle in list(session.transactions):
+                worker, transaction = session.transactions[handle]
+                if transaction is not None and transaction.is_active:
+                    self.managers[worker].abort(transaction)
+                    forced += 1
+                session.close_transaction(handle)
+        # No further queue admissions; answer what was already accepted.
+        self._stopping = True
+        for queue in self._queues:
+            queue.put_nowait(None)
+        for task in self._worker_tasks:
+            await task
+        report = {
+            "sessions": len(self._connections),
+            "finished": max(0, active_at_start - forced),
+            "aborted": forced,
+        }
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.emit(
+                "server.drain",
+                sessions=report["sessions"],
+                finished=report["finished"],
+                aborted=report["aborted"],
+            )
+        for sink in self._flush_on_drain:
+            closer = getattr(sink, "close", None) or getattr(sink, "flush", None)
+            if closer is not None:
+                closer()
+        for connection in list(self._connections):
+            self._close_connection(connection)
+        self._drain_report = report
+        self._drained.set()
+        return report
+
+    async def aclose(self) -> None:
+        """Hard stop for tests: drain with no grace."""
+        grace, self.drain_grace = self.drain_grace, 0.0
+        try:
+            await self.drain()
+        finally:
+            self.drain_grace = grace
+
+    # ------------------------------------------------------------------
+    # Connection handling
+    # ------------------------------------------------------------------
+
+    def _close_connection(self, connection: _Connection) -> None:
+        if connection.open:
+            connection.open = False
+            try:
+                connection.writer.close()
+            except (ConnectionError, RuntimeError, OSError):
+                pass
+
+    async def _handle_connection(self, reader, writer) -> None:
+        peername = writer.get_extra_info("peername")
+        peer = f"{peername[0]}:{peername[1]}" if peername else "?"
+        session = Session(
+            next(self._session_ids), peer=peer, ack_capacity=self._ack_capacity
+        )
+        connection = _Connection(session, reader, writer)
+        connection.decoder.max_frame_bytes = self.max_frame_bytes
+        self._connections.append(connection)
+        self.stats["connections"] += 1
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.emit("server.connect", session=session.name, peer=peer)
+        try:
+            while True:
+                data = await reader.read(65536)
+                if not data:
+                    break
+                try:
+                    messages = connection.decoder.feed(data)
+                except FrameError as exc:
+                    # Typed error, then disconnect: the stream offset is
+                    # unrecoverable after a framing violation.
+                    self.stats["errors"] += 1
+                    await connection.send(error_frame(None, exc.code, exc.message))
+                    break
+                for body in messages:
+                    await self._dispatch(connection, body)
+                if not connection.open:
+                    break
+        except (ConnectionError, OSError):
+            pass
+        finally:
+            aborted = self._abort_session(session)
+            self._close_connection(connection)
+            if connection in self._connections:
+                self._connections.remove(connection)
+            session.closed = True
+            if tracer is not None:
+                tracer.emit(
+                    "server.disconnect",
+                    session=session.name,
+                    requests=session.requests,
+                    aborted=aborted,
+                )
+
+    def _abort_session(self, session: Session) -> int:
+        """Abort every transaction a vanished connection left behind."""
+        aborted = 0
+        for handle in list(session.transactions):
+            worker, transaction = session.transactions[handle]
+            if transaction is not None and transaction.is_active:
+                self.managers[worker].abort(transaction)
+                self.stats["transactions_aborted"] += 1
+                aborted += 1
+            session.close_transaction(handle)
+        return aborted
+
+    # ------------------------------------------------------------------
+    # Request admission (runs in the connection handler)
+    # ------------------------------------------------------------------
+
+    async def _dispatch(self, connection: _Connection, body: Dict[str, Any]) -> None:
+        session = connection.session
+        try:
+            request = parse_request(body)
+        except WireError as exc:
+            self.stats["errors"] += 1
+            await connection.send(error_frame(body.get("id"), exc.code, exc.message))
+            return
+        session.requests += 1
+        action = request.action
+        # Inline fast paths: pure bookkeeping, no manager involved.
+        if action == "ping":
+            await connection.send(
+                response_frame(
+                    request.id,
+                    {
+                        "protocol_version": PROTOCOL_VERSION,
+                        "workers": self.workers,
+                        "draining": self.draining,
+                        "objects": sorted(self._catalog),
+                    },
+                )
+            )
+            return
+        if action in ("commit", "abort"):
+            cached = session.cached_ack(request.id)
+            if cached is not None:
+                await connection.send(response_frame(request.id, cached))
+                return
+        if action == "begin":
+            if self.draining:
+                await connection.send(
+                    error_frame(
+                        request.id, "SHUTTING_DOWN", "server is draining"
+                    )
+                )
+                return
+            handle = session.mint_handle()
+            session.open_transaction(handle)
+            await connection.send(response_frame(request.id, {"transaction": handle}))
+            return
+        # Everything else routes to a worker shard.
+        try:
+            worker = self._route(session, request)
+        except WireError as exc:
+            self.stats["errors"] += 1
+            await connection.send(error_frame(request.id, exc.code, exc.message))
+            return
+        if worker is None:
+            # A completion for a transaction that never touched an
+            # object: decide it inline, no manager involved.
+            await self._complete_unbound(connection, request)
+            return
+        queue = self._queues[worker]
+        if self._stopping or queue.qsize() >= self.queue_limit:
+            if self._stopping:
+                await connection.send(
+                    error_frame(request.id, "SHUTTING_DOWN", "server is draining")
+                )
+                return
+            self.stats["busy"] += 1
+            tracer = self.tracer
+            if tracer is not None:
+                tracer.emit(
+                    "server.busy",
+                    session=session.name,
+                    action=action,
+                    queue_depth=queue.qsize(),
+                )
+            await connection.send(
+                error_frame(
+                    request.id,
+                    "BUSY",
+                    f"worker {worker} queue at high-water mark "
+                    f"({self.queue_limit}); retry",
+                )
+            )
+            return
+        queue.put_nowait((connection, request, worker))
+        self.stats["requests"] += 1
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.emit(
+                "server.request",
+                session=session.name,
+                action=action,
+                queue_depth=queue.qsize(),
+            )
+
+    def _route(self, session: Session, request: Request) -> Optional[int]:
+        """The worker shard for one request (None: decide inline).
+
+        Raises :class:`WireError` for unknown objects/handles and
+        cross-shard touches — refused before consuming queue budget.
+        """
+        action = request.action
+        params = request.params
+        if action == "create":
+            if self.draining:
+                raise WireError("SHUTTING_DOWN", "server is draining")
+            name = params.get("name")
+            if not isinstance(name, str) or not name:
+                raise WireError("BAD_REQUEST", "create needs a non-empty name")
+            return shard_for(name, self.workers)
+        handle = params.get("transaction")
+        if not isinstance(handle, str):
+            raise WireError("BAD_REQUEST", f"{action} needs a transaction handle")
+        try:
+            bound_worker, _transaction = session.lookup(handle)
+        except SessionError:
+            raise WireError(
+                "UNKNOWN_TXN", f"no open transaction {handle!r} on this session"
+            ) from None
+        if action == "invoke":
+            obj = params.get("obj")
+            if not isinstance(obj, str):
+                raise WireError("BAD_REQUEST", "invoke needs an obj name")
+            owner = self._catalog.get(obj)
+            if owner is None:
+                raise WireError("UNKNOWN_OBJECT", f"no managed object {obj!r}")
+            if bound_worker is not None and bound_worker != owner:
+                raise WireError(
+                    "CROSS_SHARD",
+                    f"transaction {handle!r} is bound to shard {bound_worker}; "
+                    f"{obj!r} lives on shard {owner} (single-shard transactions"
+                    " only)",
+                )
+            return owner
+        # commit / abort
+        return bound_worker
+
+    async def _complete_unbound(
+        self, connection: _Connection, request: Request
+    ) -> None:
+        """Commit/abort a transaction that never invoked an operation."""
+        session = connection.session
+        handle = request.params["transaction"]
+        session.close_transaction(handle)
+        if request.action == "commit":
+            result = {"transaction": handle, "timestamp": None, "committed": True}
+            self.stats["transactions_committed"] += 1
+        else:
+            result = {"transaction": handle, "aborted": True}
+            self.stats["transactions_aborted"] += 1
+        session.record_ack(request.id, result)
+        await connection.send(response_frame(request.id, result))
+
+    # ------------------------------------------------------------------
+    # Workers (one bounded queue each)
+    # ------------------------------------------------------------------
+
+    async def _worker(self, index: int) -> None:
+        queue = self._queues[index]
+        while True:
+            item = await queue.get()
+            if item is None:
+                return
+            connection, request, worker = item
+            frame = self._execute(connection.session, request, worker)
+            await connection.send(frame)
+
+    def _execute(self, session: Session, request: Request, worker: int) -> bytes:
+        """Run one admitted request against its shard's manager."""
+        manager = self.managers[worker]
+        action = request.action
+        params = request.params
+        try:
+            if action == "create":
+                name = params["name"]
+                adt_name = params.get("adt", "Counter")
+                protocol = params.get("protocol")
+                try:
+                    shard = self.create_object(name, adt_name, protocol)
+                except KeyError as exc:
+                    return error_frame(request.id, "BAD_REQUEST", str(exc.args[0]))
+                except ValueError as exc:
+                    return error_frame(request.id, "BAD_REQUEST", str(exc))
+                return response_frame(
+                    request.id, {"obj": name, "adt": adt_name, "worker": shard}
+                )
+            handle = params["transaction"]
+            try:
+                bound_worker, transaction = session.lookup(handle)
+            except SessionError:
+                # Completed (or aborted by a disconnect race) since
+                # admission — for completions, the ack cache answers.
+                cached = session.cached_ack(request.id)
+                if cached is not None:
+                    return response_frame(request.id, cached)
+                return error_frame(
+                    request.id, "UNKNOWN_TXN", f"no open transaction {handle!r}"
+                )
+            if action == "invoke":
+                if transaction is None:
+                    # First touch pins the transaction to this shard.
+                    transaction = manager.begin(handle)
+                    session.bind(handle, worker, transaction)
+                args = params.get("args", ())
+                if not isinstance(args, (tuple, list)):
+                    return error_frame(
+                        request.id, "BAD_REQUEST", "args must be a sequence"
+                    )
+                result = manager.invoke(
+                    transaction, params["obj"], params["operation"], *tuple(args)
+                )
+                return response_frame(
+                    request.id,
+                    {
+                        "transaction": handle,
+                        "obj": params["obj"],
+                        "result": result,
+                    },
+                )
+            if action == "commit":
+                timestamp = manager.commit(transaction)
+                session.close_transaction(handle)
+                payload = {
+                    "transaction": handle,
+                    "timestamp": timestamp,
+                    "committed": True,
+                }
+                session.record_ack(request.id, payload)
+                self.stats["transactions_committed"] += 1
+                return response_frame(request.id, payload)
+            if action == "abort":
+                manager.abort(transaction)
+                session.close_transaction(handle)
+                payload = {"transaction": handle, "aborted": True}
+                session.record_ack(request.id, payload)
+                self.stats["transactions_aborted"] += 1
+                return response_frame(request.id, payload)
+            return error_frame(request.id, "BAD_REQUEST", f"unroutable {action!r}")
+        except LockConflict as exc:
+            return error_frame(request.id, "CONFLICT", str(exc))
+        except WouldBlock as exc:
+            return error_frame(request.id, "WOULD_BLOCK", str(exc))
+        except TransactionAborted as exc:
+            return error_frame(request.id, "ABORTED", str(exc))
+        except KeyError as exc:
+            return error_frame(request.id, "BAD_REQUEST", f"missing field: {exc}")
+        except ProtocolError as exc:
+            return error_frame(request.id, "BAD_REQUEST", str(exc))
+        except ReproError as exc:  # any other library error: typed, not a crash
+            return error_frame(request.id, "INTERNAL", str(exc))

@@ -1,0 +1,127 @@
+"""Per-connection session state: transaction handles and idempotent acks.
+
+A session is the server-side shadow of one client connection.  It owns
+
+* the connection's *transaction handles* — short opaque strings minted at
+  ``begin`` and mapped to the live :class:`repro.runtime.Transaction`
+  (plus the worker shard it is bound to);
+* the *completion-ack cache* — the protocol's answer to the classic
+  "commit ack lost in flight" problem.  A ``commit`` or ``abort``
+  decision is made exactly once; the response body is cached under the
+  request id, and a retry of the *same* request id replays the cached
+  ack instead of re-executing (the transaction is long gone from the
+  manager by then).  The cache is bounded: acks are retired FIFO once
+  ``ack_capacity`` decisions are remembered, which is plenty — a sane
+  client retries only its most recent unacknowledged commit.
+
+The module is deliberately pure (no sockets, no clocks): it is the part
+of the serving tier that stays under the full REP104/REP106 lint
+discipline, and it is unit-testable without an event loop.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Dict, Optional, Tuple
+
+__all__ = ["Session", "SessionError"]
+
+
+class SessionError(KeyError):
+    """An unknown transaction handle was presented to a session."""
+
+
+class Session:
+    """State for one client connection.
+
+    Parameters
+    ----------
+    session_id:
+        Server-assigned, unique for the server's lifetime; embedded in
+        transaction names so traces from thousands of connections never
+        collide.
+    peer:
+        Printable remote address (trace payloads only).
+    ack_capacity:
+        How many completed commit/abort decisions to remember for
+        idempotent retry.
+    """
+
+    __slots__ = (
+        "session_id",
+        "peer",
+        "transactions",
+        "requests",
+        "_next_txn",
+        "_acks",
+        "_ack_capacity",
+        "closed",
+    )
+
+    def __init__(self, session_id: int, peer: str = "?", ack_capacity: int = 256):
+        self.session_id = session_id
+        self.peer = peer
+        #: handle -> (worker index or None, live Transaction or None).
+        #: The worker binding is lazy: a transaction is pinned to the
+        #: shard owning the first object it touches.
+        self.transactions: Dict[str, Tuple[Optional[int], Any]] = {}
+        #: Requests admitted (not refused BUSY) on this session.
+        self.requests = 0
+        self._next_txn = 0
+        self._acks: "OrderedDict[int, Dict[str, Any]]" = OrderedDict()
+        self._ack_capacity = ack_capacity
+        self.closed = False
+
+    @property
+    def name(self) -> str:
+        """The session's name as it appears in trace payloads."""
+        return f"s{self.session_id}"
+
+    # -- transaction handles -------------------------------------------
+
+    def mint_handle(self) -> str:
+        """A fresh transaction handle (globally unique via the session id)."""
+        self._next_txn += 1
+        return f"s{self.session_id}.t{self._next_txn}"
+
+    def open_transaction(self, handle: str) -> None:
+        """Register a handle minted by :meth:`mint_handle` as open."""
+        self.transactions[handle] = (None, None)
+
+    def bind(self, handle: str, worker: int, transaction: Any) -> None:
+        """Pin ``handle`` to the worker shard that began it."""
+        if handle not in self.transactions:
+            raise SessionError(handle)
+        self.transactions[handle] = (worker, transaction)
+
+    def lookup(self, handle: str) -> Tuple[Optional[int], Any]:
+        """The (worker, transaction) binding for ``handle``.
+
+        Raises :class:`SessionError` for handles this session never
+        minted (or already completed) — the server answers UNKNOWN_TXN.
+        """
+        try:
+            return self.transactions[handle]
+        except KeyError:
+            raise SessionError(handle) from None
+
+    def close_transaction(self, handle: str) -> None:
+        """Drop a completed transaction's handle."""
+        self.transactions.pop(handle, None)
+
+    @property
+    def active(self) -> int:
+        """Open transaction handles on this session."""
+        return len(self.transactions)
+
+    # -- idempotent completion acks ------------------------------------
+
+    def cached_ack(self, request_id: int) -> Optional[Dict[str, Any]]:
+        """The remembered response for a completed decision, if any."""
+        return self._acks.get(request_id)
+
+    def record_ack(self, request_id: int, result: Dict[str, Any]) -> None:
+        """Remember a commit/abort decision's response for retries."""
+        self._acks[request_id] = result
+        while len(self._acks) > self._ack_capacity:
+            self._acks.popitem(last=False)

@@ -1,0 +1,17 @@
+"""Allowlist-boundary fixture: a *pure* serving-tier module.
+
+``/server/protocol.py`` is inside the REP104/REP106 include scope but
+deliberately NOT on the allowlist — framing is pure, so the wall-clock
+read and the blocking call below must both be reported.  Parsed by the
+lint tests, never imported or executed.
+"""
+
+import time
+
+
+def timestamp_frame():
+    return time.time()  # REP104: wall clock folded into protocol state
+
+
+def backoff():
+    time.sleep(0.1)  # REP106: blocking call in a pure module

@@ -1,0 +1,15 @@
+"""Allowlist fixture: the real-I/O edge of the serving tier.
+
+The path fragment ``/server/server.py`` appears on the REP104/REP106
+allowlist, so the wall-clock read and the blocking call below must NOT
+be reported — this module's job is real sockets and real latency.
+Parsed by the lint tests, never imported or executed.
+"""
+
+import time
+
+
+def measure_real_latency():
+    started = time.time()  # allowlisted: real wall-clock timing is the job
+    time.sleep(0.01)       # allowlisted: real blocking I/O edge
+    return time.time() - started

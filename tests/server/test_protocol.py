@@ -1,0 +1,258 @@
+"""Wire-protocol framing: edge cases and round-trip properties.
+
+The decoder must survive everything a real socket produces — torn
+headers, dribbling bodies, several frames per chunk — and refuse
+everything a confused or hostile peer produces (oversized frames,
+non-JSON bodies, wrong versions) with a *typed* error, never an
+unhandled exception.
+"""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.server.protocol import (
+    ACTIONS,
+    HEADER,
+    MAX_FRAME_BYTES,
+    PROTOCOL_VERSION,
+    FrameDecoder,
+    FrameError,
+    WireError,
+    encode_frame,
+    error_frame,
+    parse_request,
+    parse_response,
+    request_frame,
+    response_frame,
+    split_frames,
+)
+
+
+class TestFraming:
+    def test_single_frame_round_trip(self):
+        frame = request_frame(7, "ping")
+        messages, leftover = split_frames(frame)
+        assert leftover == 0
+        request = parse_request(messages[0])
+        assert request.id == 7
+        assert request.action == "ping"
+        assert request.params == {}
+
+    def test_partial_reads_byte_by_byte(self):
+        frame = request_frame(1, "invoke", {"transaction": "t", "obj": "A"})
+        decoder = FrameDecoder()
+        collected = []
+        for index in range(len(frame)):
+            collected.extend(decoder.feed(frame[index : index + 1]))
+        assert len(collected) == 1
+        assert parse_request(collected[0]).action == "invoke"
+
+    def test_torn_header_across_chunks(self):
+        frame = request_frame(2, "begin")
+        decoder = FrameDecoder()
+        assert decoder.feed(frame[:2]) == []       # half the length prefix
+        assert decoder.pending_bytes == 2
+        messages = decoder.feed(frame[2:])
+        assert len(messages) == 1
+
+    def test_many_frames_in_one_chunk(self):
+        blob = b"".join(request_frame(i, "ping") for i in range(5))
+        messages, leftover = split_frames(blob)
+        assert [m["id"] for m in messages] == [0, 1, 2, 3, 4]
+        assert leftover == 0
+
+    def test_frames_plus_torn_tail(self):
+        tail = request_frame(9, "ping")
+        blob = request_frame(8, "ping") + tail[: len(tail) - 3]
+        messages, leftover = split_frames(blob)
+        assert [m["id"] for m in messages] == [8]
+        assert leftover == len(tail) - 3
+
+    def test_oversized_frame_is_refused_before_buffering(self):
+        decoder = FrameDecoder(max_frame_bytes=64)
+        huge_header = HEADER.pack(1 << 30)
+        with pytest.raises(FrameError) as excinfo:
+            decoder.feed(huge_header)
+        assert excinfo.value.code == "FRAME_TOO_LARGE"
+
+    def test_malformed_json_body_poisons_decoder(self):
+        body = b"this is not json"
+        frame = HEADER.pack(len(body)) + body
+        decoder = FrameDecoder()
+        with pytest.raises(FrameError) as excinfo:
+            decoder.feed(frame)
+        assert excinfo.value.code == "BAD_FRAME"
+        # Poisoned: even a valid frame is now refused.
+        with pytest.raises(FrameError):
+            decoder.feed(request_frame(1, "ping"))
+
+    def test_non_object_body_is_refused(self):
+        body = b"[1, 2, 3]"
+        frame = HEADER.pack(len(body)) + body
+        with pytest.raises(FrameError) as excinfo:
+            FrameDecoder().feed(frame)
+        assert excinfo.value.code == "BAD_FRAME"
+
+    def test_encode_frame_enforces_the_ceiling(self):
+        with pytest.raises(FrameError) as excinfo:
+            encode_frame({"v": 1, "pad": "x" * (MAX_FRAME_BYTES + 1)})
+        assert excinfo.value.code == "FRAME_TOO_LARGE"
+
+
+class TestParseRequest:
+    def frame_body(self, **overrides):
+        body = {"v": PROTOCOL_VERSION, "id": 1, "action": "ping", "params": {}}
+        body.update(overrides)
+        return body
+
+    def test_unknown_protocol_version(self):
+        with pytest.raises(WireError) as excinfo:
+            parse_request(self.frame_body(v=99))
+        assert excinfo.value.code == "BAD_VERSION"
+
+    def test_missing_version(self):
+        body = self.frame_body()
+        del body["v"]
+        with pytest.raises(WireError) as excinfo:
+            parse_request(body)
+        assert excinfo.value.code == "BAD_VERSION"
+
+    def test_non_integer_request_id(self):
+        for bad in ("7", None, 1.5, True):
+            with pytest.raises(WireError) as excinfo:
+                parse_request(self.frame_body(id=bad))
+            assert excinfo.value.code == "BAD_REQUEST"
+
+    def test_unknown_action(self):
+        with pytest.raises(WireError) as excinfo:
+            parse_request(self.frame_body(action="explode"))
+        assert excinfo.value.code == "BAD_REQUEST"
+
+    def test_non_object_params(self):
+        with pytest.raises(WireError) as excinfo:
+            parse_request(self.frame_body(params=[1, 2]))
+        assert excinfo.value.code == "BAD_REQUEST"
+
+    def test_malformed_tagged_payload(self):
+        # __fr__ must carry a [numerator, denominator] pair.
+        bad = self.frame_body(params={"amount": {"__fr__": "not-a-pair"}})
+        with pytest.raises(WireError) as excinfo:
+            parse_request(bad)
+        assert excinfo.value.code == "BAD_REQUEST"
+
+    def test_error_code_vocabulary_is_closed(self):
+        with pytest.raises(ValueError):
+            WireError("NOT_A_CODE", "nope")
+        with pytest.raises(ValueError):
+            error_frame(1, "NOT_A_CODE")
+
+
+class TestParseResponse:
+    def test_success_and_error_shapes(self):
+        ok, _ = split_frames(response_frame(3, {"answer": (1, 2)}))
+        response = parse_response(ok[0])
+        assert response.ok and response.id == 3
+        assert response.result["answer"] == (1, 2)
+
+        err, _ = split_frames(error_frame(4, "BUSY", "back off"))
+        response = parse_response(err[0])
+        assert not response.ok
+        assert response.error_code == "BUSY"
+        with pytest.raises(WireError) as excinfo:
+            response.raise_for_error()
+        assert excinfo.value.code == "BUSY"
+
+    def test_malformed_error_body(self):
+        with pytest.raises(WireError):
+            parse_response({"v": PROTOCOL_VERSION, "id": 1, "ok": False})
+
+
+# -- hypothesis round-trip properties ---------------------------------
+
+#: JSON-codec-representable payload values: scalars, fractions, tuples,
+#: frozensets, and nested dicts — everything the tagged codec preserves.
+codec_values = st.recursive(
+    st.one_of(
+        st.none(),
+        st.booleans(),
+        st.integers(min_value=-(10**9), max_value=10**9),
+        st.text(max_size=20),
+        st.fractions(max_denominator=10**6),
+    ),
+    lambda children: st.one_of(
+        st.tuples(children, children),
+        st.lists(children, max_size=3).map(tuple),
+        st.frozensets(
+            st.integers(min_value=0, max_value=100), max_size=4
+        ),
+        st.dictionaries(st.text(max_size=8), children, max_size=3),
+    ),
+    max_leaves=12,
+)
+
+params_strategy = st.dictionaries(st.text(min_size=1, max_size=12), codec_values, max_size=4)
+
+
+@given(
+    request_id=st.integers(min_value=0, max_value=2**31),
+    action=st.sampled_from(sorted(ACTIONS)),
+    params=params_strategy,
+)
+@settings(max_examples=60, deadline=None)
+def test_request_frame_round_trip(request_id, action, params):
+    messages, leftover = split_frames(request_frame(request_id, action, params))
+    assert leftover == 0
+    request = parse_request(messages[0])
+    assert request.id == request_id
+    assert request.action == action
+    assert dict(request.params) == params
+
+
+@given(request_id=st.integers(min_value=0, max_value=2**31), result=params_strategy)
+@settings(max_examples=60, deadline=None)
+def test_response_frame_round_trip(request_id, result):
+    messages, leftover = split_frames(response_frame(request_id, result))
+    assert leftover == 0
+    response = parse_response(messages[0])
+    assert response.ok
+    assert response.id == request_id
+    assert dict(response.result) == result
+
+
+@given(
+    frames=st.lists(
+        st.tuples(st.integers(min_value=0, max_value=999), params_strategy),
+        min_size=1,
+        max_size=6,
+    ),
+    chunk=st.integers(min_value=1, max_value=7),
+)
+@settings(max_examples=40, deadline=None)
+def test_decoder_is_chunking_invariant(frames, chunk):
+    """Any chunking of a frame stream decodes to the same messages."""
+    blob = b"".join(
+        request_frame(request_id, "invoke", params)
+        for request_id, params in frames
+    )
+    decoder = FrameDecoder()
+    messages = []
+    for start in range(0, len(blob), chunk):
+        messages.extend(decoder.feed(blob[start : start + chunk]))
+    assert decoder.pending_bytes == 0
+    assert len(messages) == len(frames)
+    for body, (request_id, params) in zip(messages, frames):
+        request = parse_request(body)
+        assert request.id == request_id
+        assert dict(request.params) == params
+
+
+def test_fraction_survives_the_wire_exactly():
+    params = {"amount": Fraction(355, 113), "batch": (Fraction(1, 3), "x")}
+    messages, _ = split_frames(request_frame(1, "invoke", params))
+    decoded = parse_request(messages[0]).params
+    assert decoded["amount"] == Fraction(355, 113)
+    assert isinstance(decoded["amount"], Fraction)
+    assert decoded["batch"] == (Fraction(1, 3), "x")

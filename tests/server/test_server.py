@@ -1,0 +1,439 @@
+"""The asyncio serving tier end-to-end: sessions, backpressure, drain.
+
+Each test boots a real server on an ephemeral localhost port and talks
+to it over real sockets.  No pytest-asyncio: tests drive their own
+``asyncio.run``.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.obs import AtomicityChecker, JSONLSink, TraceBus, read_jsonl
+from repro.obs.registry import MetricsRegistry, RegistrySink
+from repro.server import (
+    AsyncClient,
+    ReproServer,
+    Session,
+    SessionError,
+    ShardedTimestampGenerator,
+    WireError,
+    shard_for,
+)
+
+
+def run(coroutine):
+    return asyncio.run(coroutine)
+
+
+async def start_server(**kwargs):
+    kwargs.setdefault("workers", 1)
+    kwargs.setdefault("drain_grace", 1.0)
+    server = ReproServer(**kwargs)
+    await server.start()
+    return server
+
+
+class TestSessionUnit:
+    def test_handles_are_globally_unique_per_session(self):
+        first, second = Session(1), Session(2)
+        assert first.mint_handle() == "s1.t1"
+        assert first.mint_handle() == "s1.t2"
+        assert second.mint_handle() == "s2.t1"
+
+    def test_lookup_of_unknown_handle_raises(self):
+        session = Session(1)
+        with pytest.raises(SessionError):
+            session.lookup("s1.t99")
+
+    def test_ack_cache_is_bounded_fifo(self):
+        session = Session(1, ack_capacity=2)
+        for request_id in (1, 2, 3):
+            session.record_ack(request_id, {"n": request_id})
+        assert session.cached_ack(1) is None          # retired FIFO
+        assert session.cached_ack(2) == {"n": 2}
+        assert session.cached_ack(3) == {"n": 3}
+
+
+class TestShardedTimestamps:
+    def test_residues_partition_the_integers(self):
+        shards = [ShardedTimestampGenerator(i, 3) for i in range(3)]
+        issued = [
+            shard.commit_timestamp(f"t{n}")
+            for n in range(5)
+            for shard in shards
+        ]
+        assert len(set(issued)) == len(issued)        # globally unique
+        for index, shard in enumerate(shards):
+            assert all(
+                ts % 3 == index
+                for ts in issued[index::3]
+            )
+
+    def test_monotone_and_above_observed_bound(self):
+        generator = ShardedTimestampGenerator(1, 4)
+        first = generator.commit_timestamp("a")
+        generator.observe("b", 1000)
+        second = generator.commit_timestamp("b")
+        assert second > 1000 and second % 4 == 1
+        assert second > first
+        generator.forget("b")
+        assert generator.commit_timestamp("c") > second
+
+
+class TestRoundTrip:
+    def test_begin_invoke_commit_and_certified_trace(self, tmp_path):
+        trace = tmp_path / "trace.jsonl"
+
+        async def scenario():
+            bus = TraceBus()
+            sink = bus.subscribe(JSONLSink(str(trace)))
+            server = await start_server(tracer=bus, flush_on_drain=[sink])
+            server.create_object("A", "Account")
+            client = await AsyncClient.connect(server.host, server.port)
+            handle = await client.begin()
+            assert await client.invoke(handle, "A", "Credit", 5) == "Ok"
+            timestamp, _ = await client.commit(handle)
+            assert timestamp == 1
+            await client.aclose()
+            await server.drain()
+
+        run(scenario())
+        checker = AtomicityChecker()
+        checker.replay(read_jsonl(str(trace)))
+        report = checker.report()
+        assert report["ok"]
+        assert report["transactions"]["committed"] == 1
+        kinds = {event.kind for event in read_jsonl(str(trace))}
+        assert {"server.connect", "server.disconnect", "server.request",
+                "server.drain"} <= kinds
+
+    def test_registry_grows_server_counters(self):
+        async def scenario():
+            bus = TraceBus()
+            registry = MetricsRegistry()
+            bus.subscribe(RegistrySink(registry))
+            server = await start_server(tracer=bus)
+            server.create_object("A", "Account")
+            client = await AsyncClient.connect(server.host, server.port)
+            handle = await client.begin()
+            await client.invoke(handle, "A", "Credit", 1)
+            await client.commit(handle)
+            await client.aclose()
+            await server.drain()
+            return registry
+
+        registry = run(scenario())
+        counters = registry.snapshot()["counters"]
+        assert counters["server.connections_opened"] == 1
+        assert counters["server.connections_closed"] == 1
+        assert counters["server.requests"] >= 2       # invoke + commit
+        assert counters["server.request[invoke]"] == 1
+        assert counters["server.drains"] == 1
+
+
+class TestTypedErrors:
+    def test_unknown_object_and_unknown_txn(self):
+        async def scenario():
+            server = await start_server()
+            server.create_object("A", "Account")
+            client = await AsyncClient.connect(server.host, server.port)
+            handle = await client.begin()
+            with pytest.raises(WireError) as excinfo:
+                await client.invoke(handle, "nope", "Credit", 1)
+            assert excinfo.value.code == "UNKNOWN_OBJECT"
+            with pytest.raises(WireError) as excinfo:
+                await client.invoke("s9.t9", "A", "Credit", 1)
+            assert excinfo.value.code == "UNKNOWN_TXN"
+            # The connection survived both errors.
+            assert (await client.ping())["workers"] == 1
+            await client.aclose()
+            await server.drain()
+
+        run(scenario())
+
+    def test_malformed_tagged_payload_answers_bad_request(self):
+        async def scenario():
+            server = await start_server()
+            client = await AsyncClient.connect(server.host, server.port)
+            # Hand-build a frame whose params carry a broken __fr__ tag;
+            # the client-side encoder would never produce this.
+            from repro.server.protocol import encode_frame
+
+            client._writer.write(
+                encode_frame(
+                    {
+                        "v": 1,
+                        "id": 41,
+                        "action": "invoke",
+                        "params": {"amount": {"__fr__": "broken"}},
+                    }
+                )
+            )
+            await client._writer.drain()
+            response = await client.call("ping")      # loop still alive
+            assert response.ok
+            await client.aclose()
+            await server.drain()
+
+        run(scenario())
+
+    def test_oversized_frame_gets_typed_error_then_close(self):
+        async def scenario():
+            server = await start_server(max_frame_bytes=128)
+            reader, writer = await asyncio.open_connection(
+                server.host, server.port
+            )
+            from repro.server.protocol import HEADER, FrameDecoder
+
+            writer.write(HEADER.pack(1 << 29))
+            await writer.drain()
+            data = await reader.read(65536)
+            decoder = FrameDecoder()
+            [body] = decoder.feed(data)
+            assert body["ok"] is False
+            assert body["error"]["code"] == "FRAME_TOO_LARGE"
+            assert await reader.read(65536) == b""    # server closed
+            writer.close()
+            # The event loop survived: a fresh connection still works.
+            client = await AsyncClient.connect(server.host, server.port)
+            assert (await client.ping())["draining"] is False
+            await client.aclose()
+            await server.drain()
+
+        run(scenario())
+
+    def test_bad_version_is_refused(self):
+        async def scenario():
+            server = await start_server()
+            client = await AsyncClient.connect(server.host, server.port)
+            from repro.server.protocol import encode_frame
+
+            client._writer.write(
+                encode_frame({"v": 99, "id": 1, "action": "ping"})
+            )
+            await client._writer.drain()
+            future = asyncio.get_event_loop().create_future()
+            client._futures[1] = future
+            response = await future
+            assert response.error_code == "BAD_VERSION"
+            await client.aclose()
+            await server.drain()
+
+        run(scenario())
+
+
+class TestBackpressure:
+    def test_queue_at_high_water_answers_busy(self):
+        async def scenario():
+            bus = TraceBus()
+            registry = MetricsRegistry()
+            bus.subscribe(RegistrySink(registry))
+            # queue_limit=0: every routed request is beyond high water.
+            server = await start_server(queue_limit=0, tracer=bus)
+            server.create_object("A", "Account")
+            client = await AsyncClient.connect(server.host, server.port)
+            handle = await client.begin()              # inline: unaffected
+            with pytest.raises(WireError) as excinfo:
+                await client.invoke(handle, "A", "Credit", 1)
+            assert excinfo.value.code == "BUSY"
+            assert server.stats["busy"] == 1
+            assert registry.snapshot()["counters"]["server.busy"] == 1
+            await client.aclose()
+            await server.drain()
+
+        run(scenario())
+
+
+class TestIdempotentAcks:
+    def test_commit_ack_replays_for_same_request_id(self):
+        async def scenario():
+            server = await start_server()
+            server.create_object("A", "Account")
+            client = await AsyncClient.connect(server.host, server.port)
+            handle = await client.begin()
+            await client.invoke(handle, "A", "Credit", 1)
+            timestamp, response = await client.commit(handle)
+            # Retransmit with the SAME request id: the cached decision
+            # replays byte-for-byte.
+            replay = await client.call(
+                "commit", {"transaction": handle}, response.id
+            )
+            assert replay.ok
+            assert replay.result == dict(response.result)
+            # A NEW request id is not a retry: the handle is gone.
+            with pytest.raises(WireError) as excinfo:
+                await client.commit(handle)
+            assert excinfo.value.code == "UNKNOWN_TXN"
+            # Exactly one commit reached the manager.
+            assert server.stats["transactions_committed"] == 1
+            await client.aclose()
+            await server.drain()
+
+        run(scenario())
+
+    def test_abort_ack_is_idempotent_too(self):
+        async def scenario():
+            server = await start_server()
+            server.create_object("A", "Account")
+            client = await AsyncClient.connect(server.host, server.port)
+            handle = await client.begin()
+            await client.invoke(handle, "A", "Credit", 1)
+            request_id = client.next_id()
+            await client.abort(handle, request_id)
+            await client.abort(handle, request_id)     # replayed, no error
+            assert server.stats["transactions_aborted"] == 1
+            await client.aclose()
+            await server.drain()
+
+        run(scenario())
+
+
+class TestSharding:
+    @staticmethod
+    def two_objects_on_different_shards(workers=2):
+        names = iter(f"obj-{i}" for i in range(1000))
+        first = next(names)
+        for candidate in names:
+            if shard_for(candidate, workers) != shard_for(first, workers):
+                return first, candidate
+        raise AssertionError("no shard split found")
+
+    def test_cross_shard_touch_is_refused(self):
+        first, second = self.two_objects_on_different_shards()
+
+        async def scenario():
+            server = await start_server(workers=2)
+            server.create_object(first, "Account")
+            server.create_object(second, "Account")
+            client = await AsyncClient.connect(server.host, server.port)
+            handle = await client.begin()
+            await client.invoke(handle, first, "Credit", 1)
+            with pytest.raises(WireError) as excinfo:
+                await client.invoke(handle, second, "Credit", 1)
+            assert excinfo.value.code == "CROSS_SHARD"
+            # The transaction is still alive on its own shard.
+            await client.invoke(handle, first, "Credit", 1)
+            timestamp, _ = await client.commit(handle)
+            assert timestamp is not None
+            await client.aclose()
+            await server.drain()
+
+        run(scenario())
+
+    def test_commit_timestamps_stay_unique_across_shards(self):
+        first, second = self.two_objects_on_different_shards()
+
+        async def scenario():
+            server = await start_server(workers=2)
+            server.create_object(first, "Account")
+            server.create_object(second, "Account")
+            client = await AsyncClient.connect(server.host, server.port)
+            timestamps = []
+            for obj in (first, second, first, second):
+                handle = await client.begin()
+                await client.invoke(handle, obj, "Credit", 1)
+                timestamp, _ = await client.commit(handle)
+                timestamps.append(timestamp)
+            assert len(set(timestamps)) == len(timestamps)
+            await client.aclose()
+            await server.drain()
+
+        run(scenario())
+
+
+class TestDisconnect:
+    def test_vanishing_client_gets_its_transactions_aborted(self):
+        async def scenario():
+            bus = TraceBus()
+            server = await start_server(tracer=bus)
+            server.create_object("A", "Account")
+            client = await AsyncClient.connect(server.host, server.port)
+            handle = await client.begin()
+            await client.invoke(handle, "A", "Credit", 1)
+            await client.aclose()                      # vanish mid-txn
+            for _ in range(100):
+                if server.stats["transactions_aborted"]:
+                    break
+                await asyncio.sleep(0.01)
+            assert server.stats["transactions_aborted"] == 1
+            # The abort released the lock: a new client can commit.
+            fresh = await AsyncClient.connect(server.host, server.port)
+            handle = await fresh.begin()
+            await fresh.invoke(handle, "A", "Credit", 1)
+            await fresh.commit(handle)
+            await fresh.aclose()
+            await server.drain()
+
+        run(scenario())
+
+
+class TestGracefulDrain:
+    def test_in_flight_transaction_commits_during_grace(self, tmp_path):
+        trace = tmp_path / "drain.jsonl"
+
+        async def scenario():
+            bus = TraceBus()
+            sink = bus.subscribe(JSONLSink(str(trace)))
+            server = await start_server(
+                tracer=bus, drain_grace=2.0, flush_on_drain=[sink]
+            )
+            server.create_object("A", "Account")
+            client = await AsyncClient.connect(server.host, server.port)
+            handle = await client.begin()
+            await client.invoke(handle, "A", "Credit", 1)
+
+            drain_task = asyncio.ensure_future(server.drain())
+            await asyncio.sleep(0.05)
+            assert server.draining
+            # New transactions are refused while draining...
+            with pytest.raises(WireError) as excinfo:
+                await client.begin()
+            assert excinfo.value.code == "SHUTTING_DOWN"
+            # ...but the in-flight one finishes cleanly.
+            timestamp, _ = await client.commit(handle)
+            assert timestamp == 1
+            report = await drain_task
+            assert report["aborted"] == 0
+            assert server.stats["transactions_committed"] == 1
+            await client.aclose()
+
+        run(scenario())
+        events = read_jsonl(str(trace))
+        kinds = [event.kind for event in events]
+        assert "server.drain" in kinds                 # flushed to disk
+        checker = AtomicityChecker()
+        checker.replay(events)
+        assert checker.report()["ok"]
+
+    def test_stragglers_are_force_aborted_after_grace(self):
+        async def scenario():
+            server = await start_server(drain_grace=0.05)
+            server.create_object("A", "Account")
+            client = await AsyncClient.connect(server.host, server.port)
+            handle = await client.begin()
+            await client.invoke(handle, "A", "Credit", 1)
+            report = await server.drain()              # client never commits
+            assert report["aborted"] == 1
+            await client.aclose()
+
+        run(scenario())
+
+    def test_listener_closes_but_admitted_work_is_answered(self):
+        async def scenario():
+            server = await start_server(drain_grace=0.2)
+            server.create_object("A", "Account")
+            client = await AsyncClient.connect(server.host, server.port)
+            handle = await client.begin()
+            await client.invoke(handle, "A", "Credit", 1)
+            drain_task = asyncio.ensure_future(server.drain())
+            await asyncio.sleep(0.02)
+            # No NEW connections once draining...
+            with pytest.raises((ConnectionError, OSError)):
+                await asyncio.open_connection(server.host, server.port)
+            # ...while the existing session still gets answers.
+            await client.commit(handle)
+            await drain_task
+            await client.aclose()
+
+        run(scenario())
