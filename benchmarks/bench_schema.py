@@ -32,6 +32,21 @@ def non_negative_int(value):
     return None
 
 
+def non_negative_or_null(value):
+    """A median phase latency: >= 0, or null when no span carried it."""
+    if value is None:
+        return None
+    if not isinstance(value, NUMBER) or isinstance(value, bool) or value < 0:
+        return f"expected a non-negative number or null, got {value!r}"
+    return None
+
+
+def string_or_null(value):
+    if value is None or isinstance(value, str):
+        return None
+    return f"expected a string or null, got {value!r}"
+
+
 LATENCY_STATS = {
     "operations": non_negative_int,
     "elapsed_seconds": positive,
@@ -146,6 +161,28 @@ SERVE_SCHEMA = {
         "finished": non_negative_int,
         "aborted": non_negative_int,
     },
+    # End-to-end span breakdown from the replayed trace: where a
+    # committed transaction's wall time went, by wire phase.
+    "span_breakdown": {
+        "committed_spans": non_negative_int,
+        "with_trace": non_negative_int,
+        "median_phase_ms": {
+            "client": non_negative_or_null,
+            "queue": non_negative_or_null,
+            "execute": non_negative_or_null,
+            "respond": non_negative_or_null,
+        },
+    },
+    # Flight-recorder status at the end of the run (the drain trigger
+    # guarantees at least one dump).
+    "flight": {
+        "dumps": non_negative_int,
+        "last_reason": string_or_null,
+        "last_path": string_or_null,
+        "retained": non_negative_int,
+        "seen": non_negative_int,
+        "dropped_events": non_negative_int,
+    },
     "certification": CERTIFICATION,
 }
 
@@ -242,6 +279,21 @@ def validate_artifact(name, data):
             )
         if data["certification"]["ok"] is not True:
             errors.append(f"{name}.certification.ok: served run must certify")
+        breakdown = data["span_breakdown"]
+        if breakdown["committed_spans"] <= 0:
+            errors.append(
+                f"{name}.span_breakdown: no committed spans in the trace"
+            )
+        elif breakdown["with_trace"] <= 0:
+            errors.append(
+                f"{name}.span_breakdown: no span carried a client trace id "
+                "(wire trace propagation broken)"
+            )
+        if data["flight"]["dumps"] < 1:
+            errors.append(
+                f"{name}.flight: the drain trigger must leave at least "
+                "one flight dump"
+            )
     if errors:
         raise ValueError("\n".join(errors))
 

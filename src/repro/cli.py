@@ -21,11 +21,14 @@ Commands
     dump the event stream: ``--format jsonl`` (machine-readable, every
     ``lock.conflict`` names the refused/held operation pair), ``spans``
     (per-transaction latency table), ``events`` or ``summary``.
-``stats <workload>``
+``stats <workload>`` / ``stats --connect HOST:PORT``
     Run one workload and print the metrics-registry view: latency
     histograms, conflict breakdown by operation pair, compaction
     horizon / retained-intentions gauges, and an end-of-run lock-table
     plus waits-for-graph snapshot (``--json`` for machine output).
+    With ``--connect``, query a *live* server's in-band ``stats`` op
+    instead and render its snapshot (``--prometheus`` for text
+    exposition format).
 ``lint [paths...]``
     Run the AST-based static analyzer (:mod:`repro.lint`) that enforces
     the repo's concurrency-control invariants at rest: registered trace
@@ -44,7 +47,17 @@ Commands
     Run the closed-/open-loop load generator against an in-process
     server and write the schema-validated ``BENCH_serve.json`` artifact
     (sustained txn/s and p50/p99 latency across a concurrency sweep,
-    with the atomicity checker's verdict embedded).
+    with the atomicity checker's verdict and the end-to-end span
+    breakdown embedded).
+``top``
+    Curses-free live view over a running server's ``stats`` op:
+    queue depths, commit/abort/BUSY rates, latency quantiles, hottest
+    conflict pairs, flight-recorder status — refreshed on an interval.
+``analyze <trace.jsonl>``
+    Fold a recorded server trace (or a flight-recorder dump) into a
+    postmortem report: per-phase latency breakdown, hottest conflict
+    pairs, shard imbalance, queue-depth timeline, slowest transactions
+    with their span waterfalls (``--json`` for the raw report).
 ``check [workload | --trace-file FILE]``
     Certify a run hybrid atomic with the streaming oracle
     (:class:`repro.obs.AtomicityChecker`): either run a workload live
@@ -71,6 +84,10 @@ Examples::
     python -m repro check account --duration 200
     python -m repro check --trace-file /tmp/trace.jsonl --json
     python -m repro serve --port 7400 --workers 2 --trace-file /tmp/serve.jsonl
+    python -m repro stats --connect 127.0.0.1:7400
+    python -m repro stats --connect 127.0.0.1:7400 --prometheus
+    python -m repro top --connect 127.0.0.1:7400 --iterations 3
+    python -m repro analyze /tmp/serve.jsonl
     python -m repro bench serve --smoke --output-dir /tmp
 """
 
@@ -480,6 +497,42 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_address(spec: str) -> Optional[tuple]:
+    """``HOST:PORT`` -> ``(host, port)``, or None if malformed."""
+    host, _, port_text = spec.rpartition(":")
+    if not host or not port_text.isdigit():
+        return None
+    return host, int(port_text)
+
+
+def _cmd_stats_remote(args: argparse.Namespace) -> int:
+    import json
+
+    from .obs import MetricsRegistry, render_prometheus
+    from .server import SyncClient
+    from .server.top import render_top
+
+    address = _parse_address(args.connect)
+    if address is None:
+        print(f"stats: bad --connect address {args.connect!r}", file=sys.stderr)
+        return 2
+    try:
+        with SyncClient(*address) as client:
+            snapshot = client.stats()
+    except (OSError, ConnectionError) as exc:
+        print(f"stats: cannot reach {args.connect}: {exc}", file=sys.stderr)
+        return 1
+    if args.json:
+        print(json.dumps(snapshot, indent=2, default=repr))
+        return 0
+    if args.prometheus:
+        registry = MetricsRegistry.from_snapshot(snapshot.get("metrics") or {})
+        sys.stdout.write(render_prometheus(registry))
+        return 0
+    print(render_top(snapshot))
+    return 0
+
+
 def _cmd_stats(args: argparse.Namespace) -> int:
     from .obs import (
         MetricsRegistry,
@@ -492,6 +545,18 @@ def _cmd_stats(args: argparse.Namespace) -> int:
         render_waits_for,
         waits_for_edges,
     )
+
+    if args.connect and args.workload:
+        print("stats: give a workload or --connect, not both", file=sys.stderr)
+        return 2
+    if args.connect:
+        return _cmd_stats_remote(args)
+    if not args.workload:
+        print("stats: need a workload or --connect", file=sys.stderr)
+        return 2
+    if args.prometheus:
+        print("stats: --prometheus needs --connect", file=sys.stderr)
+        return 2
 
     resolved = _resolve_run(args)
     if isinstance(resolved, int):
@@ -571,15 +636,34 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     import asyncio
     import signal
 
-    from .obs import JSONLSink, MetricsRegistry, RegistrySink, TraceBus
+    from .obs import (
+        WIRE_LATENCY_BUCKETS,
+        FlightRecorder,
+        JSONLSink,
+        MetricsRegistry,
+        RegistrySink,
+        TraceBus,
+    )
     from .server import ReproServer
 
     tracer = TraceBus()
     registry = MetricsRegistry()
-    tracer.subscribe(RegistrySink(registry))
+    # The server's bus clock is real time, so the registry's latency
+    # histograms need real-seconds buckets (the simulator's default
+    # buckets would swallow every request into the first one).
+    tracer.subscribe(RegistrySink(registry, latency_buckets=WIRE_LATENCY_BUCKETS))
     sinks = []
     if args.trace_file:
         sinks.append(tracer.subscribe(JSONLSink(args.trace_file)))
+    flight = None
+    if not args.no_flight:
+        flight = tracer.subscribe(
+            FlightRecorder(
+                args.flight_dir,
+                queue_high_water=args.queue_limit,
+                emit_to=tracer,
+            )
+        )
     server = ReproServer(
         host=args.host,
         port=args.port,
@@ -589,6 +673,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         tracer=tracer,
         drain_grace=args.drain_grace,
         flush_on_drain=sinks,
+        registry=registry,
+        flight=flight,
     )
     for spec in args.object or []:
         name, _, adt = spec.partition(":")
@@ -618,7 +704,55 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     )
     if args.trace_file:
         print(f"trace written to {args.trace_file}")
+    if flight is not None and flight.dumps:
+        print(
+            f"flight recorder left {len(flight.dumps)} dump(s) "
+            f"in {args.flight_dir} (last: {flight.last_reason})"
+        )
     return 0
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    from .server import run_top
+
+    address = _parse_address(args.connect)
+    if address is None:
+        print(f"top: bad --connect address {args.connect!r}", file=sys.stderr)
+        return 2
+    if args.iterations is not None and args.iterations <= 0:
+        print("top: --iterations must be positive", file=sys.stderr)
+        return 2
+    try:
+        frames = run_top(
+            *address, interval=args.interval, iterations=args.iterations
+        )
+    except (OSError, ConnectionError) as exc:
+        print(f"top: cannot reach {args.connect}: {exc}", file=sys.stderr)
+        return 1
+    return 0 if frames else 1
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    import json
+    import os
+
+    from .obs import analyze_trace, read_jsonl, render_postmortem
+
+    if not os.path.isfile(args.trace):
+        print(f"no such trace file: {args.trace}", file=sys.stderr)
+        return 2
+    if args.slowest < 0:
+        print("analyze: --slowest must be non-negative", file=sys.stderr)
+        return 2
+    report = analyze_trace(read_jsonl(args.trace), slowest=args.slowest)
+    if not report["events"]:
+        print(f"analyze: {args.trace} holds no events", file=sys.stderr)
+        return 1
+    if args.json:
+        print(json.dumps(report, indent=2, default=repr))
+    else:
+        sys.stdout.write(render_postmortem(report))
+    return 0 if not report["violations"] else 1
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
@@ -806,10 +940,19 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the recovery event trace (JSONL) here",
     )
 
-    def add_run_options(subparser: argparse.ArgumentParser) -> None:
-        subparser.add_argument(
-            "workload", help="a workload name from `python -m repro list`"
-        )
+    def add_run_options(
+        subparser: argparse.ArgumentParser, workload_optional: bool = False
+    ) -> None:
+        if workload_optional:
+            subparser.add_argument(
+                "workload", nargs="?", default=None,
+                help="a workload name from `python -m repro list` "
+                "(omit with --connect)",
+            )
+        else:
+            subparser.add_argument(
+                "workload", help="a workload name from `python -m repro list`"
+            )
         subparser.add_argument(
             "--protocol", default="hybrid", help="one locking protocol"
         )
@@ -844,15 +987,26 @@ def build_parser() -> argparse.ArgumentParser:
 
     stats = commands.add_parser(
         "stats",
-        help="run a workload and print histograms, gauges, and lock snapshots",
+        help="run a workload and print histograms, gauges, and lock "
+        "snapshots — or query a live server with --connect",
     )
-    add_run_options(stats)
+    add_run_options(stats, workload_optional=True)
     stats.add_argument(
         "--json", action="store_true", help="dump the registry snapshot as JSON"
     )
     stats.add_argument(
         "--spans", type=int, default=0, metavar="N",
         help="also show the last N per-transaction spans",
+    )
+    stats.add_argument(
+        "--connect", default=None, metavar="HOST:PORT",
+        help="query a running server's in-band stats op instead of "
+        "running a workload",
+    )
+    stats.add_argument(
+        "--prometheus", action="store_true",
+        help="with --connect: render the snapshot's metrics in Prometheus "
+        "text exposition format",
     )
 
     lint = commands.add_parser(
@@ -894,6 +1048,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--trace-file", default=None,
         help="record the event trace (JSONL) for offline certification",
     )
+    serve.add_argument(
+        "--flight-dir", default="flight",
+        help="directory for flight-recorder anomaly dumps (default: flight)",
+    )
+    serve.add_argument(
+        "--no-flight", action="store_true",
+        help="disable the always-on flight recorder",
+    )
 
     bench = commands.add_parser(
         "bench", help="run a load benchmark and write its artifact"
@@ -910,6 +1072,40 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument(
         "--output-dir", default=".",
         help="directory for BENCH_serve.json and serve_trace.jsonl",
+    )
+
+    top = commands.add_parser(
+        "top",
+        help="live refresh view over a running server (rates, queues, "
+        "latency quantiles, hottest conflicts)",
+    )
+    top.add_argument(
+        "--connect", default="127.0.0.1:7400", metavar="HOST:PORT",
+        help="server address (default 127.0.0.1:7400)",
+    )
+    top.add_argument(
+        "--interval", type=float, default=1.0,
+        help="seconds between refreshes (default 1.0)",
+    )
+    top.add_argument(
+        "--iterations", type=int, default=None, metavar="N",
+        help="stop after N frames (default: run until Ctrl-C)",
+    )
+
+    analyze = commands.add_parser(
+        "analyze",
+        help="postmortem report from a recorded server trace or flight dump",
+    )
+    analyze.add_argument(
+        "trace", help="a JSONL trace file (serve --trace-file or a "
+        "flight-recorder dump)",
+    )
+    analyze.add_argument(
+        "--json", action="store_true", help="print the raw report as JSON"
+    )
+    analyze.add_argument(
+        "--slowest", type=int, default=5, metavar="N",
+        help="how many slowest transactions to show waterfalls for",
     )
 
     check = commands.add_parser(
@@ -964,6 +1160,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "lint": _cmd_lint,
         "serve": _cmd_serve,
         "bench": _cmd_bench,
+        "top": _cmd_top,
+        "analyze": _cmd_analyze,
     }[args.command]
     return handler(args)
 

@@ -60,6 +60,7 @@ _SERVER_REAL_IO = (
     "/server/server.py",
     "/server/client.py",
     "/server/bench.py",
+    "/server/top.py",
 )
 
 RULE_SCOPES: Dict[str, RuleScope] = {

@@ -13,20 +13,30 @@ The subsystem has three pieces (see ``docs/observability.md``):
   renderers for the ``repro trace`` / ``repro stats`` CLI;
 * an **oracle**: :class:`AtomicityChecker` streams over the events (live
   or replayed from JSONL) and certifies the run hybrid atomic — or
-  refutes it with a minimal witness (``repro check``).
+  refutes it with a minimal witness (``repro check``);
+* **operations**: :class:`FlightRecorder` keeps an always-on ring of
+  recent events and dumps a replayable JSONL snapshot when an anomaly
+  trigger fires; :func:`analyze_trace` / :func:`render_postmortem` turn
+  any replayed trace into a postmortem report (``repro analyze``);
+  :func:`render_prometheus` exposes a registry in Prometheus text
+  format.
 """
 
+from .analyze import analyze_trace, render_postmortem
 from .bus import TraceBus
 from .checker import AtomicityChecker
 from .codec import decode_value, encode_value
 from .events import EVENT_KINDS, TraceEvent
+from .flight import FlightRecorder
 from .registry import (
     DEFAULT_LATENCY_BUCKETS,
+    WIRE_LATENCY_BUCKETS,
     Counter,
     Gauge,
     Histogram,
     MetricsRegistry,
     RegistrySink,
+    render_prometheus,
 )
 from .sinks import (
     JSONLSink,
@@ -45,10 +55,16 @@ from .snapshot import (
     render_waits_for,
     waits_for_edges,
 )
-from .spans import Span, SpanBuilder
+from .spans import SPAN_IRRELEVANT_KINDS, WIRE_SPAN_KINDS, Span, SpanBuilder
 from .witness import Violation, minimize_witness
 
 __all__ = [
+    "FlightRecorder",
+    "analyze_trace",
+    "render_postmortem",
+    "render_prometheus",
+    "WIRE_SPAN_KINDS",
+    "SPAN_IRRELEVANT_KINDS",
     "TraceBus",
     "TraceEvent",
     "EVENT_KINDS",
@@ -65,6 +81,7 @@ __all__ = [
     "MetricsRegistry",
     "RegistrySink",
     "DEFAULT_LATENCY_BUCKETS",
+    "WIRE_LATENCY_BUCKETS",
     "RingBufferSink",
     "JSONLSink",
     "read_jsonl",

@@ -69,12 +69,24 @@ kind                   emitted when / payload highlights
                        held were aborted (``session``, ``requests``,
                        ``aborted``)
 ``server.request``     a request was admitted to a worker queue
-                       (``session``, ``action``, ``queue_depth``)
+                       (``session``, ``action``, ``queue_depth``,
+                       ``shard``, and the client's ``trace`` id)
 ``server.busy``        a request was refused with BUSY — the bounded
                        work queue was past its high-water mark
+``server.decode``      a complete request was decoded off the wire;
+                       carries the client's trace context (``trace``
+                       id and ``sent`` timestamp), so the client→server
+                       leg of an end-to-end span is measurable
+``server.respond``     a worker-executed request was answered; carries
+                       the per-phase latency split (``queued`` in the
+                       shard queue, ``executing`` against the manager,
+                       ``respond`` writing the reply) plus the trace id
 ``server.drain``       graceful shutdown finished: accepted requests
                        all answered, in-flight transactions resolved
                        (``sessions``, ``finished``, ``aborted``)
+``flight.dump``        the flight recorder tripped an anomaly trigger
+                       and dumped its ring to a JSONL snapshot
+                       (``reason``, ``events``, ``dropped``, ``path``)
 =====================  =============================================
 
 Events are deliberately plain: a frozen dataclass of ``(ts, kind,
@@ -123,7 +135,10 @@ EVENT_KINDS = frozenset(
         "server.disconnect",
         "server.request",
         "server.busy",
+        "server.decode",
+        "server.respond",
         "server.drain",
+        "flight.dump",
     }
 )
 
@@ -217,9 +232,31 @@ EVENT_PAYLOADS: Mapping[str, FrozenSet[str]] = {
     ),
     "server.connect": frozenset({"session", "peer"}),
     "server.disconnect": frozenset({"session", "requests", "aborted"}),
-    "server.request": frozenset({"session", "action", "queue_depth"}),
-    "server.busy": frozenset({"session", "action", "queue_depth"}),
+    "server.request": frozenset(
+        {"session", "action", "queue_depth", "shard", "trace"}
+    ),
+    "server.busy": frozenset(
+        {"session", "action", "queue_depth", "shard", "trace"}
+    ),
+    "server.decode": frozenset(
+        {"session", "action", "trace", "sent", "transaction"}
+    ),
+    "server.respond": frozenset(
+        {
+            "session",
+            "action",
+            "trace",
+            "transaction",
+            "shard",
+            "queued",
+            "executing",
+            "respond",
+        }
+    ),
     "server.drain": frozenset({"sessions", "finished", "aborted"}),
+    "flight.dump": frozenset(
+        {"reason", "events", "dropped", "seen", "path"}
+    ),
 }
 
 

@@ -1,0 +1,222 @@
+"""Flight recorder: an always-on event ring that dumps on anomalies.
+
+A live server cannot afford a full JSONL trace of every request, but
+when something goes wrong the *recent* history is exactly what a
+postmortem needs.  The :class:`FlightRecorder` is the standard
+compromise: it retains the last ``capacity`` events in a bounded ring
+(:class:`~repro.obs.sinks.RingBufferSink`) at all times, and when an
+anomaly trigger fires it snapshots the ring to a tagged-codec JSONL
+file that :func:`~repro.obs.sinks.read_jsonl` replays — through the
+:class:`~repro.obs.checker.AtomicityChecker`, the span builder, or
+``repro analyze``.
+
+Triggers (each names the ``reason`` tag in the dump file):
+
+=====================  =============================================
+reason                 fires when
+=====================  =============================================
+``violation``          the atomicity checker refuted the run
+                       (``check.violation`` observed)
+``deadlock``           a waits-for cycle was refused
+                       (``lock.deadlock``)
+``busy``               the server shed load (``server.busy``)
+``queue-high-water``   a ``server.request`` was admitted at or above
+                       ``queue_high_water`` depth
+``drain``              graceful shutdown completed (``server.drain``)
+                       — the terminal snapshot of the run
+``p99-breach``         the recorder's own latency histogram crossed
+                       ``latency_threshold`` at p99 (needs at least
+                       ``min_latency_samples`` completed transactions)
+=====================  =============================================
+
+Dump files are named deterministically — ``flight-<NNN>-<reason>.jsonl``
+with a per-recorder sequence number, no wall clock — and begin with a
+synthetic ``flight.dump`` event recording the trigger, the retained
+window size, and how far the ring's window was exceeded (``dropped``),
+so a replayed dump is honest about its own truncation.
+
+A ``cooldown_events`` budget separates consecutive dumps: once a dump
+fires, the recorder stays quiet until that many new events arrive, so a
+sustained anomaly (every request BUSY) yields a bounded number of
+snapshots rather than one per event.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+from typing import Any, Dict, List, Optional
+
+from .codec import encode_value
+from .events import TraceEvent
+from .registry import DEFAULT_LATENCY_BUCKETS, Histogram
+from .sinks import RingBufferSink
+
+__all__ = ["FlightRecorder"]
+
+_REASON_SAFE = re.compile(r"[^a-zA-Z0-9_-]+")
+
+#: Event kinds that unconditionally trigger a dump, mapped to reasons.
+_TRIGGER_KINDS = {
+    "check.violation": "violation",
+    "lock.deadlock": "deadlock",
+    "server.busy": "busy",
+    "server.drain": "drain",
+}
+
+
+class FlightRecorder:
+    """Bounded ring of recent events with anomaly-triggered dumps.
+
+    Parameters
+    ----------
+    directory:
+        Where dump files go (created on first dump).
+    capacity:
+        Ring size in events; older events are evicted (and counted).
+    queue_high_water:
+        When set, a ``server.request`` admitted at ``queue_depth >=``
+        this value triggers a ``queue-high-water`` dump.
+    latency_threshold:
+        When set, completed-transaction latency (``txn.begin`` →
+        terminal event, bus clock units) feeds an internal histogram;
+        a p99 above this value triggers a ``p99-breach`` dump.
+    min_latency_samples:
+        Completed transactions required before the p99 trigger arms.
+    cooldown_events:
+        Events that must arrive between consecutive dumps.
+    emit_to:
+        Optional :class:`~repro.obs.bus.TraceBus` to announce dumps on
+        (a ``flight.dump`` event).  The recorder ignores incoming
+        ``flight.dump`` events, so subscribing it to the same bus it
+        announces on cannot recurse.
+    """
+
+    def __init__(
+        self,
+        directory: str,
+        capacity: int = 2048,
+        queue_high_water: Optional[int] = None,
+        latency_threshold: Optional[float] = None,
+        min_latency_samples: int = 50,
+        cooldown_events: int = 256,
+        emit_to: Optional[Any] = None,
+    ):
+        self.directory = directory
+        self.ring = RingBufferSink(capacity)
+        self.queue_high_water = queue_high_water
+        self.latency_threshold = latency_threshold
+        self.min_latency_samples = min_latency_samples
+        self.cooldown_events = cooldown_events
+        self._emit_to = emit_to
+        #: Paths of every dump written, in order.
+        self.dumps: List[str] = []
+        self.last_reason: Optional[str] = None
+        self._seq = 0
+        self._events_since_dump: Optional[int] = None  # None: never dumped
+        self._latency = Histogram("flight.latency", DEFAULT_LATENCY_BUCKETS)
+        self._begin_ts: Dict[str, float] = {}
+
+    # -- bus sink ------------------------------------------------------
+
+    def __call__(self, event: TraceEvent) -> None:
+        if event.kind == "flight.dump":
+            # Our own announcement echoed back through a shared bus.
+            return
+        self.ring(event)
+        if self._events_since_dump is not None:
+            self._events_since_dump += 1
+        reason = self._trigger(event)
+        if reason is not None:
+            self.dump(reason, ts=event.ts)
+
+    def _trigger(self, event: TraceEvent) -> Optional[str]:
+        """The dump reason this event fires, if any."""
+        kind = event.kind
+        reason = _TRIGGER_KINDS.get(kind)
+        if reason is not None:
+            return reason
+        if (
+            kind == "server.request"
+            and self.queue_high_water is not None
+            and (event.data.get("queue_depth") or 0) >= self.queue_high_water
+        ):
+            return "queue-high-water"
+        if self.latency_threshold is not None:
+            transaction = event.data.get("transaction")
+            if transaction is not None:
+                if kind == "txn.begin":
+                    self._begin_ts[transaction] = event.ts
+                elif kind in ("txn.commit", "txn.abort"):
+                    begin = self._begin_ts.pop(transaction, None)
+                    if begin is not None:
+                        self._latency.observe(max(0.0, event.ts - begin))
+                        if (
+                            self._latency.total >= self.min_latency_samples
+                            and self._latency.quantile(0.99)
+                            > self.latency_threshold
+                        ):
+                            return "p99-breach"
+        return None
+
+    # -- dumping -------------------------------------------------------
+
+    def dump(self, reason: str, ts: float = 0.0) -> Optional[str]:
+        """Snapshot the ring to a JSONL file; returns the path.
+
+        Honors the cooldown (returns ``None`` when still cooling
+        down).  Callable directly for operator-initiated snapshots.
+        """
+        since = self._events_since_dump
+        if since is not None and since < self.cooldown_events:
+            return None
+        events = self.ring.events()
+        safe_reason = _REASON_SAFE.sub("-", reason) or "manual"
+        self._seq += 1
+        name = f"flight-{self._seq:03d}-{safe_reason}.jsonl"
+        path = os.path.join(self.directory, name)
+        os.makedirs(self.directory, exist_ok=True)
+        header = {
+            "ts": ts,
+            "kind": "flight.dump",
+            "reason": reason,
+            "events": len(events),
+            "dropped": self.ring.dropped,
+            "seen": self.ring.seen,
+            "path": name,
+        }
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(json.dumps(header, default=repr) + "\n")
+            for event in events:
+                record: Dict[str, Any] = {"ts": event.ts, "kind": event.kind}
+                for key, value in event.data.items():
+                    record[key] = encode_value(value)
+                handle.write(json.dumps(record, default=repr) + "\n")
+        self.dumps.append(path)
+        self.last_reason = reason
+        self._events_since_dump = 0
+        emit_to = self._emit_to
+        if emit_to is not None:
+            emit_to.emit(
+                "flight.dump",
+                reason=reason,
+                events=len(events),
+                dropped=self.ring.dropped,
+                seen=self.ring.seen,
+                path=path,
+            )
+        return path
+
+    # -- introspection -------------------------------------------------
+
+    def status(self) -> Dict[str, Any]:
+        """JSON-friendly summary for the ``stats`` protocol op."""
+        return {
+            "dumps": len(self.dumps),
+            "last_reason": self.last_reason,
+            "last_path": self.dumps[-1] if self.dumps else None,
+            "retained": len(self.ring),
+            "seen": self.ring.seen,
+            "dropped_events": self.ring.dropped,
+        }

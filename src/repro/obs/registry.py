@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import bisect
 import json
+import re
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from .events import TraceEvent
@@ -27,11 +28,23 @@ __all__ = [
     "MetricsRegistry",
     "RegistrySink",
     "DEFAULT_LATENCY_BUCKETS",
+    "WIRE_LATENCY_BUCKETS",
+    "render_prometheus",
 ]
 
 #: Default latency bucket upper bounds (simulated time units).
 DEFAULT_LATENCY_BUCKETS: Tuple[float, ...] = (
     1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 200.0, 500.0,
+)
+
+#: Latency bucket upper bounds in *real seconds*, for the serving tier —
+#: there the bus clock is ``time.monotonic``, so sub-millisecond through
+#: multi-second resolution is what `repro top` quantiles need.  Feeding
+#: wall-clock latencies through :data:`DEFAULT_LATENCY_BUCKETS` would
+#: collapse every request into the first (1-time-unit) bucket.
+WIRE_LATENCY_BUCKETS: Tuple[float, ...] = (
+    0.0005, 0.001, 0.002, 0.005, 0.01, 0.02, 0.05,
+    0.1, 0.2, 0.5, 1.0, 2.0, 5.0,
 )
 
 
@@ -96,9 +109,19 @@ class Histogram:
         return self.sum / self.total if self.total else 0.0
 
     def quantile(self, q: float) -> float:
-        """Bucket-resolution quantile estimate (upper bound of the bucket
-        holding the q-th observation; the last boundary for the +inf
-        bucket)."""
+        """Quantile estimate, linearly interpolated within its bucket.
+
+        The q-th observation's bucket is found from the cumulative
+        counts; the estimate interpolates between the bucket's lower and
+        upper edges by the rank's position inside it (the first finite
+        bucket's lower edge is 0.0).  An observation landing in the
+        implicit overflow bucket has no upper edge, so a quantile that
+        falls there reports ``float("inf")`` explicitly rather than
+        silently saturating at the last boundary — callers that render
+        it (``repro top``, the postmortem report) print ``inf`` and can
+        say "beyond the histogram's range" instead of a fictitious
+        value.
+        """
         if not 0 <= q <= 1:
             raise ValueError("quantile must be in [0, 1]")
         if not self.total:
@@ -106,14 +129,31 @@ class Histogram:
         rank = q * self.total
         seen = 0
         for index, count in enumerate(self.counts):
+            below = seen
             seen += count
             if seen >= rank and count:
-                return (
-                    self.boundaries[index]
-                    if index < len(self.boundaries)
-                    else self.boundaries[-1]
-                )
-        return self.boundaries[-1]
+                if index >= len(self.boundaries):
+                    return float("inf")
+                lower = self.boundaries[index - 1] if index else 0.0
+                upper = self.boundaries[index]
+                fraction = min(1.0, max(0.0, (rank - below) / count))
+                return lower + fraction * (upper - lower)
+        return float("inf")
+
+    @property
+    def overflow(self) -> int:
+        """Observations beyond the last finite boundary."""
+        return self.counts[-1]
+
+    @classmethod
+    def from_snapshot(cls, name: str, payload: Mapping[str, Any]) -> "Histogram":
+        """Rebuild a histogram from its :meth:`MetricsRegistry.snapshot`
+        entry (``repro top`` computes quantiles from remote snapshots)."""
+        histogram = cls(name, payload["boundaries"])
+        histogram.counts = [int(count) for count in payload["counts"]]
+        histogram.total = int(payload["total"])
+        histogram.sum = float(payload["sum"])
+        return histogram
 
 
 class MetricsRegistry:
@@ -165,6 +205,23 @@ class MetricsRegistry:
             value = getattr(metrics, field.name)
             self.counter(prefix + field.name).inc(value)
 
+    @classmethod
+    def from_snapshot(cls, snapshot: Mapping[str, Any]) -> "MetricsRegistry":
+        """Rebuild a registry from a :meth:`snapshot` dict.
+
+        ``repro stats --connect`` uses this to render a *remote*
+        server's metrics (tables, Prometheus text) with the same code
+        paths as a local registry.
+        """
+        registry = cls()
+        for name, value in (snapshot.get("counters") or {}).items():
+            registry.counter(name).inc(value)
+        for name, value in (snapshot.get("gauges") or {}).items():
+            registry.gauge(name).set(value)
+        for name, payload in (snapshot.get("histograms") or {}).items():
+            registry.histograms[name] = Histogram.from_snapshot(name, payload)
+        return registry
+
     # -- export --------------------------------------------------------
 
     def snapshot(self) -> Dict[str, Any]:
@@ -200,6 +257,73 @@ class MetricsRegistry:
             for name, counter in sorted(self.counters.items())
             if name.startswith("lock.conflict[")
         }
+
+
+# ----------------------------------------------------------------------
+# Prometheus text exposition
+# ----------------------------------------------------------------------
+
+_PROM_BAD_CHARS = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def _prom_name(name: str) -> Tuple[str, str]:
+    """Split a registry name into a Prometheus metric name and label.
+
+    Bracketed breakdowns (``lock.conflict[Deq × Enq]``,
+    ``server.request[invoke]``) become a label on the base metric so
+    every pair/action series shares one metric family.  Returns
+    ``(metric_name, label_pairs)`` where label_pairs is ``""`` or
+    ``'{key="..."}'``.
+    """
+    base, bracket, rest = name.partition("[")
+    label = ""
+    if bracket:
+        value = rest[:-1] if rest.endswith("]") else rest
+        value = value.replace("\\", "\\\\").replace('"', '\\"')
+        label = f'{{key="{value}"}}'
+    metric = "repro_" + _PROM_BAD_CHARS.sub("_", base.strip("."))
+    return metric, label
+
+
+def render_prometheus(registry: "MetricsRegistry") -> str:
+    """The registry in Prometheus text exposition format (v0.0.4).
+
+    Counters render with a ``_total`` suffix, numeric gauges as-is
+    (non-numeric gauges — lock-table tuples and the like — are skipped;
+    exposition only speaks floats), histograms as the classic cumulative
+    ``_bucket{le=...}`` series with ``_sum`` and ``_count``.
+    """
+    lines: List[str] = []
+    typed: set = set()
+
+    def declare(metric: str, kind: str) -> None:
+        if metric not in typed:
+            typed.add(metric)
+            lines.append(f"# TYPE {metric} {kind}")
+
+    for name, counter in sorted(registry.counters.items()):
+        metric, label = _prom_name(name)
+        metric += "_total"
+        declare(metric, "counter")
+        lines.append(f"{metric}{label} {counter.value:g}")
+    for name, gauge in sorted(registry.gauges.items()):
+        value = gauge.value
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            continue
+        metric, label = _prom_name(name)
+        declare(metric, "gauge")
+        lines.append(f"{metric}{label} {value:g}")
+    for name, histogram in sorted(registry.histograms.items()):
+        metric, _ = _prom_name(name)
+        declare(metric, "histogram")
+        cumulative = 0
+        for boundary, count in zip(histogram.boundaries, histogram.counts):
+            cumulative += count
+            lines.append(f'{metric}_bucket{{le="{boundary:g}"}} {cumulative}')
+        lines.append(f'{metric}_bucket{{le="+Inf"}} {histogram.total}')
+        lines.append(f"{metric}_sum {histogram.sum:g}")
+        lines.append(f"{metric}_count {histogram.total}")
+    return "\n".join(lines) + "\n"
 
 
 class RegistrySink:
@@ -296,8 +420,40 @@ class RegistrySink:
             if action:
                 registry.counter(f"server.request[{action}]").inc()
             registry.gauge("server.queue_depth").set(data.get("queue_depth"))
+            shard = data.get("shard")
+            if shard is not None:
+                registry.gauge(f"server.queue_depth[shard{shard}]").set(
+                    data.get("queue_depth")
+                )
         elif kind == "server.busy":
             registry.counter("server.busy").inc()
             registry.gauge("server.queue_depth").set(data.get("queue_depth"))
+            shard = data.get("shard")
+            if shard is not None:
+                registry.gauge(f"server.queue_depth[shard{shard}]").set(
+                    data.get("queue_depth")
+                )
+        elif kind == "server.decode":
+            registry.counter("server.decoded").inc()
+            sent = data.get("sent")
+            if sent is not None:
+                registry.histogram("server.client_wire", self._buckets).observe(
+                    max(0.0, event.ts - sent)
+                )
+        elif kind == "server.respond":
+            registry.counter("server.responses").inc()
+            queued = data.get("queued")
+            if queued is not None:
+                registry.histogram("server.queued", self._buckets).observe(queued)
+            executing = data.get("executing")
+            if executing is not None:
+                registry.histogram("server.executing", self._buckets).observe(
+                    executing
+                )
+            shard = data.get("shard")
+            if shard is not None:
+                registry.counter(f"server.responses[shard{shard}]").inc()
         elif kind == "server.drain":
             registry.counter("server.drains").inc()
+        elif kind == "flight.dump":
+            registry.counter("flight.dumps").inc()

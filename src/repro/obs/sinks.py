@@ -34,14 +34,25 @@ __all__ = [
 
 
 class RingBufferSink:
-    """Keep the most recent ``capacity`` events (all of them when None)."""
+    """Keep the most recent ``capacity`` events (all of them when None).
+
+    The ring is honest about its window: ``dropped`` counts every event
+    the bounded deque evicted, so a consumer (the flight recorder, a
+    postmortem report) can state "the window was exceeded by N events"
+    instead of silently presenting a truncated history as complete.
+    """
 
     def __init__(self, capacity: Optional[int] = None):
         self._events: deque = deque(maxlen=capacity)
         #: Count of every event seen, including ones the ring dropped.
         self.seen = 0
+        #: Events evicted oldest-first because the ring was full.
+        self.dropped = 0
 
     def __call__(self, event: TraceEvent) -> None:
+        maxlen = self._events.maxlen
+        if maxlen is not None and len(self._events) == maxlen:
+            self.dropped += 1
         self._events.append(event)
         self.seen += 1
 
@@ -53,7 +64,7 @@ class RingBufferSink:
         return len(self._events)
 
     def clear(self) -> None:
-        """Drop the retained events (``seen`` keeps counting)."""
+        """Drop the retained events (``seen``/``dropped`` keep counting)."""
         self._events.clear()
 
 
@@ -197,6 +208,8 @@ def spans_as_dicts(spans: Sequence[Span]) -> List[Dict[str, Any]]:
                 "blocks": span.blocks,
                 "objects": sorted(span.objects),
                 "read_only": span.read_only,
+                "trace": span.trace,
+                "phases": dict(span.phases),
             }
         )
     return rows

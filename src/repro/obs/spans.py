@@ -28,7 +28,12 @@ from typing import Any, Dict, List, Optional, Set
 
 from .events import TraceEvent
 
-__all__ = ["Span", "SpanBuilder"]
+__all__ = [
+    "Span",
+    "SpanBuilder",
+    "WIRE_SPAN_KINDS",
+    "SPAN_IRRELEVANT_KINDS",
+]
 
 #: Event kinds that end a "blocked" interval.
 _BLOCKED_KINDS = frozenset(
@@ -38,6 +43,28 @@ _BLOCKED_KINDS = frozenset(
 _EXECUTING_KINDS = frozenset({"txn.invoke", "txn.respond"})
 #: Event kinds that complete a span.
 _TERMINAL_KINDS = frozenset({"txn.commit", "txn.abort"})
+
+#: Serving-tier kinds the span builder *consumes*: they carry the
+#: client's trace context and the per-request phase split, and are
+#: folded into the owning transaction's wire phases (never into the
+#: kinds list — they are wire bookkeeping, not history events).
+WIRE_SPAN_KINDS = frozenset({"server.decode", "server.respond"})
+
+#: Kinds the span builder deliberately ignores: connection-scoped or
+#: server-scoped, with no single owning transaction.  The trace-
+#: completeness test asserts every ``server.*``/``flight.*`` kind in
+#: ``EVENT_KINDS`` appears either here or in :data:`WIRE_SPAN_KINDS`,
+#: so a new serving-tier kind cannot silently fall through the builder.
+SPAN_IRRELEVANT_KINDS = frozenset(
+    {
+        "server.connect",
+        "server.disconnect",
+        "server.request",
+        "server.busy",
+        "server.drain",
+        "flight.dump",
+    }
+)
 
 
 @dataclass
@@ -65,6 +92,13 @@ class Span:
     extra_events: int = 0
     #: The raw event kinds, in arrival order (for well-formedness checks).
     kinds: List[str] = field(default_factory=list)
+    #: The originating client's trace id, when the transaction was
+    #: served over the wire (``server.decode``/``server.respond``).
+    trace: Optional[str] = None
+    #: End-to-end wire phases, accumulated across the transaction's
+    #: requests: ``client`` (send→decode), ``queue`` (shard queue),
+    #: ``execute`` (machine work), ``respond`` (reply write).
+    phases: Dict[str, float] = field(default_factory=dict)
 
     @property
     def latency(self) -> Optional[float]:
@@ -72,6 +106,13 @@ class Span:
         if self.begin_ts is None or self.end_ts is None:
             return None
         return self.end_ts - self.begin_ts
+
+    @property
+    def wire_latency(self) -> Optional[float]:
+        """Total measured wire time (sum of phases), when served."""
+        if not self.phases:
+            return None
+        return sum(self.phases.values())
 
     def violations(self) -> List[str]:
         """Well-formedness defects (empty list == well formed).
@@ -118,8 +159,56 @@ class SpanBuilder:
         self._done: Dict[str, Span] = {}
         #: Last event timestamp per open transaction (interval anchor).
         self._last_ts: Dict[str, float] = {}
+        #: Wire context seen before the machine's ``txn.begin`` — the
+        #: serving tier decodes a request (and stamps its trace) before
+        #: the manager opens the transaction, so the first
+        #: ``server.decode`` predates the span.  Stashed here and
+        #: promoted to the real span when it opens.
+        self._pending: Dict[str, Span] = {}
+
+    def _fold_wire(self, event: TraceEvent) -> None:
+        """Fold a ``server.decode``/``server.respond`` into its span.
+
+        Wire events bracket the machine's own event window: the first
+        decode arrives before ``txn.begin``, the commit's respond after
+        ``txn.commit``.  They therefore fold into whichever span exists
+        — open, already completed, or a pre-begin stash — rather than
+        participating in the queued/blocked/executing interval split.
+        """
+        transaction = event.data.get("transaction")
+        if transaction is None:
+            return
+        span = self.open.get(transaction) or self._done.get(transaction)
+        if span is None:
+            span = self._pending.get(transaction)
+            if span is None:
+                span = Span(transaction=transaction)
+                self._pending[transaction] = span
+        trace = event.data.get("trace")
+        if trace is not None:
+            span.trace = trace
+        if event.kind == "server.decode":
+            sent = event.data.get("sent")
+            if sent is not None:
+                span.phases["client"] = span.phases.get("client", 0.0) + max(
+                    0.0, event.ts - sent
+                )
+        else:  # server.respond
+            for payload_key, phase in (
+                ("queued", "queue"),
+                ("executing", "execute"),
+                ("respond", "respond"),
+            ):
+                value = event.data.get(payload_key)
+                if value is not None:
+                    span.phases[phase] = span.phases.get(phase, 0.0) + value
 
     def __call__(self, event: TraceEvent) -> None:
+        if event.kind in WIRE_SPAN_KINDS:
+            self._fold_wire(event)
+            return
+        if event.kind in SPAN_IRRELEVANT_KINDS:
+            return
         transaction = event.data.get("transaction")
         if transaction is None or event.kind.startswith(("wal.", "net.")):
             return
@@ -129,7 +218,9 @@ class SpanBuilder:
             return
         span = self.open.get(transaction)
         if span is None:
-            span = Span(transaction=transaction)
+            span = self._pending.pop(transaction, None)
+            if span is None:
+                span = Span(transaction=transaction)
             self.open[transaction] = span
         if event.kind == "txn.begin":
             span.begin_ts = event.ts

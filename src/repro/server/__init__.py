@@ -12,7 +12,9 @@ and synchronous; this package is where the outside world attaches:
   graceful drain;
 * :mod:`~repro.server.client` — sync and asyncio client libraries;
 * :mod:`~repro.server.bench` — the closed-/open-loop load harness
-  behind ``repro bench serve``.
+  behind ``repro bench serve``;
+* :mod:`~repro.server.top` — the curses-free live view behind
+  ``repro top``, rendered from the in-band ``stats`` op.
 
 See ``docs/serving.md`` for the protocol and lifecycle reference.
 """
@@ -37,6 +39,7 @@ from .protocol import (
 )
 from .server import ReproServer, ShardedTimestampGenerator, shard_for
 from .session import Session, SessionError
+from .top import render_top, run_top
 
 __all__ = [
     "PROTOCOL_VERSION",
@@ -61,4 +64,6 @@ __all__ = [
     "shard_for",
     "SyncClient",
     "AsyncClient",
+    "render_top",
+    "run_top",
 ]

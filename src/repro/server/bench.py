@@ -24,11 +24,20 @@ from __future__ import annotations
 
 import asyncio
 import json
+import statistics
 import sys
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Sequence
 
-from ..obs import AtomicityChecker, MetricsRegistry, RegistrySink, TraceBus
+from ..obs import (
+    WIRE_LATENCY_BUCKETS,
+    AtomicityChecker,
+    FlightRecorder,
+    MetricsRegistry,
+    RegistrySink,
+    SpanBuilder,
+    TraceBus,
+)
 from ..obs.sinks import JSONLSink, read_jsonl
 from .client import AsyncClient
 from .protocol import WireError
@@ -239,13 +248,21 @@ async def _run(
     registry = MetricsRegistry()
     bus = TraceBus()
     sink = bus.subscribe(JSONLSink(str(trace_path)))
-    bus.subscribe(RegistrySink(registry))
+    bus.subscribe(RegistrySink(registry, latency_buckets=WIRE_LATENCY_BUCKETS))
+    # Always-on flight recorder: the drain trigger guarantees at least
+    # one dump per run, so a failed CI run always has a replayable
+    # snapshot to upload next to the full trace.
+    flight = bus.subscribe(
+        FlightRecorder(str(trace_path.parent / "flight"), emit_to=bus)
+    )
     server = ReproServer(
         workers=workers,
         queue_limit=queue_limit,
         tracer=bus,
         drain_grace=2.0,
         flush_on_drain=[sink],
+        registry=registry,
+        flight=flight,
     )
     host, port = await server.start()
 
@@ -280,6 +297,31 @@ async def _run(
     checker.replay(events)
     report = checker.report()
 
+    # End-to-end span breakdown: replay the same trace through the span
+    # builder so the artifact records where a committed transaction's
+    # wall time went (client wire vs shard queue vs machine execution).
+    builder = SpanBuilder()
+    for event in events:
+        builder(event)
+    committed_spans = builder.committed()
+    median_phase_ms: Dict[str, Optional[float]] = {}
+    for phase in ("client", "queue", "execute", "respond"):
+        values = [
+            span.phases[phase]
+            for span in committed_spans
+            if phase in span.phases
+        ]
+        median_phase_ms[phase] = (
+            statistics.median(values) * 1e3 if values else None
+        )
+    span_breakdown = {
+        "committed_spans": len(committed_spans),
+        "with_trace": sum(
+            1 for span in committed_spans if span.trace is not None
+        ),
+        "median_phase_ms": median_phase_ms,
+    }
+
     return {
         "schema_version": SCHEMA_VERSION,
         "smoke": smoke,
@@ -296,6 +338,8 @@ async def _run(
         "open_loop": open_loop,
         "server": dict(server.stats),
         "drain": drain,
+        "span_breakdown": span_breakdown,
+        "flight": flight.status(),
         "certification": {
             "verdict": report["verdict"],
             "ok": report["ok"],
@@ -384,6 +428,24 @@ def render_summary(result: Dict[str, Any]) -> str:
     lines.append(
         f"drain: {drain['sessions']} session(s), {drain['aborted']} force-aborted"
     )
+    breakdown = result.get("span_breakdown")
+    if breakdown:
+        medians = breakdown["median_phase_ms"]
+        rendered = "  ".join(
+            f"{phase} {value:.3f}ms"
+            for phase, value in medians.items()
+            if value is not None
+        )
+        lines.append(
+            f"span breakdown ({breakdown['committed_spans']} committed, "
+            f"{breakdown['with_trace']} traced): {rendered}"
+        )
+    flight = result.get("flight")
+    if flight:
+        lines.append(
+            f"flight recorder: {flight['dumps']} dump(s), "
+            f"{flight['dropped_events']} event(s) beyond window"
+        )
     return "\n".join(lines)
 
 

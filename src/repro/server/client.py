@@ -16,6 +16,20 @@ instead of re-executing it — the wire-level answer to "the commit ack
 was lost; did my transaction commit?".  :meth:`SyncClient.commit` mints
 the id up front and reuses it across its own retransmits for exactly
 this reason.
+
+Trace propagation
+-----------------
+
+Every request is stamped with a ``trace`` context: a client-minted
+trace id (``c<client>-<seq>``) and the ``time.monotonic()`` send
+timestamp.  A transaction's requests all reuse the trace id minted at
+``begin``, so the server-side ``server.*`` events — and the end-to-end
+span the :class:`~repro.obs.SpanBuilder` assembles from them — name one
+id for the whole client call chain.  The ``sent`` timestamp is only
+comparable with the server's clock when both ends share
+``CLOCK_MONOTONIC`` (same machine — the bench and test topology);
+cross-host deployments should read the ``client`` span phase as
+approximate.
 """
 
 from __future__ import annotations
@@ -23,6 +37,7 @@ from __future__ import annotations
 import asyncio
 import itertools
 import socket
+import time
 from typing import Any, Dict, Optional, Tuple
 
 from .protocol import (
@@ -34,6 +49,30 @@ from .protocol import (
 )
 
 __all__ = ["SyncClient", "AsyncClient"]
+
+#: Process-wide client numbering, so concurrent clients (the bench's
+#: closed-loop threads) mint disjoint trace-id spaces.
+_CLIENT_IDS = itertools.count(1)
+
+
+class _TraceMinter:
+    """Per-client trace ids plus the handle→trace binding for reuse."""
+
+    def __init__(self) -> None:
+        self._prefix = f"c{next(_CLIENT_IDS)}"
+        self._seq = itertools.count(1)
+        #: transaction handle -> the trace id minted at its ``begin``.
+        self.by_txn: Dict[str, str] = {}
+
+    def mint(self) -> str:
+        return f"{self._prefix}-{next(self._seq)}"
+
+    def context(self, trace_id: Optional[str] = None) -> Dict[str, Any]:
+        """The wire ``trace`` object (mints a fresh id when not given)."""
+        return {
+            "id": trace_id if trace_id is not None else self.mint(),
+            "sent": time.monotonic(),
+        }
 
 
 class SyncClient:
@@ -49,6 +88,7 @@ class SyncClient:
         self._decoder = FrameDecoder()
         self._ids = itertools.count(1)
         self._pending: Dict[int, Response] = {}
+        self._traces = _TraceMinter()
         self.closed = False
 
     # -- low-level -----------------------------------------------------
@@ -58,11 +98,20 @@ class SyncClient:
         return next(self._ids)
 
     def send(self, action: str, params: Optional[Dict[str, Any]] = None,
-             request_id: Optional[int] = None) -> int:
-        """Transmit one request; returns the id to wait on."""
+             request_id: Optional[int] = None,
+             trace_id: Optional[str] = None) -> int:
+        """Transmit one request; returns the id to wait on.
+
+        Every request carries a trace context; ``trace_id`` reuses an
+        existing id (a transaction's), else a fresh one is minted.
+        """
         if request_id is None:
             request_id = self.next_id()
-        self._sock.sendall(request_frame(request_id, action, params))
+        self._sock.sendall(
+            request_frame(
+                request_id, action, params, self._traces.context(trace_id)
+            )
+        )
         return request_id
 
     def wait(self, request_id: int) -> Response:
@@ -79,15 +128,24 @@ class SyncClient:
                 self._pending[response.id] = response
 
     def call(self, action: str, params: Optional[Dict[str, Any]] = None,
-             request_id: Optional[int] = None) -> Response:
+             request_id: Optional[int] = None,
+             trace_id: Optional[str] = None) -> Response:
         """Send one request and block for its (possibly error) response."""
-        return self.wait(self.send(action, params, request_id))
+        return self.wait(self.send(action, params, request_id, trace_id))
 
     # -- protocol verbs ------------------------------------------------
 
     def ping(self) -> Dict[str, Any]:
         """Round-trip a ping; returns the server's status result."""
         return dict(self.call("ping").raise_for_error().result)
+
+    def stats(self) -> Dict[str, Any]:
+        """The server's live introspection snapshot (in-band ``stats``)."""
+        return dict(self.call("stats").raise_for_error().result)
+
+    def health(self) -> Dict[str, Any]:
+        """The server's liveness summary (in-band ``health``)."""
+        return dict(self.call("health").raise_for_error().result)
 
     def create(self, name: str, adt: str, protocol: Optional[str] = None) -> int:
         """Create ``name`` as an instance of ``adt``; returns its shard."""
@@ -97,8 +155,19 @@ class SyncClient:
         return self.call("create", params).raise_for_error().result["worker"]
 
     def begin(self) -> str:
-        """Open a transaction; returns its handle."""
-        return self.call("begin").raise_for_error().result["transaction"]
+        """Open a transaction; returns its handle.
+
+        The trace id minted here is reused for every later request of
+        the same transaction, so the whole chain shares one trace.
+        """
+        trace_id = self._traces.mint()
+        handle = (
+            self.call("begin", trace_id=trace_id)
+            .raise_for_error()
+            .result["transaction"]
+        )
+        self._traces.by_txn[handle] = trace_id
+        return handle
 
     def invoke(self, transaction: str, obj: str, operation: str, *args: Any) -> Any:
         """Invoke one ADT operation inside ``transaction``."""
@@ -110,6 +179,7 @@ class SyncClient:
                 "operation": operation,
                 "args": tuple(args),
             },
+            trace_id=self._traces.by_txn.get(transaction),
         )
         return response.raise_for_error().result["result"]
 
@@ -123,26 +193,32 @@ class SyncClient:
         """
         if request_id is None:
             request_id = self.next_id()
+        trace_id = self._traces.by_txn.get(transaction)
         last: Optional[WireError] = None
         for _attempt in range(max(1, retries)):
             try:
                 response = self.call(
-                    "commit", {"transaction": transaction}, request_id
+                    "commit", {"transaction": transaction}, request_id, trace_id
                 )
             except ConnectionError:
                 raise
             try:
-                return response.raise_for_error().result["timestamp"]
+                timestamp = response.raise_for_error().result["timestamp"]
             except WireError as exc:
                 if exc.code != "BUSY":
+                    self._traces.by_txn.pop(transaction, None)
                     raise
                 last = exc
+            else:
+                self._traces.by_txn.pop(transaction, None)
+                return timestamp
         raise last  # type: ignore[misc]
 
     def abort(self, transaction: str, request_id: Optional[int] = None) -> None:
         """Abort ``transaction`` (idempotent under request-id reuse)."""
+        trace_id = self._traces.by_txn.pop(transaction, None)
         self.call(
-            "abort", {"transaction": transaction}, request_id
+            "abort", {"transaction": transaction}, request_id, trace_id
         ).raise_for_error()
 
     def close(self) -> None:
@@ -176,6 +252,7 @@ class AsyncClient:
         self._ids = itertools.count(1)
         self._futures: Dict[int, "asyncio.Future[Response]"] = {}
         self._reader_task: Optional[asyncio.Task] = None
+        self._traces = _TraceMinter()
         self.closed = False
 
     @classmethod
@@ -218,6 +295,7 @@ class AsyncClient:
         action: str,
         params: Optional[Dict[str, Any]] = None,
         request_id: Optional[int] = None,
+        trace_id: Optional[str] = None,
     ) -> Response:
         """Send one request and await its (possibly error) response."""
         if self._writer is None:
@@ -228,7 +306,11 @@ class AsyncClient:
             asyncio.get_event_loop().create_future()
         )
         self._futures[request_id] = future
-        self._writer.write(request_frame(request_id, action, params))
+        self._writer.write(
+            request_frame(
+                request_id, action, params, self._traces.context(trace_id)
+            )
+        )
         await self._writer.drain()
         return await future
 
@@ -237,6 +319,14 @@ class AsyncClient:
     async def ping(self) -> Dict[str, Any]:
         """Round-trip a ping; returns the server's status result."""
         return dict((await self.call("ping")).raise_for_error().result)
+
+    async def stats(self) -> Dict[str, Any]:
+        """The server's live introspection snapshot (in-band ``stats``)."""
+        return dict((await self.call("stats")).raise_for_error().result)
+
+    async def health(self) -> Dict[str, Any]:
+        """The server's liveness summary (in-band ``health``)."""
+        return dict((await self.call("health")).raise_for_error().result)
 
     async def create(
         self, name: str, adt: str, protocol: Optional[str] = None
@@ -249,9 +339,12 @@ class AsyncClient:
         return response.raise_for_error().result["worker"]
 
     async def begin(self) -> str:
-        """Open a transaction; returns its handle."""
-        response = await self.call("begin")
-        return response.raise_for_error().result["transaction"]
+        """Open a transaction; returns its handle (trace id reused)."""
+        trace_id = self._traces.mint()
+        response = await self.call("begin", trace_id=trace_id)
+        handle = response.raise_for_error().result["transaction"]
+        self._traces.by_txn[handle] = trace_id
+        return handle
 
     async def invoke(
         self, transaction: str, obj: str, operation: str, *args: Any
@@ -265,6 +358,7 @@ class AsyncClient:
                 "operation": operation,
                 "args": tuple(args),
             },
+            trace_id=self._traces.by_txn.get(transaction),
         )
         return response.raise_for_error().result["result"]
 
@@ -276,15 +370,24 @@ class AsyncClient:
         Pass the same ``request_id`` again to retry an unacknowledged
         commit: the server replays its cached decision.
         """
-        response = await self.call("commit", {"transaction": transaction}, request_id)
+        trace_id = self._traces.by_txn.get(transaction)
+        response = await self.call(
+            "commit", {"transaction": transaction}, request_id, trace_id
+        )
         response.raise_for_error()
+        self._traces.by_txn.pop(transaction, None)
         return response.result["timestamp"], response
 
     async def abort(
         self, transaction: str, request_id: Optional[int] = None
     ) -> None:
         """Abort ``transaction`` (idempotent under request-id reuse)."""
-        (await self.call("abort", {"transaction": transaction}, request_id)).raise_for_error()
+        trace_id = self._traces.by_txn.pop(transaction, None)
+        (
+            await self.call(
+                "abort", {"transaction": transaction}, request_id, trace_id
+            )
+        ).raise_for_error()
 
     async def aclose(self) -> None:
         """Close the connection and stop the reader task."""

@@ -17,8 +17,15 @@ codec from :mod:`repro.obs.codec`, so whatever round-trips through a
 trace file round-trips over the wire byte-for-byte too.
 
 Requests name an ``action`` (``ping``, ``create``, ``begin``,
-``invoke``, ``commit``, ``abort``) plus action-specific ``params``;
-responses are ``{"v", "id", "ok": true, "result": {...}}`` or
+``invoke``, ``commit``, ``abort``, and the introspection ops ``stats``
+and ``health``) plus action-specific ``params``; a request may also
+carry an optional ``trace`` context — ``{"id": str, "sent": float}``,
+the client-minted trace id and its send timestamp — which the server
+threads into every ``server.*`` event it emits for the request, so an
+end-to-end span can attribute each wire phase to the originating
+client call.  The field is additive and ignored by older peers, so it
+rides protocol version 1.  Responses are
+``{"v", "id", "ok": true, "result": {...}}`` or
 ``{"v", "id", "ok": false, "error": {"code", "message"}}``.  Error
 codes are the closed :data:`ERROR_CODES` set — a server must answer
 *every* framing or semantic failure with a typed error (never by
@@ -73,8 +80,21 @@ MAX_FRAME_BYTES = 1 << 20
 #: The 4-byte network-order unsigned length prefix.
 HEADER = struct.Struct("!I")
 
-#: The closed set of request actions.
-ACTIONS = frozenset({"ping", "create", "begin", "invoke", "commit", "abort"})
+#: The closed set of request actions.  ``stats`` and ``health`` are the
+#: in-band introspection ops: answered inline by the server (never
+#: queued behind shard work), so they stay responsive under load.
+ACTIONS = frozenset(
+    {
+        "ping",
+        "create",
+        "begin",
+        "invoke",
+        "commit",
+        "abort",
+        "stats",
+        "health",
+    }
+)
 
 #: The closed set of error codes a response may carry.
 ERROR_CODES = frozenset(
@@ -118,6 +138,19 @@ class Request:
     id: int
     action: str
     params: Mapping[str, Any] = field(default_factory=dict)
+    #: Optional client trace context: ``{"id": str, "sent": float}``.
+    trace: Optional[Mapping[str, Any]] = None
+
+    @property
+    def trace_id(self) -> Optional[str]:
+        """The client-minted trace id, when the request carried one."""
+        return self.trace.get("id") if self.trace else None
+
+    @property
+    def sent(self) -> Optional[float]:
+        """The client's send timestamp, when the request carried one."""
+        value = self.trace.get("sent") if self.trace else None
+        return value if isinstance(value, (int, float)) else None
 
 
 @dataclass(frozen=True)
@@ -154,19 +187,27 @@ def encode_frame(body: Mapping[str, Any]) -> bytes:
 
 
 def request_frame(
-    request_id: int, action: str, params: Optional[Mapping[str, Any]] = None
+    request_id: int,
+    action: str,
+    params: Optional[Mapping[str, Any]] = None,
+    trace: Optional[Mapping[str, Any]] = None,
 ) -> bytes:
-    """Encode one request; params go through the tagged codec."""
-    return encode_frame(
-        {
-            "v": PROTOCOL_VERSION,
-            "id": request_id,
-            "action": action,
-            "params": {
-                key: encode_value(value) for key, value in (params or {}).items()
-            },
-        }
-    )
+    """Encode one request; params go through the tagged codec.
+
+    ``trace`` is the optional client trace context (plain JSON — its
+    ``id`` is a string, ``sent`` a float — so no codec pass needed).
+    """
+    body: Dict[str, Any] = {
+        "v": PROTOCOL_VERSION,
+        "id": request_id,
+        "action": action,
+        "params": {
+            key: encode_value(value) for key, value in (params or {}).items()
+        },
+    }
+    if trace is not None:
+        body["trace"] = dict(trace)
+    return encode_frame(body)
 
 
 def response_frame(
@@ -239,7 +280,10 @@ def parse_request(body: Mapping[str, Any]) -> Request:
         raise WireError(
             "BAD_REQUEST", f"undecodable tagged payload: {exc}"
         ) from exc
-    return Request(id=request_id, action=action, params=decoded)
+    trace = body.get("trace")
+    if trace is not None and not isinstance(trace, dict):
+        raise WireError("BAD_REQUEST", "trace context must be an object")
+    return Request(id=request_id, action=action, params=decoded, trace=trace)
 
 
 def parse_response(body: Mapping[str, Any]) -> Response:

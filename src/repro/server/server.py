@@ -169,6 +169,16 @@ class ReproServer:
     flush_on_drain:
         Sinks to flush/close after the drain completes (e.g. the CLI's
         ``JSONLSink``).
+    registry:
+        Optional :class:`~repro.obs.MetricsRegistry`; when attached,
+        the in-band ``stats`` op returns its full snapshot (the caller
+        is responsible for also subscribing a ``RegistrySink`` to the
+        tracer so the registry actually fills).
+    flight:
+        Optional :class:`~repro.obs.FlightRecorder`; the ``stats`` op
+        reports its status, and :meth:`drain` asks it for a final
+        ``drain`` snapshot via its own trigger (it hears the
+        ``server.drain`` event through the bus).
     """
 
     def __init__(
@@ -183,6 +193,8 @@ class ReproServer:
         drain_grace: float = 5.0,
         flush_on_drain: Sequence[Any] = (),
         ack_capacity: int = 256,
+        registry: Any = None,
+        flight: Any = None,
     ):
         if workers < 1:
             raise ValueError("need at least one worker")
@@ -195,6 +207,9 @@ class ReproServer:
         self.drain_grace = drain_grace
         self._flush_on_drain = list(flush_on_drain)
         self._ack_capacity = ack_capacity
+        self.registry = registry
+        self.flight = flight
+        self._started_at: Optional[float] = None
         self._protocol = get_protocol(protocol)
         self.managers: List[TransactionManager] = [
             TransactionManager(
@@ -249,6 +264,7 @@ class ReproServer:
         self._server = await asyncio.start_server(
             self._handle_connection, self.host, self.port
         )
+        self._started_at = asyncio.get_event_loop().time()
         sockname = self._server.sockets[0].getsockname()
         self.host, self.port = sockname[0], sockname[1]
         return self.host, self.port
@@ -414,7 +430,28 @@ class ReproServer:
             return
         session.requests += 1
         action = request.action
+        tracer = self.tracer
+        if tracer is not None:
+            # The decode event carries the client's trace context: its
+            # `sent` timestamp against the event's own `ts` measures the
+            # client→server wire+queue leg of the end-to-end span.
+            tracer.emit(
+                "server.decode",
+                session=session.name,
+                action=action,
+                trace=request.trace_id,
+                sent=request.sent,
+                transaction=request.params.get("transaction"),
+            )
         # Inline fast paths: pure bookkeeping, no manager involved.
+        if action in ("stats", "health"):
+            # Introspection is answered inline, never queued behind
+            # shard work — it must stay responsive exactly when the
+            # queues are saturated.
+            await connection.send(
+                response_frame(request.id, self._introspect(action))
+            )
+            return
         if action == "ping":
             await connection.send(
                 response_frame(
@@ -465,13 +502,14 @@ class ReproServer:
                 )
                 return
             self.stats["busy"] += 1
-            tracer = self.tracer
             if tracer is not None:
                 tracer.emit(
                     "server.busy",
                     session=session.name,
                     action=action,
                     queue_depth=queue.qsize(),
+                    shard=worker,
+                    trace=request.trace_id,
                 )
             await connection.send(
                 error_frame(
@@ -482,16 +520,50 @@ class ReproServer:
                 )
             )
             return
-        queue.put_nowait((connection, request, worker))
+        # The admission timestamp anchors the queued phase measured by
+        # the worker; None when nobody is listening (keeps the
+        # telemetry-off hot path free of clock reads).
+        admitted = (
+            tracer.clock() if tracer is not None and tracer.active else None
+        )
+        queue.put_nowait((connection, request, worker, admitted))
         self.stats["requests"] += 1
-        tracer = self.tracer
         if tracer is not None:
             tracer.emit(
                 "server.request",
                 session=session.name,
                 action=action,
                 queue_depth=queue.qsize(),
+                shard=worker,
+                trace=request.trace_id,
             )
+
+    def _introspect(self, action: str) -> Dict[str, Any]:
+        """The ``stats`` / ``health`` result body (inline, read-only)."""
+        uptime = (
+            asyncio.get_event_loop().time() - self._started_at
+            if self._started_at is not None
+            else None
+        )
+        health = {
+            "status": "draining" if self.draining else "ok",
+            "draining": self.draining,
+            "workers": self.workers,
+            "connections": len(self._connections),
+            "objects": len(self._catalog),
+            "uptime": uptime,
+        }
+        if action == "health":
+            return health
+        result: Dict[str, Any] = dict(health)
+        result["server"] = dict(self.stats)
+        result["queue_limit"] = self.queue_limit
+        result["queues"] = [queue.qsize() for queue in self._queues]
+        if self.registry is not None:
+            result["metrics"] = self.registry.snapshot()
+        if self.flight is not None:
+            result["flight"] = self.flight.status()
+        return result
 
     def _route(self, session: Session, request: Request) -> Optional[int]:
         """The worker shard for one request (None: decide inline).
@@ -561,9 +633,30 @@ class ReproServer:
             item = await queue.get()
             if item is None:
                 return
-            connection, request, worker = item
+            connection, request, worker, admitted = item
+            tracer = self.tracer
+            timed = tracer is not None and tracer.active
+            started = tracer.clock() if timed else 0.0
             frame = self._execute(connection.session, request, worker)
+            executed = tracer.clock() if timed else 0.0
             await connection.send(frame)
+            if timed:
+                responded = tracer.clock()
+                tracer.emit(
+                    "server.respond",
+                    session=connection.session.name,
+                    action=request.action,
+                    trace=request.trace_id,
+                    transaction=request.params.get("transaction"),
+                    shard=worker,
+                    queued=(
+                        max(0.0, started - admitted)
+                        if admitted is not None
+                        else 0.0
+                    ),
+                    executing=max(0.0, executed - started),
+                    respond=max(0.0, responded - executed),
+                )
 
     def _execute(self, session: Session, request: Request, worker: int) -> bytes:
         """Run one admitted request against its shard's manager."""
@@ -648,3 +741,13 @@ class ReproServer:
             return error_frame(request.id, "BAD_REQUEST", str(exc))
         except ReproError as exc:  # any other library error: typed, not a crash
             return error_frame(request.id, "INTERNAL", str(exc))
+        except Exception as exc:
+            # Malformed operation arguments can raise anything out of an
+            # ADT spec (e.g. TypeError from Credit(<list>)). Answer INTERNAL
+            # rather than letting the exception escape: an escape kills the
+            # shard's worker task, stranding every queued request and
+            # hanging drain forever.
+            self.stats["errors"] += 1
+            return error_frame(
+                request.id, "INTERNAL", f"{type(exc).__name__}: {exc}"
+            )

@@ -42,12 +42,40 @@ class TestPrimitives:
         assert histogram.sum == pytest.approx(111.5)
         assert histogram.mean == pytest.approx(111.5 / 5)
 
-    def test_histogram_quantile(self):
+    def test_histogram_quantile_interpolates_within_bucket(self):
         histogram = Histogram("h", (1.0, 2.0, 4.0))
         for value in (0.5, 0.6, 0.7, 3.0):
             histogram.observe(value)
-        assert histogram.quantile(0.5) == 1.0  # 3/4 of mass at or below 1
-        assert histogram.quantile(0.99) == 4.0
+        # rank 2 of 4 falls 2/3 into the [0, 1] bucket, not at its edge.
+        assert histogram.quantile(0.5) == pytest.approx(2 / 3)
+        # rank 3.96 falls 0.96 into the (2, 4] bucket.
+        assert histogram.quantile(0.99) == pytest.approx(3.92)
+
+    def test_histogram_quantile_overflow_reports_inf(self):
+        # Regression: values beyond the last boundary used to make p99
+        # silently saturate at the top edge; the overflow bucket has no
+        # upper edge, so the honest answer is +inf.
+        histogram = Histogram("h", (1.0, 2.0, 4.0))
+        histogram.observe(0.5)
+        histogram.observe(100.0)
+        assert histogram.quantile(0.99) == float("inf")
+        assert histogram.quantile(0.25) == pytest.approx(0.5)
+        assert histogram.overflow == 1
+
+    def test_histogram_from_snapshot_round_trips(self):
+        histogram = Histogram("h", (1.0, 2.0, 4.0))
+        for value in (0.5, 1.5, 3.0, 9.0):
+            histogram.observe(value)
+        payload = {
+            "boundaries": list(histogram.boundaries),
+            "counts": list(histogram.counts),
+            "total": histogram.total,
+            "sum": histogram.sum,
+        }
+        rebuilt = Histogram.from_snapshot("h", payload)
+        assert rebuilt.counts == histogram.counts
+        assert rebuilt.quantile(0.5) == histogram.quantile(0.5)
+        assert rebuilt.overflow == histogram.overflow
 
 
 class TestMetricsRegistry:
@@ -152,3 +180,45 @@ class TestRegistrySink:
         assert registry.counter("net.send[prepare]").value == 1
         assert registry.counter("site.crashes").value == 1
         assert registry.counter("site.recoveries").value == 1
+
+
+class TestPrometheusRender:
+    def test_counters_gauges_histograms_in_text_format(self):
+        from repro.obs import render_prometheus
+
+        registry = MetricsRegistry()
+        registry.counter("txn.committed").inc(7)
+        registry.gauge("server.connections").set(3)
+        histogram = registry.histogram("txn.latency", (1.0, 2.0))
+        histogram.observe(0.5)
+        histogram.observe(1.5)
+        histogram.observe(9.0)
+        text = render_prometheus(registry)
+        assert "# TYPE repro_txn_committed_total counter" in text
+        assert "repro_txn_committed_total 7" in text
+        assert "# TYPE repro_server_connections gauge" in text
+        assert "repro_server_connections 3" in text
+        # Buckets render cumulatively, with the +Inf catch-all.
+        assert 'repro_txn_latency_bucket{le="1"} 1' in text
+        assert 'repro_txn_latency_bucket{le="2"} 2' in text
+        assert 'repro_txn_latency_bucket{le="+Inf"} 3' in text
+        assert "repro_txn_latency_sum 11" in text
+        assert "repro_txn_latency_count 3" in text
+
+    def test_bracketed_names_become_labels(self):
+        from repro.obs import render_prometheus
+
+        registry = MetricsRegistry()
+        registry.counter("lock.conflict[Enq/Deq]").inc(2)
+        text = render_prometheus(registry)
+        assert 'repro_lock_conflict_total{key="Enq/Deq"} 2' in text
+
+    def test_snapshot_round_trips_through_from_snapshot(self):
+        from repro.obs import render_prometheus
+
+        registry = MetricsRegistry()
+        registry.counter("txn.committed").inc(4)
+        registry.gauge("server.queue_depth").set(9)
+        registry.histogram("txn.latency", (1.0, 5.0)).observe(2.0)
+        rebuilt = MetricsRegistry.from_snapshot(registry.snapshot())
+        assert render_prometheus(rebuilt) == render_prometheus(registry)

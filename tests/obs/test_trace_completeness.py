@@ -10,7 +10,14 @@ invokes matched by responses, terminal last.
 import collections
 
 from repro.adts import get_adt
-from repro.obs import MetricsRegistry, RingBufferSink, SpanBuilder, TraceBus
+from repro.obs import (
+    MetricsRegistry,
+    RingBufferSink,
+    SpanBuilder,
+    TraceBus,
+)
+from repro.obs.events import EVENT_KINDS
+from repro.obs.spans import SPAN_IRRELEVANT_KINDS, WIRE_SPAN_KINDS
 from repro.recovery import MemoryWAL, recover_manager
 from repro.runtime.manager import TransactionManager
 from repro.sim import AccountWorkload, ClientParams, QueueWorkload, run_experiment
@@ -97,6 +104,38 @@ class TestSimulationCompleteness:
             assert event.data["new_horizon"] >= event.data["old_horizon"]
             assert event.data["collapsed"] >= 1
             assert event.data["forgotten"]
+
+
+class TestServingKindCoverage:
+    """Every serving-tier kind must be *classified* by the span builder.
+
+    ``server.*`` and ``flight.*`` events either fold into a span's wire
+    phases (:data:`WIRE_SPAN_KINDS`) or are declared span-irrelevant
+    (:data:`SPAN_IRRELEVANT_KINDS`).  A new kind added to the taxonomy
+    without a classification would silently fall into the builder's
+    generic transaction path — this test makes that a loud failure.
+    """
+
+    def test_every_server_kind_is_classified(self):
+        serving = {
+            kind
+            for kind in EVENT_KINDS
+            if kind.startswith(("server.", "flight."))
+        }
+        classified = WIRE_SPAN_KINDS | SPAN_IRRELEVANT_KINDS
+        unclassified = serving - classified
+        assert not unclassified, (
+            f"serving-tier kinds unknown to the span builder: "
+            f"{sorted(unclassified)} — add each to WIRE_SPAN_KINDS or "
+            "SPAN_IRRELEVANT_KINDS in repro.obs.spans"
+        )
+
+    def test_classifications_name_real_kinds(self):
+        ghosts = (WIRE_SPAN_KINDS | SPAN_IRRELEVANT_KINDS) - EVENT_KINDS
+        assert not ghosts, f"span classifications for retired kinds: {ghosts}"
+
+    def test_classifications_do_not_overlap(self):
+        assert not WIRE_SPAN_KINDS & SPAN_IRRELEVANT_KINDS
 
 
 class TestReadOnlyPath:

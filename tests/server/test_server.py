@@ -178,6 +178,31 @@ class TestTypedErrors:
 
         run(scenario())
 
+    def test_kernel_typeerror_answers_internal_and_worker_survives(self):
+        # A malformed argument (a list where Account's Credit expects a
+        # number) raises a plain TypeError inside the ADT spec.  The
+        # worker must answer a typed INTERNAL error and keep serving —
+        # before the catch-all in ``_execute`` this killed the shard's
+        # worker task, stranding every queued request and hanging drain.
+        async def scenario():
+            server = await start_server()
+            server.create_object("A", "Account")
+            client = await AsyncClient.connect(server.host, server.port)
+            handle = await client.begin()
+            with pytest.raises(WireError) as excinfo:
+                await client.invoke(handle, "A", "Credit", [25])
+            assert excinfo.value.code == "INTERNAL"
+            assert "TypeError" in excinfo.value.message
+            assert server.stats["errors"] == 1
+            # The same worker still executes fresh work after the blast.
+            fresh = await client.begin()
+            assert await client.invoke(fresh, "A", "Credit", 5) == "Ok"
+            await client.commit(fresh)
+            await client.aclose()
+            await server.drain()          # must not hang
+
+        run(scenario())
+
     def test_oversized_frame_gets_typed_error_then_close(self):
         async def scenario():
             server = await start_server(max_frame_bytes=128)

@@ -1,0 +1,210 @@
+"""Live-server telemetry end to end: wire traces, introspection, flight.
+
+Each test boots a real :class:`~repro.server.server.ReproServer` on an
+ephemeral localhost port (the same no-pytest-asyncio idiom as
+``test_server.py``) and asserts the PR's three telemetry surfaces
+against real sockets:
+
+* every request a client sends is stamped with a trace context and the
+  resulting span carries the client's trace id plus the full
+  client / queue / execute / respond phase split;
+* the in-band ``stats`` / ``health`` ops answer inline with the
+  registry snapshot (codec round trip included) and render through
+  both the Prometheus text format and ``repro top``'s frame renderer;
+* the flight recorder dumps on drain and the dump replays through
+  ``repro analyze``.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.obs import (
+    WIRE_LATENCY_BUCKETS,
+    FlightRecorder,
+    MetricsRegistry,
+    RegistrySink,
+    SpanBuilder,
+    TraceBus,
+    analyze_trace,
+    read_jsonl,
+    render_prometheus,
+)
+from repro.server import AsyncClient, ReproServer, render_top
+from repro.server.protocol import parse_request, request_frame
+
+
+def run(coroutine):
+    return asyncio.run(coroutine)
+
+
+async def start_server(**kwargs):
+    kwargs.setdefault("workers", 1)
+    kwargs.setdefault("drain_grace", 1.0)
+    server = ReproServer(**kwargs)
+    await server.start()
+    return server
+
+
+def telemetry_stack(tmp_path):
+    """Bus + registry + flight recorder wired the way ``repro serve`` does."""
+    bus = TraceBus()
+    registry = MetricsRegistry()
+    bus.subscribe(RegistrySink(registry, latency_buckets=WIRE_LATENCY_BUCKETS))
+    flight = bus.subscribe(
+        FlightRecorder(str(tmp_path / "flight"), emit_to=bus)
+    )
+    return bus, registry, flight
+
+
+class TestWireTracePropagation:
+    def test_committed_span_carries_trace_id_and_phase_split(self, tmp_path):
+        bus, registry, flight = telemetry_stack(tmp_path)
+        spans = bus.subscribe(SpanBuilder())
+
+        async def scenario():
+            server = await start_server(
+                tracer=bus, registry=registry, flight=flight
+            )
+            server.create_object("A", "Account")
+            client = await AsyncClient.connect(server.host, server.port)
+            handle = await client.begin()
+            await client.invoke(handle, "A", "Credit", 5)
+            await client.commit(handle)
+            await client.aclose()
+            await server.drain()
+
+        run(scenario())
+        (span,) = spans.committed()
+        assert span.trace is not None and "-" in span.trace
+        # Every wire phase is present and the split is sane.
+        assert set(span.phases) == {"client", "queue", "execute", "respond"}
+        assert all(value >= 0.0 for value in span.phases.values())
+        assert span.wire_latency == pytest.approx(sum(span.phases.values()))
+        assert span.well_formed
+
+    def test_all_transactions_on_a_connection_share_the_client_prefix(
+        self, tmp_path
+    ):
+        bus, registry, flight = telemetry_stack(tmp_path)
+        spans = bus.subscribe(SpanBuilder())
+
+        async def scenario():
+            server = await start_server(
+                tracer=bus, registry=registry, flight=flight
+            )
+            server.create_object("A", "Account")
+            client = await AsyncClient.connect(server.host, server.port)
+            for _ in range(3):
+                handle = await client.begin()
+                await client.invoke(handle, "A", "Credit", 1)
+                await client.commit(handle)
+            await client.aclose()
+            await server.drain()
+
+        run(scenario())
+        committed = spans.committed()
+        assert len(committed) == 3
+        prefixes = {span.trace.split("-")[0] for span in committed}
+        assert len(prefixes) == 1, "one connection, one trace-id prefix"
+        assert len({span.trace for span in committed}) == 3
+
+    def test_trace_context_rides_the_frame_unchanged(self):
+        import json
+
+        frame = request_frame(
+            7, "begin", trace={"id": "c9-3", "sent": 12.5}
+        )
+        request = parse_request(json.loads(frame[4:]))
+        assert request.trace_id == "c9-3"
+        assert request.sent == 12.5
+
+
+class TestIntrospectionOps:
+    def test_stats_and_health_answer_inline(self, tmp_path):
+        bus, registry, flight = telemetry_stack(tmp_path)
+        results = {}
+
+        async def scenario():
+            server = await start_server(
+                tracer=bus, registry=registry, flight=flight, workers=2
+            )
+            server.create_object("A", "Account")
+            client = await AsyncClient.connect(server.host, server.port)
+            handle = await client.begin()
+            await client.invoke(handle, "A", "Credit", 5)
+            await client.commit(handle)
+            results["health"] = await client.health()
+            results["stats"] = await client.stats()
+            await client.aclose()
+            await server.drain()
+
+        run(scenario())
+        health = results["health"]
+        assert health["status"] == "ok"
+        assert health["workers"] == 2
+        assert health["uptime"] >= 0.0
+        stats = results["stats"]
+        assert stats["server"]["transactions_committed"] == 1
+        assert stats["queue_limit"] > 0
+        assert len(stats["queues"]) == 2
+        # The registry snapshot survived the codec round trip.
+        metrics = stats["metrics"]
+        assert metrics["counters"]["server.decoded"] >= 3
+        assert metrics["histograms"]["server.client_wire"]["total"] >= 3
+        assert stats["flight"]["dumps"] == 0
+
+    def test_snapshot_renders_prometheus_and_top(self, tmp_path):
+        bus, registry, flight = telemetry_stack(tmp_path)
+        results = {}
+
+        async def scenario():
+            server = await start_server(
+                tracer=bus, registry=registry, flight=flight
+            )
+            server.create_object("A", "Account")
+            client = await AsyncClient.connect(server.host, server.port)
+            handle = await client.begin()
+            await client.invoke(handle, "A", "Credit", 5)
+            await client.commit(handle)
+            results["stats"] = await client.stats()
+            await client.aclose()
+            await server.drain()
+
+        run(scenario())
+        snapshot = results["stats"]
+        rebuilt = MetricsRegistry.from_snapshot(snapshot["metrics"])
+        text = render_prometheus(rebuilt)
+        assert "# TYPE repro_txn_committed_total counter" in text
+        assert "repro_server_client_wire_bucket" in text
+        assert 'le="+Inf"' in text
+        frame = render_top(snapshot)
+        assert "repro top — ok" in frame
+        assert "latency client->server:" in frame
+        second = render_top(snapshot, previous=snapshot, elapsed=1.0)
+        assert "commits 0.0/s" in second
+
+
+class TestFlightIntegration:
+    def test_drain_leaves_a_dump_that_analyze_reads(self, tmp_path):
+        bus, registry, flight = telemetry_stack(tmp_path)
+
+        async def scenario():
+            server = await start_server(
+                tracer=bus, registry=registry, flight=flight
+            )
+            server.create_object("A", "Account")
+            client = await AsyncClient.connect(server.host, server.port)
+            handle = await client.begin()
+            await client.invoke(handle, "A", "Credit", 5)
+            await client.commit(handle)
+            await client.aclose()
+            await server.drain()
+
+        run(scenario())
+        assert flight.last_reason == "drain"
+        assert len(flight.dumps) == 1
+        report = analyze_trace(read_jsonl(flight.dumps[0]))
+        assert report["transactions"]["committed"] == 1
+        assert report["flight_dumps"], "dump header must announce itself"
+        assert report["slowest"][0]["trace"] is not None

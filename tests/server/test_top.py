@@ -1,0 +1,114 @@
+"""``render_top``: pure frame rendering from stats snapshots.
+
+No sockets, no clocks — :func:`~repro.server.top.render_top` is a pure
+function of (snapshot, previous, elapsed), which is the whole point of
+splitting it from the polling loop.  The live loop is exercised end to
+end in ``test_telemetry.py``.
+"""
+
+from repro.server import render_top
+
+
+def snapshot(**overrides):
+    base = {
+        "status": "ok",
+        "draining": False,
+        "workers": 2,
+        "connections": 3,
+        "objects": 5,
+        "uptime": 12.5,
+        "queue_limit": 64,
+        "queues": [1, 7],
+        "server": {
+            "requests": 100,
+            "transactions_committed": 40,
+            "transactions_aborted": 2,
+            "busy": 1,
+            "errors": 0,
+        },
+        "metrics": {
+            "counters": {
+                "lock.conflict[Enq/Deq]": 9.0,
+                "lock.conflict[Credit/Debit]": 4.0,
+                "txn.committed": 40.0,
+            },
+            "gauges": {},
+            "histograms": {
+                "server.client_wire": {
+                    "boundaries": [0.001, 0.01, 0.1],
+                    "counts": [10, 5, 1],
+                    "total": 16,
+                    "sum": 0.05,
+                    "mean": 0.05 / 16,
+                },
+            },
+        },
+        "flight": {
+            "dumps": 1,
+            "last_reason": "busy",
+            "last_path": "flight/flight-001-busy.jsonl",
+            "retained": 512,
+            "seen": 4000,
+            "dropped_events": 3488,
+        },
+    }
+    base.update(overrides)
+    return base
+
+
+class TestRenderTop:
+    def test_first_frame_shows_lifetime_totals(self):
+        frame = render_top(snapshot())
+        assert "repro top — ok" in frame
+        assert "workers=2" in frame and "up 12.5s" in frame
+        assert "shard0:1 shard1:7" in frame
+        assert "requests 100 total" in frame
+        assert "commits 40 total" in frame
+
+    def test_second_frame_shows_rates(self):
+        previous = snapshot()
+        current = snapshot(
+            server={
+                "requests": 150,
+                "transactions_committed": 60,
+                "transactions_aborted": 2,
+                "busy": 1,
+                "errors": 0,
+            }
+        )
+        frame = render_top(current, previous=previous, elapsed=2.0)
+        assert "requests 25.0/s" in frame
+        assert "commits 10.0/s" in frame
+        assert "aborts 0.0/s" in frame
+
+    def test_latency_quantiles_come_from_histogram_buckets(self):
+        frame = render_top(snapshot())
+        assert "latency client->server:" in frame
+        assert "n=16" in frame
+        # 16 samples, 10 in the first bucket: p50 interpolates inside
+        # (0, 0.001] so the row must render sub-millisecond.
+        assert "p50 0." in frame
+
+    def test_hottest_conflicts_are_sorted_and_trimmed(self):
+        frame = render_top(snapshot())
+        line = next(
+            l for l in frame.splitlines() if l.startswith("hottest conflicts")
+        )
+        assert line.index("Enq/Deq=9") < line.index("Credit/Debit=4")
+
+    def test_flight_status_line(self):
+        frame = render_top(snapshot())
+        assert "flight: 1 dump(s) (last: busy)" in frame
+        assert "3488 beyond window" in frame
+
+    def test_degrades_without_metrics_or_flight(self):
+        bare = snapshot()
+        del bare["metrics"], bare["flight"]
+        frame = render_top(bare)
+        assert "repro top — ok" in frame
+        assert "latency" not in frame
+        assert "flight:" not in frame
+
+    def test_draining_status_is_visible(self):
+        frame = render_top(snapshot(status="draining", draining=True))
+        assert "repro top — draining" in frame

@@ -404,3 +404,97 @@ class TestCheck:
         out = capsys.readouterr().out
         assert "[hybrid]" in out
         assert "certified hybrid atomic" in out
+
+
+class TestStatsArgumentHandling:
+    def test_needs_workload_or_connect(self, capsys):
+        assert main(["stats"]) == 2
+        assert "workload or --connect" in capsys.readouterr().err
+
+    def test_rejects_both_workload_and_connect(self, capsys):
+        assert main(["stats", "account", "--connect", "127.0.0.1:1"]) == 2
+        assert "not both" in capsys.readouterr().err
+
+    def test_prometheus_requires_connect(self, capsys):
+        assert main(["stats", "account", "--prometheus"]) == 2
+        assert "--prometheus needs --connect" in capsys.readouterr().err
+
+    def test_bad_connect_address(self, capsys):
+        assert main(["stats", "--connect", "nonsense"]) == 2
+        assert "bad --connect address" in capsys.readouterr().err
+
+    def test_unreachable_server_exits_1(self, capsys):
+        # Port 1 on localhost: connection refused, reported, not a crash.
+        assert main(["stats", "--connect", "127.0.0.1:1"]) == 1
+        assert "cannot reach" in capsys.readouterr().err
+
+
+class TestTopArgumentHandling:
+    def test_bad_connect_address(self, capsys):
+        assert main(["top", "--connect", "nonsense"]) == 2
+        assert "bad --connect address" in capsys.readouterr().err
+
+    def test_unreachable_server_exits_1(self, capsys):
+        assert main(["top", "--connect", "127.0.0.1:1"]) == 1
+        assert "cannot reach" in capsys.readouterr().err
+
+    def test_nonpositive_iterations_rejected(self, capsys):
+        assert (
+            main(["top", "--connect", "127.0.0.1:1", "--iterations", "0"]) == 2
+        )
+        assert "must be positive" in capsys.readouterr().err
+
+
+class TestAnalyze:
+    def make_trace(self, tmp_path):
+        from repro.obs import JSONLSink, TraceBus
+
+        path = tmp_path / "trace.jsonl"
+        clock = [0.0]
+        bus = TraceBus(clock=lambda: clock[0])
+        sink = bus.subscribe(JSONLSink(str(path)))
+        bus.emit("txn.begin", transaction="t1")
+        clock[0] += 2.0
+        bus.emit("txn.invoke", transaction="t1", obj="A", operation="Enq")
+        bus.emit("txn.respond", transaction="t1", obj="A", result="ok")
+        bus.emit("txn.commit", transaction="t1", timestamp=1)
+        sink.close()
+        return bus, path
+
+    def test_postmortem_output(self, tmp_path, capsys):
+        _, path = self.make_trace(tmp_path)
+        assert main(["analyze", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "== postmortem ==" in out
+        assert "1 committed" in out
+        assert "no checker violations in trace" in out
+
+    def test_json_output(self, tmp_path, capsys):
+        import json
+
+        _, path = self.make_trace(tmp_path)
+        assert main(["analyze", str(path), "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["transactions"]["committed"] == 1
+        assert report["slowest"][0]["transaction"] == "t1"
+
+    def test_violation_trace_exits_1(self, tmp_path, capsys):
+        from repro.obs import JSONLSink, TraceBus
+
+        path = tmp_path / "bad.jsonl"
+        bus = TraceBus(clock=lambda: 0.0)
+        sink = bus.subscribe(JSONLSink(str(path)))
+        bus.emit("check.violation", rule="r", txn="t1", obj="A")
+        sink.close()
+        assert main(["analyze", str(path)]) == 1
+        assert "VIOLATION" in capsys.readouterr().out
+
+    def test_missing_file_exits_2(self, capsys):
+        assert main(["analyze", "/no/such/trace.jsonl"]) == 2
+        assert "no such trace file" in capsys.readouterr().err
+
+    def test_empty_trace_exits_1(self, tmp_path, capsys):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        assert main(["analyze", str(path)]) == 1
+        assert "holds no events" in capsys.readouterr().err
