@@ -1,0 +1,167 @@
+"""Serve-bench history: one headline line per run, append-only.
+
+``repro bench compare OLD.json NEW.json`` answers "did this change
+regress the serving tier?" for a single pair; this script keeps the
+longitudinal record.  Each invocation reads a ``BENCH_serve.json``
+artifact, extracts the headline numbers (peak-concurrency throughput,
+p50/p99, certification verdict — the same row ``compare`` judges), and
+appends one JSON line to ``benchmarks/results/history.jsonl``.  The log
+is append-only on purpose: a rewritten history is no history at all.
+
+Run directly::
+
+    PYTHONPATH=src python benchmarks/bench_history.py BENCH_serve.json
+    PYTHONPATH=src python benchmarks/bench_history.py --show 10
+
+or via pytest, which exercises the append/show round trip in a temp
+directory without touching the committed log.
+"""
+
+import argparse
+import datetime
+import json
+import sys
+from pathlib import Path
+
+from repro.server.bench import headline
+
+HISTORY_PATH = Path(__file__).parent / "results" / "history.jsonl"
+
+
+def record(artifact_path, history_path=HISTORY_PATH):
+    """Append one artifact's headline row to the history log.
+
+    Returns the row written.  Raises ``OSError`` / ``ValueError`` /
+    ``KeyError`` on unreadable or malformed artifacts — callers decide
+    whether that is fatal (the CLI does; tests catch).
+    """
+    artifact_path = Path(artifact_path)
+    data = json.loads(artifact_path.read_text())
+    row = {
+        "recorded_at": datetime.datetime.now(datetime.timezone.utc).strftime(
+            "%Y-%m-%dT%H:%M:%SZ"
+        ),
+        "artifact": artifact_path.name,
+        **headline(data),
+    }
+    history_path = Path(history_path)
+    history_path.parent.mkdir(parents=True, exist_ok=True)
+    with open(history_path, "a", encoding="utf-8") as handle:
+        handle.write(json.dumps(row, sort_keys=True) + "\n")
+    return row
+
+
+def load_history(history_path=HISTORY_PATH):
+    """All recorded rows, oldest first (empty list when no log yet)."""
+    history_path = Path(history_path)
+    if not history_path.is_file():
+        return []
+    rows = []
+    with open(history_path, encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                rows.append(json.loads(line))
+    return rows
+
+
+def render_history(rows, last=10):
+    """Terminal table of the most recent ``last`` rows."""
+    if not rows:
+        return "(no history recorded yet)"
+    lines = []
+    for row in rows[-last:]:
+        smoke = " smoke" if row.get("smoke") else ""
+        lines.append(
+            f"{row['recorded_at']}  {row['txn_per_second']:>9,.0f} txn/s  "
+            f"p50 {row['p50_latency_ms']:>7.2f}ms  "
+            f"p99 {row['p99_latency_ms']:>7.2f}ms  "
+            f"@{row['clients']} clients  {row['verdict']}{smoke}"
+        )
+    return "\n".join(lines)
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "artifacts", nargs="*", help="BENCH_serve.json artifact(s) to record"
+    )
+    parser.add_argument(
+        "--history",
+        default=str(HISTORY_PATH),
+        help="history log to append to (default: benchmarks/results/history.jsonl)",
+    )
+    parser.add_argument(
+        "--show",
+        type=int,
+        default=None,
+        metavar="N",
+        help="print the last N recorded rows (after any appends)",
+    )
+    args = parser.parse_args(argv)
+    if not args.artifacts and args.show is None:
+        parser.print_usage(sys.stderr)
+        return 2
+    for artifact in args.artifacts:
+        try:
+            row = record(artifact, history_path=args.history)
+        except (OSError, ValueError, KeyError) as failure:
+            print(f"FAIL {artifact}: {failure}", file=sys.stderr)
+            return 1
+        print(
+            f"recorded {row['artifact']}: {row['txn_per_second']:,.0f} txn/s "
+            f"@ {row['clients']} clients ({row['verdict']})"
+        )
+    if args.show is not None:
+        print(render_history(load_history(args.history), last=args.show))
+    return 0
+
+
+def test_history_round_trip(tmp_path):
+    """Append + reload + render against a synthetic artifact."""
+    artifact = tmp_path / "BENCH_serve.json"
+    artifact.write_text(
+        json.dumps(
+            {
+                "smoke": True,
+                "closed_loop": [
+                    {
+                        "clients": 4,
+                        "committed": 10,
+                        "stats": {
+                            "txn_per_second": 100.0,
+                            "p50_latency_ms": 1.0,
+                            "p99_latency_ms": 2.0,
+                        },
+                    },
+                    {
+                        "clients": 64,
+                        "committed": 640,
+                        "stats": {
+                            "txn_per_second": 1500.0,
+                            "p50_latency_ms": 3.0,
+                            "p99_latency_ms": 9.0,
+                        },
+                    },
+                ],
+                "certification": {"verdict": "clean"},
+            }
+        )
+    )
+    log = tmp_path / "history.jsonl"
+    first = record(artifact, history_path=log)
+    assert first["clients"] == 64, "headline must pick peak concurrency"
+    assert first["txn_per_second"] == 1500.0
+    record(artifact, history_path=log)
+    rows = load_history(log)
+    assert len(rows) == 2, "the log must append, not overwrite"
+    rendered = render_history(rows, last=1)
+    assert "1,500 txn/s" in rendered
+    assert "clean smoke" in rendered
+    assert main([str(artifact), "--history", str(log), "--show", "3"]) == 0
+    assert len(load_history(log)) == 3
+    assert main(["--history", str(log)]) == 2, "no artifact and no --show"
+
+
+if __name__ == "__main__":
+    sys.exit(main())

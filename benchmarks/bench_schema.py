@@ -47,6 +47,22 @@ def string_or_null(value):
     return f"expected a string or null, got {value!r}"
 
 
+def non_negative(value):
+    if not isinstance(value, NUMBER) or isinstance(value, bool) or value < 0:
+        return f"expected a non-negative number, got {value!r}"
+    return None
+
+
+def fraction(value):
+    if (
+        not isinstance(value, NUMBER)
+        or isinstance(value, bool)
+        or not 0.0 <= value <= 1.0
+    ):
+        return f"expected a fraction in [0, 1], got {value!r}"
+    return None
+
+
 LATENCY_STATS = {
     "operations": non_negative_int,
     "elapsed_seconds": positive,
@@ -173,6 +189,29 @@ SERVE_SCHEMA = {
             "respond": non_negative_or_null,
         },
     },
+    # Critical-path attribution over the committed spans (milliseconds):
+    # which phase gated each transaction, the per-phase p50/p99 budget,
+    # and the coz-lite what-if estimates.
+    "critical_path": {
+        "spans": non_negative_int,
+        "attributed": non_negative_int,
+        "attributed_fraction": fraction,
+        # phase -> gated-span count; the phase key set is the profiler's.
+        "gating": dict,
+        # phase -> {p50, p99, total}; checked structurally below.
+        "phase_budget": dict,
+        "total": {"p50": non_negative, "p99": non_negative},
+        # phase -> {p99_without, p99_drop}; checked structurally below.
+        "what_if": dict,
+    },
+    # Blocked time attributed to (object, op-pair, relation) triples —
+    # the conflict-relation compiler's target list.
+    "contention": {
+        "events": non_negative_int,
+        "blocked_time": non_negative,
+        "pairs": non_negative_int,
+        "rows": list,
+    },
     # Flight-recorder status at the end of the run (the drain trigger
     # guarantees at least one dump).
     "flight": {
@@ -182,6 +221,7 @@ SERVE_SCHEMA = {
         "retained": non_negative_int,
         "seen": non_negative_int,
         "dropped_events": non_negative_int,
+        "profile_snapshots": non_negative_int,
     },
     "certification": CERTIFICATION,
 }
@@ -294,6 +334,36 @@ def validate_artifact(name, data):
                 f"{name}.flight: the drain trigger must leave at least "
                 "one flight dump"
             )
+        critical = data["critical_path"]
+        for phase, row in critical["phase_budget"].items():
+            _check(
+                {"p50": non_negative, "p99": non_negative, "total": non_negative},
+                row,
+                f"{name}.critical_path.phase_budget[{phase}]",
+                errors,
+            )
+        for phase, row in critical["what_if"].items():
+            _check(
+                {"p99_without": non_negative, "p99_drop": non_negative},
+                row,
+                f"{name}.critical_path.what_if[{phase}]",
+                errors,
+            )
+        # The profiler must explain the run: ≥95% of committed spans get
+        # a gating phase, and the hot-object debit mix must have fed the
+        # contention profiler at least one blocked interval.
+        if breakdown["committed_spans"] > 0:
+            if critical["attributed_fraction"] < 0.95:
+                errors.append(
+                    f"{name}.critical_path: only "
+                    f"{critical['attributed_fraction']:.1%} of spans got a "
+                    "gating phase (floor: 95%)"
+                )
+            if data["contention"]["events"] < 1:
+                errors.append(
+                    f"{name}.contention: no blocked events attributed — "
+                    "the hot-object debit mix should conflict"
+                )
     if errors:
         raise ValueError("\n".join(errors))
 

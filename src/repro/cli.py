@@ -47,8 +47,22 @@ Commands
     Run the closed-/open-loop load generator against an in-process
     server and write the schema-validated ``BENCH_serve.json`` artifact
     (sustained txn/s and p50/p99 latency across a concurrency sweep,
-    with the atomicity checker's verdict and the end-to-end span
-    breakdown embedded).
+    with the atomicity checker's verdict, the end-to-end span
+    breakdown, and the critical-path phase budget embedded).
+    ``--profile-dir`` additionally runs the sampling profiler for the
+    whole serve window and drops ``profile.folded`` / ``profile.json``
+    there for ``repro profile``.
+``bench compare OLD.json NEW.json``
+    Compare two ``BENCH_serve.json`` artifacts and exit nonzero when
+    the new run regressed (throughput down >20% or p99 up >50% at the
+    peak concurrency level) — the CI trajectory guard.
+``profile <dump>``
+    Render a profile artifact offline: a ``profile.json`` dump, a
+    ``.folded`` collapsed-stack file, or a ``--profile-dir`` directory.
+    Shows the hottest frames and stacks from the sampler, the
+    critical-path phase budget with coz-lite what-if estimates, and the
+    contention table (blocked time per conflict pair).  ``--top N``
+    bounds the tables, ``--json`` dumps the raw report.
 ``top``
     Curses-free live view over a running server's ``stats`` op:
     queue depths, commit/abort/BUSY rates, latency quantiles, hottest
@@ -89,6 +103,10 @@ Examples::
     python -m repro top --connect 127.0.0.1:7400 --iterations 3
     python -m repro analyze /tmp/serve.jsonl
     python -m repro bench serve --smoke --output-dir /tmp
+    python -m repro bench serve --smoke --output-dir /tmp --profile-dir /tmp/prof
+    python -m repro profile /tmp/prof
+    python -m repro profile /tmp/prof/profile.folded --top 5
+    python -m repro bench compare BENCH_old.json BENCH_new.json
 """
 
 from __future__ import annotations
@@ -642,6 +660,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         JSONLSink,
         MetricsRegistry,
         RegistrySink,
+        SamplingProfiler,
         TraceBus,
     )
     from .server import ReproServer
@@ -655,6 +674,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     sinks = []
     if args.trace_file:
         sinks.append(tracer.subscribe(JSONLSink(args.trace_file)))
+    profiler = SamplingProfiler() if args.profile_dir else None
     flight = None
     if not args.no_flight:
         flight = tracer.subscribe(
@@ -662,6 +682,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 args.flight_dir,
                 queue_high_water=args.queue_limit,
                 emit_to=tracer,
+                profiler=profiler,
             )
         )
     server = ReproServer(
@@ -675,6 +696,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         flush_on_drain=sinks,
         registry=registry,
         flight=flight,
+        profiler=profiler,
+        profile_dir=args.profile_dir,
     )
     for spec in args.object or []:
         name, _, adt = spec.partition(":")
@@ -704,6 +727,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     )
     if args.trace_file:
         print(f"trace written to {args.trace_file}")
+    if profiler is not None:
+        print(
+            f"profile ({profiler.samples} sample(s) @ {profiler.hz:g}Hz) "
+            f"written to {args.profile_dir}"
+        )
     if flight is not None and flight.dumps:
         print(
             f"flight recorder left {len(flight.dumps)} dump(s) "
@@ -756,10 +784,37 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
+    import json
+    import os
     from pathlib import Path
 
-    from .server.bench import render_summary, run_serve_bench
+    from .server.bench import (
+        compare_artifacts,
+        render_comparison,
+        render_summary,
+        run_serve_bench,
+    )
 
+    if args.target == "compare":
+        if len(args.artifacts) != 2:
+            print(
+                "bench compare needs exactly two artifacts: OLD.json NEW.json",
+                file=sys.stderr,
+            )
+            return 2
+        payloads = []
+        for path in args.artifacts:
+            if not os.path.isfile(path):
+                print(f"no such artifact: {path}", file=sys.stderr)
+                return 2
+            with open(path, encoding="utf-8") as handle:
+                payloads.append(json.load(handle))
+        comparison = compare_artifacts(*payloads)
+        print(render_comparison(comparison))
+        return 0 if comparison["ok"] else 1
+    if args.artifacts:
+        print("bench serve takes no positional artifacts", file=sys.stderr)
+        return 2
     if args.target != "serve":  # pragma: no cover - argparse enforces choices
         print(f"unknown bench target {args.target!r}", file=sys.stderr)
         return 2
@@ -770,12 +825,39 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             queue_limit=args.queue_limit,
             duration=args.duration,
             output_dir=Path(args.output_dir),
+            profile_dir=Path(args.profile_dir) if args.profile_dir else None,
         )
     except AssertionError as exc:
         print(f"bench serve failed: {exc}", file=sys.stderr)
         return 1
     print(render_summary(result))
     print(f"\nartifact written to {Path(args.output_dir) / 'BENCH_serve.json'}")
+    if args.profile_dir:
+        print(f"profile written to {args.profile_dir}")
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    import json
+    import os
+
+    from .obs import read_profile, render_profile
+
+    if not os.path.exists(args.path):
+        print(f"no such profile: {args.path}", file=sys.stderr)
+        return 2
+    if args.top <= 0:
+        print("profile: --top must be positive", file=sys.stderr)
+        return 2
+    try:
+        report = read_profile(args.path)
+    except (FileNotFoundError, ValueError, json.JSONDecodeError) as exc:
+        print(f"profile: cannot load {args.path}: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(report, indent=2, default=repr))
+        return 0
+    sys.stdout.write(render_profile(report, top=args.top))
     return 0
 
 
@@ -1056,11 +1138,23 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-flight", action="store_true",
         help="disable the always-on flight recorder",
     )
+    serve.add_argument(
+        "--profile-dir", default=None,
+        help="run the sampling wall-clock profiler and dump "
+        "profile.folded / profile.json here on drain",
+    )
 
     bench = commands.add_parser(
         "bench", help="run a load benchmark and write its artifact"
     )
-    bench.add_argument("target", choices=["serve"], help="what to benchmark")
+    bench.add_argument(
+        "target", choices=["serve", "compare"],
+        help="serve: run the load generator; compare: diff two artifacts",
+    )
+    bench.add_argument(
+        "artifacts", nargs="*",
+        help="for compare: OLD.json NEW.json (exit 1 on regression)",
+    )
     bench.add_argument("--smoke", action="store_true",
                        help="short CI-sized sweep")
     bench.add_argument("--workers", type=int, default=2)
@@ -1072,6 +1166,29 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument(
         "--output-dir", default=".",
         help="directory for BENCH_serve.json and serve_trace.jsonl",
+    )
+    bench.add_argument(
+        "--profile-dir", default=None,
+        help="also run the sampling profiler and write profile.folded / "
+        "profile.json (with critical-path and contention reports) here",
+    )
+
+    profile = commands.add_parser(
+        "profile",
+        help="render a profile dump: hottest frames/stacks, critical-path "
+        "budget, contention table",
+    )
+    profile.add_argument(
+        "path",
+        help="a profile.json dump, a .folded collapsed-stack file, or a "
+        "--profile-dir directory",
+    )
+    profile.add_argument(
+        "--top", type=int, default=15, metavar="N",
+        help="rows per table (default 15)",
+    )
+    profile.add_argument(
+        "--json", action="store_true", help="print the raw report as JSON"
     )
 
     top = commands.add_parser(
@@ -1162,6 +1279,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "bench": _cmd_bench,
         "top": _cmd_top,
         "analyze": _cmd_analyze,
+        "profile": _cmd_profile,
     }[args.command]
     return handler(args)
 

@@ -28,6 +28,17 @@ from .checker import AtomicityChecker
 from .codec import decode_value, encode_value
 from .events import EVENT_KINDS, TraceEvent
 from .flight import FlightRecorder
+from .prof import (
+    SamplingProfiler,
+    StackAggregator,
+    contention_profile,
+    critical_path,
+    read_profile,
+    render_contention,
+    render_critical_path,
+    render_profile,
+    write_profile,
+)
 from .registry import (
     DEFAULT_LATENCY_BUCKETS,
     WIRE_LATENCY_BUCKETS,
@@ -60,6 +71,15 @@ from .witness import Violation, minimize_witness
 
 __all__ = [
     "FlightRecorder",
+    "SamplingProfiler",
+    "StackAggregator",
+    "critical_path",
+    "contention_profile",
+    "write_profile",
+    "read_profile",
+    "render_profile",
+    "render_critical_path",
+    "render_contention",
     "analyze_trace",
     "render_postmortem",
     "render_prometheus",

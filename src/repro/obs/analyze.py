@@ -20,6 +20,12 @@ from collections import Counter as _Counter
 from typing import Any, Dict, Iterable, List, Optional, Sequence
 
 from .events import TraceEvent
+from .prof import (
+    contention_profile,
+    critical_path,
+    render_contention,
+    render_critical_path,
+)
 from .spans import Span, SpanBuilder
 
 __all__ = ["analyze_trace", "render_postmortem"]
@@ -190,6 +196,8 @@ def analyze_trace(
         ],
         "violations": violations,
         "flight_dumps": flight_dumps,
+        "critical_path": critical_path(committed or completed),
+        "contention": contention_profile(events),
     }
 
 
@@ -231,6 +239,16 @@ def render_postmortem(report: Dict[str, Any]) -> str:
             if key in phases["machine"]
         ]
         lines.append("machine phases (median): " + "  ".join(parts))
+
+    critical = report.get("critical_path")
+    if critical and critical.get("spans"):
+        lines.append("")
+        # analyze_trace builds the report in bus-clock seconds.
+        lines.append(render_critical_path(critical, scale_to_ms=1e3))
+    contention = report.get("contention")
+    if contention is not None:
+        lines.append("")
+        lines.append(render_contention(contention))
 
     conflicts = report["conflicts"]
     lines.append(f"\nconflicts: {conflicts['total']}")

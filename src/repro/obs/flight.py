@@ -91,6 +91,12 @@ class FlightRecorder:
         (a ``flight.dump`` event).  The recorder ignores incoming
         ``flight.dump`` events, so subscribing it to the same bus it
         announces on cannot recurse.
+    profiler:
+        Optional :class:`~repro.obs.prof.SamplingProfiler`.  A
+        ``p99-breach`` dump then also snapshots the sampler's
+        collapsed stacks to ``flight-<NNN>-p99-breach.folded`` — the
+        flamegraph of *what the process was doing* when the tail blew
+        out, next to the event history of *what happened*.
     """
 
     def __init__(
@@ -102,6 +108,7 @@ class FlightRecorder:
         min_latency_samples: int = 50,
         cooldown_events: int = 256,
         emit_to: Optional[Any] = None,
+        profiler: Optional[Any] = None,
     ):
         self.directory = directory
         self.ring = RingBufferSink(capacity)
@@ -110,8 +117,11 @@ class FlightRecorder:
         self.min_latency_samples = min_latency_samples
         self.cooldown_events = cooldown_events
         self._emit_to = emit_to
+        self.profiler = profiler
         #: Paths of every dump written, in order.
         self.dumps: List[str] = []
+        #: Paths of every ``.folded`` profile snapshot, in order.
+        self.profile_snapshots: List[str] = []
         self.last_reason: Optional[str] = None
         self._seq = 0
         self._events_since_dump: Optional[int] = None  # None: never dumped
@@ -196,6 +206,13 @@ class FlightRecorder:
         self.dumps.append(path)
         self.last_reason = reason
         self._events_since_dump = 0
+        if reason == "p99-breach" and self.profiler is not None:
+            folded_path = os.path.join(
+                self.directory, f"flight-{self._seq:03d}-{safe_reason}.folded"
+            )
+            with open(folded_path, "w", encoding="utf-8") as handle:
+                handle.write(self.profiler.folded())
+            self.profile_snapshots.append(folded_path)
         emit_to = self._emit_to
         if emit_to is not None:
             emit_to.emit(
@@ -219,4 +236,5 @@ class FlightRecorder:
             "retained": len(self.ring),
             "seen": self.ring.seen,
             "dropped_events": self.ring.dropped,
+            "profile_snapshots": len(self.profile_snapshots),
         }

@@ -343,12 +343,31 @@ class RegistrySink:
         self.registry = registry
         self._buckets = tuple(latency_buckets or DEFAULT_LATENCY_BUCKETS)
         self._begin_ts: Dict[str, float] = {}
+        #: Last event timestamp per live transaction — the anchor for
+        #: attributing blocked time to conflict pairs (same interval
+        #: convention as the span builder's ``blocked`` tally).
+        self._last_ts: Dict[str, float] = {}
         self._connections = 0
 
     def __call__(self, event: TraceEvent) -> None:
         registry = self.registry
         kind = event.kind
         data = event.data
+        transaction = data.get("transaction")
+        if transaction is not None and kind.startswith(("txn.", "lock.")):
+            if kind in ("lock.conflict", "lock.block", "lock.wait"):
+                anchor = self._last_ts.get(transaction, event.ts)
+                interval = max(0.0, event.ts - anchor)
+                registry.counter("lock.blocked_time").inc(interval)
+                if kind == "lock.conflict":
+                    pair = f"{data.get('operation')} × {data.get('held')}"
+                    registry.counter(f"lock.blocked_time[{pair}]").inc(
+                        interval
+                    )
+            if kind in ("txn.commit", "txn.abort"):
+                self._last_ts.pop(transaction, None)
+            else:
+                self._last_ts[transaction] = event.ts
         if kind == "txn.begin":
             registry.counter("txn.begun").inc()
             self._begin_ts[data["transaction"]] = event.ts
@@ -450,6 +469,11 @@ class RegistrySink:
                 registry.histogram("server.executing", self._buckets).observe(
                     executing
                 )
+            respond = data.get("respond")
+            if respond is not None:
+                registry.histogram(
+                    "server.respond_write", self._buckets
+                ).observe(respond)
             shard = data.get("shard")
             if shard is not None:
                 registry.counter(f"server.responses[shard{shard}]").inc()

@@ -148,9 +148,17 @@ class Span:
 
 
 class SpanBuilder:
-    """Bus sink folding transaction events into :class:`Span` objects."""
+    """Bus sink folding transaction events into :class:`Span` objects.
 
-    def __init__(self):
+    ``pending_limit`` bounds the pre-begin stash: a decoded request
+    whose transaction never opens (refused handle, malformed follow-up)
+    would otherwise sit in ``_pending`` forever.  When the stash is
+    full, the oldest entry is evicted FIFO and ``pending_evicted``
+    counts the loss — an evicted transaction that *does* later open
+    merely loses its wire phases, never its machine events.
+    """
+
+    def __init__(self, pending_limit: int = 512):
         #: Completed spans, in completion order.
         self.spans: List[Span] = []
         #: Still-open spans by transaction name.
@@ -163,8 +171,12 @@ class SpanBuilder:
         #: serving tier decodes a request (and stamps its trace) before
         #: the manager opens the transaction, so the first
         #: ``server.decode`` predates the span.  Stashed here and
-        #: promoted to the real span when it opens.
+        #: promoted to the real span when it opens, evicted FIFO past
+        #: ``pending_limit`` entries.
         self._pending: Dict[str, Span] = {}
+        self.pending_limit = pending_limit
+        #: Pre-begin spans dropped because the stash was full.
+        self.pending_evicted = 0
 
     def _fold_wire(self, event: TraceEvent) -> None:
         """Fold a ``server.decode``/``server.respond`` into its span.
@@ -183,6 +195,9 @@ class SpanBuilder:
             span = self._pending.get(transaction)
             if span is None:
                 span = Span(transaction=transaction)
+                while len(self._pending) >= self.pending_limit:
+                    self._pending.pop(next(iter(self._pending)))
+                    self.pending_evicted += 1
                 self._pending[transaction] = span
         trace = event.data.get("trace")
         if trace is not None:

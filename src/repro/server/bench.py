@@ -35,15 +35,26 @@ from ..obs import (
     FlightRecorder,
     MetricsRegistry,
     RegistrySink,
+    SamplingProfiler,
     SpanBuilder,
     TraceBus,
+    contention_profile,
+    critical_path,
+    write_profile,
 )
 from ..obs.sinks import JSONLSink, read_jsonl
 from .client import AsyncClient
 from .protocol import WireError
-from .server import ReproServer
+from .server import ReproServer, shard_for
 
-__all__ = ["run_serve_bench", "render_summary", "SCHEMA_VERSION"]
+__all__ = [
+    "run_serve_bench",
+    "render_summary",
+    "headline",
+    "compare_artifacts",
+    "render_comparison",
+    "SCHEMA_VERSION",
+]
 
 SCHEMA_VERSION = 1
 REPO_ROOT = Path(__file__).resolve().parents[3]
@@ -59,11 +70,17 @@ SMOKE_OPEN_LOOP_RATES = (150.0,)
 
 ADT_NAME = "Account"
 OPERATION = "Credit"
+#: Hot-object transactions debit instead of credit: Credit/Credit
+#: commutes under the hybrid relation (queueing only), but Debit-Ok
+#: holds DEBIT_LOCK, and DEBIT_LOCK × DEBIT_LOCK *conflicts* — so the
+#: hot object exercises the real conflict path and the contention
+#: profiler has something to attribute.  The hot account is seeded with
+#: a large opening balance so every debit lands in its Ok outcome.
+HOT_OPERATION = "Debit"
+HOT_SEED_BALANCE = 10**9
 OPS_PER_TXN = 2
 #: Every HOT_EVERY-th transaction runs entirely against one shared
-#: object, so the sweep exercises real lock contention (Credit/Credit
-#: commutes under the hybrid relation, so the hot object adds queueing,
-#: not aborts).
+#: object, so the sweep exercises real lock contention.
 HOT_EVERY = 8
 
 
@@ -88,8 +105,9 @@ async def _one_transaction(
     obj: str,
     ops_per_txn: int,
     counters: Dict[str, int],
+    operation: str = OPERATION,
 ) -> bool:
-    """Run one credit transaction; returns True if it committed."""
+    """Run one single-operation transaction; True if it committed."""
     try:
         handle = await client.begin()
     except WireError as exc:
@@ -97,7 +115,7 @@ async def _one_transaction(
         return False
     try:
         for _ in range(ops_per_txn):
-            await client.invoke(handle, obj, OPERATION, 1)
+            await client.invoke(handle, obj, operation, 1)
         await client.commit(handle)
     except WireError as exc:
         counters[exc.code] = counters.get(exc.code, 0) + 1
@@ -130,9 +148,13 @@ async def _closed_loop_client(
     own = objects[client_index % len(objects)]
     try:
         while loop.time() < deadline:
-            obj = hot_object if iteration % HOT_EVERY == HOT_EVERY - 1 else own
+            hot = iteration % HOT_EVERY == HOT_EVERY - 1
+            obj = hot_object if hot else own
+            operation = HOT_OPERATION if hot else OPERATION
             started = loop.time()
-            if await _one_transaction(client, obj, ops_per_txn, counters):
+            if await _one_transaction(
+                client, obj, ops_per_txn, counters, operation
+            ):
                 latencies.append(loop.time() - started)
                 committed += 1
             iteration += 1
@@ -244,16 +266,20 @@ async def _run(
     queue_limit: int,
     duration: float,
     trace_path: Path,
+    profile_dir: Optional[Path] = None,
 ) -> Dict[str, Any]:
     registry = MetricsRegistry()
     bus = TraceBus()
     sink = bus.subscribe(JSONLSink(str(trace_path)))
     bus.subscribe(RegistrySink(registry, latency_buckets=WIRE_LATENCY_BUCKETS))
+    profiler = SamplingProfiler() if profile_dir is not None else None
     # Always-on flight recorder: the drain trigger guarantees at least
     # one dump per run, so a failed CI run always has a replayable
     # snapshot to upload next to the full trace.
     flight = bus.subscribe(
-        FlightRecorder(str(trace_path.parent / "flight"), emit_to=bus)
+        FlightRecorder(
+            str(trace_path.parent / "flight"), emit_to=bus, profiler=profiler
+        )
     )
     server = ReproServer(
         workers=workers,
@@ -263,6 +289,7 @@ async def _run(
         flush_on_drain=[sink],
         registry=registry,
         flight=flight,
+        profiler=profiler,
     )
     host, port = await server.start()
 
@@ -273,6 +300,12 @@ async def _run(
     hot_object = "acct-hot"
     for name in objects + [hot_object]:
         server.create_object(name, ADT_NAME)
+    # Seed the hot account so the concurrent debits always take the Ok
+    # outcome (DEBIT_LOCK), the pair the contention profiler measures.
+    hot_manager = server.managers[shard_for(hot_object, workers)]
+    seed = hot_manager.begin("bench-seed")
+    hot_manager.invoke(seed, hot_object, "Credit", HOT_SEED_BALANCE)
+    hot_manager.commit(seed)
 
     closed_loop = []
     for clients in client_levels:
@@ -322,6 +355,19 @@ async def _run(
         "median_phase_ms": median_phase_ms,
     }
 
+    # Phase-budget attribution (milliseconds) over the committed spans,
+    # and blocked time attributed per conflict pair — both from the same
+    # replayed trace, so they describe exactly the certified run.
+    critical = critical_path(committed_spans, scale=1e3)
+    contention = contention_profile(events)
+    if profile_dir is not None:
+        write_profile(
+            str(profile_dir),
+            profiler=profiler,
+            critical=critical,
+            contention=contention,
+        )
+
     return {
         "schema_version": SCHEMA_VERSION,
         "smoke": smoke,
@@ -339,6 +385,8 @@ async def _run(
         "server": dict(server.stats),
         "drain": drain,
         "span_breakdown": span_breakdown,
+        "critical_path": critical,
+        "contention": contention,
         "flight": flight.status(),
         "certification": {
             "verdict": report["verdict"],
@@ -357,12 +405,17 @@ def run_serve_bench(
     duration: Optional[float] = None,
     output_dir: Path = REPO_ROOT,
     trace_path: Optional[Path] = None,
+    profile_dir: Optional[Path] = None,
 ) -> Dict[str, Any]:
     """Run the serving benchmark; writes and returns ``BENCH_serve.json``.
 
     The trace the server emitted is left at ``trace_path`` (default:
     ``serve_trace.jsonl`` next to the artifact) so ``repro check
-    --trace-file`` can re-certify the same run out of band.
+    --trace-file`` can re-certify the same run out of band.  With
+    ``profile_dir`` set, the wall-clock sampler runs for the whole
+    serve window and ``profile.folded`` / ``profile.json`` (sampler
+    stacks + critical-path + contention reports) land there for
+    ``repro profile``.
     """
     output_dir = Path(output_dir)
     output_dir.mkdir(parents=True, exist_ok=True)
@@ -371,7 +424,14 @@ def run_serve_bench(
     if duration is None:
         duration = 0.6 if smoke else 3.0
     result = asyncio.run(
-        _run(smoke, workers, queue_limit, duration, Path(trace_path))
+        _run(
+            smoke,
+            workers,
+            queue_limit,
+            duration,
+            Path(trace_path),
+            Path(profile_dir) if profile_dir is not None else None,
+        )
     )
     if not result["certification"]["ok"]:
         raise AssertionError(
@@ -440,12 +500,115 @@ def render_summary(result: Dict[str, Any]) -> str:
             f"span breakdown ({breakdown['committed_spans']} committed, "
             f"{breakdown['with_trace']} traced): {rendered}"
         )
+    critical = result.get("critical_path")
+    if critical and critical.get("spans"):
+        gating = critical.get("gating") or {}
+        ranked = sorted(gating.items(), key=lambda item: (-item[1], item[0]))
+        lines.append(
+            f"critical path ({100.0 * critical['attributed_fraction']:.1f}% "
+            "attributed): "
+            + "  ".join(f"{phase} x{count}" for phase, count in ranked)
+        )
+    contention = result.get("contention")
+    if contention:
+        lines.append(
+            f"contention: {contention['events']} blocked event(s), "
+            f"{contention['blocked_time'] * 1e3:.1f}ms across "
+            f"{contention['pairs']} pair(s)"
+        )
+        for row in (contention.get("rows") or [])[:3]:
+            lines.append(
+                f"  {row['blocked_time'] * 1e3:>9.3f}ms  {row['object']}: "
+                f"{row['pair']}  [{row['relation']}]"
+            )
     flight = result.get("flight")
     if flight:
         lines.append(
             f"flight recorder: {flight['dumps']} dump(s), "
             f"{flight['dropped_events']} event(s) beyond window"
         )
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Trajectory: headline numbers, history, and regression comparison
+# ----------------------------------------------------------------------
+
+#: Regression thresholds for ``repro bench compare``: a new run is a
+#: regression when throughput drops more than 20% or p99 inflates more
+#: than 50% against the old artifact at the same concurrency level.
+THROUGHPUT_REGRESSION = 0.20
+P99_REGRESSION = 0.50
+
+
+def headline(result: Dict[str, Any]) -> Dict[str, Any]:
+    """One run's headline numbers: peak-concurrency row + verdict."""
+    top = max(result["closed_loop"], key=lambda row: row["clients"])
+    stats = top["stats"]
+    return {
+        "smoke": result.get("smoke", False),
+        "clients": top["clients"],
+        "txn_per_second": stats["txn_per_second"],
+        "p50_latency_ms": stats["p50_latency_ms"],
+        "p99_latency_ms": stats["p99_latency_ms"],
+        "committed": top["committed"],
+        "verdict": result["certification"]["verdict"],
+    }
+
+
+def compare_artifacts(
+    old: Dict[str, Any], new: Dict[str, Any]
+) -> Dict[str, Any]:
+    """Compare two ``BENCH_serve.json`` payloads; flags regressions.
+
+    Returns ``{"ok": bool, "regressions": [...], "old": ..., "new": ...}``
+    — ``ok`` is False when the new run's peak-concurrency throughput
+    fell more than 20% or its p99 grew more than 50%.
+    """
+    old_line, new_line = headline(old), headline(new)
+    regressions: List[str] = []
+    old_tps, new_tps = old_line["txn_per_second"], new_line["txn_per_second"]
+    if old_tps > 0 and new_tps < old_tps * (1.0 - THROUGHPUT_REGRESSION):
+        regressions.append(
+            f"throughput fell {100.0 * (1.0 - new_tps / old_tps):.1f}% "
+            f"({old_tps:,.0f} -> {new_tps:,.0f} txn/s; "
+            f"budget {100.0 * THROUGHPUT_REGRESSION:.0f}%)"
+        )
+    old_p99, new_p99 = old_line["p99_latency_ms"], new_line["p99_latency_ms"]
+    if old_p99 > 0 and new_p99 > old_p99 * (1.0 + P99_REGRESSION):
+        regressions.append(
+            f"p99 inflated {100.0 * (new_p99 / old_p99 - 1.0):.1f}% "
+            f"({old_p99:.2f}ms -> {new_p99:.2f}ms; "
+            f"budget {100.0 * P99_REGRESSION:.0f}%)"
+        )
+    if old_line["clients"] != new_line["clients"]:
+        regressions.append(
+            f"incomparable concurrency levels: {old_line['clients']} vs "
+            f"{new_line['clients']} clients"
+        )
+    return {
+        "ok": not regressions,
+        "regressions": regressions,
+        "old": old_line,
+        "new": new_line,
+    }
+
+
+def render_comparison(comparison: Dict[str, Any]) -> str:
+    """Terminal rendering of a :func:`compare_artifacts` result."""
+    old, new = comparison["old"], comparison["new"]
+    lines = [
+        f"old: {old['txn_per_second']:>9,.0f} txn/s  "
+        f"p50 {old['p50_latency_ms']:>7.2f}ms  "
+        f"p99 {old['p99_latency_ms']:>7.2f}ms  @ {old['clients']} clients",
+        f"new: {new['txn_per_second']:>9,.0f} txn/s  "
+        f"p50 {new['p50_latency_ms']:>7.2f}ms  "
+        f"p99 {new['p99_latency_ms']:>7.2f}ms  @ {new['clients']} clients",
+    ]
+    for regression in comparison["regressions"]:
+        lines.append(f"REGRESSION: {regression}")
+    if comparison["ok"]:
+        lines.append("ok: within regression budgets")
     return "\n".join(lines)
 
 
@@ -458,6 +621,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:  # pragma: no cover
     parser.add_argument("--queue-limit", type=int, default=64)
     parser.add_argument("--duration", type=float, default=None)
     parser.add_argument("--output-dir", default=str(REPO_ROOT))
+    parser.add_argument("--profile-dir", default=None)
     args = parser.parse_args(argv)
     result = run_serve_bench(
         smoke=args.smoke,
@@ -465,6 +629,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:  # pragma: no cover
         queue_limit=args.queue_limit,
         duration=args.duration,
         output_dir=Path(args.output_dir),
+        profile_dir=Path(args.profile_dir) if args.profile_dir else None,
     )
     print(render_summary(result))
     return 0

@@ -179,6 +179,13 @@ class ReproServer:
         reports its status, and :meth:`drain` asks it for a final
         ``drain`` snapshot via its own trigger (it hears the
         ``server.drain`` event through the bus).
+    profiler:
+        Optional :class:`~repro.obs.SamplingProfiler`; :meth:`start`
+        starts it, :meth:`drain` stops it, and the ``stats`` op
+        reports its status.  Pair with ``profile_dir`` to dump
+        ``profile.folded`` / ``profile.json`` after the drain.
+    profile_dir:
+        Where the drain-time profile dump goes (requires ``profiler``).
     """
 
     def __init__(
@@ -195,6 +202,8 @@ class ReproServer:
         ack_capacity: int = 256,
         registry: Any = None,
         flight: Any = None,
+        profiler: Any = None,
+        profile_dir: Optional[str] = None,
     ):
         if workers < 1:
             raise ValueError("need at least one worker")
@@ -209,6 +218,8 @@ class ReproServer:
         self._ack_capacity = ack_capacity
         self.registry = registry
         self.flight = flight
+        self.profiler = profiler
+        self.profile_dir = profile_dir
         self._started_at: Optional[float] = None
         self._protocol = get_protocol(protocol)
         self.managers: List[TransactionManager] = [
@@ -264,6 +275,8 @@ class ReproServer:
         self._server = await asyncio.start_server(
             self._handle_connection, self.host, self.port
         )
+        if self.profiler is not None:
+            self.profiler.start()
         self._started_at = asyncio.get_event_loop().time()
         sockname = self._server.sockets[0].getsockname()
         self.host, self.port = sockname[0], sockname[1]
@@ -328,6 +341,14 @@ class ReproServer:
                 finished=report["finished"],
                 aborted=report["aborted"],
             )
+        if self.profiler is not None:
+            self.profiler.stop()
+            if self.profile_dir is not None:
+                # Local import: the server takes its obs collaborators
+                # as injected Any's; only the dump helper needs a name.
+                from ..obs.prof import write_profile
+
+                write_profile(self.profile_dir, profiler=self.profiler)
         for sink in self._flush_on_drain:
             closer = getattr(sink, "close", None) or getattr(sink, "flush", None)
             if closer is not None:
@@ -563,6 +584,8 @@ class ReproServer:
             result["metrics"] = self.registry.snapshot()
         if self.flight is not None:
             result["flight"] = self.flight.status()
+        if self.profiler is not None:
+            result["profiler"] = self.profiler.status()
         return result
 
     def _route(self, session: Session, request: Request) -> Optional[int]:

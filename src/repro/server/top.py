@@ -29,6 +29,7 @@ _LATENCY_ROWS = (
     ("server.client_wire", "client->server"),
     ("server.queued", "shard queue"),
     ("server.executing", "execute"),
+    ("server.respond_write", "respond"),
 )
 
 
@@ -38,10 +39,15 @@ def _rate(
     key: str,
     elapsed: Optional[float],
 ) -> str:
-    """``delta/s`` between snapshots, or the lifetime total on tick one."""
-    now = current.get(key, 0)
+    """``delta/s`` between snapshots; ``—`` until two snapshots exist.
+
+    A rate needs two samples — rendering the lifetime total on tick one
+    (as this used to) reads as an absurd per-second figure the moment
+    the server has any history.
+    """
     if previous is None or not elapsed or elapsed <= 0:
-        return f"{now} total"
+        return "—"
+    now = current.get(key, 0)
     delta = max(0, now - previous.get(key, 0))
     return f"{delta / elapsed:.1f}/s"
 
@@ -86,6 +92,7 @@ def render_top(
         f"errors {_rate(server, prev_server, 'errors', elapsed)}"
     )
     histograms = (snapshot.get("metrics") or {}).get("histograms") or {}
+    phase_p99: List[tuple] = []
     for name, label in _LATENCY_ROWS:
         payload = histograms.get(name)
         if not payload:
@@ -99,7 +106,34 @@ def render_top(
             f"p99 {_quantile(histogram, 0.99)}  "
             f"n={histogram.total}"
         )
+        phase_p99.append((histogram.quantile(0.99), label))
+    if phase_p99:
+        # The live critical-path hint: the phase whose p99 dominates is
+        # where the tail goes (offline attribution: `repro analyze`).
+        p99, label = max(phase_p99)
+        lines.append(
+            f"critical path: {label} gates the tail "
+            f"(p99 {'>max' if p99 == float('inf') else f'{p99 * 1e3:.2f}ms'})"
+        )
     counters = (snapshot.get("metrics") or {}).get("counters") or {}
+    prev_counters = (
+        ((previous or {}).get("metrics") or {}).get("counters") or {}
+    )
+    blocked = sorted(
+        (
+            (value - prev_counters.get(name, 0.0), name)
+            for name, value in counters.items()
+            if name.startswith("lock.blocked_time[")
+            and value - prev_counters.get(name, 0.0) > 0
+        ),
+        reverse=True,
+    )[:3] if previous is not None else []  # deltas need two snapshots too
+    if blocked:
+        rendered = "  ".join(
+            f"{name[len('lock.blocked_time['):-1]}={delta * 1e3:.2f}ms"
+            for delta, name in blocked
+        )
+        lines.append(f"contention (blocked time this tick): {rendered}")
     pairs = sorted(
         (
             (value, name)

@@ -180,6 +180,7 @@ class TestStatus:
             "retained": 4,
             "seen": 6,
             "dropped_events": 2,
+            "profile_snapshots": 0,
         }
         path = flight.dump("manual")
         status = flight.status()

@@ -1,0 +1,422 @@
+"""The profiler triad: sampler, critical path, contention attribution.
+
+The sampler is tested two ways: lifecycle against the real thread (it
+must start, sample, stop, and leave no thread behind) and aggregation
+against synthetic frame objects, which makes the folded output exact —
+determinism is the whole point of the :class:`StackAggregator` fold, so
+the assertions here are byte-level, not fuzzy.  The critical-path and
+contention analyzers are pure functions over hand-built spans and event
+lists, so their math is asserted exactly too.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.obs import (
+    SamplingProfiler,
+    SpanBuilder,
+    StackAggregator,
+    TraceBus,
+    contention_profile,
+    critical_path,
+    read_profile,
+    render_contention,
+    render_critical_path,
+    render_profile,
+    write_profile,
+)
+from repro.obs.prof import gating_phase
+from repro.obs.spans import Span
+
+
+class FakeCode:
+    def __init__(self, name):
+        self.co_name = name
+
+
+class FakeFrame:
+    """Just enough of a frame for ``StackAggregator.add_frame``."""
+
+    def __init__(self, module, name, back=None):
+        self.f_code = FakeCode(name)
+        self.f_globals = {"__name__": module}
+        self.f_back = back
+
+
+def chain(*labels):
+    """Build a leaf frame for ``mod.fn`` labels, root first."""
+    frame = None
+    for label in labels:
+        module, _, name = label.rpartition(".")
+        frame = FakeFrame(module, name, back=frame)
+    return frame
+
+
+class TestStackAggregator:
+    def test_identical_stacks_merge(self):
+        agg = StackAggregator()
+        agg.add(("root", "leaf"))
+        agg.add(("root", "leaf"), count=2)
+        agg.add(("root", "other"))
+        assert agg.samples == 4
+        assert agg.folded_lines() == ["root;leaf 3", "root;other 1"]
+        assert agg.folded() == "root;leaf 3\nroot;other 1\n"
+
+    def test_output_order_is_deterministic_not_insertion(self):
+        first, second = StackAggregator(), StackAggregator()
+        first.add(("b",))
+        first.add(("a",))
+        second.add(("a",))
+        second.add(("b",))
+        assert first.folded() == second.folded()
+
+    def test_deep_stacks_keep_the_leaf_end(self):
+        agg = StackAggregator(max_depth=3)
+        agg.add(("r", "f1", "f2", "f3", "hot"))
+        assert agg.truncated == 1
+        (line,) = agg.folded_lines()
+        assert line == "<truncated>;f2;f3;hot 1"
+
+    def test_add_frame_walks_leaf_to_root(self):
+        agg = StackAggregator()
+        agg.add_frame(chain("m.outer", "m.inner"), root_label="thread:T")
+        assert agg.folded_lines() == ["thread:T;m.outer;m.inner 1"]
+
+    def test_frame_totals_self_vs_total(self):
+        agg = StackAggregator()
+        agg.add(("a", "b"), count=3)
+        agg.add(("a",), count=2)
+        totals = agg.frame_totals()
+        assert totals["a"] == {"self": 2, "total": 5}
+        assert totals["b"] == {"self": 3, "total": 3}
+
+    def test_recursive_stack_counts_total_once(self):
+        agg = StackAggregator()
+        agg.add(("f", "f", "f"))
+        assert agg.frame_totals()["f"] == {"self": 1, "total": 1}
+
+
+class TestSamplingProfiler:
+    def test_rejects_nonpositive_rate(self):
+        with pytest.raises(ValueError):
+            SamplingProfiler(hz=0)
+
+    def test_lifecycle_leaves_no_thread_behind(self):
+        profiler = SamplingProfiler(hz=500.0)
+        assert not profiler.running
+        profiler.start()
+        profiler.start()  # idempotent while running
+        assert profiler.running
+        assert any(
+            t.name == "repro-prof-sampler" for t in threading.enumerate()
+        )
+        deadline = time.monotonic() + 5.0
+        while profiler.samples == 0 and time.monotonic() < deadline:
+            time.sleep(0.01)
+        profiler.stop()
+        profiler.stop()  # idempotent when stopped
+        assert not profiler.running
+        assert not any(
+            t.name == "repro-prof-sampler" for t in threading.enumerate()
+        )
+        assert profiler.samples > 0
+        assert profiler.duration > 0.0
+
+    def test_context_manager_stops_on_exit(self):
+        with SamplingProfiler(hz=500.0) as profiler:
+            assert profiler.running
+        assert not profiler.running
+
+    def test_synthetic_sampling_is_deterministic(self):
+        profiler = SamplingProfiler(
+            frames=lambda: {},  # never called: frames passed explicitly
+        )
+        frames = {
+            7: chain("app.main", "app.work"),
+            3: chain("app.main", "app.idle"),
+        }
+        recorded = profiler.sample_once(frames=frames)
+        profiler.sample_once(frames=frames)
+        assert recorded == 2
+        assert profiler.rounds == 2
+        assert profiler.samples == 4
+        # Unknown idents label the thread by number; order is by ident.
+        assert profiler.folded() == (
+            "thread:3;app.main;app.idle 2\nthread:7;app.main;app.work 2\n"
+        )
+
+    def test_sampler_excludes_its_own_thread(self):
+        profiler = SamplingProfiler(hz=500.0)
+        profiler.start()
+        try:
+            deadline = time.monotonic() + 5.0
+            while profiler.samples == 0 and time.monotonic() < deadline:
+                time.sleep(0.01)
+        finally:
+            profiler.stop()
+        assert profiler.samples > 0
+        for stack, _count in profiler.aggregator.stacks():
+            assert not stack.startswith("thread:repro-prof-sampler")
+
+    def test_status_is_json_friendly(self):
+        profiler = SamplingProfiler(hz=50.0)
+        status = profiler.status()
+        assert status == {
+            "running": False,
+            "hz": 50.0,
+            "rounds": 0,
+            "samples": 0,
+            "truncated": 0,
+            "duration_seconds": 0.0,
+        }
+
+
+def span(client=0.0, queue=0.0, execute=0.0, respond=0.0, blocked=0.0):
+    built = Span(transaction="T", begin_ts=0.0, end_ts=1.0, outcome="committed")
+    built.phases = {
+        "client": client,
+        "queue": queue,
+        "execute": execute,
+        "respond": respond,
+    }
+    built.blocked = blocked
+    return built
+
+
+class TestCriticalPath:
+    def test_gating_phase_is_the_argmax(self):
+        assert gating_phase(span(client=1.0, queue=3.0)) == "queue"
+        assert gating_phase(span(respond=0.1, blocked=0.5)) == "lock-wait"
+        assert gating_phase(span()) is None
+
+    def test_ties_break_toward_the_earlier_phase(self):
+        assert gating_phase(span(client=2.0, execute=2.0)) == "client"
+
+    def test_empty_budget_spans_are_unattributed(self):
+        report = critical_path([span(queue=1.0), span()])
+        assert report["spans"] == 2
+        assert report["attributed"] == 1
+        assert report["attributed_fraction"] == pytest.approx(0.5)
+        assert report["gating"] == {"queue": 1}
+
+    def test_phase_budget_percentiles_and_scale(self):
+        spans = [span(queue=float(i)) for i in range(1, 101)]
+        report = critical_path(spans, scale=1e3)
+        budget = report["phase_budget"]["queue"]
+        assert budget["p50"] == pytest.approx(51_000.0)
+        assert budget["p99"] == pytest.approx(100_000.0)
+        assert budget["total"] == pytest.approx(5_050_000.0)
+        assert report["total"]["p99"] == pytest.approx(100_000.0)
+        # Phases nobody paid stay at zero rather than vanishing.
+        assert report["phase_budget"]["respond"]["total"] == 0.0
+
+    def test_what_if_is_the_p99_with_the_phase_removed(self):
+        # Ten spans: queue dominates one outlier; removing queue must
+        # re-rank, not just subtract from the old p99 holder.
+        spans = [span(client=1.0, queue=0.1) for _ in range(9)]
+        spans.append(span(client=0.1, queue=5.0))
+        report = critical_path(spans)
+        assert report["total"]["p99"] == pytest.approx(5.1)
+        what_if = report["what_if"]["queue"]
+        # Re-ranking: the outlier drops to 0.1, so the new p99 is a
+        # former 1.1 span minus its 0.1 of queue — not 5.1 minus 5.0.
+        assert what_if["p99_without"] == pytest.approx(1.0)
+        assert what_if["p99_drop"] == pytest.approx(4.1)
+
+    def test_empty_input(self):
+        report = critical_path([])
+        assert report["spans"] == 0
+        assert report["attributed_fraction"] == 0.0
+        assert report["total"] == {"p50": 0.0, "p99": 0.0}
+
+
+def canned_contention_bus():
+    """A scripted conflict trace: T1 pays 2s to one pair, T2 pays 1s."""
+    ticks = iter([0.0, 1.0, 3.0, 4.0, 10.0, 11.0, 12.0, 13.0, 14.0])
+    bus = TraceBus(clock=lambda: next(ticks))
+    events = []
+    bus.subscribe(events.append)
+    bus.emit("txn.begin", transaction="T1")  # t=0
+    bus.emit("txn.begin", transaction="T2")  # t=1
+    bus.emit(  # t=3: T1 blocked 3-0=... anchor is T1's begin at 0 -> 3s
+        "lock.conflict",
+        transaction="T1",
+        obj="Q",
+        operation="Enq(1)",
+        holder="T2",
+        held="Deq()",
+        relation="queue conflicts",
+    )
+    bus.emit("lock.wait", transaction="T1", holder="T2")  # t=4: +1s, inherits
+    bus.emit("txn.commit", transaction="T1", timestamp=1)  # t=10: anchor cleared
+    bus.emit(  # t=11: T2's anchor is its begin at t=1... no: last event t=1 -> 10s
+        "lock.block", transaction="T2", obj="A", operation="Audit()"
+    )
+    bus.emit("txn.abort", transaction="T2")  # t=12
+    bus.emit("txn.begin", transaction="T3")  # t=13
+    bus.emit("lock.wait", transaction="T3", holder="T1")  # t=14: no prior pair
+    return events
+
+
+class TestContentionProfile:
+    def test_attribution_keys_and_intervals(self):
+        report = contention_profile(canned_contention_bus())
+        assert report["events"] == 4
+        # T1: 3s conflict + 1s inherited wait; T2: 10s block; T3: 1s
+        # orphan wait.
+        assert report["blocked_time"] == pytest.approx(15.0)
+        assert report["pairs"] == 3
+        by_pair = {row["pair"]: row for row in report["rows"]}
+        conflict = by_pair["Enq(1)/Deq()"]
+        assert conflict["object"] == "Q"
+        assert conflict["relation"] == "queue conflicts"
+        assert conflict["events"] == 2
+        assert conflict["blocked_time"] == pytest.approx(4.0)
+        block = by_pair["Audit()/(no legal outcome)"]
+        assert block["blocked_time"] == pytest.approx(10.0)
+        orphan = by_pair["(wait)/(unknown holder)"]
+        assert orphan["blocked_time"] == pytest.approx(1.0)
+
+    def test_rows_rank_by_blocked_time(self):
+        report = contention_profile(canned_contention_bus())
+        times = [row["blocked_time"] for row in report["rows"]]
+        assert times == sorted(times, reverse=True)
+        shares = [row["share"] for row in report["rows"]]
+        assert sum(shares) == pytest.approx(1.0)
+
+    def test_terminal_clears_the_anchor(self):
+        # A conflict right after a commit must not be charged the whole
+        # inter-transaction gap: the anchor resets at the terminal.
+        ticks = iter([0.0, 100.0, 101.0, 102.0])
+        bus = TraceBus(clock=lambda: next(ticks))
+        events = []
+        bus.subscribe(events.append)
+        bus.emit("txn.begin", transaction="T1")
+        bus.emit("txn.commit", transaction="T1", timestamp=1)
+        bus.emit("txn.begin", transaction="T1")
+        bus.emit(
+            "lock.conflict",
+            transaction="T1",
+            obj="Q",
+            operation="Enq(1)",
+            holder="T2",
+            held="Deq()",
+            relation="queue conflicts",
+        )
+        report = contention_profile(events)
+        assert report["blocked_time"] == pytest.approx(1.0)
+
+    def test_top_trims_rows_but_not_totals(self):
+        report = contention_profile(canned_contention_bus(), top=1)
+        assert len(report["rows"]) == 1
+        assert report["pairs"] == 3
+        assert report["blocked_time"] == pytest.approx(15.0)
+
+    def test_empty_stream(self):
+        report = contention_profile([])
+        assert report == {
+            "events": 0,
+            "blocked_time": 0.0,
+            "pairs": 0,
+            "rows": [],
+        }
+        assert "no lock conflicts" in render_contention(report)
+
+
+class TestDumpLoadRender:
+    def make_profiler(self):
+        profiler = SamplingProfiler(frames=lambda: {})
+        profiler.sample_once(frames={5: chain("app.main", "app.work")})
+        return profiler
+
+    def test_json_round_trip_through_the_codec(self, tmp_path):
+        profiler = self.make_profiler()
+        critical = critical_path([span(queue=2.0, blocked=0.5)], scale=1e3)
+        contention = contention_profile(canned_contention_bus())
+        paths = write_profile(
+            str(tmp_path),
+            profiler=profiler,
+            critical=critical,
+            contention=contention,
+        )
+        assert [p.rsplit("/", 1)[1] for p in paths] == [
+            "profile.folded",
+            "profile.json",
+        ]
+        report = read_profile(str(tmp_path / "profile.json"))
+        assert report["sampler"]["samples"] == 1
+        assert report["sampler"]["stacks"] == [
+            ["thread:5;app.main;app.work", 1]
+        ]
+        assert report["critical_path"] == critical
+        assert report["contention"] == contention
+
+    def test_folded_round_trip(self, tmp_path):
+        profiler = self.make_profiler()
+        write_profile(str(tmp_path), profiler=profiler)
+        report = read_profile(str(tmp_path / "profile.folded"))
+        assert report["sampler"]["samples"] == 1
+        assert report["sampler"]["stacks"] == [
+            ["thread:5;app.main;app.work", 1]
+        ]
+
+    def test_directory_prefers_json(self, tmp_path):
+        write_profile(str(tmp_path), profiler=self.make_profiler())
+        report = read_profile(str(tmp_path))
+        assert "schema_version" in report
+        assert report["sampler"]["hz"] == pytest.approx(87.0)
+
+    def test_empty_directory_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            read_profile(str(tmp_path))
+
+    def test_render_profile_names_the_hot_frame(self, tmp_path):
+        write_profile(str(tmp_path), profiler=self.make_profiler())
+        rendered = render_profile(read_profile(str(tmp_path)))
+        assert "== profile ==" in rendered
+        assert "hottest frames" in rendered
+        assert "app.work" in rendered
+
+    def test_render_critical_path_scales_to_ms(self):
+        report = critical_path([span(queue=0.002)])  # seconds
+        rendered = render_critical_path(report, scale_to_ms=1e3)
+        assert "queue: p50 2.000ms" in rendered
+
+
+class TestBenchReplayAgreement:
+    def test_critical_path_consumes_span_builder_output(self):
+        # The analyzer and the span builder must agree end to end: feed
+        # a served-transaction trace through SpanBuilder and assert the
+        # report attributes the phase the wire events paid.
+        # The decode lands one second after the client sent (client
+        # phase 1.0s), which outweighs the 0.25s queue phase.
+        ticks = iter([1.0, 1.0, 2.0, 3.0, 4.0])
+        bus = TraceBus(clock=lambda: next(ticks))
+        builder = bus.subscribe(SpanBuilder())
+        bus.emit(
+            "server.decode",
+            session="s1",
+            action="invoke",
+            trace="c1",
+            sent=0.0,
+            transaction="T1",
+        )
+        bus.emit("txn.begin", transaction="T1")
+        bus.emit("txn.invoke", transaction="T1", obj="A", operation="Credit(1)")
+        bus.emit("txn.commit", transaction="T1", timestamp=1)
+        bus.emit(
+            "server.respond",
+            session="s1",
+            action="commit",
+            trace="c1",
+            transaction="T1",
+            queued=0.25,
+            executing=0.05,
+            respond=0.01,
+        )
+        report = critical_path(builder.committed())
+        assert report["attributed"] == 1
+        assert report["gating"] == {"client": 1}
+        assert report["phase_budget"]["queue"]["total"] == pytest.approx(0.25)

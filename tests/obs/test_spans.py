@@ -95,3 +95,47 @@ class TestSpanBuilder:
         bus.emit("txn.invoke", transaction="T1", obj="Q")
         assert builder.spans == []
         assert "T1" in builder.open
+
+
+class TestPendingBound:
+    def test_pending_stash_evicts_fifo_past_the_limit(self):
+        # Wire context for transactions that never begin must not grow
+        # the stash without bound: the oldest entries are dropped FIFO.
+        ticks = [float(i) for i in range(10)]
+        bus = TraceBus(clock=lambda: ticks.pop(0))
+        builder = bus.subscribe(SpanBuilder(pending_limit=3))
+        for index in range(5):
+            bus.emit(
+                "server.decode",
+                session="s1",
+                action="invoke",
+                trace=f"c{index}",
+                sent=0.0,
+                transaction=f"T{index}",
+            )
+        assert len(builder._pending) == 3
+        assert builder.pending_evicted == 2
+        assert set(builder._pending) == {"T2", "T3", "T4"}
+
+    def test_survivor_still_promotes_to_a_real_span(self):
+        # An entry that dodged eviction keeps its wire phases when the
+        # machine finally opens the transaction.
+        ticks = [float(i) for i in range(10)]
+        bus = TraceBus(clock=lambda: ticks.pop(0))
+        builder = bus.subscribe(SpanBuilder(pending_limit=2))
+        for index in range(3):
+            bus.emit(
+                "server.decode",
+                session="s1",
+                action="invoke",
+                trace=f"c{index}",
+                sent=0.0,
+                transaction=f"T{index}",
+            )
+        assert builder.pending_evicted == 1
+        bus.emit("txn.begin", transaction="T2")
+        bus.emit("txn.commit", transaction="T2", timestamp=1)
+        (span,) = builder.spans
+        assert span.trace == "c2"
+        assert span.phases["client"] == pytest.approx(2.0)
+        assert "T2" not in builder._pending

@@ -57,13 +57,17 @@ def snapshot(**overrides):
 
 
 class TestRenderTop:
-    def test_first_frame_shows_lifetime_totals(self):
+    def test_first_frame_renders_no_rates(self):
+        # A rate needs two snapshots: tick one must render an em dash,
+        # never the lifetime totals mislabeled as per-second figures.
         frame = render_top(snapshot())
         assert "repro top — ok" in frame
         assert "workers=2" in frame and "up 12.5s" in frame
         assert "shard0:1 shard1:7" in frame
-        assert "requests 100 total" in frame
-        assert "commits 40 total" in frame
+        assert "requests —" in frame
+        assert "commits —" in frame
+        assert "total" not in frame
+        assert "/s" not in frame
 
     def test_second_frame_shows_rates(self):
         previous = snapshot()
@@ -112,3 +116,28 @@ class TestRenderTop:
     def test_draining_status_is_visible(self):
         frame = render_top(snapshot(status="draining", draining=True))
         assert "repro top — draining" in frame
+
+    def test_critical_path_names_the_dominant_phase(self):
+        # Only one phase histogram is populated, so it must be the one
+        # named as gating the tail.
+        frame = render_top(snapshot())
+        assert "critical path: client->server gates the tail" in frame
+
+    def test_contention_deltas_need_two_snapshots(self):
+        counters = {
+            "lock.blocked_time": 0.25,
+            "lock.blocked_time[Debit × Debit]": 0.2,
+            "lock.blocked_time[Enq × Deq]": 0.05,
+        }
+        current = snapshot()
+        current["metrics"]["counters"].update(counters)
+        assert "contention" not in render_top(current)
+        previous = snapshot()
+        previous["metrics"]["counters"]["lock.blocked_time[Debit × Debit]"] = 0.1
+        frame = render_top(current, previous=previous, elapsed=1.0)
+        line = next(
+            l for l in frame.splitlines() if l.startswith("contention")
+        )
+        # Delta for Debit × Debit is 100ms; Enq × Deq's 50ms is all new.
+        assert "Debit × Debit=100.00ms" in line
+        assert line.index("Debit × Debit") < line.index("Enq × Deq")

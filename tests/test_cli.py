@@ -498,3 +498,109 @@ class TestAnalyze:
         path.write_text("")
         assert main(["analyze", str(path)]) == 1
         assert "holds no events" in capsys.readouterr().err
+
+
+class TestProfile:
+    def make_dump(self, tmp_path):
+        from repro.obs import SamplingProfiler, write_profile
+
+        profiler = SamplingProfiler(frames=lambda: {})
+
+        class FakeCode:
+            co_name = "work"
+
+        class FakeFrame:
+            f_code = FakeCode()
+            f_globals = {"__name__": "app"}
+            f_back = None
+
+        profiler.sample_once(frames={9: FakeFrame()})
+        write_profile(str(tmp_path), profiler=profiler)
+        return tmp_path
+
+    def test_renders_a_dump_directory(self, tmp_path, capsys):
+        dump = self.make_dump(tmp_path)
+        assert main(["profile", str(dump)]) == 0
+        out = capsys.readouterr().out
+        assert "== profile ==" in out
+        assert "app.work" in out
+
+    def test_json_output(self, tmp_path, capsys):
+        import json
+
+        dump = self.make_dump(tmp_path)
+        assert main(["profile", str(dump), "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["sampler"]["samples"] == 1
+
+    def test_missing_path_exits_2(self, capsys):
+        assert main(["profile", "/no/such/profile"]) == 2
+        assert "no such profile" in capsys.readouterr().err
+
+    def test_nonpositive_top_exits_2(self, tmp_path, capsys):
+        dump = self.make_dump(tmp_path)
+        assert main(["profile", str(dump), "--top", "0"]) == 2
+        assert "must be positive" in capsys.readouterr().err
+
+    def test_profileless_directory_exits_2(self, tmp_path, capsys):
+        assert main(["profile", str(tmp_path)]) == 2
+        assert "cannot load" in capsys.readouterr().err
+
+
+class TestBenchCompare:
+    def artifact(self, tmp_path, name, tps, p99):
+        import json
+
+        path = tmp_path / name
+        path.write_text(
+            json.dumps(
+                {
+                    "closed_loop": [
+                        {
+                            "clients": 64,
+                            "committed": 100,
+                            "stats": {
+                                "txn_per_second": tps,
+                                "p50_latency_ms": 1.0,
+                                "p99_latency_ms": p99,
+                            },
+                        }
+                    ],
+                    "certification": {"verdict": "clean"},
+                }
+            )
+        )
+        return str(path)
+
+    def test_within_budget_exits_0(self, tmp_path, capsys):
+        old = self.artifact(tmp_path, "old.json", 1000.0, 10.0)
+        new = self.artifact(tmp_path, "new.json", 950.0, 11.0)
+        assert main(["bench", "compare", old, new]) == 0
+        assert "within regression budgets" in capsys.readouterr().out
+
+    def test_throughput_regression_exits_1(self, tmp_path, capsys):
+        old = self.artifact(tmp_path, "old.json", 1000.0, 10.0)
+        new = self.artifact(tmp_path, "new.json", 700.0, 10.0)
+        assert main(["bench", "compare", old, new]) == 1
+        assert "throughput fell" in capsys.readouterr().out
+
+    def test_p99_regression_exits_1(self, tmp_path, capsys):
+        old = self.artifact(tmp_path, "old.json", 1000.0, 10.0)
+        new = self.artifact(tmp_path, "new.json", 1000.0, 16.0)
+        assert main(["bench", "compare", old, new]) == 1
+        assert "p99 inflated" in capsys.readouterr().out
+
+    def test_wrong_arity_exits_2(self, tmp_path, capsys):
+        old = self.artifact(tmp_path, "old.json", 1000.0, 10.0)
+        assert main(["bench", "compare", old]) == 2
+        assert "exactly two artifacts" in capsys.readouterr().err
+
+    def test_missing_artifact_exits_2(self, tmp_path, capsys):
+        old = self.artifact(tmp_path, "old.json", 1000.0, 10.0)
+        assert main(["bench", "compare", old, "/no/such.json"]) == 2
+        assert "no such artifact" in capsys.readouterr().err
+
+    def test_serve_rejects_positional_artifacts(self, tmp_path, capsys):
+        old = self.artifact(tmp_path, "old.json", 1000.0, 10.0)
+        assert main(["bench", "serve", old]) == 2
+        assert "no positional artifacts" in capsys.readouterr().err
