@@ -1,16 +1,21 @@
-"""Serve-bench history: one headline line per run, append-only.
+"""Bench history: one headline line per run, append-only.
 
 ``repro bench compare OLD.json NEW.json`` answers "did this change
 regress the serving tier?" for a single pair; this script keeps the
-longitudinal record.  Each invocation reads a ``BENCH_serve.json``
-artifact, extracts the headline numbers (peak-concurrency throughput,
-p50/p99, certification verdict — the same row ``compare`` judges), and
-appends one JSON line to ``benchmarks/results/history.jsonl``.  The log
-is append-only on purpose: a rewritten history is no history at all.
+longitudinal record.  Each invocation reads a benchmark artifact,
+extracts its headline numbers, and appends one JSON line to
+``benchmarks/results/history.jsonl``.  Headlines dispatch on the
+artifact name: ``BENCH_serve.json`` rows carry the peak-concurrency
+throughput, p50/p99 and certification verdict (the same row ``compare``
+judges); ``BENCH_machine_micro.json`` rows carry the plain-machine
+hybrid churn rate and the compiled-relation speedups, so the conflict
+compiler's margin is tracked over time too.  The log is append-only on
+purpose: a rewritten history is no history at all.
 
 Run directly::
 
     PYTHONPATH=src python benchmarks/bench_history.py BENCH_serve.json
+    PYTHONPATH=src python benchmarks/bench_history.py BENCH_machine_micro.json
     PYTHONPATH=src python benchmarks/bench_history.py --show 10
 
 or via pytest, which exercises the append/show round trip in a temp
@@ -28,6 +33,31 @@ from repro.server.bench import headline
 HISTORY_PATH = Path(__file__).parent / "results" / "history.jsonl"
 
 
+def machine_micro_headline(data):
+    """Headline row for a ``BENCH_machine_micro.json`` artifact."""
+    hybrid = data["results"]["plain machine/hybrid"]
+    row = {
+        "kind": "machine_micro",
+        "smoke": data.get("smoke", False),
+        "txn_per_second": hybrid["txn_per_second"],
+        "transactions": data["transactions"],
+    }
+    micro = data.get("relation_micro")
+    if isinstance(micro, dict):
+        row["compiled_over_memoised"] = micro["calls"]["compiled_over_memoised"]
+        row["compiled_over_predicate"] = micro["churn"][
+            "compiled_over_predicate"
+        ]
+    return row
+
+
+def headline_for(artifact_name, data):
+    """The headline extractor for an artifact, dispatched by name."""
+    if artifact_name == "BENCH_machine_micro.json":
+        return machine_micro_headline(data)
+    return headline(data)
+
+
 def record(artifact_path, history_path=HISTORY_PATH):
     """Append one artifact's headline row to the history log.
 
@@ -42,7 +72,7 @@ def record(artifact_path, history_path=HISTORY_PATH):
             "%Y-%m-%dT%H:%M:%SZ"
         ),
         "artifact": artifact_path.name,
-        **headline(data),
+        **headline_for(artifact_path.name, data),
     }
     history_path = Path(history_path)
     history_path.parent.mkdir(parents=True, exist_ok=True)
@@ -72,6 +102,18 @@ def render_history(rows, last=10):
     lines = []
     for row in rows[-last:]:
         smoke = " smoke" if row.get("smoke") else ""
+        if row.get("kind") == "machine_micro":
+            compiled = row.get("compiled_over_memoised")
+            margin = (
+                f"compiled/memo {compiled:.2f}x"
+                if compiled is not None
+                else "no relation micro"
+            )
+            lines.append(
+                f"{row['recorded_at']}  {row['txn_per_second']:>9,.0f} txn/s  "
+                f"machine-micro hybrid churn  {margin}{smoke}"
+            )
+            continue
         lines.append(
             f"{row['recorded_at']}  {row['txn_per_second']:>9,.0f} txn/s  "
             f"p50 {row['p50_latency_ms']:>7.2f}ms  "
@@ -108,10 +150,17 @@ def main(argv=None):
         except (OSError, ValueError, KeyError) as failure:
             print(f"FAIL {artifact}: {failure}", file=sys.stderr)
             return 1
-        print(
-            f"recorded {row['artifact']}: {row['txn_per_second']:,.0f} txn/s "
-            f"@ {row['clients']} clients ({row['verdict']})"
-        )
+        if row.get("kind") == "machine_micro":
+            print(
+                f"recorded {row['artifact']}: "
+                f"{row['txn_per_second']:,.0f} txn/s hybrid churn"
+            )
+        else:
+            print(
+                f"recorded {row['artifact']}: "
+                f"{row['txn_per_second']:,.0f} txn/s "
+                f"@ {row['clients']} clients ({row['verdict']})"
+            )
     if args.show is not None:
         print(render_history(load_history(args.history), last=args.show))
     return 0
@@ -161,6 +210,38 @@ def test_history_round_trip(tmp_path):
     assert main([str(artifact), "--history", str(log), "--show", "3"]) == 0
     assert len(load_history(log)) == 3
     assert main(["--history", str(log)]) == 2, "no artifact and no --show"
+
+
+def test_machine_micro_history_row(tmp_path):
+    """The machine-micro artifact records its own headline shape."""
+    artifact = tmp_path / "BENCH_machine_micro.json"
+    artifact.write_text(
+        json.dumps(
+            {
+                "smoke": False,
+                "transactions": 150,
+                "results": {
+                    "plain machine/hybrid": {
+                        "elapsed_seconds": 0.005,
+                        "txn_per_second": 30000.0,
+                    }
+                },
+                "relation_micro": {
+                    "calls": {"compiled_over_memoised": 1.8},
+                    "churn": {"compiled_over_predicate": 1.4},
+                },
+            }
+        )
+    )
+    log = tmp_path / "history.jsonl"
+    row = record(artifact, history_path=log)
+    assert row["kind"] == "machine_micro"
+    assert row["txn_per_second"] == 30000.0
+    assert row["compiled_over_memoised"] == 1.8
+    rendered = render_history(load_history(log))
+    assert "machine-micro" in rendered
+    assert "1.80x" in rendered
+    assert main([str(artifact), "--history", str(log)]) == 0
 
 
 if __name__ == "__main__":

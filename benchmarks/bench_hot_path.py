@@ -11,7 +11,14 @@ two machine-readable artifacts (validated by ``bench_schema.py``):
   throughput for the plain and compacting machines, relation-memo
   enumeration rates, and a checker-certified manager churn run.
 * ``BENCH_machine_micro.json`` — the machine × protocol commit-churn grid
-  (the ``bench_machine_micro.py`` numbers, in a schema'd envelope).
+  (the ``bench_machine_micro.py`` numbers, in a schema'd envelope), plus
+  the compiled-relation micro-benchmark: ``related()`` call rates for the
+  compiled bitset table vs the memoised predicate (warm — the
+  pre-compiler default) vs a bare un-memoised predicate, and commit
+  churn against a pack of live lock-holding transactions so every
+  executed operation pays real conflict checks.  The schema enforces the
+  compiler's acceptance floor: compiled must not be slower than the warm
+  memo.
 
 Run directly::
 
@@ -31,7 +38,12 @@ from pathlib import Path
 
 from repro.adts import make_account_adt
 from repro.core import CompactingLockMachine, Invocation, LockMachine
-from repro.core.conflict import PredicateRelation
+from repro.core.compile import (
+    compile_relation,
+    default_universe,
+    reference_relation,
+)
+from repro.core.conflict import CompiledRelation, PredicateRelation
 from repro.obs import AtomicityChecker, TraceBus
 from repro.protocols import ALL_PROTOCOLS
 from repro.runtime import TransactionManager
@@ -45,6 +57,12 @@ CHURN_TRANSACTIONS = 150
 CERTIFIED_TRANSACTIONS = 100
 MEMO_ROUNDS = 200
 SMOKE_MEMO_ROUNDS = 20
+RELATION_ROUNDS = 2000
+SMOKE_RELATION_ROUNDS = 200
+#: Live lock-holding transactions the relation-churn rows run against:
+#: every executed operation checks conflicts with each holder's held
+#: operation, so the relation lookup dominates instead of vanishing.
+RELATION_HOLDERS = 24
 
 
 def _percentile(sorted_values, fraction):
@@ -177,6 +195,104 @@ def relation_memo(adt, rounds):
     }
 
 
+def _compiled_conflict(adt):
+    """The ADT's compiled conflict table (compiled on the fly when the
+    factory fell back to the hand-written relation, e.g. a fresh checkout
+    before the first ``repro compile``)."""
+    conflict = adt.conflict
+    if isinstance(conflict, CompiledRelation):
+        return conflict
+    return compile_relation(conflict, default_universe(adt))
+
+
+def churn_with_holders(
+    machine, holders=RELATION_HOLDERS, transactions=CHURN_TRANSACTIONS
+):
+    """Commit churn with ``holders`` transactions holding live locks.
+
+    The holders execute one in-universe ``Credit`` each and never finish,
+    so every subsequent operation's lock acquisition walks all held
+    operations through ``conflict.related`` — the access pattern the
+    conflict-relation compiler targets.  Credits commute under the hybrid
+    table, so nothing blocks and the loop measures pure relation cost.
+    """
+    held = Invocation("Credit", (2,))
+    for index in range(holders):
+        machine.execute(f"H{index}", held)
+    for index in range(transactions):
+        name = f"T{index}"
+        machine.execute(name, held)
+        machine.commit(name, index + 1)
+
+
+def relation_micro(adt, rounds, repeats):
+    """Compiled bitset vs predicate ``related()``: call rates and churn.
+
+    ``calls`` times raw ``related()`` over the full compiled-universe
+    pair grid: the compiled bitset table, the memoised predicate *warm*
+    (the pre-compiler hot-path default), and a bare un-memoised
+    predicate (what every cold pair used to pay).  ``churn`` runs the
+    holder-heavy commit loop on a plain LOCK machine with the compiled
+    table vs the hand-written reference.  Best-of-``repeats`` per
+    variant.
+    """
+    compiled = _compiled_conflict(adt)
+    # The memoised variant is the reference relation itself — the exact
+    # object the machine's hot path used before the compiler — with its
+    # internal per-pair memos warmed.
+    memoised = reference_relation(compiled)
+    bare = PredicateRelation(memoised.related, name="bare", memoize=False)
+    pairs = [(q, p) for q in compiled.universe for p in compiled.universe]
+    for q, p in pairs:  # warm every memo before timing
+        compiled.related(q, p)
+        memoised.related(q, p)
+        bare.related(q, p)
+
+    def call_rate(relation):
+        best = float("inf")
+        related = relation.related
+        for _ in range(repeats):
+            started = time.perf_counter()
+            for _ in range(rounds):
+                for q, p in pairs:
+                    related(q, p)
+            best = min(best, time.perf_counter() - started)
+        return rounds * len(pairs) / best
+
+    compiled_rate = call_rate(compiled)
+    memoised_rate = call_rate(memoised)
+    bare_rate = call_rate(bare)
+
+    churn_rows = {"holders": RELATION_HOLDERS}
+    for key, relation in (("compiled", compiled), ("predicate", memoised)):
+        best = float("inf")
+        for _ in range(max(repeats, 3)):
+            machine = LockMachine(adt.spec, relation)
+            started = time.perf_counter()
+            churn_with_holders(machine)
+            best = min(best, time.perf_counter() - started)
+        churn_rows[key] = {
+            "transactions": CHURN_TRANSACTIONS,
+            "elapsed_seconds": best,
+            "txn_per_second": CHURN_TRANSACTIONS / best,
+        }
+    churn_rows["compiled_over_predicate"] = (
+        churn_rows["compiled"]["txn_per_second"]
+        / churn_rows["predicate"]["txn_per_second"]
+    )
+    return {
+        "universe_size": len(compiled.universe),
+        "rounds": rounds,
+        "calls": {
+            "compiled_calls_per_second": compiled_rate,
+            "memoised_warm_calls_per_second": memoised_rate,
+            "predicate_calls_per_second": bare_rate,
+            "compiled_over_memoised": compiled_rate / memoised_rate,
+        },
+        "churn": churn_rows,
+    }
+
+
 def certified_churn(adt, transactions=CERTIFIED_TRANSACTIONS):
     """Manager commit churn with the streaming atomicity oracle attached.
 
@@ -242,6 +358,7 @@ def run_benchmarks(smoke=False, output_dir=REPO_ROOT):
     lengths = SMOKE_SWEEP_LENGTHS if smoke else SWEEP_LENGTHS
     repeats = 1 if smoke else 3
     memo_rounds = SMOKE_MEMO_ROUNDS if smoke else MEMO_ROUNDS
+    relation_rounds = SMOKE_RELATION_ROUNDS if smoke else RELATION_ROUNDS
 
     # Warm up bytecode caches before any timing.
     churn(LockMachine(adt.spec, adt.conflict), 30)
@@ -260,6 +377,7 @@ def run_benchmarks(smoke=False, output_dir=REPO_ROOT):
         "smoke": smoke,
         "transactions": CHURN_TRANSACTIONS,
         "results": machine_micro_grid(adt, repeats),
+        "relation_micro": relation_micro(adt, relation_rounds, repeats),
     }
 
     output_dir = Path(output_dir)
@@ -275,7 +393,7 @@ def run_benchmarks(smoke=False, output_dir=REPO_ROOT):
     return hot_path, machine_micro
 
 
-def render_summary(hot_path):
+def render_summary(hot_path, machine_micro=None):
     lines = ["hot path: cached vs naive single-transaction sweep"]
     for row in hot_path["sweep"]:
         lines.append(
@@ -304,6 +422,22 @@ def render_summary(hot_path):
         f"certified churn: {cert['txn_per_second']:,.0f} txn/s, verdict"
         f" {cert['certification']['verdict']!r}"
     )
+    if machine_micro and "relation_micro" in machine_micro:
+        micro = machine_micro["relation_micro"]
+        calls = micro["calls"]
+        lines.append(
+            f"relation calls: compiled {calls['compiled_calls_per_second']:,.0f}"
+            f" vs warm memo {calls['memoised_warm_calls_per_second']:,.0f}"
+            f" vs bare {calls['predicate_calls_per_second']:,.0f} calls/s"
+            f" (compiled/memo {calls['compiled_over_memoised']:.2f}x)"
+        )
+        churn_rows = micro["churn"]
+        lines.append(
+            f"relation churn ({churn_rows['holders']} holders): compiled"
+            f" {churn_rows['compiled']['txn_per_second']:,.0f} vs predicate"
+            f" {churn_rows['predicate']['txn_per_second']:,.0f} txn/s"
+            f" ({churn_rows['compiled_over_predicate']:.2f}x)"
+        )
     return "\n".join(lines)
 
 
@@ -327,7 +461,7 @@ def main(argv=None):
 
     validate_artifact("BENCH_hot_path.json", hot_path)
     validate_artifact("BENCH_machine_micro.json", machine_micro)
-    print(render_summary(hot_path))
+    print(render_summary(hot_path, machine_micro))
     return 0
 
 
@@ -343,7 +477,13 @@ def test_hot_path_smoke(tmp_path, save_artifact):
     assert longest["length"] >= 200
     assert longest["speedup"] >= 2.0
     assert hot_path["certified_churn"]["certification"]["ok"]
-    save_artifact("hot_path_smoke", render_summary(hot_path), data=hot_path)
+    micro = machine_micro["relation_micro"]
+    assert micro["calls"]["compiled_over_memoised"] >= 1.0
+    save_artifact(
+        "hot_path_smoke",
+        render_summary(hot_path, machine_micro),
+        data=hot_path,
+    )
 
 
 if __name__ == "__main__":

@@ -226,6 +226,27 @@ SERVE_SCHEMA = {
     "certification": CERTIFICATION,
 }
 
+#: Compiled-relation micro-benchmark: raw ``related()`` call rates for
+#: the bitset table vs the memoised predicate (warm) vs a bare
+#: un-memoised predicate, plus holder-heavy commit churn compiled vs the
+#: hand-written reference relation.
+RELATION_MICRO = {
+    "universe_size": non_negative_int,
+    "rounds": non_negative_int,
+    "calls": {
+        "compiled_calls_per_second": positive,
+        "memoised_warm_calls_per_second": positive,
+        "predicate_calls_per_second": positive,
+        "compiled_over_memoised": positive,
+    },
+    "churn": {
+        "holders": non_negative_int,
+        "compiled": CHURN_STATS,
+        "predicate": CHURN_STATS,
+        "compiled_over_predicate": positive,
+    },
+}
+
 MACHINE_MICRO_SCHEMA = {
     "schema_version": non_negative_int,
     "smoke": bool,
@@ -233,6 +254,7 @@ MACHINE_MICRO_SCHEMA = {
     # "results" is checked structurally below: the machine/protocol key
     # set depends on the registered protocols, not the schema.
     "results": dict,
+    "relation_micro": RELATION_MICRO,
 }
 
 ARTIFACT_SCHEMAS = {
@@ -294,6 +316,17 @@ def validate_artifact(name, data):
                 f"{name}.results[{key}]",
                 errors,
             )
+        # The compiler's acceptance floor: the compiled bitset table must
+        # not be slower than the warm memoised predicate it replaced.
+        micro = data.get("relation_micro")
+        if isinstance(micro, dict):
+            ratio = micro.get("calls", {}).get("compiled_over_memoised")
+            if isinstance(ratio, NUMBER) and ratio < 1.0:
+                errors.append(
+                    f"{name}.relation_micro.calls.compiled_over_memoised: "
+                    f"compiled related() is slower than the warm memoised "
+                    f"predicate ({ratio:.3f}x, floor 1.0)"
+                )
     if name == "BENCH_serve.json" and not errors:
         # Structural floors the type checks can't express: the sweep must
         # reach 64 concurrent connections, commit work there, and carry a

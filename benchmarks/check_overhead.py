@@ -27,6 +27,13 @@ without needing the pre-instrumentation binary:
   free; this guard is what makes "low-overhead" a tested claim instead
   of a docstring adjective.  Plain and profiled repeats interleave so
   machine drift (thermal, noisy neighbours) hits both variants equally.
+* **compiled-relation budget** — the compiled bitset conflict table must
+  not cost anything over the hand-written predicate it replaced: commit
+  churn against a pack of live lock-holders (so every operation pays
+  real ``related()`` calls) with the compiled table must stay within
+  ``COMPILED_TOLERANCE`` of the same loop on the reference relation.
+  The expected direction is compiled *faster*; the guard only catches a
+  compiled path that somehow regresses below predicate dispatch.
 * **view-cache budget** — the incremental view cache must keep paying:
   commit churn on the plain machine at least ``CACHE_CHURN_FLOOR``×
   faster cached than naive replay, a 200-op single transaction at least
@@ -45,6 +52,7 @@ import time
 
 from repro.adts import make_account_adt
 from repro.core import CompactingLockMachine, Invocation, LockMachine
+from repro.core.compile import reference_relation
 from repro.obs import (
     AtomicityChecker,
     MetricsRegistry,
@@ -77,6 +85,11 @@ CACHE_COMPACTING_TOLERANCE = 1.5
 SAMPLER_TOLERANCE = 1.05
 SAMPLER_TRANSACTIONS = 600
 SAMPLER_REPEATS = 7
+# The compiled bitset table's measured margin over the predicate under
+# holder-heavy churn is ~1.3-2x; the guard only requires "not slower",
+# with headroom for timer noise.
+COMPILED_TOLERANCE = 1.10
+COMPILED_HOLDERS = 24
 
 
 def churn(machine, transactions=TRANSACTIONS):
@@ -114,6 +127,29 @@ def best_of_long(build, repeats=3):
         machine = build()
         started = time.perf_counter()
         long_transaction(machine)
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def churn_with_holders(machine, holders=COMPILED_HOLDERS):
+    """Commit churn against live lock-holders: every executed operation
+    checks conflicts with each held operation, so the conflict relation's
+    lookup cost dominates.  Credits commute, so nothing blocks."""
+    held = Invocation("Credit", (2,))
+    for index in range(holders):
+        machine.execute(f"H{index}", held)
+    for index in range(TRANSACTIONS):
+        name = f"T{index}"
+        machine.execute(name, held)
+        machine.commit(name, index + 1)
+
+
+def best_of_holders(build, repeats=REPEATS):
+    best = float("inf")
+    for _ in range(repeats):
+        machine = build()
+        started = time.perf_counter()
+        churn_with_holders(machine)
         best = min(best, time.perf_counter() - started)
     return best
 
@@ -190,6 +226,12 @@ def main():
     def compacting_naive():
         return CompactingLockMachine(adt.spec, adt.conflict, view_caching=False)
 
+    def compiled_relation_machine():
+        return LockMachine(adt.spec, adt.conflict)
+
+    def predicate_relation_machine():
+        return LockMachine(adt.spec, reference_relation(adt.conflict))
+
     disabled_best = best_of(disabled)
     traced_best = best_of(traced)
     idle_best = best_of(idle_bus)
@@ -200,6 +242,8 @@ def main():
     compacting_naive_best = best_of(compacting_naive)
     sweep_cached_best = best_of_long(plain_cached)
     sweep_naive_best = best_of_long(plain_naive)
+    compiled_best = best_of_holders(compiled_relation_machine)
+    predicate_best = best_of_holders(predicate_relation_machine)
     unprofiled_best, profiled_best = sampler_budget(disabled)
     disabled_tps = TRANSACTIONS / disabled_best
     traced_tps = TRANSACTIONS / traced_best
@@ -224,6 +268,11 @@ def main():
         f"{CACHE_SWEEP_LENGTH}-op sweep: cached {sweep_cached_best:.6f}s vs "
         f"naive {sweep_naive_best:.6f}s "
         f"({sweep_naive_best / sweep_cached_best:.1f}x)"
+    )
+    print(
+        f"{COMPILED_HOLDERS}-holder churn: compiled {compiled_best:.6f}s vs "
+        f"predicate {predicate_best:.6f}s "
+        f"({predicate_best / compiled_best:.2f}x)"
     )
     print(
         f"sampler: plain {unprofiled_best:.6f}s vs profiled "
@@ -278,6 +327,13 @@ def main():
             f"{CACHE_COMPACTING_TOLERANCE:.1f}x the uncached machine "
             f"({compacting_naive_best:.6f}s) — cache maintenance is costing "
             "more than it saves on the folded path"
+        )
+
+    if compiled_best > predicate_best * COMPILED_TOLERANCE:
+        failures.append(
+            f"holder churn on the compiled relation ({compiled_best:.6f}s) "
+            f"exceeds {COMPILED_TOLERANCE:.2f}x the predicate relation "
+            f"({predicate_best:.6f}s) — the bitset table has stopped paying"
         )
 
     if profiled_best > unprofiled_best * SAMPLER_TOLERANCE:

@@ -1,0 +1,61 @@
+"""Loader for the generated conflict-table modules in this package.
+
+The sibling modules (``account.py``, ``counter.py``, ...) are *generated*
+by ``python -m repro compile`` from the hand-written tables in
+:mod:`repro.adts` — each holds one type's operation universe and its
+conflict tables as per-row bitmasks, plus a content digest.  This
+``__init__`` is the only hand-written file here: it turns those tables
+into :class:`~repro.core.conflict.CompiledRelation` instances for the
+ADT factories.
+
+The loader is deliberately forgiving: a missing or shapeless generated
+module simply yields the hand-written fallback relation, so the package
+keeps working from a fresh checkout before the first compile, and the
+mutation/lint suites can exercise broken trees.  *Staleness* (a generated
+table that disagrees with a fresh derivation) is not silently tolerated —
+it is caught by lint rule REP108 and ``repro compile --check`` in CI.
+"""
+
+from __future__ import annotations
+
+from importlib import import_module
+from typing import Dict, Optional, Tuple
+
+from ...core.conflict import CompiledRelation, Relation
+from ...core.operations import Operation
+
+__all__ = ["load_compiled"]
+
+#: Parsed per-module data, keyed by module stem: None marks a module that
+#: failed to import so the fallback path does not retry on every factory
+#: call.
+_MODULES: Dict[str, Optional[object]] = {}
+
+
+def _module(stem: str) -> Optional[object]:
+    if stem not in _MODULES:
+        try:
+            _MODULES[stem] = import_module(f".{stem}", __name__)
+        except ImportError:
+            _MODULES[stem] = None
+    return _MODULES[stem]
+
+
+def load_compiled(stem: str, table: str, fallback: Relation) -> Relation:
+    """The compiled relation for ``table`` in generated module ``stem``.
+
+    Returns ``fallback`` unchanged when no usable generated table exists.
+    The compiled relation keeps the fallback's name (trace events and
+    artifacts key on relation names) and uses it to answer queries about
+    operations outside the compiled universe.
+    """
+    module = _module(stem)
+    if module is None:
+        return fallback
+    universe: Optional[Tuple[Operation, ...]] = getattr(module, "UNIVERSE", None)
+    masks: Optional[Tuple[int, ...]] = getattr(module, f"{table}_MASKS", None)
+    if universe is None or masks is None or len(universe) != len(masks):
+        return fallback
+    return CompiledRelation(
+        universe, masks, name=fallback.name, fallback=fallback
+    )

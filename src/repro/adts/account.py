@@ -41,6 +41,7 @@ from typing import Any, Hashable, Iterable, List, Sequence, Tuple
 from ..core.conflict import PredicateRelation, symmetric_closure
 from ..core.operations import Invocation, Operation
 from ..core.specs import SerialSpec
+from ._compiled import load_compiled
 from .base import ADT, register
 
 __all__ = [
@@ -157,9 +158,15 @@ def _account_mc(q: Operation, p: Operation) -> bool:
 
 #: Figure 7-1: failure-to-commute conflicts for Account — a strict
 #: superset of the hybrid conflicts.
-ACCOUNT_COMMUTATIVITY_CONFLICT = PredicateRelation(  # repro: symmetric (audited over the finite universe in tests/adts)
+ACCOUNT_COMMUTATIVITY_CONFLICT = PredicateRelation(  # repro: symmetric (REP107 verifies this against the derived failure-to-commute relation)
     _account_mc, name="Account conflicts (commutativity, Fig 7-1)"
 )
+
+#: Tables ``repro compile`` derives, verifies (REP107) and compiles.
+COMPILED_TABLES = {
+    "CONFLICT": ACCOUNT_CONFLICT,
+    "COMMUTATIVITY_CONFLICT": ACCOUNT_COMMUTATIVITY_CONFLICT,
+}
 
 
 def account_universe(
@@ -188,8 +195,10 @@ def make_account_adt(initial=0) -> ADT:
         name="Account",
         spec=AccountSpec(initial),
         dependency=ACCOUNT_DEPENDENCY,
-        conflict=ACCOUNT_CONFLICT,
-        commutativity_conflict=ACCOUNT_COMMUTATIVITY_CONFLICT,
+        conflict=load_compiled("account", "CONFLICT", ACCOUNT_CONFLICT),
+        commutativity_conflict=load_compiled(
+            "account", "COMMUTATIVITY_CONFLICT", ACCOUNT_COMMUTATIVITY_CONFLICT
+        ),
         is_read=lambda operation: False,  # every operation may update
         universe=account_universe,
     )

@@ -26,7 +26,14 @@ from ..core.conflict import PredicateRelation, Relation
 from ..core.operations import Operation
 from ..core.specs import SerialSpec
 
-__all__ = ["ADT", "rw_conflict_relation", "register", "registry", "get_adt"]
+__all__ = [
+    "ADT",
+    "rw_conflict_relation",
+    "register",
+    "registry",
+    "get_adt",
+    "get_factory",
+]
 
 
 @dataclass(frozen=True)
@@ -95,12 +102,21 @@ def registry() -> List[str]:
     return sorted(_REGISTRY)
 
 
-def get_adt(name: str) -> ADT:
-    """Instantiate a registered ADT by name."""
+def get_factory(name: str) -> Callable[[], ADT]:
+    """The registered factory for an ADT, without instantiating it.
+
+    The conflict-relation compiler uses this to locate each bundle's
+    defining module (``factory.__module__``) when generating compiled
+    tables.
+    """
     try:
-        factory = _REGISTRY[name]
+        return _REGISTRY[name]
     except KeyError:
         raise KeyError(
             f"unknown ADT {name!r}; registered: {', '.join(registry())}"
         ) from None
-    return factory()
+
+
+def get_adt(name: str) -> ADT:
+    """Instantiate a registered ADT by name."""
+    return get_factory(name)()

@@ -35,6 +35,7 @@ from typing import Any, Hashable, Iterable, List, Sequence, Tuple
 from ..core.conflict import PredicateRelation, symmetric_closure
 from ..core.operations import Invocation, Operation
 from ..core.specs import SerialSpec
+from ._compiled import load_compiled
 from .base import ADT, register
 
 __all__ = [
@@ -122,10 +123,16 @@ BOUNDED_QUEUE_CONFLICT = symmetric_closure(
 )
 
 #: Failure-to-commute coincides with the MC-shaped relation.
-BOUNDED_QUEUE_COMMUTATIVITY_CONFLICT = PredicateRelation(  # repro: symmetric (audited over the finite universe in tests/adts)
+BOUNDED_QUEUE_COMMUTATIVITY_CONFLICT = PredicateRelation(  # repro: symmetric (REP107 verifies this against the derived failure-to-commute relation)
     lambda q, p: _mc(q, p) or _mc(p, q),
     name="BoundedQueue conflicts (commutativity)",
 )
+
+#: Tables ``repro compile`` derives, verifies (REP107) and compiles.
+COMPILED_TABLES = {
+    "CONFLICT": BOUNDED_QUEUE_CONFLICT,
+    "COMMUTATIVITY_CONFLICT": BOUNDED_QUEUE_COMMUTATIVITY_CONFLICT,
+}
 
 
 def bounded_queue_universe(values: Sequence[Any] = (1, 2)) -> List[Operation]:
@@ -143,8 +150,12 @@ def make_bounded_queue_adt(capacity: int = 2) -> ADT:
         name="BoundedQueue",
         spec=BoundedQueueSpec(capacity),
         dependency=BOUNDED_QUEUE_DEPENDENCY,
-        conflict=BOUNDED_QUEUE_CONFLICT,
-        commutativity_conflict=BOUNDED_QUEUE_COMMUTATIVITY_CONFLICT,
+        conflict=load_compiled("bounded_queue", "CONFLICT", BOUNDED_QUEUE_CONFLICT),
+        commutativity_conflict=load_compiled(
+            "bounded_queue",
+            "COMMUTATIVITY_CONFLICT",
+            BOUNDED_QUEUE_COMMUTATIVITY_CONFLICT,
+        ),
         is_read=lambda operation: False,
         universe=bounded_queue_universe,
         alternative_dependencies={"mc": BOUNDED_QUEUE_MC_DEPENDENCY},

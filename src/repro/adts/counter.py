@@ -32,6 +32,7 @@ from typing import Any, Hashable, Iterable, List, Sequence, Tuple
 from ..core.conflict import PredicateRelation, symmetric_closure
 from ..core.operations import Invocation, Operation
 from ..core.specs import SerialSpec
+from ._compiled import load_compiled
 from .base import ADT, register
 
 __all__ = [
@@ -135,9 +136,17 @@ def _counter_mc(q: Operation, p: Operation) -> bool:
 
 #: Failure-to-commute conflicts — for Counter these coincide with the
 #: symmetric closure of the dependency relation (no Post-like operation).
-COUNTER_COMMUTATIVITY_CONFLICT = PredicateRelation(  # repro: symmetric (audited over the finite universe in tests/adts)
+COUNTER_COMMUTATIVITY_CONFLICT = PredicateRelation(  # repro: symmetric (REP107 verifies this against the derived failure-to-commute relation)
     _counter_mc, name="Counter conflicts (commutativity)"
 )
+
+#: Tables ``repro compile`` derives, verifies (REP107) and compiles for
+#: this module; the factories load the compiled bitset versions with
+#: these hand-written relations as the out-of-universe fallback.
+COMPILED_TABLES = {
+    "CONFLICT": COUNTER_CONFLICT,
+    "COMMUTATIVITY_CONFLICT": COUNTER_COMMUTATIVITY_CONFLICT,
+}
 
 
 def counter_universe(
@@ -160,8 +169,10 @@ def make_counter_adt(initial: int = 0) -> ADT:
         name="Counter",
         spec=CounterSpec(initial),
         dependency=COUNTER_DEPENDENCY,
-        conflict=COUNTER_CONFLICT,
-        commutativity_conflict=COUNTER_COMMUTATIVITY_CONFLICT,
+        conflict=load_compiled("counter", "CONFLICT", COUNTER_CONFLICT),
+        commutativity_conflict=load_compiled(
+            "counter", "COMMUTATIVITY_CONFLICT", COUNTER_COMMUTATIVITY_CONFLICT
+        ),
         is_read=lambda operation: operation.name == "Read",
         universe=counter_universe,
     )

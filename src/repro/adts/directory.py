@@ -25,6 +25,7 @@ from typing import Any, Hashable, Iterable, List, Mapping, Sequence, Tuple
 from ..core.conflict import PredicateRelation, symmetric_closure
 from ..core.operations import Invocation, Operation
 from ..core.specs import SerialSpec
+from ._compiled import load_compiled
 from .base import ADT, register
 
 __all__ = [
@@ -237,9 +238,15 @@ def _directory_mc(q: Operation, p: Operation) -> bool:
 
 
 #: Failure-to-commute conflicts for Directory: adds writer/writer pairs.
-DIRECTORY_COMMUTATIVITY_CONFLICT = PredicateRelation(  # repro: symmetric (audited over the finite universe in tests/adts)
+DIRECTORY_COMMUTATIVITY_CONFLICT = PredicateRelation(  # repro: symmetric (REP107 verifies this against the derived failure-to-commute relation)
     _directory_mc, name="Directory conflicts (commutativity)"
 )
+
+#: Tables ``repro compile`` derives, verifies (REP107) and compiles.
+COMPILED_TABLES = {
+    "CONFLICT": DIRECTORY_CONFLICT,
+    "COMMUTATIVITY_CONFLICT": DIRECTORY_COMMUTATIVITY_CONFLICT,
+}
 
 
 def directory_universe(
@@ -266,8 +273,10 @@ def make_directory_adt(initial: Mapping[Any, Any] = ()) -> ADT:
         name="Directory",
         spec=DirectorySpec(initial),
         dependency=DIRECTORY_DEPENDENCY,
-        conflict=DIRECTORY_CONFLICT,
-        commutativity_conflict=DIRECTORY_COMMUTATIVITY_CONFLICT,
+        conflict=load_compiled("directory", "CONFLICT", DIRECTORY_CONFLICT),
+        commutativity_conflict=load_compiled(
+            "directory", "COMMUTATIVITY_CONFLICT", DIRECTORY_COMMUTATIVITY_CONFLICT
+        ),
         is_read=lambda operation: operation.name == "Lookup",
         universe=directory_universe,
     )

@@ -27,6 +27,7 @@ from typing import Any, Hashable, Iterable, List, Sequence, Tuple
 from ..core.conflict import PredicateRelation, symmetric_closure
 from ..core.operations import Invocation, Operation
 from ..core.specs import SerialSpec
+from ._compiled import load_compiled
 from .base import ADT, register
 
 __all__ = [
@@ -101,9 +102,15 @@ def _fails_to_commute(q: Operation, p: Operation) -> bool:
 
 #: Failure-to-commute conflicts for File (the commutativity baseline);
 #: strictly more restrictive than Figure 4-1 on write/write pairs.
-FILE_COMMUTATIVITY_CONFLICT = PredicateRelation(  # repro: symmetric (audited over the finite universe in tests/adts)
+FILE_COMMUTATIVITY_CONFLICT = PredicateRelation(  # repro: symmetric (REP107 verifies this against the derived failure-to-commute relation)
     _fails_to_commute, name="File conflicts (commutativity)"
 )
+
+#: Tables ``repro compile`` derives, verifies (REP107) and compiles.
+COMPILED_TABLES = {
+    "CONFLICT": FILE_CONFLICT,
+    "COMMUTATIVITY_CONFLICT": FILE_COMMUTATIVITY_CONFLICT,
+}
 
 
 def file_universe(values: Sequence[Any] = (0, 1)) -> List[Operation]:
@@ -121,8 +128,10 @@ def make_file_adt(initial: Any = 0) -> ADT:
         name="File",
         spec=FileSpec(initial),
         dependency=FILE_DEPENDENCY,
-        conflict=FILE_CONFLICT,
-        commutativity_conflict=FILE_COMMUTATIVITY_CONFLICT,
+        conflict=load_compiled("file", "CONFLICT", FILE_CONFLICT),
+        commutativity_conflict=load_compiled(
+            "file", "COMMUTATIVITY_CONFLICT", FILE_COMMUTATIVITY_CONFLICT
+        ),
         is_read=lambda operation: operation.name == "Read",
         universe=file_universe,
     )

@@ -40,6 +40,7 @@ from typing import Any, Hashable, Iterable, List, Sequence, Tuple
 from ..core.conflict import PredicateRelation, symmetric_closure
 from ..core.operations import Invocation, Operation
 from ..core.specs import SerialSpec
+from ._compiled import load_compiled
 from .base import ADT, register
 
 __all__ = [
@@ -124,10 +125,18 @@ QUEUE_CONFLICT_FIG43 = symmetric_closure(
 
 #: Failure-to-commute conflicts — identical to Figure 4-3's closure
 #: (Section 7.1 notes the coincidence), already symmetric.
-QUEUE_COMMUTATIVITY_CONFLICT = PredicateRelation(  # repro: symmetric (audited over the finite universe in tests/adts)
+QUEUE_COMMUTATIVITY_CONFLICT = PredicateRelation(  # repro: symmetric (REP107 verifies this against the derived failure-to-commute relation)
     lambda q, p: _fig43(q, p) or _fig43(p, q),
     name="Queue conflicts (commutativity)",
 )
+
+#: Tables ``repro compile`` derives, verifies (REP107) and compiles —
+#: both minimal conflict relations, since the factory can load either.
+COMPILED_TABLES = {
+    "CONFLICT_FIG42": QUEUE_CONFLICT_FIG42,
+    "CONFLICT_FIG43": QUEUE_CONFLICT_FIG43,
+    "COMMUTATIVITY_CONFLICT": QUEUE_COMMUTATIVITY_CONFLICT,
+}
 
 
 def queue_universe(values: Sequence[Any] = (1, 2)) -> List[Operation]:
@@ -156,8 +165,12 @@ def make_queue_adt(dependency: str = "fig42") -> ADT:
         name="FIFOQueue",
         spec=FifoQueueSpec(),
         dependency=dep,
-        conflict=conflict,
-        commutativity_conflict=QUEUE_COMMUTATIVITY_CONFLICT,
+        conflict=load_compiled(
+            "queue", f"CONFLICT_{dependency.upper()}", conflict
+        ),
+        commutativity_conflict=load_compiled(
+            "queue", "COMMUTATIVITY_CONFLICT", QUEUE_COMMUTATIVITY_CONFLICT
+        ),
         is_read=lambda operation: False,  # both Enq and Deq mutate
         universe=queue_universe,
         alternative_dependencies={

@@ -26,6 +26,7 @@ from typing import Any, Hashable, Iterable, List, Sequence, Tuple
 from ..core.conflict import PredicateRelation, symmetric_closure
 from ..core.operations import Invocation, Operation
 from ..core.specs import SerialSpec
+from ._compiled import load_compiled
 from .base import ADT, register
 
 __all__ = [
@@ -104,10 +105,16 @@ SEMIQUEUE_CONFLICT = symmetric_closure(
 )
 
 #: Failure-to-commute coincides with the dependency relation here.
-SEMIQUEUE_COMMUTATIVITY_CONFLICT = PredicateRelation(  # repro: symmetric (audited over the finite universe in tests/adts)
+SEMIQUEUE_COMMUTATIVITY_CONFLICT = PredicateRelation(  # repro: symmetric (REP107 verifies this against the derived failure-to-commute relation)
     lambda q, p: _semiqueue_dep(q, p) or _semiqueue_dep(p, q),
     name="SemiQueue conflicts (commutativity)",
 )
+
+#: Tables ``repro compile`` derives, verifies (REP107) and compiles.
+COMPILED_TABLES = {
+    "CONFLICT": SEMIQUEUE_CONFLICT,
+    "COMMUTATIVITY_CONFLICT": SEMIQUEUE_COMMUTATIVITY_CONFLICT,
+}
 
 
 def semiqueue_universe(values: Sequence[Any] = (1, 2)) -> List[Operation]:
@@ -125,8 +132,10 @@ def make_semiqueue_adt() -> ADT:
         name="SemiQueue",
         spec=SemiQueueSpec(),
         dependency=SEMIQUEUE_DEPENDENCY,
-        conflict=SEMIQUEUE_CONFLICT,
-        commutativity_conflict=SEMIQUEUE_COMMUTATIVITY_CONFLICT,
+        conflict=load_compiled("semiqueue", "CONFLICT", SEMIQUEUE_CONFLICT),
+        commutativity_conflict=load_compiled(
+            "semiqueue", "COMMUTATIVITY_CONFLICT", SEMIQUEUE_COMMUTATIVITY_CONFLICT
+        ),
         is_read=lambda operation: False,
         universe=semiqueue_universe,
     )

@@ -31,6 +31,7 @@ from typing import Any, FrozenSet, Hashable, Iterable, List, Sequence, Tuple
 from ..core.conflict import PredicateRelation, symmetric_closure
 from ..core.operations import Invocation, Operation
 from ..core.specs import SerialSpec
+from ._compiled import load_compiled
 from .base import ADT, register
 
 __all__ = [
@@ -113,9 +114,15 @@ def _set_mc(q: Operation, p: Operation) -> bool:
 
 
 #: Failure-to-commute conflicts for Set: adds Insert(v) <-> Remove(v).
-SET_COMMUTATIVITY_CONFLICT = PredicateRelation(  # repro: symmetric (audited over the finite universe in tests/adts)
+SET_COMMUTATIVITY_CONFLICT = PredicateRelation(  # repro: symmetric (REP107 verifies this against the derived failure-to-commute relation)
     _set_mc, name="Set conflicts (commutativity)"
 )
+
+#: Tables ``repro compile`` derives, verifies (REP107) and compiles.
+COMPILED_TABLES = {
+    "CONFLICT": SET_CONFLICT,
+    "COMMUTATIVITY_CONFLICT": SET_COMMUTATIVITY_CONFLICT,
+}
 
 
 def set_universe(values: Sequence[Any] = (1, 2)) -> List[Operation]:
@@ -135,8 +142,10 @@ def make_set_adt(initial: Iterable[Any] = ()) -> ADT:
         name="Set",
         spec=SetSpec(initial),
         dependency=SET_DEPENDENCY,
-        conflict=SET_CONFLICT,
-        commutativity_conflict=SET_COMMUTATIVITY_CONFLICT,
+        conflict=load_compiled("set", "CONFLICT", SET_CONFLICT),
+        commutativity_conflict=load_compiled(
+            "set", "COMMUTATIVITY_CONFLICT", SET_COMMUTATIVITY_CONFLICT
+        ),
         is_read=lambda operation: operation.name == "Member",
         universe=set_universe,
     )

@@ -24,6 +24,7 @@ from typing import Any, Hashable, Iterable, List, Sequence, Tuple
 from ..core.conflict import PredicateRelation, symmetric_closure
 from ..core.operations import Invocation, Operation
 from ..core.specs import SerialSpec
+from ._compiled import load_compiled
 from .base import ADT, register
 
 __all__ = [
@@ -94,9 +95,15 @@ def _stack_mc(q: Operation, p: Operation) -> bool:
 
 
 #: Failure-to-commute conflicts: pushes of distinct items conflict.
-STACK_COMMUTATIVITY_CONFLICT = PredicateRelation(  # repro: symmetric (audited over the finite universe in tests/adts)
+STACK_COMMUTATIVITY_CONFLICT = PredicateRelation(  # repro: symmetric (REP107 verifies this against the derived failure-to-commute relation)
     _stack_mc, name="Stack conflicts (commutativity)"
 )
+
+#: Tables ``repro compile`` derives, verifies (REP107) and compiles.
+COMPILED_TABLES = {
+    "CONFLICT": STACK_CONFLICT,
+    "COMMUTATIVITY_CONFLICT": STACK_COMMUTATIVITY_CONFLICT,
+}
 
 
 def stack_universe(values: Sequence[Any] = (1, 2)) -> List[Operation]:
@@ -114,8 +121,10 @@ def make_stack_adt() -> ADT:
         name="Stack",
         spec=StackSpec(),
         dependency=STACK_DEPENDENCY,
-        conflict=STACK_CONFLICT,
-        commutativity_conflict=STACK_COMMUTATIVITY_CONFLICT,
+        conflict=load_compiled("stack", "CONFLICT", STACK_CONFLICT),
+        commutativity_conflict=load_compiled(
+            "stack", "COMMUTATIVITY_CONFLICT", STACK_COMMUTATIVITY_CONFLICT
+        ),
         is_read=lambda operation: False,
         universe=stack_universe,
     )

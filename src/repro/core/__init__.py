@@ -25,6 +25,7 @@ from .compaction import NEG_INFINITY, CompactingLockMachine
 from .conflict import (
     EMPTY_RELATION,
     TOTAL_RELATION,
+    CompiledRelation,
     EnumeratedRelation,
     PredicateRelation,
     Relation,
@@ -100,6 +101,7 @@ __all__ = [
     "Relation",
     "PredicateRelation",
     "EnumeratedRelation",
+    "CompiledRelation",
     "symmetric_closure",
     "union",
     "difference",

@@ -30,6 +30,7 @@ __all__ = [
     "Relation",
     "PredicateRelation",
     "EnumeratedRelation",
+    "CompiledRelation",
     "symmetric_closure",
     "union",
     "difference",
@@ -197,6 +198,76 @@ class EnumeratedRelation(Relation):
     def __repr__(self) -> str:
         body = ", ".join(f"({q}, {p})" for q, p in sorted(self._pairs, key=str))
         return f"EnumeratedRelation({{{body}}})"
+
+
+class CompiledRelation(Relation):
+    """Relation compiled to bitmask tests over a finite operation universe.
+
+    ``repro.core.compile`` assigns every operation in the declared universe
+    a small integer id and precomputes, for each row ``q``, one integer
+    whose ``p``-th bit says whether ``(q, p)`` is related.  A membership
+    query is then two dict probes and a shift — no predicate dispatch, no
+    memo-key tuple allocation, and (unlike :class:`PredicateRelation`'s
+    memo) no eviction cliff.
+
+    Operations outside the compiled universe (a live workload is not
+    bounded by the derivation domain) fall back to the reference relation
+    the table was compiled from, so a ``CompiledRelation`` is a drop-in
+    replacement: agreement on the universe is enforced by the REP107/108
+    lint rules and ``repro compile --check``, and everywhere else the
+    answer *is* the reference's answer.
+    """
+
+    def __init__(
+        self,
+        universe: Sequence[Operation],
+        masks: Sequence[int],
+        name: str = "compiled",
+        fallback: Optional[Relation] = None,
+    ):
+        if len(universe) != len(masks):
+            raise ValueError(
+                f"universe has {len(universe)} operations but "
+                f"{len(masks)} row masks were supplied"
+            )
+        self._ids: Dict[Operation, int] = {
+            op: index for index, op in enumerate(universe)
+        }
+        self._universe: Tuple[Operation, ...] = tuple(universe)
+        self._masks: Tuple[int, ...] = tuple(masks)
+        self.fallback = fallback
+        self.name = name
+
+    def related(self, q: Operation, p: Operation) -> bool:
+        ids = self._ids
+        try:
+            iq = ids.get(q)
+            ip = ids.get(p)
+        except TypeError:  # unhashable operation arguments or results
+            iq = ip = None
+        if iq is None or ip is None:
+            fallback = self.fallback
+            if fallback is not None:
+                return fallback.related(q, p)
+            return False
+        return self._masks[iq] >> ip & 1 != 0
+
+    @property
+    def universe(self) -> Tuple[Operation, ...]:
+        """The compiled operation universe, in id order."""
+        return self._universe
+
+    @property
+    def masks(self) -> Tuple[int, ...]:
+        """Row bitmasks, one per universe operation."""
+        return self._masks
+
+    def __repr__(self) -> str:
+        return (
+            f"CompiledRelation(name={self.name!r}, "
+            f"universe={len(self._universe)} ops, "
+            f"fallback={getattr(self.fallback, 'name', None)!r})"
+        )
 
 
 class _Union(Relation):

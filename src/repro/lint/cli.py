@@ -31,10 +31,16 @@ def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument(
         "--select",
-        nargs="+",
-        metavar="RULE",
+        metavar="RULES",
         default=None,
-        help="run only these rule ids (e.g. REP101 REP104)",
+        help="comma-separated rule ids to run exclusively "
+        "(e.g. REP101,REP104)",
+    )
+    parser.add_argument(
+        "--ignore",
+        metavar="RULES",
+        default=None,
+        help="comma-separated rule ids to skip (applied after --select)",
     )
     parser.add_argument(
         "--statistics",
@@ -48,6 +54,13 @@ def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _split_rules(value: Optional[str]) -> Optional[Sequence[str]]:
+    """``"REP101,REP104"`` -> ``["REP101", "REP104"]`` (None passes through)."""
+    if value is None:
+        return None
+    return [item.strip() for item in value.split(",") if item.strip()]
+
+
 def run_lint_command(args: argparse.Namespace) -> int:
     """Execute the lint run described by parsed arguments."""
     if args.list_rules:
@@ -56,7 +69,9 @@ def run_lint_command(args: argparse.Namespace) -> int:
             print(f"        {cls.rationale}")
         return 0
     try:
-        runner = Runner(select=args.select)
+        runner = Runner(
+            select=_split_rules(args.select), ignore=_split_rules(args.ignore)
+        )
     except ValueError as exc:
         print(f"lint: {exc}", file=sys.stderr)
         return 2

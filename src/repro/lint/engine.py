@@ -62,16 +62,26 @@ _MARKER_RE = re.compile(r"#\s*repro:\s*(?!noqa)(?P<marker>[a-z][a-z0-9-]*)")
 
 @dataclass(frozen=True)
 class Finding:
-    """One rule violation at a source location."""
+    """One rule violation at a source location.
+
+    ``severity`` is ``"error"`` (the default: the finding voids a paper
+    precondition and fails the run) or ``"warning"`` (reported, counted,
+    but not fatal — e.g. a sound-but-non-minimal conflict table).
+    """
 
     rule: str
     path: str
     line: int
     col: int
     message: str
+    severity: str = "error"
 
     def render(self) -> str:
-        return f"{self.path}:{self.line}:{self.col + 1}: {self.rule} {self.message}"
+        tag = "" if self.severity == "error" else f" [{self.severity}]"
+        return (
+            f"{self.path}:{self.line}:{self.col + 1}: "
+            f"{self.rule}{tag} {self.message}"
+        )
 
     def as_dict(self) -> Dict[str, object]:
         return {
@@ -80,6 +90,7 @@ class Finding:
             "line": self.line,
             "col": self.col,
             "message": self.message,
+            "severity": self.severity,
         }
 
 
@@ -334,7 +345,11 @@ class Rule:
         raise NotImplementedError
 
     def finding(
-        self, context: FileContext, node: ast.AST, message: str
+        self,
+        context: FileContext,
+        node: ast.AST,
+        message: str,
+        severity: str = "error",
     ) -> Finding:
         return Finding(
             rule=self.id,
@@ -342,6 +357,7 @@ class Rule:
             line=getattr(node, "lineno", 1),
             col=getattr(node, "col_offset", 0),
             message=message,
+            severity=severity,
         )
 
 
@@ -393,7 +409,10 @@ class RunResult:
 
     @property
     def ok(self) -> bool:
-        return not self.findings and not self.errors
+        # Warnings are reported and counted but do not fail the run.
+        return not self.errors and not any(
+            finding.severity == "error" for finding in self.findings
+        )
 
 
 class Runner:
@@ -402,15 +421,24 @@ class Runner:
     def __init__(
         self,
         select: Optional[Sequence[str]] = None,
+        ignore: Optional[Sequence[str]] = None,
         project: Optional[Project] = None,
     ):
         classes = all_rules()
+        known = {cls.id for cls in classes}
+        for requested in (select, ignore):
+            if requested:
+                unknown = set(requested) - known
+                if unknown:
+                    raise ValueError(
+                        f"unknown rule id(s): {', '.join(sorted(unknown))}"
+                    )
         if select:
             wanted = set(select)
-            unknown = wanted - {cls.id for cls in classes}
-            if unknown:
-                raise ValueError(f"unknown rule id(s): {', '.join(sorted(unknown))}")
             classes = [cls for cls in classes if cls.id in wanted]
+        if ignore:
+            dropped = set(ignore)
+            classes = [cls for cls in classes if cls.id not in dropped]
         self.rules: List[Rule] = [cls() for cls in classes]
         self.project = project or Project()
 

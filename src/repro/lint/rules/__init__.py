@@ -8,6 +8,7 @@ from . import (  # noqa: F401  — imported for their registration side effect
     encapsulation,
     exceptions,
     symmetry,
+    tables,
     trace_events,
 )
 
@@ -17,5 +18,6 @@ __all__ = [
     "encapsulation",
     "exceptions",
     "symmetry",
+    "tables",
     "trace_events",
 ]

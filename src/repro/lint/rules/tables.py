@@ -1,0 +1,291 @@
+"""REP107/REP108 — semantic verification of the conflict tables.
+
+The repo's first *semantic* lint rules: instead of proving a syntactic
+discipline over the AST, they evaluate the linted module and re-run the
+paper's derivations against it (the :mod:`repro.core.compile` pipeline).
+
+* **REP107** (``table-spec-agreement``) — every relation a type declares
+  in its module-level ``COMPILED_TABLES`` hook is re-verified against the
+  serial specification over the declared finite universe: a conflict
+  table that is asymmetric or fails Definition 3 voids the Theorem 11/16
+  hybrid-atomicity guarantee (error); a failure-to-commute table that
+  disagrees with the derived relation is a mis-transcription (error); a
+  sound conflict table carrying a removable pair forfeits Section 7
+  concurrency (warning — silence with ``# repro: nonminimal`` on the
+  declaration once the extra conflict is deliberate).  This check
+  supersedes the hand audits that previously justified the
+  ``# repro: symmetric`` annotations.
+* **REP108** (``generated-table-integrity``) — a generated module under
+  ``adts/_compiled/`` (identified by its sentinel line) must reproduce
+  its embedded content digest: a hand edit to the universe or any mask
+  table breaks the digest and is reported.  Staleness against a *fresh*
+  derivation is the (more expensive) job of ``repro compile --check``.
+
+Both rules evaluate source from the file under lint — never the
+installed module — so mutated copies of the tree (the lint mutation
+suite, review checkouts) are judged on their own content.  Verdicts are
+cached per source digest: re-linting an unchanged file is free.
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ...core.compile import (
+    GENERATED_MARKER,
+    default_universe,
+    depths_for,
+    module_digest,
+    reference_relation,
+    verify_commutativity_table,
+    verify_conflict_table,
+)
+from ..config import in_scope
+from ..engine import FileContext, Finding, Project, Rule, register
+
+__all__ = ["TableSpecAgreement", "GeneratedTableIntegrity"]
+
+#: severity-tagged verdicts per source digest: (line, col, message, severity).
+_Verdict = Tuple[int, int, str, str]
+_VERDICT_CACHE: Dict[str, List[_Verdict]] = {}
+
+
+def _source_key(rule_id: str, source: str) -> str:
+    digest = hashlib.sha256(source.encode("utf-8")).hexdigest()
+    return f"{rule_id}:{digest}"
+
+
+def _assignment_line(tree: ast.Module, name: str) -> Optional[int]:
+    """Line of the module-level assignment binding ``name``."""
+    for node in tree.body:
+        if isinstance(node, ast.Assign) and any(
+            isinstance(t, ast.Name) and t.id == name for t in node.targets
+        ):
+            return node.lineno
+        if (
+            isinstance(node, ast.AnnAssign)
+            and isinstance(node.target, ast.Name)
+            and node.target.id == name
+        ):
+            return node.lineno
+    return None
+
+
+def _exec_module(context: FileContext, module_name: str) -> dict:
+    """Execute the linted file's source as ``module_name``.
+
+    Relative imports resolve against the installed ``repro`` package, so
+    a mutated copy of one adts module is evaluated with the real core
+    underneath it — exactly the judgement ``repro compile`` would make.
+    """
+    namespace: dict = {
+        "__name__": module_name,
+        "__package__": module_name.rsplit(".", 1)[0],
+        "__file__": context.path,
+    }
+    code = compile(context.source, context.path, "exec")
+    exec(code, namespace)  # noqa: S102 — the linted tree is our own source
+    return namespace
+
+
+@register
+class TableSpecAgreement(Rule):
+    id = "REP107"
+    name = "table-spec-agreement"
+    rationale = (
+        "Theorems 11/16 and 28: every declared conflict table must be a "
+        "symmetric dependency relation and every commutativity table must "
+        "equal the derived failure-to-commute relation — re-derived from "
+        "the serial spec, not taken on faith"
+    )
+
+    def check(self, context: FileContext, project: Project) -> Iterable[Finding]:
+        if not in_scope(self.id, context.path):
+            return
+        hook = _assignment_line(context.tree, "COMPILED_TABLES")
+        if hook is None:
+            return  # not a table-declaring module
+        key = _source_key(self.id, context.source)
+        verdicts = _VERDICT_CACHE.get(key)
+        if verdicts is None:
+            verdicts = list(self._verify(context, hook))
+            _VERDICT_CACHE[key] = verdicts
+        for line, col, message, severity in verdicts:
+            yield Finding(
+                rule=self.id,
+                path=context.path,
+                line=line,
+                col=col,
+                message=message,
+                severity=severity,
+            )
+
+    def _verify(self, context: FileContext, hook_line: int) -> Iterable[_Verdict]:
+        from ...adts import base as adts_base
+
+        stem = context.path.replace("\\", "/").rsplit("/", 1)[-1][: -len(".py")]
+        snapshot = dict(adts_base._REGISTRY)
+        try:
+            # The exec'd module calls register(); capture the factories it
+            # added (or replaced) before restoring the real registry.
+            namespace = _exec_module(context, f"repro.adts.{stem}")
+            factories = [
+                factory
+                for name, factory in adts_base._REGISTRY.items()
+                if snapshot.get(name) is not factory
+            ]
+        except Exception as exc:  # noqa: BLE001 — any failure is a finding
+            yield (
+                hook_line, 0,
+                f"cannot evaluate module to verify its tables: {exc!r}",
+                "error",
+            )
+            return
+        finally:
+            adts_base._REGISTRY.clear()
+            adts_base._REGISTRY.update(snapshot)
+
+        tables = namespace.get("COMPILED_TABLES")
+        if not isinstance(tables, dict) or not tables:
+            yield (
+                hook_line, 0,
+                "COMPILED_TABLES must be a non-empty dict of "
+                "{table name: relation}",
+                "error",
+            )
+            return
+        if not factories:
+            yield (
+                hook_line, 0,
+                "module declares COMPILED_TABLES but registers no ADT "
+                "factory — the tables cannot be verified against a spec",
+                "error",
+            )
+            return
+        try:
+            # Each adts module registers exactly one type; judge its tables
+            # with the bundle the *linted* source builds.
+            bundle = factories[0]()
+        except Exception as exc:  # noqa: BLE001
+            yield (
+                hook_line, 0,
+                f"cannot instantiate the registered ADT bundle: {exc!r}",
+                "error",
+            )
+            return
+
+        universe = default_universe(bundle)
+        max_h1, _max_h2, mc_depth = depths_for(bundle.name)
+        for table_key in sorted(tables):
+            relation = reference_relation(tables[table_key])
+            line, check_minimal = self._anchor(context, namespace, relation, hook_line)
+            label = f"{bundle.name}.{table_key}"
+            if "COMMUTATIVITY" in table_key:
+                issues = verify_commutativity_table(
+                    label, relation, bundle.spec, universe, mc_depth=mc_depth
+                )
+            else:
+                issues = verify_conflict_table(
+                    label,
+                    relation,
+                    bundle.spec,
+                    universe,
+                    max_h=max_h1,
+                    max_k=mc_depth,
+                    check_minimal=check_minimal,
+                )
+            for issue in issues:
+                yield (line, 0, f"{issue.table}: {issue.message}", issue.severity)
+
+    @staticmethod
+    def _anchor(context, namespace, relation, hook_line):
+        """Declaration line for a table relation, and whether to check
+        minimality (suppressed by ``# repro: nonminimal`` on that line)."""
+        for name, value in namespace.items():
+            if value is relation and not name.startswith("__"):
+                line = _assignment_line(context.tree, name)
+                if line is not None:
+                    return line, not context.has_marker("nonminimal", line)
+        return hook_line, not context.has_marker("nonminimal", hook_line)
+
+
+@register
+class GeneratedTableIntegrity(Rule):
+    id = "REP108"
+    name = "generated-table-integrity"
+    rationale = (
+        "compiled bitset tables are derived artifacts: a hand edit "
+        "silently de-couples the locked conflicts from the verified "
+        "relation, so the embedded content digest must round-trip"
+    )
+
+    def check(self, context: FileContext, project: Project) -> Iterable[Finding]:
+        if not in_scope(self.id, context.path):
+            return
+        if GENERATED_MARKER not in context.source:
+            return  # the loader shim, or a not-yet-generated file
+        key = _source_key(self.id, context.source)
+        verdicts = _VERDICT_CACHE.get(key)
+        if verdicts is None:
+            verdicts = list(self._verify(context))
+            _VERDICT_CACHE[key] = verdicts
+        for line, col, message, severity in verdicts:
+            yield Finding(
+                rule=self.id,
+                path=context.path,
+                line=line,
+                col=col,
+                message=message,
+                severity=severity,
+            )
+
+    def _verify(self, context: FileContext) -> Iterable[_Verdict]:
+        stem = context.path.replace("\\", "/").rsplit("/", 1)[-1][: -len(".py")]
+        try:
+            namespace = _exec_module(context, f"repro.adts._compiled.{stem}")
+        except Exception as exc:  # noqa: BLE001
+            yield (1, 0, f"cannot evaluate generated module: {exc!r}", "error")
+            return
+        digest_line = _assignment_line(context.tree, "DIGEST") or 1
+        declared = namespace.get("DIGEST")
+        if not isinstance(declared, str):
+            yield (
+                digest_line, 0,
+                "generated module carries no DIGEST constant — regenerate "
+                "with `python -m repro compile`",
+                "error",
+            )
+            return
+        universe = namespace.get("UNIVERSE")
+        if isinstance(universe, tuple):
+            for name, value in sorted(namespace.items()):
+                if name.endswith("_MASKS") and isinstance(value, tuple):
+                    if len(value) != len(universe):
+                        yield (
+                            _assignment_line(context.tree, name) or digest_line,
+                            0,
+                            f"{name} has {len(value)} row(s) for a "
+                            f"{len(universe)}-operation universe",
+                            "error",
+                        )
+        recomputed = module_digest(namespace)
+        if recomputed is None:
+            yield (
+                1, 0,
+                "generated module lost its table shape (ADT_NAME / "
+                "UNIVERSE / *_MASKS) — regenerate with "
+                "`python -m repro compile`",
+                "error",
+            )
+            return
+        if recomputed != declared:
+            yield (
+                digest_line, 0,
+                "content digest mismatch: the universe or a mask table "
+                "was edited by hand — regenerate with "
+                "`python -m repro compile` (REP108 pins generated tables "
+                "to their derivation)",
+                "error",
+            )

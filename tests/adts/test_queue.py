@@ -20,6 +20,7 @@ from repro.core import (
     is_minimal_dependency_relation,
     is_symmetric,
 )
+from repro.core.compile import reference_relation
 
 
 class TestFigure42:
@@ -79,11 +80,13 @@ class TestIncomparability:
 class TestBundles:
     def test_default_bundle_uses_fig42(self):
         adt = make_queue_adt()
-        assert adt.conflict is QUEUE_CONFLICT_FIG42
+        # The bundle may hand out a compiled bitset view; its reference
+        # (out-of-universe fallback) must be the Figure 4-2 table.
+        assert reference_relation(adt.conflict) is QUEUE_CONFLICT_FIG42
 
     def test_fig43_bundle(self):
         adt = make_queue_adt("fig43")
-        assert adt.conflict is QUEUE_CONFLICT_FIG43
+        assert reference_relation(adt.conflict) is QUEUE_CONFLICT_FIG43
 
     def test_unknown_choice_rejected(self):
         with pytest.raises(ValueError):

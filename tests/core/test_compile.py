@@ -1,0 +1,242 @@
+"""Unit tests for the conflict-relation compiler (repro.core.compile).
+
+The property suite (tests/properties/test_compiled_equivalence.py) covers
+the compiled relations shipped by the factories; these tests pin the
+pipeline pieces themselves — verification verdicts, mask compilation,
+digests, the generated-module round trip, and the forgiving loader.
+"""
+
+import pytest
+
+from repro.adts import get_adt
+from repro.adts._compiled import load_compiled
+from repro.adts.file import FILE_COMMUTATIVITY_CONFLICT, FILE_CONFLICT
+from repro.core import CompiledRelation, Invocation, Operation
+from repro.core.compile import (
+    GENERATED_MARKER,
+    compile_masks,
+    compile_relation,
+    default_universe,
+    depths_for,
+    derived_commutativity,
+    module_digest,
+    reference_relation,
+    render_module,
+    table_digest,
+    verify_commutativity_table,
+    verify_conflict_table,
+)
+from repro.core.conflict import (
+    EMPTY_RELATION,
+    TOTAL_RELATION,
+    EnumeratedRelation,
+    PredicateRelation,
+)
+
+
+@pytest.fixture()
+def file_adt():
+    return get_adt("File")
+
+
+@pytest.fixture()
+def file_universe(file_adt):
+    return default_universe(file_adt)
+
+
+class TestVerifyConflictTable:
+    def test_shipped_table_is_sound_and_minimal(self, file_adt, file_universe):
+        issues = verify_conflict_table(
+            "File.CONFLICT",
+            reference_relation(file_adt.conflict),
+            file_adt.spec,
+            file_universe,
+        )
+        assert issues == []
+
+    def test_empty_relation_is_unsound(self, file_adt, file_universe):
+        issues = verify_conflict_table(
+            "File.CONFLICT", EMPTY_RELATION, file_adt.spec, file_universe
+        )
+        assert any(i.severity == "error" for i in issues)
+        assert any("Definition 3" in i.message for i in issues)
+
+    def test_asymmetric_table_is_an_error(self, file_adt, file_universe):
+        lopsided = PredicateRelation(
+            lambda q, p: q.name == "Read" and p.name == "Write",
+            name="lopsided",
+        )
+        issues = verify_conflict_table(
+            "File.CONFLICT", lopsided, file_adt.spec, file_universe
+        )
+        assert any("not symmetric" in i.message for i in issues)
+        assert all(i.severity == "error" for i in issues)
+
+    def test_total_relation_is_sound_but_not_minimal(
+        self, file_adt, file_universe
+    ):
+        issues = verify_conflict_table(
+            "File.CONFLICT", TOTAL_RELATION, file_adt.spec, file_universe
+        )
+        assert issues  # extra pairs are reported...
+        assert all(i.severity == "warning" for i in issues)  # ...as warnings
+        assert all("not minimal" in i.message for i in issues)
+
+    def test_minimality_check_can_be_suppressed(self, file_adt, file_universe):
+        issues = verify_conflict_table(
+            "File.CONFLICT",
+            TOTAL_RELATION,
+            file_adt.spec,
+            file_universe,
+            check_minimal=False,
+        )
+        assert issues == []
+
+
+class TestVerifyCommutativityTable:
+    def test_shipped_table_matches_derivation(self, file_adt, file_universe):
+        issues = verify_commutativity_table(
+            "File.COMMUTATIVITY_CONFLICT",
+            FILE_COMMUTATIVITY_CONFLICT,
+            file_adt.spec,
+            file_universe,
+        )
+        assert issues == []
+
+    def test_wrong_table_reports_the_disagreement(self):
+        # The REP107 mutation scenario: declaring the hybrid conflict
+        # table as the commutativity table. Set's Insert/Remove pairs
+        # commute by return value, so the tables genuinely differ.
+        adt = get_adt("Set")
+        universe = default_universe(adt)
+        _max_h1, _max_h2, mc_depth = depths_for(adt.name)
+        issues = verify_commutativity_table(
+            "Set.COMMUTATIVITY_CONFLICT",
+            reference_relation(adt.conflict),
+            adt.spec,
+            universe,
+            mc_depth=mc_depth,
+        )
+        assert issues
+        assert all(i.severity == "error" for i in issues)
+        assert any("failure-to-commute" in i.message for i in issues)
+
+    def test_derived_relation_verifies_cleanly(self, file_adt, file_universe):
+        derived = derived_commutativity(file_adt.spec, file_universe)
+        assert (
+            verify_commutativity_table(
+                "File.derived", derived, file_adt.spec, file_universe
+            )
+            == []
+        )
+
+
+class TestCompile:
+    def test_masks_encode_the_relation(self, file_universe):
+        masks = compile_masks(FILE_CONFLICT, file_universe)
+        assert len(masks) == len(file_universe)
+        for iq, q in enumerate(file_universe):
+            for ip, p in enumerate(file_universe):
+                assert (masks[iq] >> ip & 1 == 1) == FILE_CONFLICT.related(q, p)
+
+    def test_compile_relation_is_a_drop_in(self, file_universe):
+        compiled = compile_relation(FILE_CONFLICT, file_universe)
+        assert isinstance(compiled, CompiledRelation)
+        assert compiled.name == FILE_CONFLICT.name
+        assert reference_relation(compiled) is FILE_CONFLICT
+        for q in file_universe:
+            for p in file_universe:
+                assert compiled.related(q, p) == FILE_CONFLICT.related(q, p)
+
+    def test_off_universe_queries_use_the_fallback(self, file_universe):
+        compiled = compile_relation(FILE_CONFLICT, file_universe)
+        alien = Operation(Invocation("Write", (123,)), "Ok")
+        assert alien not in compiled.universe
+        for p in file_universe:
+            assert compiled.related(alien, p) == FILE_CONFLICT.related(alien, p)
+
+    def test_no_fallback_means_off_universe_is_unrelated(self, file_universe):
+        bare = CompiledRelation(
+            file_universe, compile_masks(FILE_CONFLICT, file_universe)
+        )
+        alien = Operation(Invocation("Write", (123,)), "Ok")
+        assert bare.related(alien, file_universe[0]) is False
+
+    def test_mask_row_count_must_match_universe(self, file_universe):
+        with pytest.raises(ValueError):
+            CompiledRelation(file_universe, (0,))
+
+    def test_compiling_a_compiled_relation_reuses_the_reference(
+        self, file_universe
+    ):
+        once = compile_relation(FILE_CONFLICT, file_universe)
+        twice = compile_relation(once, file_universe)
+        assert reference_relation(twice) is FILE_CONFLICT
+
+
+class TestDigests:
+    def test_digest_is_stable_and_order_insensitive(self, file_universe):
+        tables = {
+            "CONFLICT": compile_masks(FILE_CONFLICT, file_universe),
+            "COMMUTATIVITY_CONFLICT": compile_masks(
+                FILE_COMMUTATIVITY_CONFLICT, file_universe
+            ),
+        }
+        digest = table_digest("File", file_universe, tables)
+        reordered = dict(reversed(list(tables.items())))
+        assert table_digest("File", file_universe, reordered) == digest
+
+    def test_digest_sees_any_table_edit(self, file_universe):
+        masks = compile_masks(FILE_CONFLICT, file_universe)
+        digest = table_digest("File", file_universe, {"CONFLICT": masks})
+        edited = masks[:-1] + (masks[-1] ^ 1,)
+        assert (
+            table_digest("File", file_universe, {"CONFLICT": edited}) != digest
+        )
+        assert (
+            table_digest("File", file_universe[:-1], {"CONFLICT": masks})
+            != digest
+        )
+
+    def test_module_digest_requires_the_generated_shape(self):
+        assert module_digest({}) is None
+        assert module_digest({"ADT_NAME": "File", "UNIVERSE": ()}) is None
+
+
+class TestRenderModule:
+    def test_rendered_module_round_trips(self, file_universe):
+        tables = {"CONFLICT": compile_masks(FILE_CONFLICT, file_universe)}
+        text = render_module(
+            "File", "repro.adts.file", file_universe, tables
+        )
+        assert GENERATED_MARKER in text
+        namespace = {
+            "__name__": "repro.adts._compiled.file",
+            "__package__": "repro.adts._compiled",
+        }
+        exec(compile(text, "<rendered>", "exec"), namespace)
+        assert namespace["UNIVERSE"] == tuple(file_universe)
+        assert namespace["CONFLICT_MASKS"] == tables["CONFLICT"]
+        assert module_digest(namespace) == namespace["DIGEST"]
+
+    def test_rendering_is_deterministic(self, file_universe):
+        tables = {"CONFLICT": compile_masks(FILE_CONFLICT, file_universe)}
+        first = render_module("File", "repro.adts.file", file_universe, tables)
+        second = render_module("File", "repro.adts.file", file_universe, tables)
+        assert first == second
+
+
+class TestLoader:
+    def test_missing_module_returns_the_fallback(self):
+        sentinel = EnumeratedRelation((), name="sentinel")
+        assert load_compiled("no_such_stem", "CONFLICT", sentinel) is sentinel
+
+    def test_missing_table_returns_the_fallback(self):
+        sentinel = EnumeratedRelation((), name="sentinel")
+        assert load_compiled("file", "NO_SUCH_TABLE", sentinel) is sentinel
+
+    def test_real_module_loads_a_compiled_relation(self):
+        loaded = load_compiled("file", "CONFLICT", FILE_CONFLICT)
+        assert isinstance(loaded, CompiledRelation)
+        assert loaded.fallback is FILE_CONFLICT
+        assert loaded.name == FILE_CONFLICT.name

@@ -34,8 +34,50 @@ class TestExitCodes:
     def test_list_rules(self, capsys):
         assert lint_main(["--list-rules"]) == 0
         out = capsys.readouterr().out
-        for rule_id in ("REP101", "REP102", "REP103", "REP104", "REP105", "REP106"):
+        for rule_id in (
+            "REP101", "REP102", "REP103", "REP104",
+            "REP105", "REP106", "REP107", "REP108",
+        ):
             assert rule_id in out
+
+
+class TestRuleFilters:
+    BAD = os.path.join(FIXTURES, "bad_exceptions.py")
+
+    def test_select_narrows_to_one_rule(self, capsys):
+        assert lint_main(["--select", "REP105", self.BAD]) == 1
+        assert "REP105" in capsys.readouterr().out
+
+    def test_select_other_rule_is_clean(self, capsys):
+        assert lint_main(["--select", "REP101", self.BAD]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_ignore_suppresses_the_finding_rule(self, capsys):
+        assert lint_main(["--ignore", "REP105", self.BAD]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_ignore_other_rule_keeps_findings(self, capsys):
+        assert lint_main(["--ignore", "REP101", self.BAD]) == 1
+        assert "REP105" in capsys.readouterr().out
+
+    def test_select_then_ignore_composes(self, capsys):
+        code = lint_main(
+            ["--select", "REP105", "--ignore", "REP105", self.BAD]
+        )
+        assert code == 0
+
+    def test_unknown_ignore_exits_two(self, capsys):
+        code = lint_main(
+            ["--ignore", "REP999", os.path.join(FIXTURES, "clean.py")]
+        )
+        assert code == 2
+        assert "REP999" in capsys.readouterr().err
+
+    def test_runner_rejects_unknown_ignore(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            Runner(ignore=["REP000"])
 
 
 class TestJsonFormat:

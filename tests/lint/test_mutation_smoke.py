@@ -53,6 +53,23 @@ MUTATIONS = {
         "    import time\n"
         "    time.sleep(1)\n",
     ),
+    # Declare the hybrid conflict table as the commutativity table too:
+    # sound for locking, but it disagrees with the derived
+    # failure-to-commute relation (Set's Insert/Remove pairs), which the
+    # semantic re-derivation must refute.
+    "REP107": (
+        os.path.join("adts", "set.py"),
+        "\n\nCOMPILED_TABLES = {\n"
+        '    "CONFLICT": SET_CONFLICT,\n'
+        '    "COMMUTATIVITY_CONFLICT": SET_CONFLICT,\n'
+        "}\n",
+    ),
+    # Hand-edit a generated bitset table: the content digest no longer
+    # round-trips.
+    "REP108": (
+        os.path.join("adts", "_compiled", "account.py"),
+        "\nCONFLICT_MASKS = CONFLICT_MASKS[:-1] + (0x7F,)\n",
+    ),
 }
 
 
