@@ -55,6 +55,10 @@ def headline_for(artifact_name, data):
     """The headline extractor for an artifact, dispatched by name."""
     if artifact_name == "BENCH_machine_micro.json":
         return machine_micro_headline(data)
+    if artifact_name == "BENCH_shard.json":
+        from repro.server.shardbench import shard_headline
+
+        return shard_headline(data)
     return headline(data)
 
 
@@ -102,6 +106,15 @@ def render_history(rows, last=10):
     lines = []
     for row in rows[-last:]:
         smoke = " smoke" if row.get("smoke") else ""
+        if row.get("kind") == "shard":
+            lines.append(
+                f"{row['recorded_at']}  {row['txn_per_second']:>9,.0f} txn/s  "
+                f"shard pool @{row['workers']} workers  "
+                f"{row['speedup_vs_baseline']:.2f}x vs append  "
+                f"{row['fsyncs_per_txn']:.2f} fsync/txn  "
+                f"{row['verdict']}{smoke}"
+            )
+            continue
         if row.get("kind") == "machine_micro":
             compiled = row.get("compiled_over_memoised")
             margin = (
@@ -154,6 +167,14 @@ def main(argv=None):
             print(
                 f"recorded {row['artifact']}: "
                 f"{row['txn_per_second']:,.0f} txn/s hybrid churn"
+            )
+        elif row.get("kind") == "shard":
+            print(
+                f"recorded {row['artifact']}: "
+                f"{row['txn_per_second']:,.0f} txn/s "
+                f"@ {row['workers']} shard workers "
+                f"({row['speedup_vs_baseline']:.2f}x vs append, "
+                f"{row['verdict']})"
             )
         else:
             print(
@@ -241,6 +262,39 @@ def test_machine_micro_history_row(tmp_path):
     rendered = render_history(load_history(log))
     assert "machine-micro" in rendered
     assert "1.80x" in rendered
+    assert main([str(artifact), "--history", str(log)]) == 0
+
+
+def test_shard_history_row(tmp_path):
+    """The shard-pool artifact records its own headline shape."""
+    artifact = tmp_path / "BENCH_shard.json"
+    artifact.write_text(
+        json.dumps(
+            {
+                "smoke": True,
+                "scaling": [
+                    {"workers": 1, "txn_per_second": 1400.0},
+                    {"workers": 4, "txn_per_second": 4200.0},
+                ],
+                "speedup_vs_baseline": 3.0,
+                "depth_sweep": [
+                    {"batch_depth": 1, "fsyncs_per_txn": 1.0},
+                    {"batch_depth": 16, "fsyncs_per_txn": 0.07},
+                ],
+                "certification": {"verdict": "clean"},
+            }
+        )
+    )
+    log = tmp_path / "history.jsonl"
+    row = record(artifact, history_path=log)
+    assert row["kind"] == "shard"
+    assert row["workers"] == 4, "headline must pick the top worker row"
+    assert row["txn_per_second"] == 4200.0
+    assert row["speedup_vs_baseline"] == 3.0
+    assert row["fsyncs_per_txn"] == 0.07
+    rendered = render_history(load_history(log))
+    assert "shard pool @4 workers" in rendered
+    assert "3.00x vs append" in rendered
     assert main([str(artifact), "--history", str(log)]) == 0
 
 

@@ -257,10 +257,51 @@ MACHINE_MICRO_SCHEMA = {
     "relation_micro": RELATION_MICRO,
 }
 
+#: One shard-pool measurement row: a worker/durability configuration
+#: driven at a fixed pipe-batch submission depth, with the fsync count
+#: taken from the shard WALs' own counters.
+SHARD_ROW = {
+    "workers": positive,
+    "durability": str,
+    "batch_depth": positive,
+    "transactions": non_negative_int,
+    "elapsed_seconds": positive,
+    "txn_per_second": positive,
+    "fsyncs": non_negative_int,
+    "fsyncs_per_txn": non_negative,
+}
+
+SHARD_SCHEMA = {
+    "schema_version": non_negative_int,
+    "smoke": bool,
+    "adt": str,
+    "config": {
+        "ops_per_txn": positive,
+        "txns_per_worker": positive,
+        "batch_depth": positive,
+    },
+    # One worker, one durable write per WAL append: the honest
+    # denominator for the headline speedup.
+    "baseline": SHARD_ROW,
+    # Group-commit worker sweep at the same submission depth.
+    "scaling": [SHARD_ROW],
+    "speedup_vs_baseline": positive,
+    # fsync amortisation as the submission depth grows (1 worker).
+    "depth_sweep": [SHARD_ROW],
+    "cross_shard": {
+        "workers": positive,
+        "transactions": non_negative_int,
+        "elapsed_seconds": positive,
+        "txn_per_second": positive,
+    },
+    "certification": CERTIFICATION,
+}
+
 ARTIFACT_SCHEMAS = {
     "BENCH_hot_path.json": HOT_PATH_SCHEMA,
     "BENCH_machine_micro.json": MACHINE_MICRO_SCHEMA,
     "BENCH_serve.json": SERVE_SCHEMA,
+    "BENCH_shard.json": SHARD_SCHEMA,
 }
 
 
@@ -397,6 +438,33 @@ def validate_artifact(name, data):
                     f"{name}.contention: no blocked events attributed — "
                     "the hot-object debit mix should conflict"
                 )
+    if name == "BENCH_shard.json" and not errors:
+        # The sharding tentpole's acceptance floors: the merged sharded
+        # run must certify, group commit at the top worker count must
+        # beat the durable-per-append baseline (>= 2.5x in a full run;
+        # smoke gets headroom for noisy shared runners), and fsyncs/txn
+        # must amortise below one at submission depth >= 4.
+        if data["certification"]["ok"] is not True:
+            errors.append(f"{name}.certification.ok: sharded run must certify")
+        floor = 1.5 if data["smoke"] else 2.5
+        speedup = data["speedup_vs_baseline"]
+        if isinstance(speedup, NUMBER) and speedup < floor:
+            errors.append(
+                f"{name}.speedup_vs_baseline: group commit is only "
+                f"{speedup:.2f}x the per-append baseline (floor {floor}x)"
+            )
+        amortised = [
+            row["fsyncs_per_txn"]
+            for row in data["depth_sweep"]
+            if isinstance(row.get("batch_depth"), NUMBER)
+            and row["batch_depth"] >= 4
+            and isinstance(row.get("fsyncs_per_txn"), NUMBER)
+        ]
+        if not amortised or min(amortised) >= 1.0:
+            errors.append(
+                f"{name}.depth_sweep: fsyncs/txn never dropped below 1.0 "
+                "at submission depth >= 4 (group commit not amortising)"
+            )
     if errors:
         raise ValueError("\n".join(errors))
 

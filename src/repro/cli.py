@@ -50,7 +50,11 @@ Commands
     protocol, with per-connection sessions, bounded work queues (BUSY
     backpressure), and graceful drain on SIGTERM/SIGINT.  ``--trace-file``
     records every ``server.*`` / ``txn.*`` event so the run can be
-    certified offline with ``repro check --trace-file``.
+    certified offline with ``repro check --trace-file``.  ``--processes
+    N`` shards the objects across *N* WAL-backed worker processes
+    (shared-nothing, group commit, cross-shard 2PC, supervised respawn)
+    instead of in-loop managers; ``--data-dir`` roots the per-shard
+    WALs so a restarted server recovers its state.
 ``bench serve``
     Run the closed-/open-loop load generator against an in-process
     server and write the schema-validated ``BENCH_serve.json`` artifact
@@ -60,6 +64,12 @@ Commands
     ``--profile-dir`` additionally runs the sampling profiler for the
     whole serve window and drops ``profile.folded`` / ``profile.json``
     there for ``repro profile``.
+``bench shard``
+    Run the multi-process sharding benchmark and write the
+    schema-validated ``BENCH_shard.json`` artifact: group-commit worker
+    scaling against a durable-per-append baseline, the fsync/txn
+    amortisation sweep, sequential cross-shard 2PC throughput, and a
+    certified merged-trace run (``shard_trace.jsonl``).
 ``bench compare OLD.json NEW.json``
     Compare two ``BENCH_serve.json`` artifacts and exit nonzero when
     the new run regressed (throughput down >20% or p99 up >50% at the
@@ -112,8 +122,10 @@ Examples::
     python -m repro stats --connect 127.0.0.1:7400 --prometheus
     python -m repro top --connect 127.0.0.1:7400 --iterations 3
     python -m repro analyze /tmp/serve.jsonl
+    python -m repro serve --processes 4 --data-dir /tmp/shards
     python -m repro bench serve --smoke --output-dir /tmp
     python -m repro bench serve --smoke --output-dir /tmp --profile-dir /tmp/prof
+    python -m repro bench shard --smoke --output-dir /tmp
     python -m repro profile /tmp/prof
     python -m repro profile /tmp/prof/profile.folded --top 5
     python -m repro bench compare BENCH_old.json BENCH_new.json
@@ -776,6 +788,20 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 profiler=profiler,
             )
         )
+    pool = None
+    if args.processes:
+        from pathlib import Path
+
+        from .server import ShardProcessPool
+
+        data_dir = Path(args.data_dir)
+        pool = ShardProcessPool(
+            args.processes,
+            data_dir,
+            trace_dir=data_dir / "traces" if args.trace_file else None,
+            protocol=args.protocol,
+            durability=args.durability,
+        )
     server = ReproServer(
         host=args.host,
         port=args.port,
@@ -789,27 +815,38 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         flight=flight,
         profiler=profiler,
         profile_dir=args.profile_dir,
+        pool=pool,
     )
-    for spec in args.object or []:
-        name, _, adt = spec.partition(":")
-        try:
-            server.create_object(name, adt or "Account")
-        except (KeyError, ValueError) as exc:
-            print(f"serve: cannot create {spec!r}: {exc}", file=sys.stderr)
-            return 2
-
-    async def run() -> None:
+    async def run() -> int:
+        # Objects are created after start(): in pool mode the shard
+        # worker processes only exist once the server has spawned them.
         host, port = await server.start()
+        for spec in args.object or []:
+            name, _, adt = spec.partition(":")
+            try:
+                server.create_object(name, adt or "Account")
+            except (KeyError, ValueError) as exc:
+                print(f"serve: cannot create {spec!r}: {exc}", file=sys.stderr)
+                await server.drain()
+                return 2
         server.install_signal_handlers([signal.SIGTERM, signal.SIGINT])
+        tier = (
+            f"{args.processes} shard process(es), {args.durability} commit"
+            if pool is not None
+            else f"{server.workers} worker(s)"
+        )
         print(
             f"serving on {host}:{port} "
-            f"({server.workers} worker(s), queue limit {server.queue_limit}); "
+            f"({tier}, queue limit {server.queue_limit}); "
             "SIGTERM/SIGINT drains gracefully",
             flush=True,
         )
         await server.serve_forever()
+        return 0
 
-    asyncio.run(run())
+    status = asyncio.run(run())
+    if status:
+        return status
     print(
         f"drained: {server.stats['requests']} request(s), "
         f"{server.stats['transactions_committed']} committed, "
@@ -904,8 +941,25 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         print(render_comparison(comparison))
         return 0 if comparison["ok"] else 1
     if args.artifacts:
-        print("bench serve takes no positional artifacts", file=sys.stderr)
+        print(f"bench {args.target} takes no positional artifacts",
+              file=sys.stderr)
         return 2
+    if args.target == "shard":
+        from .server.shardbench import render_shard_summary, run_shard_bench
+
+        try:
+            result = run_shard_bench(
+                smoke=args.smoke, output_dir=Path(args.output_dir)
+            )
+        except AssertionError as exc:
+            print(f"bench shard failed: {exc}", file=sys.stderr)
+            return 1
+        print(render_shard_summary(result))
+        print(
+            f"\nartifact written to "
+            f"{Path(args.output_dir) / 'BENCH_shard.json'}"
+        )
+        return 0
     if args.target != "serve":  # pragma: no cover - argparse enforces choices
         print(f"unknown bench target {args.target!r}", file=sys.stderr)
         return 2
@@ -1247,13 +1301,28 @@ def build_parser() -> argparse.ArgumentParser:
         help="run the sampling wall-clock profiler and dump "
         "profile.folded / profile.json here on drain",
     )
+    serve.add_argument(
+        "--processes", type=int, default=0, metavar="N",
+        help="shard across N WAL-backed worker processes instead of "
+        "in-loop managers (shared-nothing; survives restarts)",
+    )
+    serve.add_argument(
+        "--data-dir", default="serve_data",
+        help="per-shard WAL/trace root for --processes (default: serve_data)",
+    )
+    serve.add_argument(
+        "--durability", choices=["group", "append"], default="group",
+        help="--processes WAL mode: one fsync per batch (group) or per "
+        "append (append)",
+    )
 
     bench = commands.add_parser(
         "bench", help="run a load benchmark and write its artifact"
     )
     bench.add_argument(
-        "target", choices=["serve", "compare"],
-        help="serve: run the load generator; compare: diff two artifacts",
+        "target", choices=["serve", "shard", "compare"],
+        help="serve: run the load generator; shard: the multi-process "
+        "group-commit sweep; compare: diff two artifacts",
     )
     bench.add_argument(
         "artifacts", nargs="*",

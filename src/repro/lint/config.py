@@ -61,6 +61,8 @@ _SERVER_REAL_IO = (
     "/server/client.py",
     "/server/bench.py",
     "/server/top.py",
+    "/server/procpool.py",
+    "/server/shardbench.py",
 )
 
 RULE_SCOPES: Dict[str, RuleScope] = {

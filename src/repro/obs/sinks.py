@@ -97,6 +97,11 @@ class JSONLSink:
         self._file.write(json.dumps(record, default=repr) + "\n")
         self.written += 1
 
+    def flush(self) -> None:
+        """Push buffered lines to the OS (crash-tolerant tracing: a
+        process killed after flushing loses no acknowledged events)."""
+        self._file.flush()
+
     def close(self) -> None:
         """Flush and (when this sink opened the file) close it."""
         self._file.flush()

@@ -5,7 +5,8 @@ lists are a redo log, the Section 6 horizon bounds what a version (and
 hence a checkpoint) may absorb.  This package makes that operational:
 
 * :mod:`~repro.recovery.wal` — append-only, checksummed intentions log
-  (in-memory and on-disk backends);
+  (in-memory and on-disk backends, plus the group-commit wrapper that
+  batches appends under one fsync);
 * :mod:`~repro.recovery.checkpoint` — version snapshots keyed by the
   horizon timestamp, plus log truncation;
 * :mod:`~repro.recovery.recovery` — checkpoint + replay drivers for
@@ -36,6 +37,7 @@ from .recovery import (
 )
 from .wal import (
     FileWAL,
+    GroupCommitWAL,
     MemoryWAL,
     WalCorruption,
     WriteAheadLog,
@@ -59,6 +61,7 @@ __all__ = [
     "WriteAheadLog",
     "MemoryWAL",
     "FileWAL",
+    "GroupCommitWAL",
     "WalCorruption",
     "meta_record",
     "create_record",

@@ -361,14 +361,29 @@ def recover_manager(
     catalog: Optional[Mapping[str, ADT]] = None,
     tracer: Optional[Any] = None,
     clock: Optional[Callable[[], float]] = None,
+    generator: Optional[Any] = None,
+    site: Optional[str] = None,
 ):
     """Rebuild a :class:`~repro.runtime.manager.TransactionManager` from a
     persisted log (plus checkpoint, if a store holds one).
 
-    Returns ``(manager, report)``.  The recovered manager uses a monotone
-    timestamp generator advanced past every replayed commit timestamp, so
-    new commits serialize after everything recovered — the Section 3.3
-    constraint holds across the crash.
+    Returns ``(manager, report)``.  The recovered manager's timestamp
+    generator is advanced past every replayed commit timestamp, so new
+    commits serialize after everything recovered — the Section 3.3
+    constraint holds across the crash.  ``generator`` supplies the
+    replacement generator (default: a fresh monotone clock); when the log
+    was written under a stride partition (the meta record carries
+    ``shard``/``shards``), the supplied generator must declare the *same*
+    stride — reopening a shard's log under a different modulus or residue
+    would mint timestamps colliding with other shards' already-committed
+    ones, so the mismatch raises :class:`RecoveryError` instead.
+
+    2PC-prepared transactions are resurrected as live
+    :class:`~repro.runtime.transaction.Transaction` handles (reachable via
+    ``manager.transaction(name)``, listed by
+    ``manager.prepared_transactions()``) still holding their locks, so a
+    coordinator can deliver the pending verdict with
+    ``commit_prepared``/``abort``.
 
     ``clock`` is an optional zero-argument callable used only to time the
     rebuild for the report (a CLI passes ``time.perf_counter``).  Left
@@ -377,6 +392,7 @@ def recover_manager(
     """
     from ..protocols import get_protocol
     from ..runtime.manager import TransactionManager
+    from ..runtime.transaction import Transaction
 
     started = clock() if clock is not None else 0.0
     checkpoint = store.load() if store is not None else None
@@ -384,8 +400,35 @@ def recover_manager(
     machines, adts, image, report = recover_machines(
         records, checkpoint=checkpoint, catalog=catalog, tracer=tracer
     )
+    logged_shards = image.meta.get("shards")
+    offered = (
+        getattr(generator, "shard", None),
+        getattr(generator, "shards", None),
+    )
+    if logged_shards is not None:
+        logged_shard = image.meta.get("shard")
+        if offered != (logged_shard, logged_shards):
+            raise RecoveryError(
+                f"stride mismatch: log {image.meta.get('name')!r} was written"
+                f" as shard {logged_shard} of {logged_shards}, but recovery"
+                f" offered shard {offered[0]} of {offered[1]} — a resized or"
+                " re-homed worker pool would mint timestamps colliding with"
+                " other shards' committed ones"
+            )
+    elif offered[1] is not None and offered[1] > 1:
+        # An unsharded log joined to a stride pool is the same hazard in
+        # the other direction: its historical commits used every residue,
+        # so the pool's *other* shards would collide with them.
+        raise RecoveryError(
+            f"stride mismatch: log {image.meta.get('name')!r} was written"
+            f" unsharded, but recovery offered shard {offered[0]} of"
+            f" {offered[1]} — its committed timestamps span every residue"
+        )
     manager = TransactionManager(
-        compacting=bool(image.meta.get("compacting", True)), tracer=tracer
+        generator=generator,
+        compacting=bool(image.meta.get("compacting", True)),
+        tracer=tracer,
+        site=site,
     )
     for record in image.creates:
         obj = record["obj"]
@@ -397,14 +440,35 @@ def recover_manager(
 
     # Advance the generator past every recovered timestamp and the name
     # counter past every recovered transaction (names must stay unique).
+    # Stride generators advance via observe_decision (their observe() is
+    # per-transaction); prepare votes count too — the decided timestamp
+    # of an in-flight 2PC transaction will exceed its vote, and the local
+    # stream must already sit above everything this shard promised.
     max_serial = 0
+    advance = getattr(manager._generator, "observe_decision", None)
     for timestamp, _ in image.commits.values():
-        manager._generator.observe("recovery", timestamp)
+        if advance is not None and isinstance(timestamp, int):
+            advance(timestamp)
+        else:
+            manager._generator.observe("recovery", timestamp)
+    if advance is not None:
+        for bound, _ in image.prepares.values():
+            if isinstance(bound, int):
+                advance(bound)
     for transaction in image.seen:
         match = _TXN_NAME.match(transaction)
         if match:
             max_serial = max(max_serial, int(match.group(1)))
     manager._names = itertools.count(max_serial + 1)
+
+    # Prepared-but-undecided transactions come back as live handles with
+    # their touched sets, awaiting the coordinator's verdict.
+    for name in report.prepared_transactions:
+        _, intentions = image.prepares[name]
+        resurrected = Transaction(name)
+        resurrected.touched = set(intentions)
+        resurrected.operations = sum(len(ops) for ops in intentions.values())
+        manager.install_prepared(resurrected)
 
     manager.wal = wal
     report.name = image.meta.get("name", "manager")

@@ -116,20 +116,36 @@ class TransactionManager:
         compacting: bool = True,
         wal: Optional[Any] = None,
         tracer: Optional[Any] = None,
+        site: Optional[str] = None,
     ):
         self._generator = generator or MonotoneTimestampGenerator()
         self._objects: Dict[str, ManagedObject] = {}
         self._transactions: Dict[str, Transaction] = {}
+        #: Transactions in 2PC's prepared state: intentions force-written,
+        #: locks held, awaiting the coordinator's verdict.
+        self._prepared: Dict[str, Transaction] = {}
         self._names = itertools.count(1)
         self._record = record_history
         self._events: List[Any] = []
         self._compacting = compacting
         self.wal = wal
         self.tracer = tracer
+        #: Site label stamped on prepare/commit trace events when this
+        #: manager is one shard of a multi-process pool (None: standalone).
+        self.site = site
         if wal is not None and len(wal) == 0:
             from ..recovery.wal import meta_record
 
-            wal.append(meta_record("manager", "manager", compacting=compacting))
+            shards = getattr(self._generator, "shards", None)
+            wal.append(
+                meta_record(
+                    "manager",
+                    site if site is not None else "manager",
+                    compacting=compacting,
+                    shard=getattr(self._generator, "shard", None),
+                    shards=shards,
+                )
+            )
             if tracer is not None:
                 tracer.emit("wal.append", record="meta")
 
@@ -380,7 +396,7 @@ class TransactionManager:
                 self._events.append(CommitEvent(transaction.name, obj, timestamp))
         transaction.status = Status.COMMITTED
         transaction.timestamp = timestamp
-        self._generator.forget(transaction.name)
+        self._finish(transaction)
         return timestamp
 
     def abort(self, transaction: Transaction) -> None:
@@ -402,7 +418,7 @@ class TransactionManager:
             if self._record:
                 self._events.append(AbortEvent(transaction.name, obj))
         transaction.status = Status.ABORTED
-        self._generator.forget(transaction.name)
+        self._finish(transaction)
         tracer = self.tracer
         if tracer is not None:
             tracer.emit(
@@ -426,7 +442,7 @@ class TransactionManager:
                 else:
                     self._events.append(AbortEvent(transaction.name, obj))
         transaction.status = Status.COMMITTED if commit else Status.ABORTED
-        self._generator.forget(transaction.name)
+        self._finish(transaction)
         tracer = self.tracer
         if tracer is not None:
             if commit:
@@ -446,13 +462,136 @@ class TransactionManager:
                 )
         return transaction.timestamp
 
+    def _finish(self, transaction: Transaction) -> None:
+        """Drop per-transaction bookkeeping once the outcome is decided.
+
+        The registry must not grow with history: a long-running manager
+        that kept every completed :class:`Transaction` would leak one
+        entry per transaction forever.  Completed transactions are popped
+        here; :meth:`_require_active` still reports them as
+        committed/aborted (the handle itself knows its status).
+        """
+        self._transactions.pop(transaction.name, None)
+        self._prepared.pop(transaction.name, None)
+        self._generator.forget(transaction.name)
+
     def _require_active(self, transaction: Transaction) -> None:
         if self._transactions.get(transaction.name) is not transaction:
+            if not transaction.is_active:
+                # Completed transactions are popped from the registry;
+                # a late commit/abort/invoke still gets the honest answer.
+                raise TransactionAborted(
+                    f"{transaction.name} is {transaction.status.value}"
+                )
             raise ProtocolError(f"unknown transaction {transaction.name!r}")
         if not transaction.is_active:
             raise TransactionAborted(
                 f"{transaction.name} is {transaction.status.value}"
             )
+
+    def transaction(self, name: str) -> Optional[Transaction]:
+        """The live (active or prepared) transaction registered as ``name``."""
+        return self._transactions.get(name)
+
+    def install_prepared(self, transaction: Transaction) -> None:
+        """Register a recovery-resurrected prepared transaction.
+
+        The sanctioned mutation point for :mod:`repro.recovery.recovery`:
+        the transaction's intentions were already replayed into the
+        machines (locks held), so it re-enters the registry in 2PC's
+        prepared state, awaiting ``commit_prepared`` or ``abort``.
+        """
+        self._transactions[transaction.name] = transaction
+        self._prepared[transaction.name] = transaction
+
+    def prepared_transactions(self) -> List[str]:
+        """Names of transactions in 2PC's prepared state (sorted)."""
+        return sorted(self._prepared)
+
+    # ------------------------------------------------------------------
+    # Two-phase commit (participant role, for the sharded pool)
+    # ------------------------------------------------------------------
+
+    def prepare(self, transaction: Transaction) -> int:
+        """2PC phase one: force-write the intentions and return the vote.
+
+        The vote is this shard's timestamp floor — every commit this
+        transaction observed here, and everything committed here at all,
+        sits at or below it, so a coordinator deciding strictly above
+        every participant's vote satisfies §3.3 everywhere (the paper's
+        "piggyback timestamp information on the messages of a commit
+        protocol").  After ``prepare`` the transaction keeps its locks
+        and survives :meth:`crash` — only the coordinator's verdict
+        (:meth:`commit_prepared` / :meth:`abort`) releases them.
+        """
+        self._require_active(transaction)
+        if transaction.read_only:
+            raise ProtocolError("read-only transactions do not prepare")
+        generator = self._generator
+        vote_fn = getattr(generator, "vote", None)
+        vote = int(vote_fn(transaction.name)) if vote_fn is not None else 0
+        if self.wal is not None:
+            from ..recovery.wal import prepare_record
+
+            intentions = {
+                obj: self._objects[obj].machine.intentions(transaction.name)
+                for obj in sorted(transaction.touched)
+            }
+            self.wal.append(prepare_record(transaction.name, vote, intentions))
+            if self.tracer is not None:
+                self.tracer.emit(
+                    "wal.append",
+                    record="prepare",
+                    transaction=transaction.name,
+                    site=self.site,
+                )
+        self._prepared[transaction.name] = transaction
+        return vote
+
+    def commit_prepared(self, transaction: Transaction, timestamp: int) -> int:
+        """2PC phase two: commit at the coordinator-decided timestamp.
+
+        ``timestamp`` must exceed this shard's vote (the coordinator
+        decided above every vote); the local generator folds it in so
+        later local commits stay above it.
+        """
+        self._require_active(transaction)
+        if transaction.name not in self._prepared:
+            raise ProtocolError(
+                f"{transaction.name} was never prepared on this shard"
+            )
+        if self.wal is not None:
+            from ..recovery.wal import commit_record
+
+            intentions = {
+                obj: self._objects[obj].machine.intentions(transaction.name)
+                for obj in sorted(transaction.touched)
+            }
+            self.wal.append(commit_record(transaction.name, timestamp, intentions))
+            if self.tracer is not None:
+                self.tracer.emit(
+                    "wal.append", record="commit", transaction=transaction.name
+                )
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.emit(
+                "txn.commit",
+                transaction=transaction.name,
+                timestamp=timestamp,
+                objects=sorted(transaction.touched),
+                site=self.site,
+            )
+        for obj in sorted(transaction.touched):
+            self._objects[obj].machine.commit(transaction.name, timestamp)
+            if self._record:
+                self._events.append(CommitEvent(transaction.name, obj, timestamp))
+        observe_decision = getattr(self._generator, "observe_decision", None)
+        if observe_decision is not None:
+            observe_decision(timestamp)
+        transaction.status = Status.COMMITTED
+        transaction.timestamp = timestamp
+        self._finish(transaction)
+        return timestamp
 
     def checkpoint(self, store: Any) -> Any:
         """Snapshot every object's collapsed version into ``store`` and
@@ -490,7 +629,7 @@ class TransactionManager:
         victims = [
             transaction
             for transaction in self._transactions.values()
-            if transaction.is_active
+            if transaction.is_active and transaction.name not in self._prepared
         ]
         for transaction in victims:
             self.abort(transaction)

@@ -10,6 +10,9 @@ and synchronous; this package is where the outside world attaches:
 * :mod:`~repro.server.server` — the asyncio front end: sessions,
   bounded work queues with BUSY backpressure, sharded managers, and
   graceful drain;
+* :mod:`~repro.server.procpool` — shared-nothing shard *processes*:
+  one WAL-backed manager per OS process under group commit, cross-shard
+  2PC, supervised respawn with recovery;
 * :mod:`~repro.server.client` — sync and asyncio client libraries;
 * :mod:`~repro.server.bench` — the closed-/open-loop load harness
   behind ``repro bench serve``;
@@ -20,6 +23,7 @@ See ``docs/serving.md`` for the protocol and lifecycle reference.
 """
 
 from .client import AsyncClient, SyncClient
+from .procpool import ShardDown, ShardProcess, ShardProcessPool
 from .protocol import (
     ACTIONS,
     ERROR_CODES,
@@ -38,7 +42,7 @@ from .protocol import (
     response_frame,
 )
 from .server import ReproServer, ShardedTimestampGenerator, shard_for
-from .session import Session, SessionError
+from .session import Session, SessionError, TxnRecord
 from .top import render_top, run_top
 
 __all__ = [
@@ -59,9 +63,13 @@ __all__ = [
     "parse_response",
     "Session",
     "SessionError",
+    "TxnRecord",
     "ReproServer",
     "ShardedTimestampGenerator",
     "shard_for",
+    "ShardProcess",
+    "ShardProcessPool",
+    "ShardDown",
     "SyncClient",
     "AsyncClient",
     "render_top",

@@ -111,6 +111,7 @@ ERROR_CODES = frozenset(
         "BUSY",             # work queue past its high-water mark
         "SHUTTING_DOWN",    # server is draining; no new transactions
         "CROSS_SHARD",      # transaction bound to another worker's shard
+        "SHARD_DOWN",       # shard worker process died; txn presumed aborted
         "INTERNAL",         # unexpected server-side failure
     }
 )

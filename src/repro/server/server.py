@@ -26,13 +26,30 @@ Sharding
 
 With ``workers > 1`` each worker owns a disjoint shard of the objects
 (stable CRC32 of the object name).  A transaction is pinned to the shard
-owning the *first* object it touches; touching another shard answers
-``CROSS_SHARD`` (single-shard transactions only — cross-shard 2PC is
-ROADMAP item 2's distributed coordinator, not this tier's job).  Commit
-timestamps stay globally unique because worker *i* of *W* issues only
-timestamps ≡ *i* (mod *W*) — each shard's generator is monotone, so the
-Section 3.3 constraint holds per manager, and the shards' timestamp
-streams never collide, so a merged trace still certifies.
+owning the *first* object it touches (its *primary*); its
+:class:`~repro.server.session.TxnRecord` accumulates every shard it
+touches.  Commit timestamps stay globally unique because worker *i* of
+*W* issues only timestamps ≡ *i* (mod *W*) — each shard's generator is
+monotone, so the Section 3.3 constraint holds per manager, and the
+shards' timestamp streams never collide, so a merged trace still
+certifies.
+
+Two deployment shapes share this front end:
+
+* **in-loop** (default): each shard is a synchronous
+  :class:`~repro.runtime.TransactionManager` touched only from its
+  worker coroutine.  Touching a second shard answers ``CROSS_SHARD`` —
+  there is no commit protocol between in-loop managers.
+* **process pool** (``pool=``): each shard is a *worker OS process*
+  (:class:`~repro.server.procpool.ShardProcessPool`) with its own WAL
+  under group commit.  The worker coroutine drains its queue into
+  *batches* — one pipe round-trip, one group-commit fsync for the whole
+  batch — and cross-shard transactions are legal: commit runs
+  presumed-abort 2PC across exactly the recorded participants.  A dead
+  worker process is respawned (recovering from its WAL, resurrecting
+  prepared transactions); the requests and handles it stranded are
+  answered ``SHARD_DOWN`` and cleaned up on every participant, never
+  leaked.
 
 Graceful drain
 --------------
@@ -103,6 +120,16 @@ class ShardedTimestampGenerator(TimestampGenerator):
         self._last = 0
         self._bounds: Dict[str, int] = {}
 
+    @property
+    def shard(self) -> int:
+        """This generator's stride residue (worker index)."""
+        return self._shard
+
+    @property
+    def shards(self) -> int:
+        """The stride modulus (worker-pool size) timestamps are unique under."""
+        return self._shards
+
     def observe(self, transaction: str, committed_timestamp: Any) -> None:
         current = self._bounds.get(transaction, 0)
         if int(committed_timestamp) > current:
@@ -114,6 +141,27 @@ class ShardedTimestampGenerator(TimestampGenerator):
         candidate += (self._shard - candidate) % self._shards
         self._last = candidate
         return candidate
+
+    def vote(self, transaction: str) -> int:
+        """This shard's 2PC vote: the floor the decided timestamp must clear.
+
+        The §3.3 piggyback — everything committed here, and everything
+        ``transaction`` observed here, sits at or below this value, so a
+        coordinator deciding strictly above every vote satisfies the
+        constraint at every participant.
+        """
+        return max(self._last, self._bounds.get(transaction, 0))
+
+    def observe_decision(self, timestamp: Any) -> None:
+        """Advance past a coordinator-decided timestamp (2PC phase two).
+
+        The decided value lives on the *coordinator's* stride, but this
+        shard must never mint below it for transactions that observed the
+        committed effects — folding it into ``_last`` keeps the local
+        stream above every decision applied here.
+        """
+        if int(timestamp) > self._last:
+            self._last = int(timestamp)
 
     def forget(self, transaction: str) -> None:
         self._bounds.pop(transaction, None)
@@ -204,12 +252,18 @@ class ReproServer:
         flight: Any = None,
         profiler: Any = None,
         profile_dir: Optional[str] = None,
+        pool: Any = None,
+        pool_batch_limit: int = 64,
     ):
+        if pool is not None:
+            workers = pool.workers
         if workers < 1:
             raise ValueError("need at least one worker")
         self.host = host
         self.port = port
         self.workers = workers
+        self.pool = pool
+        self.pool_batch_limit = pool_batch_limit
         self.queue_limit = queue_limit
         self.max_frame_bytes = max_frame_bytes
         self.tracer = tracer
@@ -222,13 +276,21 @@ class ReproServer:
         self.profile_dir = profile_dir
         self._started_at: Optional[float] = None
         self._protocol = get_protocol(protocol)
-        self.managers: List[TransactionManager] = [
-            TransactionManager(
-                generator=ShardedTimestampGenerator(index, workers),
-                tracer=tracer,
-            )
-            for index in range(workers)
-        ]
+        if pool is not None:
+            # Shard state lives in the worker processes; the parent keeps
+            # only the catalog and sessions.  Route crash telemetry from
+            # the pool supervisor through this server's bus.
+            self.managers: List[TransactionManager] = []
+            if pool.tracer is None:
+                pool.tracer = tracer
+        else:
+            self.managers = [
+                TransactionManager(
+                    generator=ShardedTimestampGenerator(index, workers),
+                    tracer=tracer,
+                )
+                for index in range(workers)
+            ]
         #: object name -> owning worker index.
         self._catalog: Dict[str, int] = {}
         self._queues: List[asyncio.Queue] = []
@@ -260,17 +322,30 @@ class ReproServer:
         """Create ``name`` on its owning shard; returns the worker index."""
         if name in self._catalog:
             raise ValueError(f"object {name!r} already exists")
-        worker = shard_for(name, self.workers)
-        spec = get_protocol(protocol) if protocol else self._protocol
-        self.managers[worker].create_object(name, get_adt(adt_name), protocol=spec)
+        if self.pool is not None:
+            worker = self.pool.create_object(name, adt_name, protocol)
+        else:
+            worker = shard_for(name, self.workers)
+            spec = get_protocol(protocol) if protocol else self._protocol
+            self.managers[worker].create_object(
+                name, get_adt(adt_name), protocol=spec
+            )
         self._catalog[name] = worker
         return worker
 
     async def start(self) -> Tuple[str, int]:
         """Bind, spawn the workers, and begin accepting connections."""
+        if self.pool is not None:
+            self.pool.start()  # spawn (or confirm) the shard processes
+            # Adopt objects the shards recovered from their WALs: a
+            # restarted server serves its pre-crash catalog immediately.
+            for index, names in enumerate(self.pool.catalog()):
+                for name in names:
+                    self._catalog.setdefault(name, index)
         self._queues = [asyncio.Queue() for _ in range(self.workers)]
+        run = self._pool_worker if self.pool is not None else self._worker
         self._worker_tasks = [
-            asyncio.ensure_future(self._worker(index)) for index in range(self.workers)
+            asyncio.ensure_future(run(index)) for index in range(self.workers)
         ]
         self._server = await asyncio.start_server(
             self._handle_connection, self.host, self.port
@@ -317,10 +392,8 @@ class ReproServer:
         for connection in self._connections:
             session = connection.session
             for handle in list(session.transactions):
-                worker, transaction = session.transactions[handle]
-                if transaction is not None and transaction.is_active:
-                    self.managers[worker].abort(transaction)
-                    forced += 1
+                record = session.transactions[handle]
+                forced += await self._force_abort(handle, record)
                 session.close_transaction(handle)
         # No further queue admissions; answer what was already accepted.
         self._stopping = True
@@ -328,6 +401,11 @@ class ReproServer:
             queue.put_nowait(None)
         for task in self._worker_tasks:
             await task
+        if self.pool is not None:
+            # Flush every shard's group-commit WAL and trace sink and
+            # join the processes — after this the per-shard trace files
+            # are complete and mergeable.
+            await asyncio.get_event_loop().run_in_executor(None, self.pool.stop)
         report = {
             "sessions": len(self._connections),
             "finished": max(0, active_at_start - forced),
@@ -412,7 +490,7 @@ class ReproServer:
         except (ConnectionError, OSError):
             pass
         finally:
-            aborted = self._abort_session(session)
+            aborted = await self._abort_session(session)
             self._close_connection(connection)
             if connection in self._connections:
                 self._connections.remove(connection)
@@ -425,17 +503,31 @@ class ReproServer:
                     aborted=aborted,
                 )
 
-    def _abort_session(self, session: Session) -> int:
+    async def _abort_session(self, session: Session) -> int:
         """Abort every transaction a vanished connection left behind."""
         aborted = 0
         for handle in list(session.transactions):
-            worker, transaction = session.transactions[handle]
-            if transaction is not None and transaction.is_active:
-                self.managers[worker].abort(transaction)
-                self.stats["transactions_aborted"] += 1
-                aborted += 1
+            record = session.transactions[handle]
+            count = await self._force_abort(handle, record)
+            self.stats["transactions_aborted"] += count
+            aborted += count
             session.close_transaction(handle)
         return aborted
+
+    async def _force_abort(self, handle: str, record: Any) -> int:
+        """Abort ``handle`` wherever it ran; returns 1 when it was live."""
+        if self.pool is not None:
+            if not record.bound:
+                return 0
+            await asyncio.get_event_loop().run_in_executor(
+                None, self.pool.abort_cross_shard, handle, list(record.participants)
+            )
+            return 1
+        transaction = record.transaction
+        if transaction is not None and transaction.is_active:
+            self.managers[record.primary].abort(transaction)
+            return 1
+        return 0
 
     # ------------------------------------------------------------------
     # Request admission (runs in the connection handler)
@@ -580,6 +672,16 @@ class ReproServer:
         result["server"] = dict(self.stats)
         result["queue_limit"] = self.queue_limit
         result["queues"] = [queue.qsize() for queue in self._queues]
+        if self.pool is not None:
+            # Parent-side view only: no pipe round-trips from the
+            # dispatch path (introspection must answer while the shard
+            # pipes are saturated).
+            result["pool"] = {
+                "workers": self.pool.workers,
+                "durability": self.pool.durability,
+                "alive": [shard.alive for shard in self.pool.shards],
+                "incarnations": [shard.incarnation for shard in self.pool.shards],
+            }
         if self.registry is not None:
             result["metrics"] = self.registry.snapshot()
         if self.flight is not None:
@@ -607,7 +709,7 @@ class ReproServer:
         if not isinstance(handle, str):
             raise WireError("BAD_REQUEST", f"{action} needs a transaction handle")
         try:
-            bound_worker, _transaction = session.lookup(handle)
+            record = session.lookup(handle)
         except SessionError:
             raise WireError(
                 "UNKNOWN_TXN", f"no open transaction {handle!r} on this session"
@@ -619,22 +721,31 @@ class ReproServer:
             owner = self._catalog.get(obj)
             if owner is None:
                 raise WireError("UNKNOWN_OBJECT", f"no managed object {obj!r}")
-            if bound_worker is not None and bound_worker != owner:
+            if (
+                self.pool is None
+                and record.primary is not None
+                and record.primary != owner
+            ):
+                # In-loop managers have no commit protocol between them;
+                # the pool runs 2PC, so there this touch is legal.
                 raise WireError(
                     "CROSS_SHARD",
-                    f"transaction {handle!r} is bound to shard {bound_worker}; "
+                    f"transaction {handle!r} is bound to shard {record.primary}; "
                     f"{obj!r} lives on shard {owner} (single-shard transactions"
                     " only)",
                 )
             return owner
-        # commit / abort
-        return bound_worker
+        # commit / abort run on the primary (the 2PC decider in pool mode).
+        return record.primary
 
     async def _complete_unbound(
         self, connection: _Connection, request: Request
     ) -> None:
         """Commit/abort a transaction that never invoked an operation."""
-        session = connection.session
+        await connection.send(self._decide_unbound(connection.session, request))
+
+    def _decide_unbound(self, session: Session, request: Request) -> bytes:
+        """Decide an unbound completion inline; returns the response frame."""
         handle = request.params["transaction"]
         session.close_transaction(handle)
         if request.action == "commit":
@@ -644,7 +755,7 @@ class ReproServer:
             result = {"transaction": handle, "aborted": True}
             self.stats["transactions_aborted"] += 1
         session.record_ack(request.id, result)
-        await connection.send(response_frame(request.id, result))
+        return response_frame(request.id, result)
 
     # ------------------------------------------------------------------
     # Workers (one bounded queue each)
@@ -702,7 +813,7 @@ class ReproServer:
                 )
             handle = params["transaction"]
             try:
-                bound_worker, transaction = session.lookup(handle)
+                transaction = session.lookup(handle).transaction
             except SessionError:
                 # Completed (or aborted by a disconnect race) since
                 # admission — for completions, the ack cache answers.
@@ -774,3 +885,306 @@ class ReproServer:
             return error_frame(
                 request.id, "INTERNAL", f"{type(exc).__name__}: {exc}"
             )
+
+    # ------------------------------------------------------------------
+    # Process-pool workers (one bounded queue each, batched pipe calls)
+    # ------------------------------------------------------------------
+
+    async def _pool_worker(self, index: int) -> None:
+        """Serve one shard's queue by *batching*: each drain of the queue
+        becomes one pipe round-trip, and the shard worker makes the whole
+        batch durable under a single group-commit fsync.  Concurrency is
+        what fills batches — under load the queue is never empty, so the
+        fsync cost amortises across every queued request."""
+        queue = self._queues[index]
+        stopping = False
+        while not stopping:
+            item = await queue.get()
+            if item is None:
+                return
+            batch = [item]
+            while len(batch) < self.pool_batch_limit:
+                try:
+                    extra = queue.get_nowait()
+                except asyncio.QueueEmpty:
+                    break
+                if extra is None:
+                    stopping = True
+                    break
+                batch.append(extra)
+            await self._serve_pool_batch(index, batch)
+
+    async def _serve_pool_batch(
+        self, index: int, batch: List[Tuple[Any, Any, int, Any]]
+    ) -> None:
+        from .procpool import ShardDown
+
+        loop = asyncio.get_event_loop()
+        tracer = self.tracer
+        plans: List[Tuple[Any, List[Dict[str, Any]], Callable]] = []
+        direct: List[Tuple[Any, bytes]] = []
+        cross: List[Tuple[Any, Callable]] = []
+        for item in batch:
+            connection, request, _worker, _admitted = item
+            kind, payload = self._plan_pool(connection.session, request, index)
+            if kind == "frame":
+                direct.append((item, payload))
+            elif kind == "cross":
+                cross.append((item, payload))
+            else:
+                plans.append((item, payload[0], payload[1]))
+        for item, frame in direct:
+            await self._respond_pool(item, frame, None, None)
+        if plans:
+            ops = [op for _, plan_ops, _ in plans for op in plan_ops]
+            timed = tracer is not None and tracer.active
+            started = tracer.clock() if timed else None
+            try:
+                replies = await loop.run_in_executor(
+                    None, self.pool.shards[index].call, ops
+                )
+            except ShardDown:
+                await self._shard_down(index, [item for item, _, _ in plans])
+            else:
+                executed = tracer.clock() if timed else None
+                offset = 0
+                for item, plan_ops, finisher in plans:
+                    chunk = replies[offset : offset + len(plan_ops)]
+                    offset += len(plan_ops)
+                    await self._respond_pool(item, finisher(chunk), started, executed)
+        for item, thunk in cross:
+            timed = tracer is not None and tracer.active
+            started = tracer.clock() if timed else None
+            frame = await thunk()
+            executed = tracer.clock() if timed else None
+            await self._respond_pool(item, frame, started, executed)
+
+    async def _respond_pool(
+        self,
+        item: Tuple[Any, Any, int, Any],
+        frame: bytes,
+        started: Optional[float],
+        executed: Optional[float],
+    ) -> None:
+        connection, request, worker, admitted = item
+        await connection.send(frame)
+        tracer = self.tracer
+        if tracer is not None and tracer.active:
+            responded = tracer.clock()
+            begun = started if started is not None else responded
+            done = executed if executed is not None else begun
+            tracer.emit(
+                "server.respond",
+                session=connection.session.name,
+                action=request.action,
+                trace=request.trace_id,
+                transaction=request.params.get("transaction"),
+                shard=worker,
+                queued=(
+                    max(0.0, begun - admitted) if admitted is not None else 0.0
+                ),
+                executing=max(0.0, done - begun),
+                respond=max(0.0, responded - done),
+            )
+
+    def _plan_pool(
+        self, session: Session, request: Request, index: int
+    ) -> Tuple[str, Any]:
+        """Translate one admitted request into shard-worker ops.
+
+        Returns ``("frame", bytes)`` for requests answerable without the
+        shard, ``("ops", (ops, finisher))`` for batched single-shard
+        work (``finisher(replies) -> frame`` consumes ``len(ops)``
+        replies), or ``("cross", thunk)`` for multi-shard completions
+        (``await thunk() -> frame`` runs 2PC off-loop).
+        """
+        action = request.action
+        params = request.params
+        rid = request.id
+        if action == "create":
+            name = params.get("name")
+            if name in self._catalog:
+                return (
+                    "frame",
+                    error_frame(rid, "BAD_REQUEST", f"object {name!r} already exists"),
+                )
+            adt_name = params.get("adt", "Counter")
+            create_op = {
+                "op": "create",
+                "name": name,
+                "adt": adt_name,
+                "protocol": params.get("protocol"),
+            }
+
+            def finish_create(replies: List[Dict[str, Any]]) -> bytes:
+                reply = replies[0]
+                if "error" in reply:
+                    return error_frame(rid, "BAD_REQUEST", reply["message"])
+                self._catalog[name] = index
+                return response_frame(
+                    rid, {"obj": name, "adt": adt_name, "worker": index}
+                )
+
+            return ("ops", ([create_op], finish_create))
+        handle = params.get("transaction")
+        try:
+            record = session.lookup(handle)
+        except SessionError:
+            cached = session.cached_ack(rid)
+            if cached is not None:
+                return ("frame", response_frame(rid, cached))
+            return (
+                "frame",
+                error_frame(rid, "UNKNOWN_TXN", f"no open transaction {handle!r}"),
+            )
+        if action == "invoke":
+            args = params.get("args", ())
+            if not isinstance(args, (tuple, list)):
+                return (
+                    "frame",
+                    error_frame(rid, "BAD_REQUEST", "args must be a sequence"),
+                )
+            ops: List[Dict[str, Any]] = []
+            if record.touch(index):
+                begin_op: Dict[str, Any] = {"op": "begin", "name": handle}
+                if record.primary != index:
+                    # A non-primary participant: begin quietly — the
+                    # transaction's one loud txn.begin came from its
+                    # primary, and the checker rejects duplicates.
+                    begin_op["quiet"] = True
+                ops.append(begin_op)
+            obj = params.get("obj")
+            ops.append(
+                {
+                    "op": "invoke",
+                    "txn": handle,
+                    "obj": obj,
+                    "operation": params.get("operation"),
+                    "args": tuple(args),
+                }
+            )
+
+            def finish_invoke(replies: List[Dict[str, Any]]) -> bytes:
+                reply = replies[-1]
+                if "error" in reply:
+                    return error_frame(rid, reply["error"], reply["message"])
+                return response_frame(
+                    rid, {"transaction": handle, "obj": obj, "result": reply["ok"]}
+                )
+
+            return ("ops", (ops, finish_invoke))
+        if not record.bound:
+            return ("frame", self._decide_unbound(session, request))
+        if action == "commit":
+            if record.cross_shard:
+                return ("cross", lambda: self._commit_cross(session, request, record))
+            commit_op = {"op": "commit", "txn": handle}
+
+            def finish_commit(replies: List[Dict[str, Any]]) -> bytes:
+                reply = replies[0]
+                if "error" in reply:
+                    return error_frame(rid, reply["error"], reply["message"])
+                payload = {
+                    "transaction": handle,
+                    "timestamp": reply["ok"],
+                    "committed": True,
+                }
+                session.record_ack(rid, payload)
+                session.close_transaction(handle)
+                self.stats["transactions_committed"] += 1
+                return response_frame(rid, payload)
+
+            return ("ops", ([commit_op], finish_commit))
+        if action == "abort":
+            if record.cross_shard:
+                return ("cross", lambda: self._abort_cross(session, request, record))
+            abort_op = {"op": "abort", "txn": handle}
+
+            def finish_abort(replies: List[Dict[str, Any]]) -> bytes:
+                payload = {"transaction": handle, "aborted": True}
+                session.record_ack(rid, payload)
+                session.close_transaction(handle)
+                self.stats["transactions_aborted"] += 1
+                return response_frame(rid, payload)
+
+            return ("ops", ([abort_op], finish_abort))
+        return ("frame", error_frame(rid, "BAD_REQUEST", f"unroutable {action!r}"))
+
+    async def _commit_cross(
+        self, session: Session, request: Request, record: Any
+    ) -> bytes:
+        """Commit a multi-shard transaction: presumed-abort 2PC off-loop."""
+        handle = request.params["transaction"]
+        reply = await asyncio.get_event_loop().run_in_executor(
+            None,
+            self.pool.commit_cross_shard,
+            handle,
+            list(record.participants),
+            record.primary,
+        )
+        if "error" in reply:
+            # The 2PC already aborted the transaction on every
+            # participant; the handle is finished, not leaked.
+            session.close_transaction(handle)
+            self.stats["transactions_aborted"] += 1
+            return error_frame(request.id, reply["error"], reply["message"])
+        payload = {"transaction": handle, "timestamp": reply["ok"], "committed": True}
+        session.record_ack(request.id, payload)
+        session.close_transaction(handle)
+        self.stats["transactions_committed"] += 1
+        return response_frame(request.id, payload)
+
+    async def _abort_cross(
+        self, session: Session, request: Request, record: Any
+    ) -> bytes:
+        """Abort a multi-shard transaction on every participant."""
+        handle = request.params["transaction"]
+        await asyncio.get_event_loop().run_in_executor(
+            None, self.pool.abort_cross_shard, handle, list(record.participants)
+        )
+        payload = {"transaction": handle, "aborted": True}
+        session.record_ack(request.id, payload)
+        session.close_transaction(handle)
+        self.stats["transactions_aborted"] += 1
+        return response_frame(request.id, payload)
+
+    async def _shard_down(self, index: int, items: List[Any]) -> int:
+        """A worker process died mid-batch: answer, clean up, respawn.
+
+        Every in-flight request gets a typed ``SHARD_DOWN`` answer (never
+        stranded), every handle that touched the dead shard is aborted on
+        its surviving participants and closed (never leaked — the dead
+        shard's own active transactions died with its volatile state;
+        prepared ones are resurrected from the WAL and resolved by the
+        respawn), and the shard is respawned, recovered, and put back in
+        rotation.  Returns the number of handles cleaned up.
+        """
+        loop = asyncio.get_event_loop()
+        for item in items:
+            connection, request, _worker, _admitted = item
+            self.stats["errors"] += 1
+            await connection.send(
+                error_frame(
+                    request.id,
+                    "SHARD_DOWN",
+                    f"shard {index} worker died; its active transactions are"
+                    " presumed aborted",
+                )
+            )
+        cleaned = 0
+        for connection in self._connections:
+            session = connection.session
+            for handle in list(session.transactions):
+                record = session.transactions[handle]
+                if index not in record.participants:
+                    continue
+                survivors = [p for p in record.participants if p != index]
+                if survivors:
+                    await loop.run_in_executor(
+                        None, self.pool.abort_cross_shard, handle, survivors
+                    )
+                session.close_transaction(handle)
+                self.stats["transactions_aborted"] += 1
+                cleaned += 1
+        await loop.run_in_executor(None, self.pool.respawn, index)
+        return cleaned

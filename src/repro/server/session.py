@@ -3,8 +3,15 @@
 A session is the server-side shadow of one client connection.  It owns
 
 * the connection's *transaction handles* — short opaque strings minted at
-  ``begin`` and mapped to the live :class:`repro.runtime.Transaction`
-  (plus the worker shard it is bound to);
+  ``begin`` and mapped to a :class:`TxnRecord`: the live
+  :class:`repro.runtime.Transaction` (in-loop mode), the *primary* shard
+  (first touch) and the full *participant set* of shards the transaction
+  has touched.  Single-shard transactions have one participant; in
+  process-pool mode a transaction may touch several, and commit then
+  runs two-phase commit across exactly the recorded participants — the
+  record is the coordinator's worklist, so completion (or a worker
+  death) can always clean up every shard that ever heard of the
+  transaction, leaking nothing;
 * the *completion-ack cache* — the protocol's answer to the classic
   "commit ack lost in flight" problem.  A ``commit`` or ``abort``
   decision is made exactly once; the response body is cached under the
@@ -22,13 +29,52 @@ discipline, and it is unit-testable without an event loop.
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Any, Dict, Optional, Tuple
+from typing import Any, Dict, List, Optional
 
-__all__ = ["Session", "SessionError"]
+__all__ = ["Session", "SessionError", "TxnRecord"]
 
 
 class SessionError(KeyError):
     """An unknown transaction handle was presented to a session."""
+
+
+class TxnRecord:
+    """One open handle: where the transaction runs and what it touched.
+
+    ``primary`` is the shard that first-touch began the transaction (the
+    2PC coordinator-side decider in pool mode); ``participants`` lists
+    every shard it has touched, in touch order, primary first.  An
+    unbound record (``primary is None``) belongs to a transaction that
+    has not invoked anything yet — its completion is decided inline.
+    ``transaction`` carries the live runtime object only in in-loop
+    mode; the process pool keeps transactions inside the shard workers.
+    """
+
+    __slots__ = ("primary", "participants", "transaction")
+
+    def __init__(self) -> None:
+        self.primary: Optional[int] = None
+        self.participants: List[int] = []
+        self.transaction: Any = None
+
+    @property
+    def bound(self) -> bool:
+        """Has the transaction touched any shard yet?"""
+        return self.primary is not None
+
+    @property
+    def cross_shard(self) -> bool:
+        """Has the transaction touched more than one shard?"""
+        return len(self.participants) > 1
+
+    def touch(self, worker: int) -> bool:
+        """Record a touch of ``worker``; True when the shard is new."""
+        if self.primary is None:
+            self.primary = worker
+        if worker in self.participants:
+            return False
+        self.participants.append(worker)
+        return True
 
 
 class Session:
@@ -61,10 +107,10 @@ class Session:
     def __init__(self, session_id: int, peer: str = "?", ack_capacity: int = 256):
         self.session_id = session_id
         self.peer = peer
-        #: handle -> (worker index or None, live Transaction or None).
-        #: The worker binding is lazy: a transaction is pinned to the
-        #: shard owning the first object it touches.
-        self.transactions: Dict[str, Tuple[Optional[int], Any]] = {}
+        #: handle -> TxnRecord (primary shard, participant set, live txn).
+        #: The binding is lazy: a transaction is pinned to the shard
+        #: owning the first object it touches.
+        self.transactions: Dict[str, TxnRecord] = {}
         #: Requests admitted (not refused BUSY) on this session.
         self.requests = 0
         self._next_txn = 0
@@ -84,18 +130,22 @@ class Session:
         self._next_txn += 1
         return f"s{self.session_id}.t{self._next_txn}"
 
-    def open_transaction(self, handle: str) -> None:
+    def open_transaction(self, handle: str) -> TxnRecord:
         """Register a handle minted by :meth:`mint_handle` as open."""
-        self.transactions[handle] = (None, None)
+        record = TxnRecord()
+        self.transactions[handle] = record
+        return record
 
-    def bind(self, handle: str, worker: int, transaction: Any) -> None:
-        """Pin ``handle`` to the worker shard that began it."""
-        if handle not in self.transactions:
-            raise SessionError(handle)
-        self.transactions[handle] = (worker, transaction)
+    def bind(self, handle: str, worker: int, transaction: Any) -> TxnRecord:
+        """Record that ``handle`` touched ``worker`` (first touch pins it)."""
+        record = self.lookup(handle)
+        record.touch(worker)
+        if transaction is not None:
+            record.transaction = transaction
+        return record
 
-    def lookup(self, handle: str) -> Tuple[Optional[int], Any]:
-        """The (worker, transaction) binding for ``handle``.
+    def lookup(self, handle: str) -> TxnRecord:
+        """The :class:`TxnRecord` for ``handle``.
 
         Raises :class:`SessionError` for handles this session never
         minted (or already completed) — the server answers UNKNOWN_TXN.

@@ -1,0 +1,423 @@
+"""Shard-process scaling benchmark: group commit vs a durable-per-append
+baseline.
+
+Drives :class:`~repro.server.procpool.ShardProcessPool` directly — one
+feeder thread per shard submitting pipe batches of fast-path
+transactions — and reports four things:
+
+* **baseline** — one worker, per-append durability (``durability=
+  "append"``): every WAL record is its own fsync, the pre-group-commit
+  world.  This is the honest denominator for the headline speedup.
+* **scaling** — worker sweep under group commit at a fixed submission
+  depth.  The headline ``speedup_vs_baseline`` is the top worker count's
+  sustained txn/s over the baseline row.  On a single-core host the
+  *same-configuration* worker scaling is flat to negative (the workers
+  multiplex one CPU); the speedup comes from batching durable writes,
+  which is exactly what the row pair is designed to show.  The same
+  submission pattern drives every row — only the worker count and the
+  durability mode vary.
+* **depth sweep** — fsyncs per transaction as the submission depth
+  grows, measured from the shard WAL's own counters.  Group commit's
+  contract is ``fsyncs/txn < 1`` from depth 4 up.
+* **cross-shard** — sequential two-shard 2PC commits through the
+  coordinator path, reported separately (prepares are force-written, so
+  these are strictly more expensive than the fast path).
+
+Timing phases run untraced.  A separate certification phase reruns the
+mix on a traced pool, merges the per-shard JSONL traces with the
+coordinator's, writes ``shard_trace.jsonl`` next to the artifact, and
+replays the merged history through the
+:class:`~repro.obs.AtomicityChecker` — the numbers ship only alongside
+the oracle's verdict.  The artifact (``BENCH_shard.json``) is validated
+by ``benchmarks/bench_schema.py``.
+"""
+
+from __future__ import annotations
+
+import json
+import tempfile
+import threading
+import time
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence
+
+from ..obs import AtomicityChecker, JSONLSink, read_jsonl
+from .procpool import ShardProcessPool
+
+__all__ = [
+    "run_shard_bench",
+    "render_shard_summary",
+    "shard_headline",
+    "SCHEMA_VERSION",
+    "SPEEDUP_FLOOR",
+    "SMOKE_SPEEDUP_FLOOR",
+]
+
+SCHEMA_VERSION = 1
+REPO_ROOT = Path(__file__).resolve().parents[3]
+
+ADT_NAME = "Account"
+OPERATION = "Credit"
+OPS_PER_TXN = 2
+
+#: Worker counts for the group-commit scaling sweep (the last one is the
+#: headline row).
+SCALING_WORKERS = (1, 2, 4)
+SMOKE_SCALING_WORKERS = (1, 4)
+
+#: Pipe-batch submission depths for the fsync-amortisation sweep.
+DEPTHS = (1, 2, 4, 16, 64)
+SMOKE_DEPTHS = (1, 4, 16)
+
+#: Submission depth for the baseline and scaling rows.
+BATCH_DEPTH = 16
+
+#: Acceptance floors for the headline speedup, keyed on smoke mode: the
+#: committed artifact must show >= 2.5x over the durable-per-append
+#: baseline; the CI smoke run gets headroom for noisy shared runners.
+SPEEDUP_FLOOR = 2.5
+SMOKE_SPEEDUP_FLOOR = 1.5
+
+#: ``fsyncs/txn`` must drop below one from this submission depth up.
+AMORTISED_DEPTH = 4
+
+
+def _feed(
+    shard: Any,
+    objects: Sequence[str],
+    count: int,
+    depth: int,
+    committed: List[int],
+) -> None:
+    """One feeder thread: submit ``count`` fast-path transactions to one
+    shard in pipe batches of ``depth``."""
+    done = 0
+    sent = 0
+    while sent < count:
+        size = min(depth, count - sent)
+        ops = []
+        for offset in range(size):
+            index = sent + offset
+            steps = [(objects[index % len(objects)], OPERATION, (1,))] * OPS_PER_TXN
+            ops.append(
+                {"op": "txn", "name": f"{shard.name}-t{index}", "steps": steps}
+            )
+        replies = shard.call(ops)
+        done += sum(1 for reply in replies if "ok" in reply)
+        sent += size
+    committed.append(done)
+
+
+def _wal_counters(pool: ShardProcessPool) -> Dict[str, int]:
+    totals = {"wal_appends": 0, "wal_syncs": 0}
+    for stats in pool.stats():
+        totals["wal_appends"] += stats["wal_appends"]
+        totals["wal_syncs"] += stats["wal_syncs"]
+    return totals
+
+
+def _drive(
+    pool: ShardProcessPool, txns_per_worker: int, depth: int
+) -> Dict[str, Any]:
+    """Run the disjoint-shard workload; returns the row's stats dict."""
+    objects: Dict[int, List[str]] = {index: [] for index in range(pool.workers)}
+    probe = 0
+    while any(len(names) < 2 for names in objects.values()):
+        name = f"acct-{probe}"
+        home = pool.shard_of(name)
+        if len(objects[home]) < 2:
+            objects[home].append(name)
+            pool.create_object(name, ADT_NAME)
+        probe += 1
+    before = _wal_counters(pool)
+    committed: List[int] = []
+    threads = [
+        threading.Thread(
+            target=_feed,
+            args=(shard, objects[index], txns_per_worker, depth, committed),
+        )
+        for index, shard in enumerate(pool.shards)
+    ]
+    started = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    elapsed = time.perf_counter() - started
+    after = _wal_counters(pool)
+    transactions = sum(committed)
+    fsyncs = after["wal_syncs"] - before["wal_syncs"]
+    return {
+        "transactions": transactions,
+        "elapsed_seconds": elapsed,
+        "txn_per_second": transactions / elapsed,
+        "fsyncs": fsyncs,
+        "fsyncs_per_txn": fsyncs / transactions if transactions else 0.0,
+    }
+
+
+def _timed_pool_row(
+    root: Path,
+    tag: str,
+    workers: int,
+    durability: str,
+    txns_per_worker: int,
+    depth: int,
+) -> Dict[str, Any]:
+    """Boot a fresh untraced pool, drive it, and tear it down."""
+    pool = ShardProcessPool(
+        workers, root / tag, durability=durability
+    )
+    pool.start()
+    try:
+        stats = _drive(pool, txns_per_worker, depth)
+    finally:
+        pool.stop()
+    return {
+        "workers": workers,
+        "durability": durability,
+        "batch_depth": depth,
+        **stats,
+    }
+
+
+def _cross_shard_phase(
+    root: Path, transactions: int
+) -> Dict[str, Any]:
+    """Sequential two-shard 2PC commits through the coordinator path."""
+    pool = ShardProcessPool(2, root / "cross")
+    pool.start()
+    try:
+        names = _two_shard_objects(pool)
+        committed = 0
+        started = time.perf_counter()
+        for index in range(transactions):
+            txn = f"cross-t{index}"
+            pool.shards[0].single({"op": "begin", "name": txn})
+            pool.shards[1].single({"op": "begin", "name": txn, "quiet": True})
+            for home in (0, 1):
+                pool.shards[home].single(
+                    {
+                        "op": "invoke",
+                        "txn": txn,
+                        "obj": names[home],
+                        "operation": OPERATION,
+                        "args": (1,),
+                    }
+                )
+            reply = pool.commit_cross_shard(txn, [0, 1], primary=index % 2)
+            committed += 1 if "ok" in reply else 0
+        elapsed = time.perf_counter() - started
+    finally:
+        pool.stop()
+    return {
+        "workers": 2,
+        "transactions": committed,
+        "elapsed_seconds": elapsed,
+        "txn_per_second": committed / elapsed,
+    }
+
+
+def _two_shard_objects(pool: ShardProcessPool) -> Dict[int, str]:
+    names: Dict[int, str] = {}
+    probe = 0
+    while len(names) < pool.workers:
+        candidate = f"acct-x{probe}"
+        home = pool.shard_of(candidate)
+        if home not in names:
+            names[home] = candidate
+            pool.create_object(candidate, ADT_NAME)
+        probe += 1
+    return names
+
+
+def _certification_phase(
+    root: Path,
+    trace_out: Path,
+    txns_per_worker: int,
+    cross_transactions: int,
+) -> Dict[str, Any]:
+    """Rerun the mix traced, merge the shard traces, and certify."""
+    pool = ShardProcessPool(2, root / "certify", trace_dir=root / "traces")
+    pool.start()
+    try:
+        _drive(pool, txns_per_worker, BATCH_DEPTH)
+        names = _two_shard_objects(pool)
+        for index in range(cross_transactions):
+            txn = f"certify-x{index}"
+            pool.shards[0].single({"op": "begin", "name": txn})
+            pool.shards[1].single({"op": "begin", "name": txn, "quiet": True})
+            for home in (0, 1):
+                pool.shards[home].single(
+                    {
+                        "op": "invoke",
+                        "txn": txn,
+                        "obj": names[home],
+                        "operation": OPERATION,
+                        "args": (1,),
+                    }
+                )
+            pool.commit_cross_shard(txn, [0, 1], primary=index % 2)
+    finally:
+        pool.stop()
+    events = []
+    for shard in pool.shards:
+        for path in shard.trace_paths:
+            events.extend(read_jsonl(str(path)))
+    events.sort(key=lambda event: event.ts)
+    with JSONLSink(str(trace_out)) as merged:
+        for event in events:
+            merged(event)
+    report = AtomicityChecker().replay(events).report()
+    return {
+        "verdict": report["verdict"],
+        "ok": report["ok"],
+        "events": report["events"],
+        "transactions": report["transactions"],
+        "violations": report["violations"],
+    }
+
+
+def run_shard_bench(
+    smoke: bool = False,
+    output_dir: Path = REPO_ROOT,
+    trace_path: Optional[Path] = None,
+) -> Dict[str, Any]:
+    """Run the shard benchmark; writes and returns ``BENCH_shard.json``.
+
+    The merged certification trace lands at ``trace_path`` (default:
+    ``shard_trace.jsonl`` next to the artifact) so ``repro check
+    --trace-file`` can re-certify the same run out of band.
+    """
+    output_dir = Path(output_dir)
+    output_dir.mkdir(parents=True, exist_ok=True)
+    if trace_path is None:
+        trace_path = output_dir / "shard_trace.jsonl"
+    txns_per_worker = 300 if smoke else 2000
+    sweep_txns = 200 if smoke else 1000
+    cross_txns = 50 if smoke else 300
+    certify_txns = 60 if smoke else 200
+    worker_levels = SMOKE_SCALING_WORKERS if smoke else SCALING_WORKERS
+    depths = SMOKE_DEPTHS if smoke else DEPTHS
+
+    with tempfile.TemporaryDirectory(prefix="shardbench-") as scratch:
+        root = Path(scratch)
+        baseline = _timed_pool_row(
+            root, "baseline", 1, "append", txns_per_worker, BATCH_DEPTH
+        )
+        scaling = [
+            _timed_pool_row(
+                root, f"group-w{workers}", workers, "group",
+                txns_per_worker, BATCH_DEPTH,
+            )
+            for workers in worker_levels
+        ]
+        depth_sweep = [
+            _timed_pool_row(
+                root, f"depth-{depth}", 1, "group", sweep_txns, depth
+            )
+            for depth in depths
+        ]
+        cross_shard = _cross_shard_phase(root, cross_txns)
+        certification = _certification_phase(
+            root, Path(trace_path), certify_txns, cross_txns // 4 or 1
+        )
+
+    top = scaling[-1]
+    speedup = top["txn_per_second"] / baseline["txn_per_second"]
+    result = {
+        "schema_version": SCHEMA_VERSION,
+        "smoke": smoke,
+        "adt": ADT_NAME,
+        "config": {
+            "ops_per_txn": OPS_PER_TXN,
+            "txns_per_worker": txns_per_worker,
+            "batch_depth": BATCH_DEPTH,
+        },
+        "baseline": baseline,
+        "scaling": scaling,
+        "speedup_vs_baseline": speedup,
+        "depth_sweep": depth_sweep,
+        "cross_shard": cross_shard,
+        "certification": certification,
+    }
+
+    if not certification["ok"]:
+        raise AssertionError(
+            f"sharded run failed certification: {certification}"
+        )
+    floor = SMOKE_SPEEDUP_FLOOR if smoke else SPEEDUP_FLOOR
+    if speedup < floor:
+        raise AssertionError(
+            f"group commit at {top['workers']} worker(s) is only "
+            f"{speedup:.2f}x the per-append baseline (floor {floor}x)"
+        )
+    amortised = [
+        row for row in depth_sweep if row["batch_depth"] >= AMORTISED_DEPTH
+    ]
+    if not amortised or min(row["fsyncs_per_txn"] for row in amortised) >= 1.0:
+        raise AssertionError(
+            f"group commit failed to amortise: fsyncs/txn at depth >= "
+            f"{AMORTISED_DEPTH} never dropped below 1.0"
+        )
+    (output_dir / "BENCH_shard.json").write_text(
+        json.dumps(result, indent=2, sort_keys=True) + "\n"
+    )
+    return result
+
+
+def shard_headline(result: Dict[str, Any]) -> Dict[str, Any]:
+    """One run's headline numbers for the bench history log."""
+    top = result["scaling"][-1]
+    deepest = result["depth_sweep"][-1]
+    return {
+        "kind": "shard",
+        "smoke": result.get("smoke", False),
+        "workers": top["workers"],
+        "txn_per_second": top["txn_per_second"],
+        "speedup_vs_baseline": result["speedup_vs_baseline"],
+        "fsyncs_per_txn": deepest["fsyncs_per_txn"],
+        "verdict": result["certification"]["verdict"],
+    }
+
+
+def render_shard_summary(result: Dict[str, Any]) -> str:
+    """A terminal-friendly digest of one ``BENCH_shard.json`` payload."""
+    baseline = result["baseline"]
+    lines = [
+        f"shard bench: {result['config']['txns_per_worker']} txn/worker, "
+        f"{result['config']['ops_per_txn']} op(s)/txn, submission depth "
+        f"{result['config']['batch_depth']}",
+        f"baseline (1 worker, durable per append): "
+        f"{baseline['txn_per_second']:>9,.0f} txn/s  "
+        f"{baseline['fsyncs_per_txn']:.2f} fsync/txn",
+        "group commit scaling (workers: txn/s, fsync/txn, vs baseline):",
+    ]
+    for row in result["scaling"]:
+        ratio = row["txn_per_second"] / baseline["txn_per_second"]
+        lines.append(
+            f"  {row['workers']:>3}: {row['txn_per_second']:>9,.0f} txn/s  "
+            f"{row['fsyncs_per_txn']:.2f} fsync/txn  {ratio:.2f}x"
+        )
+    lines.append(
+        f"headline: {result['speedup_vs_baseline']:.2f}x vs the "
+        "per-append baseline"
+    )
+    lines.append("depth sweep (submission depth: txn/s, fsync/txn):")
+    for row in result["depth_sweep"]:
+        lines.append(
+            f"  {row['batch_depth']:>3}: {row['txn_per_second']:>9,.0f} "
+            f"txn/s  {row['fsyncs_per_txn']:.2f} fsync/txn"
+        )
+    cross = result["cross_shard"]
+    lines.append(
+        f"cross-shard 2PC: {cross['txn_per_second']:>9,.0f} txn/s "
+        f"({cross['transactions']} sequential two-shard commits)"
+    )
+    cert = result["certification"]
+    lines.append(
+        f"certification: {cert['verdict']!r} over {cert['events']} events, "
+        f"{cert['transactions']['committed']} committed /"
+        f" {cert['transactions']['aborted']} aborted"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,434 @@
+"""Shared-nothing shard processes: routing, 2PC, supervision, cleanup.
+
+Covers the multi-process serving tier end to end — real child processes,
+real pipes, real WALs in a tmp directory — plus the two session-hygiene
+regressions: a CROSS_SHARD refusal (in-loop mode) and a worker death
+(pool mode) must leak no session state and strand no queued request.
+"""
+
+import asyncio
+import pathlib
+
+import pytest
+
+from repro.obs import AtomicityChecker, JSONLSink, TraceBus, read_jsonl
+from repro.server import (
+    AsyncClient,
+    ReproServer,
+    Session,
+    ShardDown,
+    ShardProcessPool,
+    WireError,
+)
+
+
+def run(coroutine):
+    return asyncio.run(coroutine)
+
+
+def two_shard_names(pool):
+    """Object names landing on shard 0 and shard 1 respectively."""
+    names = {}
+    index = 0
+    while len(names) < 2:
+        candidate = f"Q{index}"
+        names.setdefault(pool.shard_of(candidate), candidate)
+        index += 1
+    return names[0], names[1]
+
+
+@pytest.fixture()
+def pool(tmp_path):
+    built = ShardProcessPool(2, tmp_path / "data", trace_dir=tmp_path / "traces")
+    built.start()
+    yield built
+    built.stop()
+
+
+class TestPoolDirect:
+    def test_single_shard_txn_fast_path(self, pool):
+        a, _ = two_shard_names(pool)
+        pool.create_object(a, "FIFOQueue")
+        reply = pool.shards[0].single(
+            {"op": "txn", "name": "T1", "steps": [(a, "Enq", (1,)), (a, "Enq", (2,))]}
+        )
+        assert reply["results"] == ["Ok", "Ok"]
+        # Shard 0 mints on its own stride.
+        assert reply["ok"] % pool.workers == 0
+        snapshot = pool.shards[0].single({"op": "snapshot", "obj": a})
+        assert snapshot["ok"] == (1, 2)
+
+    def test_cross_shard_2pc_commits_everywhere(self, pool):
+        a, b = two_shard_names(pool)
+        pool.create_object(a, "FIFOQueue")
+        pool.create_object(b, "FIFOQueue")
+        pool.shards[0].single({"op": "begin", "name": "X"})
+        pool.shards[1].single({"op": "begin", "name": "X", "quiet": True})
+        pool.shards[0].single(
+            {"op": "invoke", "txn": "X", "obj": a, "operation": "Enq", "args": (7,)}
+        )
+        pool.shards[1].single(
+            {"op": "invoke", "txn": "X", "obj": b, "operation": "Enq", "args": (8,)}
+        )
+        reply = pool.commit_cross_shard("X", [0, 1], primary=0)
+        assert "ok" in reply
+        # The decision lands on the primary's stride and both shards
+        # applied it.
+        assert reply["ok"] % pool.workers == 0
+        assert pool.shards[0].single({"op": "snapshot", "obj": a})["ok"] == (7,)
+        assert pool.shards[1].single({"op": "snapshot", "obj": b})["ok"] == (8,)
+
+    def test_killed_shard_recovers_committed_state_from_wal(self, pool):
+        a, _ = two_shard_names(pool)
+        pool.create_object(a, "FIFOQueue")
+        pool.shards[0].single(
+            {"op": "txn", "name": "T1", "steps": [(a, "Enq", (5,))]}
+        )
+        pool.shards[0].kill()
+        with pytest.raises(ShardDown):
+            pool.shards[0].single({"op": "stats"})
+        pool.respawn(0)
+        assert pool.shards[0].single({"op": "snapshot", "obj": a})["ok"] == (5,)
+        stats = pool.shards[0].single({"op": "stats"})["ok"]
+        assert stats["incarnation"] == 2
+
+    def test_group_commit_amortises_fsyncs_across_a_batch(self, pool):
+        a, _ = two_shard_names(pool)
+        pool.create_object(a, "FIFOQueue")
+        before = pool.shards[0].single({"op": "stats"})["ok"]
+        ops = [
+            {"op": "txn", "name": f"B{i}", "steps": [(a, "Enq", (i,))]}
+            for i in range(8)
+        ]
+        replies = pool.shards[0].call(ops)
+        assert all("ok" in reply for reply in replies)
+        after = pool.shards[0].single({"op": "stats"})["ok"]
+        # 8 transactions × 3 records (begin-less: 2 per op + commit) in
+        # ONE durable batch: exactly one more fsync, many more appends.
+        assert after["wal_syncs"] == before["wal_syncs"] + 1
+        assert after["wal_appends"] > before["wal_appends"] + 8
+
+    def test_prepared_transaction_survives_crash_and_resolves_commit(self, pool):
+        a, b = two_shard_names(pool)
+        pool.create_object(a, "FIFOQueue")
+        pool.create_object(b, "FIFOQueue")
+        pool.shards[0].single({"op": "begin", "name": "X"})
+        pool.shards[1].single({"op": "begin", "name": "X", "quiet": True})
+        pool.shards[0].single(
+            {"op": "invoke", "txn": "X", "obj": a, "operation": "Enq", "args": (1,)}
+        )
+        pool.shards[1].single(
+            {"op": "invoke", "txn": "X", "obj": b, "operation": "Enq", "args": (2,)}
+        )
+        v0 = pool.shards[0].single({"op": "prepare", "txn": "X"})["ok"]
+        v1 = pool.shards[1].single({"op": "prepare", "txn": "X"})["ok"]
+        # Primary decides and commits locally; participant crashes before
+        # the decision reaches it.
+        decided = pool.shards[0].single(
+            {"op": "decide", "txn": "X", "votes": [v0, v1]}
+        )["ok"]
+        pool.shards[1].kill()
+        resolved = pool.respawn(1)
+        assert resolved == ["X"]
+        verdict = pool.shards[1].single({"op": "decision", "txn": "X"})["ok"]
+        assert verdict == {"outcome": "commit", "ts": decided}
+        assert pool.shards[1].single({"op": "snapshot", "obj": b})["ok"] == (2,)
+
+    def test_prepared_transaction_presumed_abort_without_decision(self, pool):
+        a, b = two_shard_names(pool)
+        pool.create_object(a, "FIFOQueue")
+        pool.create_object(b, "FIFOQueue")
+        pool.shards[0].single({"op": "begin", "name": "X"})
+        pool.shards[1].single({"op": "begin", "name": "X", "quiet": True})
+        pool.shards[1].single(
+            {"op": "invoke", "txn": "X", "obj": b, "operation": "Enq", "args": (2,)}
+        )
+        pool.shards[1].single({"op": "prepare", "txn": "X"})
+        # No shard ever logged a commit: crash + respawn resolves the
+        # prepared transaction by presumed abort, releasing its locks.
+        pool.shards[1].kill()
+        assert pool.respawn(1) == ["X"]
+        verdict = pool.shards[1].single({"op": "decision", "txn": "X"})["ok"]
+        assert verdict == {"outcome": "unknown"}
+        assert pool.shards[1].single({"op": "snapshot", "obj": b})["ok"] == ()
+        assert pool.shards[1].single({"op": "prepared"})["ok"] == []
+
+    def test_coordinator_crash_between_prepare_and_decide(self, pool):
+        """Fault injection: both shards prepared, the coordinator dies
+        before deciding anywhere — no commit record exists, so recovery
+        resolves the transaction by presumed abort on every shard."""
+        a, b = two_shard_names(pool)
+        pool.create_object(a, "FIFOQueue")
+        pool.create_object(b, "FIFOQueue")
+        pool.shards[0].single({"op": "begin", "name": "X"})
+        pool.shards[1].single({"op": "begin", "name": "X", "quiet": True})
+        for home, name in ((0, a), (1, b)):
+            pool.shards[home].single(
+                {
+                    "op": "invoke",
+                    "txn": "X",
+                    "obj": name,
+                    "operation": "Enq",
+                    "args": (7,),
+                }
+            )
+            pool.shards[home].single({"op": "prepare", "txn": "X"})
+        # The coordinator (parent) "crashes": kill both participants
+        # before any decide lands, then bring them back.
+        pool.shards[0].kill()
+        pool.shards[1].kill()
+        assert pool.respawn(0) == ["X"]
+        assert pool.respawn(1) == ["X"]
+        for home, name in ((0, a), (1, b)):
+            assert pool.shards[home].single(
+                {"op": "decision", "txn": "X"}
+            )["ok"] == {"outcome": "unknown"}
+            assert pool.shards[home].single(
+                {"op": "snapshot", "obj": name}
+            )["ok"] == ()
+            assert pool.shards[home].single({"op": "prepared"})["ok"] == []
+        # Both shards are consistent and unlocked: the same pair commits.
+        pool.shards[0].single({"op": "begin", "name": "Y"})
+        pool.shards[1].single({"op": "begin", "name": "Y", "quiet": True})
+        for home, name in ((0, a), (1, b)):
+            pool.shards[home].single(
+                {
+                    "op": "invoke",
+                    "txn": "Y",
+                    "obj": name,
+                    "operation": "Enq",
+                    "args": (8,),
+                }
+            )
+        assert "ok" in pool.commit_cross_shard("Y", [0, 1], primary=1)
+
+    def test_crash_op_loses_only_the_unflushed_batch(self, pool):
+        """Fault injection: a hard crash mid-batch (before the group
+        flush) loses exactly the unacknowledged batch — earlier acked
+        batches survive via the WAL."""
+        a, _ = two_shard_names(pool)
+        pool.create_object(a, "FIFOQueue")
+        acked = pool.shards[0].call(
+            [
+                {"op": "txn", "name": "A1", "steps": [(a, "Enq", (1,))]},
+                {"op": "txn", "name": "A2", "steps": [(a, "Enq", (2,))]},
+            ]
+        )
+        assert all("ok" in reply for reply in acked)
+        # The crash op dies via os._exit before the batch's WAL flush:
+        # the whole batch — including the txns ahead of it — was never
+        # acknowledged, and must be lost.
+        with pytest.raises(ShardDown):
+            pool.shards[0].call(
+                [
+                    {"op": "txn", "name": "B1", "steps": [(a, "Enq", (3,))]},
+                    {"op": "crash"},
+                ]
+            )
+        pool.respawn(0)
+        assert pool.shards[0].single({"op": "snapshot", "obj": a})["ok"] == (1, 2)
+
+    def test_stride_mismatch_is_refused_on_respawn(self, tmp_path):
+        pool = ShardProcessPool(2, tmp_path / "data")
+        pool.start()
+        a, _ = two_shard_names(pool)
+        pool.create_object(a, "FIFOQueue")
+        pool.shards[0].single({"op": "txn", "name": "T1", "steps": [(a, "Enq", (1,))]})
+        pool.stop()
+        # Reopening shard 0's log as shard 0 *of 3* must be refused: a
+        # resized pool would mint colliding timestamps.
+        resized = ShardProcessPool(3, tmp_path / "data")
+        try:
+            resized.start()
+            with pytest.raises(ShardDown, match="stride"):
+                resized.shards[0].single({"op": "stats"})
+        finally:
+            resized.stop()
+
+
+class TestPoolServer:
+    """The asyncio front end over the process pool, on real sockets."""
+
+    async def _started(self, tmp_path, **kwargs):
+        pool = ShardProcessPool(2, tmp_path / "data", trace_dir=tmp_path / "traces")
+        server = ReproServer(pool=pool, drain_grace=0.5, **kwargs)
+        await server.start()
+        client = await AsyncClient.connect(server.host, server.port)
+        return pool, server, client
+
+    def test_cross_shard_transaction_commits_over_the_wire(self, tmp_path):
+        async def scenario():
+            pool, server, client = await self._started(tmp_path)
+            a, b = two_shard_names(pool)
+            await client.create(a, "FIFOQueue")
+            await client.create(b, "FIFOQueue")
+            txn = await client.begin()
+            await client.invoke(txn, a, "Enq", 1)
+            await client.invoke(txn, b, "Enq", 2)
+            timestamp, _ = await client.commit(txn)
+            assert isinstance(timestamp, int)
+            await client.aclose()
+            await server.drain()
+
+        run(scenario())
+
+    def test_worker_death_answers_shard_down_and_leaks_nothing(self, tmp_path):
+        """Satellite regression: worker death strands and leaks nothing.
+
+        The in-flight request gets a typed SHARD_DOWN, the handle that
+        touched the dead shard is closed (later use answers UNKNOWN_TXN,
+        not a hang), locks on the surviving participant are released,
+        and the shard comes back recovered.
+        """
+
+        async def scenario():
+            pool, server, client = await self._started(tmp_path)
+            a, b = two_shard_names(pool)
+            await client.create(a, "FIFOQueue")
+            await client.create(b, "FIFOQueue")
+            # A cross-shard transaction holding locks on both shards.
+            txn = await client.begin()
+            await client.invoke(txn, a, "Enq", 1)
+            await client.invoke(txn, b, "Enq", 2)
+            pool.shards[1].kill()
+            with pytest.raises(WireError) as caught:
+                await asyncio.wait_for(client.invoke(txn, b, "Enq", 3), 30)
+            assert caught.value.code == "SHARD_DOWN"
+            # The handle was cleaned everywhere, not leaked.
+            with pytest.raises(WireError) as caught:
+                await client.invoke(txn, a, "Enq", 4)
+            assert caught.value.code == "UNKNOWN_TXN"
+            for connection in server._connections:
+                assert connection.session.active == 0
+            # Shard 0's locks were released: a new transaction can lock a.
+            txn2 = await client.begin()
+            await client.invoke(txn2, a, "Enq", 5)
+            # And the dead shard is back, recovered, serving.
+            await client.invoke(txn2, b, "Enq", 6)
+            timestamp, _ = await client.commit(txn2)
+            assert isinstance(timestamp, int)
+            stats = await client.stats()
+            assert stats["pool"]["alive"] == [True, True]
+            assert stats["pool"]["incarnations"][1] == 2
+            await client.aclose()
+            await server.drain()
+
+        run(scenario())
+
+    def test_merged_trace_certifies_clean_through_worker_death(self, tmp_path):
+        parent_trace = tmp_path / "parent.jsonl"
+
+        async def scenario():
+            bus = TraceBus()
+            sink = bus.subscribe(JSONLSink(str(parent_trace)))
+            pool = ShardProcessPool(
+                2, tmp_path / "data", trace_dir=tmp_path / "traces"
+            )
+            server = ReproServer(
+                pool=pool, tracer=bus, drain_grace=0.5, flush_on_drain=[sink]
+            )
+            await server.start()
+            client = await AsyncClient.connect(server.host, server.port)
+            a, b = two_shard_names(pool)
+            await client.create(a, "FIFOQueue")
+            await client.create(b, "FIFOQueue")
+            for value in range(3):
+                txn = await client.begin()
+                await client.invoke(txn, a, "Enq", value)
+                await client.invoke(txn, b, "Enq", value)
+                await client.commit(txn)
+            pool.shards[1].kill()
+            txn = await client.begin()
+            with pytest.raises(WireError):
+                await client.invoke(txn, b, "Enq", 99)
+            txn = await client.begin()
+            await client.invoke(txn, b, "Enq", 100)
+            await client.commit(txn)
+            await client.aclose()
+            await server.drain()
+            return pool
+
+        pool = run(scenario())
+        events = read_jsonl(str(parent_trace))
+        for shard in pool.shards:
+            for path in shard.trace_paths:
+                events.extend(read_jsonl(str(path)))
+        events.sort(key=lambda event: event.ts)
+        report = AtomicityChecker().replay(events).report()
+        assert report["verdict"] == "clean", report["violations"]
+
+    def test_drain_flushes_and_joins_the_pool(self, tmp_path):
+        async def scenario():
+            pool, server, client = await self._started(tmp_path)
+            a, _ = two_shard_names(pool)
+            await client.create(a, "FIFOQueue")
+            txn = await client.begin()
+            await client.invoke(txn, a, "Enq", 1)
+            # Leave the transaction open: drain force-aborts it.
+            await client.aclose()
+            report = await server.drain()
+            assert report["aborted"] >= 0
+            assert all(not shard.alive for shard in pool.shards)
+            # The WAL directories survive for the next incarnation.
+            assert (tmp_path / "data" / "shard0" / "wal.jsonl").exists()
+
+        run(scenario())
+
+
+class TestCrossShardRefusalHygiene:
+    """Satellite regression: the in-loop CROSS_SHARD refusal leaks nothing."""
+
+    def test_refusal_leaves_no_half_bound_state(self, tmp_path):
+        async def scenario():
+            server = ReproServer(workers=2, drain_grace=0.5)
+            await server.start()
+            client = await AsyncClient.connect(server.host, server.port)
+            # Objects on distinct in-loop shards.
+            names = {}
+            index = 0
+            while len(names) < 2:
+                candidate = f"Q{index}"
+                from repro.server import shard_for
+
+                names.setdefault(shard_for(candidate, 2), candidate)
+                index += 1
+            a, b = names[0], names[1]
+            await client.create(a, "FIFOQueue")
+            await client.create(b, "FIFOQueue")
+            txn = await client.begin()
+            await client.invoke(txn, a, "Enq", 1)
+            with pytest.raises(WireError) as caught:
+                await client.invoke(txn, b, "Enq", 2)
+            assert caught.value.code == "CROSS_SHARD"
+            # The refusal must not corrupt the binding: the transaction
+            # is still usable on its own shard and completes cleanly.
+            await client.invoke(txn, a, "Enq", 3)
+            record = server._connections[0].session.lookup(txn)
+            assert record.participants == [shard_for(a, 2)]
+            timestamp, _ = await client.commit(txn)
+            assert isinstance(timestamp, int)
+            # ...and the handle is gone afterwards: no session leak.
+            assert server._connections[0].session.active == 0
+            # The refused shard holds no locks: another transaction can
+            # use b immediately without a conflict.
+            other = await client.begin()
+            await client.invoke(other, b, "Enq", 9)
+            await client.commit(other)
+            await client.aclose()
+            await server.drain()
+
+        run(scenario())
+
+
+class TestSessionRecords:
+    def test_touch_tracks_primary_and_participants(self):
+        session = Session(1)
+        handle = session.mint_handle()
+        record = session.open_transaction(handle)
+        assert not record.bound and not record.cross_shard
+        assert record.touch(2) is True
+        assert record.primary == 2
+        assert record.touch(2) is False
+        assert record.touch(0) is True
+        assert record.cross_shard
+        assert record.participants == [2, 0]
